@@ -1,0 +1,51 @@
+"""Figure 10 — per-candidate N_kl/N_op ratios vs the 1/|C_MB| line."""
+
+import pytest
+
+from repro.core import prepare_candidates
+from repro.core.bounds import balance_ratio, candidate_trial_ratios
+from repro.experiments import run_experiment
+
+from .conftest import BENCH_CONFIG
+
+
+@pytest.mark.parametrize("name", BENCH_CONFIG.datasets)
+def test_ratio_computation_speed(benchmark, bench_datasets, name):
+    graph = bench_datasets[name]
+    candidates = prepare_candidates(graph, 60, rng=11)
+    if len(candidates) == 0:
+        pytest.skip("no candidates on this dataset/seed")
+    ratios = benchmark(candidate_trial_ratios, candidates, 0.1)
+    assert len(ratios) == len(candidates)
+
+
+def test_fig10_report_and_shape(benchmark, capsys):
+    outcome = benchmark.pedantic(
+        lambda: run_experiment("fig10", BENCH_CONFIG), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(outcome.text)
+
+    assert outcome.data, "expected per-dataset ratio payloads"
+    for name, payload in outcome.data.items():
+        ratios = payload["ratios"]
+        reference = payload["reference"]
+        assert reference == pytest.approx(balance_ratio(len(ratios)))
+        # Paper shape: "most bars significantly exceed this balanced
+        # value" — the optimised estimator wins for the bulk of
+        # candidates.
+        assert payload["fraction_above"] > 0.5, (
+            f"{name}: only {payload['fraction_above']:.0%} of candidates "
+            "favour the optimised estimator"
+        )
+
+
+def test_jester_equal_weight_plateaus(bench_datasets):
+    """Figure 10(c)'s observation: jester's identical ratings create
+    many butterflies with the same weight, hence repeated ratios."""
+    graph = bench_datasets["jester"]
+    candidates = prepare_candidates(graph, 100, rng=11)
+    classes = candidates.weight_classes()
+    largest = max(len(cls) for cls in classes)
+    assert largest >= 5, "expected tied weight classes on jester"

@@ -1,0 +1,63 @@
+"""Figure 11 — sampling-phase convergence of P(B) at twice the budget.
+
+The paper tracks a butterfly with P(B) ≈ 0.05 through OS, OLS and OLS-KL
+and shows all three stabilise inside a 2ε band before the theoretical
+trial number is exhausted.
+"""
+
+import pytest
+
+from repro.core import ordering_listing_sampling
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments.figures_convergence import pick_tracked_butterfly
+
+FIG11_CONFIG = ExperimentConfig(
+    profile="bench",
+    seed=0,
+    n_prepare=100,
+    n_sampling=3_000,
+    datasets=("abide",),
+)
+
+
+def test_tracked_estimation_speed(benchmark, bench_datasets):
+    graph = bench_datasets["abide"]
+    key = pick_tracked_butterfly(graph, FIG11_CONFIG)
+    assert key is not None
+    result = benchmark.pedantic(
+        lambda: ordering_listing_sampling(
+            graph, 1_000, n_prepare=60, rng=5, track=[key]
+        ),
+        rounds=2, iterations=1,
+    )
+    assert key in result.traces
+
+
+def test_fig11_report_and_shape(benchmark, capsys):
+    outcome = benchmark.pedantic(
+        lambda: run_experiment("fig11", FIG11_CONFIG), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(outcome.text)
+
+    payload = outcome.data["abide"]
+    reference = payload["reference"]
+    assert reference > 0.0
+
+    # All three methods' final estimates agree within the band.
+    finals = {
+        method: trace.final_estimate
+        for method, trace in payload["traces"].items()
+        if trace is not None and trace.checkpoints
+    }
+    assert set(finals) == {"os", "ols", "ols-kl"}
+    for method, final in finals.items():
+        assert final == pytest.approx(reference, rel=0.35), (
+            f"{method} final {final} vs OS reference {reference}"
+        )
+
+    # The OS trace (the fully-guaranteed method) settles inside the band
+    # after the warm-up half, as in the paper's plots.
+    os_trace = payload["traces"]["os"]
+    assert os_trace.within_band(reference, 0.25, after_fraction=0.5)

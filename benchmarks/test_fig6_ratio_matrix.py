@@ -1,0 +1,49 @@
+"""Figure 6 — the N_kl/N_op trial-ratio matrix over (P(B), Pr[E(B)])."""
+
+import numpy as np
+
+from repro.core.bounds import karp_luby_trial_ratio, ratio_matrix
+from repro.experiments import run_experiment
+
+from .conftest import BENCH_CONFIG
+
+
+def test_matrix_generation_speed(benchmark):
+    mus = [0.01 * i for i in range(1, 50)]
+    existence = [0.02 * i for i in range(1, 50)]
+    matrix = benchmark(ratio_matrix, mus, existence, 1.0)
+    assert matrix.shape == (49, 49)
+
+
+def test_fig6_report(benchmark, capsys):
+    outcome = benchmark.pedantic(
+        lambda: run_experiment("fig6", BENCH_CONFIG), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(outcome.text)
+
+    matrix = outcome.data["matrix"]
+    mus = outcome.data["mus"]
+    existence = outcome.data["existence"]
+
+    # Paper shape 1: darker (larger) towards small P(B) — column-wise the
+    # ratio decreases as mu grows.
+    for j in range(len(existence)):
+        column = [
+            matrix[i][j] for i in range(len(mus))
+            if not np.isnan(matrix[i][j])
+        ]
+        assert column == sorted(column, reverse=True)
+
+    # Paper shape 2: larger towards high existence probability — row-wise
+    # increasing in Pr[E(B)].
+    for i in range(len(mus)):
+        row = [value for value in matrix[i] if not np.isnan(value)]
+        assert row == sorted(row)
+
+    # Paper's qualitative claim: for precise targets (small mu) and
+    # likely butterflies the ratio far exceeds typical 1/|C_MB| values.
+    assert karp_luby_trial_ratio(0.9, 1.0, 0.01) > 50
+    # The infeasible triangle is blanked.
+    assert np.isnan(matrix[len(mus) - 1][0])

@@ -1,0 +1,54 @@
+"""Table III — dataset details.
+
+Benchmarks dataset generation and regenerates the statistics table,
+checking each stand-in keeps the paper row's structural character
+(bipartition shape ordering, weight/probability semantics).
+"""
+
+import pytest
+
+from repro.datasets import PAPER_SHAPES, load_dataset
+from repro.experiments import run_experiment
+from repro.graph import compute_stats
+
+from .conftest import BENCH_CONFIG
+
+
+@pytest.mark.parametrize("name", BENCH_CONFIG.datasets)
+def test_dataset_generation_speed(benchmark, name):
+    """How long generating each bench dataset takes."""
+    graph = benchmark(lambda: load_dataset(name, "bench", rng=0))
+    assert graph.n_edges > 0
+
+
+def test_table3_report(bench_datasets, capsys):
+    outcome = run_experiment("table3", BENCH_CONFIG)
+    with capsys.disabled():
+        print()
+        print(outcome.text)
+
+    stats = outcome.data["stats"]
+    for name, graph in bench_datasets.items():
+        generated = compute_stats(graph)
+        paper_e, paper_l, paper_r, _w, _p = PAPER_SHAPES[name]
+        # Side-balance character preserved: which partition is larger.
+        if paper_l < paper_r:
+            assert generated.n_left < generated.n_right, name
+        elif paper_l == paper_r:
+            assert generated.n_left == generated.n_right, name
+        # Edges dominate vertices on every dataset, as in the paper.
+        assert generated.n_edges > max(
+            generated.n_left, generated.n_right
+        ), name
+        assert stats[name].n_edges == generated.n_edges
+
+
+def test_probability_semantics(bench_datasets):
+    """Protein uses the paper's Normal(0.5, 0.2) preprocessing; rating
+    networks use conformity reliabilities bounded away from 0/1."""
+    protein = bench_datasets["protein"]
+    assert protein.probs.mean() == pytest.approx(0.5, abs=0.05)
+    for name in ("movielens", "jester"):
+        probs = bench_datasets[name].probs
+        assert probs.min() >= 0.05
+        assert probs.max() <= 0.9

@@ -1,0 +1,39 @@
+"""Table IV — trial numbers of the four methods in both phases."""
+
+from repro.core.bounds import (
+    candidate_hit_probability,
+    karp_luby_trial_bound,
+    monte_carlo_trial_bound,
+)
+from repro.experiments import run_experiment
+
+from .conftest import BENCH_CONFIG
+
+
+def test_theorem41_bound_speed(benchmark):
+    n = benchmark(monte_carlo_trial_bound, 0.05, 0.1, 0.1)
+    # The paper rounds this to its 20 000 default.
+    assert 20_000 <= n <= 24_000
+
+
+def test_dynamic_kl_bound_speed(benchmark):
+    n = benchmark(karp_luby_trial_bound, 0.5, 1.5, 0.05, 0.1, 0.1)
+    assert n >= 1
+
+
+def test_table4_report(benchmark, capsys):
+    outcome = benchmark.pedantic(
+        lambda: run_experiment("table4", BENCH_CONFIG), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(outcome.text)
+
+    # The paper's parameter story (Section VIII-B):
+    # (1) direct methods need ~2e4 trials at mu=0.05, eps=delta=0.1;
+    assert 20_000 <= outcome.data["bound"] <= 24_000
+    # (2) 100 preparing trials make a P(B)=0.05 butterfly's miss
+    #     probability well under 1%.
+    assert outcome.data["miss_probability"] < 0.01
+    # Cross-check with Lemma VI.1 directly.
+    assert candidate_hit_probability(0.05, 100) > 0.99

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Use case 2 (Figure 3): top-10 MPMBs on TC vs ASD brain networks.
+
+Generates the synthetic ABIDE-like pair (Typical Controls vs Autism
+Spectrum Disorder; the ASD network lacks long-range connections), mines
+the top-10 MPMBs in each, and reports the clustering of involved ROIs
+and the TC/ASD activation-intensity ratio the paper observes (~2x).
+
+Run:
+    python examples/brain_network.py
+"""
+
+from repro.apps import compare_groups
+from repro.datasets import abide_groups
+
+
+def main() -> None:
+    tc, asd = abide_groups(n_rois=28, rng=3)
+    print(f"TC network : {tc!r}")
+    print(f"ASD network: {asd!r}\n")
+
+    tc_analysis, asd_analysis, ratio = compare_groups(
+        tc, asd, k=10, n_trials=4_000, n_prepare=150, rng=5
+    )
+
+    for analysis in (tc_analysis, asd_analysis):
+        print(f"=== Top-10 MPMBs in {analysis.group} ===")
+        for finding in analysis.findings:
+            print(
+                f"  {finding.rois}  w={finding.weight:6.2f}  "
+                f"P={finding.probability:.3f}  "
+                f"intensity={finding.intensity:6.3f}"
+            )
+        clusters = sorted(
+            analysis.roi_clusters().items(), key=lambda kv: -kv[1]
+        )
+        hubs = ", ".join(f"{roi}x{n}" for roi, n in clusters[:5])
+        print(f"  most recurrent ROIs: {hubs}")
+        print(f"  mean activation intensity: "
+              f"{analysis.mean_intensity:.3f}\n")
+
+    print(
+        f"TC / ASD intensity ratio: {ratio:.2f} "
+        "(the paper reports roughly 2x — TC brains show stronger "
+        "long-range activity)"
+    )
+
+
+if __name__ == "__main__":
+    main()

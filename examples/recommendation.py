@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Use case 1 (Figure 2): MPMB-backed recommendations.
+
+Reproduces the paper's motivating scenario: hot items (football, Harry
+Potter) dominate plain most-probable butterflies, but once cold items
+earn a reward weight, the *maximum weighted* most-probable butterfly
+surfaces the skating/chess agreement between Alice and Bob — nicher and
+more valuable for recommendation.
+
+Run:
+    python examples/recommendation.py
+"""
+
+from repro.apps import build_interest_graph, recommend
+from repro.core import find_mpmb
+
+# The Figure 2 toy world: Alice and Bob share both hot and cold tastes;
+# a crowd of other users all like the hot items, which is exactly the
+# "common phenomenon, worthless to recommend" the paper describes.
+INTERACTIONS = [
+    ("alice", "football", 0.72),
+    ("alice", "harry-potter", 0.72),
+    ("alice", "skating", 0.70),
+    ("bob", "football", 0.72),
+    ("bob", "harry-potter", 0.72),
+    ("bob", "chess", 0.70),
+    ("bob", "skating", 0.70),
+    ("alice", "chess", 0.70),
+    # Bob's extra niche interest — a recommendation candidate for Alice.
+    ("bob", "origami", 0.60),
+    # The crowd: every extra user likes the two hot items.
+    *[
+        (f"user{i}", item, 0.8)
+        for i in range(12)
+        for item in ("football", "harry-potter")
+    ],
+]
+
+
+def main() -> None:
+    print("=== Without cold-item reward (Figure 2(a)) ===")
+    flat = build_interest_graph(INTERACTIONS, cold_reward=0.0)
+    result = find_mpmb(flat, method="ols", n_trials=4_000, rng=11)
+    best = result.best
+    assert best is not None
+    print(
+        f"Most probable butterfly: {best.labels(flat)} "
+        f"(weight {best.weight:.2f}, P={result.best_probability:.3f})"
+    )
+    print("-> hot items win; with equal weights the butterfly tells us "
+          "little.\n")
+
+    print("=== With cold-item reward (Figure 2(b)) ===")
+    weighted = build_interest_graph(INTERACTIONS, cold_reward=2.0)
+    result = find_mpmb(weighted, method="ols", n_trials=4_000, rng=11)
+    best = result.best
+    assert best is not None
+    print(
+        f"Maximum weighted most probable butterfly: {best.labels(weighted)} "
+        f"(weight {best.weight:.2f}, P={result.best_probability:.3f})"
+    )
+    print("-> the niche skating/chess agreement now outweighs the hot "
+          "items.\n")
+
+    print("=== Recommendations for alice ===")
+    for rec in recommend(
+        INTERACTIONS, for_user="alice", k_butterflies=5,
+        cold_reward=2.0, n_trials=4_000, rng=11,
+    ):
+        print(
+            f"  recommend {rec.item!r} (via {rec.peer}, agreeing on "
+            f"{rec.via_items}, P={rec.probability:.3f}, "
+            f"weight={rec.weight:.2f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

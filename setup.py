@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on offline environments whose setuptools lacks
+the ``wheel`` package required by PEP 660 editable installs (pip then
+falls back to the legacy ``setup.py develop`` path via
+``--no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

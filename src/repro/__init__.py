@@ -1,0 +1,121 @@
+"""repro — Most Probable Maximum Weighted Butterfly search.
+
+A faithful Python reproduction of *"Most Probable Maximum Weighted
+Butterfly Search"* (ICDE 2025): uncertain bipartite weighted networks,
+the MPMB problem, the MC-VP baseline, the Ordering Sampling (OS) and
+Ordering-Listing Sampling (OLS / OLS-KL) algorithms, exact validation
+solvers, the #P-hardness reduction, trial-number theory, synthetic
+stand-ins for the paper's datasets, and the full experiment harness.
+
+Quickstart::
+
+    from repro import GraphBuilder, find_mpmb
+
+    builder = GraphBuilder()
+    builder.add_edge("u1", "v1", weight=2, prob=0.5)
+    builder.add_edge("u1", "v2", weight=2, prob=0.6)
+    builder.add_edge("u1", "v3", weight=1, prob=0.8)
+    builder.add_edge("u2", "v1", weight=3, prob=0.3)
+    builder.add_edge("u2", "v2", weight=3, prob=0.4)
+    builder.add_edge("u2", "v3", weight=1, prob=0.7)
+    graph = builder.build()
+
+    result = find_mpmb(graph, method="ols", n_trials=5000, rng=7)
+    print(result.best.labels(graph), result.best_probability)
+"""
+
+from .butterfly import (
+    Butterfly,
+    butterfly_from_labels,
+    count_butterflies,
+    enumerate_butterflies,
+    make_butterfly,
+    max_weight_butterflies,
+)
+from .core import (
+    DEFAULT_PREPARE_TRIALS,
+    DEFAULT_TRIALS,
+    METHODS,
+    CandidateSet,
+    MPMBResult,
+    exact_mpmb_by_inclusion_exclusion,
+    exact_mpmb_by_worlds,
+    exact_probability,
+    find_mpmb,
+    find_top_k_mpmb,
+    mc_vp,
+    ordering_listing_sampling,
+    ordering_sampling,
+    prepare_candidates,
+)
+from .errors import (
+    DatasetError,
+    EstimationError,
+    GraphFormatError,
+    GraphValidationError,
+    IntractableError,
+    ReproError,
+)
+from .graph import (
+    EdgeSpec,
+    GraphBuilder,
+    UncertainBipartiteGraph,
+    load_graph,
+    sample_vertices,
+    save_graph,
+)
+from .counting import (
+    butterfly_count_variance,
+    enumerate_probable_butterflies,
+    expected_butterfly_count,
+)
+from .worlds import PossibleWorld, WorldSampler
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # graph
+    "UncertainBipartiteGraph",
+    "GraphBuilder",
+    "EdgeSpec",
+    "load_graph",
+    "save_graph",
+    "sample_vertices",
+    # worlds
+    "PossibleWorld",
+    "WorldSampler",
+    # butterflies
+    "Butterfly",
+    "make_butterfly",
+    "butterfly_from_labels",
+    "count_butterflies",
+    "enumerate_butterflies",
+    "max_weight_butterflies",
+    # core
+    "MPMBResult",
+    "CandidateSet",
+    "find_mpmb",
+    "find_top_k_mpmb",
+    "mc_vp",
+    "ordering_sampling",
+    "ordering_listing_sampling",
+    "prepare_candidates",
+    "exact_mpmb_by_worlds",
+    "exact_mpmb_by_inclusion_exclusion",
+    "exact_probability",
+    "METHODS",
+    "DEFAULT_TRIALS",
+    "DEFAULT_PREPARE_TRIALS",
+    # counting
+    "expected_butterfly_count",
+    "butterfly_count_variance",
+    "enumerate_probable_butterflies",
+    # errors
+    "ReproError",
+    "GraphValidationError",
+    "GraphFormatError",
+    "IntractableError",
+    "EstimationError",
+    "DatasetError",
+]

@@ -1,0 +1,26 @@
+"""Application layers for the paper's two motivating use cases:
+recommendation (Figure 2) and brain-network analysis (Figure 3)."""
+
+from .brain import (
+    BrainAnalysis,
+    ButterflyFinding,
+    analyse_brain,
+    compare_groups,
+)
+from .recommend import (
+    Interaction,
+    Recommendation,
+    build_interest_graph,
+    recommend,
+)
+
+__all__ = [
+    "Interaction",
+    "Recommendation",
+    "build_interest_graph",
+    "recommend",
+    "ButterflyFinding",
+    "BrainAnalysis",
+    "analyse_brain",
+    "compare_groups",
+]

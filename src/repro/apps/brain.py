@@ -1,0 +1,133 @@
+"""Use case 2: brain-network analysis via top-k MPMBs (Figure 3).
+
+The paper computes the top-10 MPMBs on hemisphere-crossing ABIDE
+networks for a Typical Controls (TC) brain and an Autism Spectrum
+Disorder (ASD) brain, observing that (a) the MPMBs concentrate into a few
+ROI clusters and (b) TC activation intensity — the probability-weighted
+strength of the discovered butterflies — is about twice the ASD one,
+because ASD patients lack long-range connections.
+
+This module runs that analysis end to end on the synthetic ABIDE-like
+networks (see :mod:`repro.datasets.abide` for the substitution
+rationale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Tuple
+
+from ..core import find_top_k_mpmb
+from ..graph import UncertainBipartiteGraph
+from ..sampling import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class ButterflyFinding:
+    """One discovered butterfly with its analysis attributes.
+
+    Attributes:
+        rois: The four ROI labels ``(left1, left2, right1, right2)``.
+        probability: Estimated ``P(B)``.
+        weight: Butterfly weight (summed ROI-pair distances — larger
+            means longer-range activity).
+        intensity: ``probability x weight`` — the activation-intensity
+            proxy the Figure 3 colouring encodes.
+    """
+
+    rois: Tuple[Hashable, Hashable, Hashable, Hashable]
+    probability: float
+    weight: float
+
+    @property
+    def intensity(self) -> float:
+        return self.probability * self.weight
+
+
+@dataclass(frozen=True)
+class BrainAnalysis:
+    """Top-k MPMB analysis of one brain network.
+
+    Attributes:
+        group: Network/group name (e.g. ``"abide-tc"``).
+        findings: The top-k butterflies, most probable first.
+    """
+
+    group: str
+    findings: Tuple[ButterflyFinding, ...]
+
+    @property
+    def mean_intensity(self) -> float:
+        """Average activation intensity over the findings (0 if none)."""
+        if not self.findings:
+            return 0.0
+        return sum(f.intensity for f in self.findings) / len(self.findings)
+
+    def roi_clusters(self) -> Dict[Hashable, int]:
+        """How often each ROI participates across the findings.
+
+        The paper observes the top MPMBs concentrate into a few clusters;
+        a skewed histogram here is the tabular analogue of Figure 3's
+        clustered glass brains.
+        """
+        counts: Dict[Hashable, int] = {}
+        for finding in self.findings:
+            for roi in finding.rois:
+                counts[roi] = counts.get(roi, 0) + 1
+        return counts
+
+
+def analyse_brain(
+    graph: UncertainBipartiteGraph,
+    k: int = 10,
+    method: str = "ols",
+    n_trials: int = 4_000,
+    n_prepare: int = 100,
+    rng: RngLike = None,
+) -> BrainAnalysis:
+    """Top-k MPMB analysis of one hemisphere-crossing network."""
+    top = find_top_k_mpmb(
+        graph, k, method=method, n_trials=n_trials,
+        n_prepare=n_prepare, rng=rng,
+    )
+    findings = tuple(
+        ButterflyFinding(
+            rois=butterfly.labels(graph),
+            probability=probability,
+            weight=butterfly.weight,
+        )
+        for butterfly, probability in top
+    )
+    return BrainAnalysis(group=graph.name or "brain", findings=findings)
+
+
+def compare_groups(
+    tc: UncertainBipartiteGraph,
+    asd: UncertainBipartiteGraph,
+    k: int = 10,
+    method: str = "ols",
+    n_trials: int = 4_000,
+    n_prepare: int = 100,
+    rng: RngLike = None,
+) -> Tuple[BrainAnalysis, BrainAnalysis, float]:
+    """Figure 3 head-to-head: analyse TC and ASD, return the intensity ratio.
+
+    Returns:
+        ``(tc_analysis, asd_analysis, intensity_ratio)`` where the ratio
+        is TC mean intensity over ASD mean intensity (the paper reports
+        roughly 2x; ``inf`` when the ASD analysis found nothing).
+    """
+    generator = ensure_rng(rng)
+    tc_analysis = analyse_brain(
+        tc, k=k, method=method, n_trials=n_trials,
+        n_prepare=n_prepare, rng=generator,
+    )
+    asd_analysis = analyse_brain(
+        asd, k=k, method=method, n_trials=n_trials,
+        n_prepare=n_prepare, rng=generator,
+    )
+    if asd_analysis.mean_intensity == 0.0:
+        ratio = float("inf") if tc_analysis.mean_intensity > 0 else 0.0
+    else:
+        ratio = tc_analysis.mean_intensity / asd_analysis.mean_intensity
+    return tc_analysis, asd_analysis, ratio

@@ -1,0 +1,287 @@
+"""Maximum-weight butterfly search with the A1/A2 angle index (Section V).
+
+This module implements the per-trial core of the Ordering Sampling method:
+
+* **Edge ordering** (Section V-B): edges are consumed in weight-descending
+  order, and once ``w(e) + w̄ < w_max`` (``w̄`` = sum of the three largest
+  backbone weights) every remaining edge is pruned.
+* **Angle ordering** (Section V-C): per endpoint pair only the largest
+  (``A1``) and second-largest (``A2``) angle weight classes are stored,
+  following the Table II update rules.
+* **Fast butterfly creating** (Section V-D): only butterflies reaching the
+  final ``w_max`` are materialised — all pairs within ``A1`` when
+  ``|A1| ≥ 2``, otherwise ``A1 × A2`` matches.
+
+The same routine doubles as the deterministic maximum-weight butterfly
+solver for backbone graphs (all edges present).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..graph import UncertainBipartiteGraph
+from .model import Butterfly
+
+#: Angle record inside the index: (middle vertex, edge of pair-min vertex,
+#: edge of pair-max vertex).  "pair-min/max" refers to the sorted endpoint
+#: pair the angle belongs to.
+AngleRecord = Tuple[int, int, int]
+
+
+class TopTwoAngleIndex:
+    """Per-endpoint-pair store of the two largest angle weight classes.
+
+    ``A1`` holds every angle whose weight equals the largest seen for the
+    pair; ``A2`` the second-largest class (Table II).  Endpoint pairs are
+    keyed by sorted vertex-index tuples on the *pair side* (the partition
+    the butterfly's equal-side vertices live in).
+    """
+
+    __slots__ = ("_entries", "n_angles_seen")
+
+    def __init__(self) -> None:
+        # pair -> [w1, angles1, w2, angles2]; w2 < w1 always.
+        self._entries: Dict[Tuple[int, int], list] = {}
+        self.n_angles_seen = 0
+
+    def add(
+        self, pair: Tuple[int, int], weight: float, record: AngleRecord
+    ) -> float:
+        """Insert one angle; return the pair's best butterfly weight so far.
+
+        The return value is ``-inf`` while the pair cannot yet form a
+        butterfly (fewer than two stored angles).
+        """
+        self.n_angles_seen += 1
+        entry = self._entries.get(pair)
+        if entry is None:
+            self._entries[pair] = [weight, [record], -np.inf, []]
+            return -np.inf
+        w1, angles1, w2, angles2 = entry
+        if weight > w1:
+            entry[0] = weight
+            entry[1] = [record]
+            entry[2] = w1
+            entry[3] = angles1
+        elif weight == w1:
+            angles1.append(record)
+        elif weight > w2:
+            entry[2] = weight
+            entry[3] = [record]
+        elif weight == w2:
+            angles2.append(record)
+        # else: strictly below both classes — ignored (Table II last row).
+        return self.best_weight(pair)
+
+    def best_weight(self, pair: Tuple[int, int]) -> float:
+        """Best butterfly weight formable from this pair's stored angles."""
+        entry = self._entries.get(pair)
+        if entry is None:
+            return -np.inf
+        w1, angles1, w2, angles2 = entry
+        if len(angles1) >= 2:
+            return 2.0 * w1
+        if angles2:
+            return w1 + w2
+        return -np.inf
+
+    def iter_pairs(self) -> Iterable[Tuple[Tuple[int, int], list]]:
+        """Iterate ``(pair, [w1, angles1, w2, angles2])`` entries."""
+        return self._entries.items()
+
+    @property
+    def n_pairs(self) -> int:
+        """Number of endpoint pairs with at least one stored angle."""
+        return len(self._entries)
+
+    @property
+    def n_angles_stored(self) -> int:
+        """Angles currently held across all ``A1``/``A2`` classes."""
+        return sum(
+            len(entry[1]) + len(entry[3]) for entry in self._entries.values()
+        )
+
+
+@dataclass
+class MaxButterflySearch:
+    """Result of one maximum-weight butterfly search.
+
+    Attributes:
+        weight: The maximum butterfly weight, or ``0.0`` when the searched
+            edge set contains no butterfly.
+        butterflies: Every butterfly achieving ``weight`` (the ``S_MB`` of
+            Equation 3); empty when no butterfly exists.
+        n_edges_processed: Edges consumed before the prune fired.
+        n_angles_processed: Angles generated (cost driver of Lemma V.1).
+        n_angles_stored: Angles resident in the A1/A2 index at the end.
+        pruned: Whether the Section V-B early exit fired.
+    """
+
+    weight: float = 0.0
+    butterflies: List[Butterfly] = field(default_factory=list)
+    n_edges_processed: int = 0
+    n_angles_processed: int = 0
+    n_angles_stored: int = 0
+    pruned: bool = False
+
+    @property
+    def found(self) -> bool:
+        """Whether at least one butterfly exists in the searched edges."""
+        return bool(self.butterflies)
+
+
+def max_weight_butterflies(
+    graph: UncertainBipartiteGraph,
+    present_edges: Optional[Iterable[int]] = None,
+    prune: bool = True,
+    pair_side: str = "auto",
+) -> MaxButterflySearch:
+    """Find ``S_MB`` over a set of present edges (Algorithm 2 lines 6-20).
+
+    Args:
+        graph: The uncertain graph supplying weights and endpoints.
+        present_edges: Edge indices present in the world, **sorted by
+            weight descending** (e.g. a filtered
+            ``graph.edges_by_weight_desc``).  ``None`` means all edges —
+            the backbone maximum-weight butterfly search.
+        prune: Apply the Section V-B edge-ordering early exit.  Requires
+            ``present_edges`` to be weight-sorted; disable for ablation.
+        pair_side: ``"left"`` forms endpoint pairs on the left partition
+            (angles have right-side middles), ``"right"`` the opposite,
+            ``"auto"`` picks the side minimising the expected
+            squared-degree cost of Lemma V.1.
+
+    Returns:
+        A :class:`MaxButterflySearch` with the maximum weight, all
+        butterflies achieving it, and instrumentation counters.
+    """
+    weights = graph.weights
+    if present_edges is None:
+        present_edges = graph.edges_by_weight_desc
+    side = _resolve_side(graph, pair_side)
+    if side == "left":
+        pair_of = graph.edge_left
+        middle_of = graph.edge_right
+    else:
+        pair_of = graph.edge_right
+        middle_of = graph.edge_left
+
+    prune_bound = graph.top_weight_sum(3) if prune else None
+    index = TopTwoAngleIndex()
+    # middle vertex -> list of (pair vertex, edge) already inserted.
+    inserted: Dict[int, List[Tuple[int, int]]] = {}
+    w_max = -np.inf
+    result = MaxButterflySearch()
+
+    for e in present_edges:
+        e = int(e)
+        w_e = float(weights[e])
+        if prune_bound is not None and w_e + prune_bound < w_max:
+            result.pruned = True
+            break
+        result.n_edges_processed += 1
+        u = int(pair_of[e])
+        v = int(middle_of[e])
+        bucket = inserted.get(v)
+        if bucket:
+            for u_other, e_other in bucket:
+                angle_weight = w_e + float(weights[e_other])
+                if u < u_other:
+                    pair = (u, u_other)
+                    record = (v, e, e_other)
+                else:
+                    pair = (u_other, u)
+                    record = (v, e_other, e)
+                result.n_angles_processed += 1
+                best = index.add(pair, angle_weight, record)
+                if best > w_max:
+                    w_max = best
+            bucket.append((u, e))
+        else:
+            inserted[v] = [(u, e)]
+
+    result.n_angles_stored = index.n_angles_stored
+    if w_max == -np.inf:
+        return result
+
+    result.weight = float(w_max)
+    result.butterflies = _materialise(graph, index, w_max, side)
+    return result
+
+
+def _materialise(
+    graph: UncertainBipartiteGraph,
+    index: TopTwoAngleIndex,
+    w_max: float,
+    side: str,
+) -> List[Butterfly]:
+    """Fast butterfly creating (Section V-D): build only ``S_MB``."""
+    weights = graph.weights
+    butterflies: List[Butterfly] = []
+    for pair, (w1, angles1, w2, angles2) in index.iter_pairs():
+        if len(angles1) >= 2:
+            if 2.0 * w1 == w_max:
+                for rec_a, rec_b in combinations(angles1, 2):
+                    butterflies.append(
+                        _build(graph, pair, rec_a, rec_b, side, weights)
+                    )
+        elif angles2 and w1 + w2 == w_max:
+            rec_a = angles1[0]
+            for rec_b in angles2:
+                butterflies.append(
+                    _build(graph, pair, rec_a, rec_b, side, weights)
+                )
+    return butterflies
+
+
+def _build(
+    graph: UncertainBipartiteGraph,
+    pair: Tuple[int, int],
+    rec_a: AngleRecord,
+    rec_b: AngleRecord,
+    side: str,
+    weights: np.ndarray,
+) -> Butterfly:
+    """Assemble a canonical butterfly from two angle records of one pair."""
+    middle_a, a_min_edge, a_max_edge = rec_a
+    middle_b, b_min_edge, b_max_edge = rec_b
+    if side == "left":
+        u1, u2 = pair
+        if middle_a < middle_b:
+            v1, v2 = middle_a, middle_b
+            edges = (a_min_edge, b_min_edge, a_max_edge, b_max_edge)
+        else:
+            v1, v2 = middle_b, middle_a
+            edges = (b_min_edge, a_min_edge, b_max_edge, a_max_edge)
+    else:
+        v1, v2 = pair
+        if middle_a < middle_b:
+            u1, u2 = middle_a, middle_b
+            edges = (a_min_edge, a_max_edge, b_min_edge, b_max_edge)
+        else:
+            u1, u2 = middle_b, middle_a
+            edges = (b_min_edge, b_max_edge, a_min_edge, a_max_edge)
+    weight = float(sum(weights[e] for e in edges))
+    return Butterfly(u1, u2, v1, v2, weight, edges)
+
+
+def _resolve_side(graph: UncertainBipartiteGraph, pair_side: str) -> str:
+    """Resolve ``"auto"`` to the cheaper processing side (Lemma V.1)."""
+    if pair_side in ("left", "right"):
+        return pair_side
+    if pair_side != "auto":
+        raise ValueError(
+            f"pair_side must be 'left', 'right' or 'auto', got {pair_side!r}"
+        )
+    # Angles with a middle vertex v cost ~deg^2(v); middles live on the
+    # side *opposite* the pair side, so pick the pair side whose opposite
+    # has the smaller expected squared degree mass.
+    left_cost = float((graph.expected_degrees_left() ** 2).sum())
+    right_cost = float((graph.expected_degrees_right() ** 2).sum())
+    # pair_side == "left" means middles on the right.
+    return "left" if right_cost <= left_cost else "right"

@@ -1,0 +1,136 @@
+"""Value types for angles and butterflies (Definitions 3-4).
+
+A butterfly ``B(u1, u2, v1, v2)`` is canonicalised so that ``u1 < u2`` and
+``v1 < v2`` (internal vertex indices); two butterflies over the same four
+vertices therefore compare and hash equal regardless of discovery order.
+Weights are the sum of the four edge weights (Equation 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
+
+from ..graph import UncertainBipartiteGraph
+
+#: Canonical butterfly key: (u1, u2, v1, v2) with u1 < u2 and v1 < v2.
+ButterflyKey = Tuple[int, int, int, int]
+
+
+@dataclass(frozen=True, slots=True)
+class Angle:
+    """A 3-vertex path ``∠(a, middle, b)`` (Definition 3).
+
+    ``a`` and ``b`` are the endpoint vertex indices (same partition,
+    ``a < b``); ``middle`` lies in the opposite partition.  ``edge_a`` and
+    ``edge_b`` are the edge indices connecting ``a``/``b`` to the middle.
+    """
+
+    a: int
+    b: int
+    middle: int
+    edge_a: int
+    edge_b: int
+    weight: float
+
+
+@dataclass(frozen=True, slots=True)
+class Butterfly:
+    """A canonical butterfly ``B(u1, u2, v1, v2)`` with its edge indices.
+
+    Attributes:
+        u1, u2: Left-partition vertex indices, ``u1 < u2``.
+        v1, v2: Right-partition vertex indices, ``v1 < v2``.
+        weight: Sum of the four edge weights (Equation 2).
+        edges: Edge indices in the fixed order
+            ``(u1-v1, u1-v2, u2-v1, u2-v2)``.
+    """
+
+    u1: int
+    u2: int
+    v1: int
+    v2: int
+    weight: float
+    edges: Tuple[int, int, int, int]
+
+    @property
+    def key(self) -> ButterflyKey:
+        """Canonical identity — the four vertex indices."""
+        return (self.u1, self.u2, self.v1, self.v2)
+
+    def labels(
+        self, graph: UncertainBipartiteGraph
+    ) -> Tuple[Hashable, Hashable, Hashable, Hashable]:
+        """The four vertex labels ``(u1, u2, v1, v2)``."""
+        return (
+            graph.left_label(self.u1),
+            graph.left_label(self.u2),
+            graph.right_label(self.v1),
+            graph.right_label(self.v2),
+        )
+
+    def existence_probability(self, graph: UncertainBipartiteGraph) -> float:
+        """``Pr[E(B)]`` — the probability that all four edges exist."""
+        probs = graph.probs
+        result = 1.0
+        for edge in self.edges:
+            result *= float(probs[edge])
+        return result
+
+    def edge_set(self) -> frozenset:
+        """The four edge indices as a frozenset (for ``B_j \\ B_i`` algebra)."""
+        return frozenset(self.edges)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"B(u{self.u1},u{self.u2},v{self.v1},v{self.v2}; "
+            f"w={self.weight:g})"
+        )
+
+
+def make_butterfly(
+    graph: UncertainBipartiteGraph,
+    u1: int,
+    u2: int,
+    v1: int,
+    v2: int,
+) -> Optional[Butterfly]:
+    """Construct the canonical butterfly on four vertex indices.
+
+    Returns ``None`` when any of the four required backbone edges is
+    missing, or when the vertices are degenerate (``u1 == u2`` or
+    ``v1 == v2``).
+    """
+    if u1 == u2 or v1 == v2:
+        return None
+    if u1 > u2:
+        u1, u2 = u2, u1
+    if v1 > v2:
+        v1, v2 = v2, v1
+    e11 = graph.edge_between(u1, v1)
+    e12 = graph.edge_between(u1, v2)
+    e21 = graph.edge_between(u2, v1)
+    e22 = graph.edge_between(u2, v2)
+    if None in (e11, e12, e21, e22):
+        return None
+    edges = (e11, e12, e21, e22)
+    weights = graph.weights
+    weight = float(sum(weights[e] for e in edges))
+    return Butterfly(u1, u2, v1, v2, weight, edges)  # type: ignore[arg-type]
+
+
+def butterfly_from_labels(
+    graph: UncertainBipartiteGraph,
+    u1: Hashable,
+    u2: Hashable,
+    v1: Hashable,
+    v2: Hashable,
+) -> Optional[Butterfly]:
+    """Label-level convenience wrapper around :func:`make_butterfly`."""
+    return make_butterfly(
+        graph,
+        graph.left_index(u1),
+        graph.left_index(u2),
+        graph.right_index(v1),
+        graph.right_index(v2),
+    )

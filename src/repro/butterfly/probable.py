@@ -1,0 +1,103 @@
+"""Most probable butterflies (the Figure 2(a) notion), deterministically.
+
+The butterfly with the highest *existence* probability — as opposed to
+the highest probability of being *maximum* (the MPMB) — is computable in
+polynomial time: maximising ``Π p(e)`` over a butterfly's four edges is
+maximising ``Σ log p(e)``, i.e. a maximum-weight butterfly search under
+the monotone weight transform ``w'(e) = log p(e) − log p_min + δ``
+(shifted so all transformed weights are strictly positive, which the
+Section V machinery requires).  Edges with ``p = 0`` can never appear in
+an existing butterfly and are dropped before the transform.
+
+This gives the exact object the paper's Figure 2(a) discusses — the
+plain UserCF-style "most probable butterfly" that gravitates to hot
+items — without any sampling.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..graph import UncertainBipartiteGraph
+from .model import Butterfly, make_butterfly
+from .top_weight import top_weight_butterflies
+
+#: Positive offset keeping transformed weights strictly positive.
+_DELTA = 1.0
+
+
+def most_probable_butterflies(
+    graph: UncertainBipartiteGraph,
+    k: int = 1,
+) -> List[Tuple[Butterfly, float]]:
+    """The ``k`` butterflies with the highest existence probability.
+
+    Args:
+        graph: The uncertain bipartite network.
+        k: How many butterflies to return (fewer when the backbone holds
+            fewer butterflies with positive probability).
+
+    Returns:
+        ``(butterfly, Pr[E(B)])`` pairs, most probable first; butterflies
+        reference the *original* graph's edge indices and weights.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    transformed = _log_transformed(graph)
+    if transformed is None:
+        return []
+    surrogate, original_edge_of = transformed
+    ranked = top_weight_butterflies(surrogate, k)
+    results: List[Tuple[Butterfly, float]] = []
+    for proxy in ranked:
+        original = make_butterfly(
+            graph, proxy.u1, proxy.u2, proxy.v1, proxy.v2
+        )
+        # The surrogate shares vertex indexing with the original, and a
+        # surrogate butterfly's edges all have p > 0, so the original
+        # butterfly must exist.
+        assert original is not None
+        results.append(
+            (original, original.existence_probability(graph))
+        )
+    # The log transform preserves the probability order; re-sorting only
+    # normalises tie-breaks to (probability desc, canonical key).
+    results.sort(key=lambda item: (-item[1], item[0].key))
+    del original_edge_of  # kept for symmetry/debugging; not needed here
+    return results
+
+
+def most_probable_butterfly(
+    graph: UncertainBipartiteGraph,
+) -> Optional[Tuple[Butterfly, float]]:
+    """The single most probable butterfly (``None`` when none exists)."""
+    ranked = most_probable_butterflies(graph, 1)
+    return ranked[0] if ranked else None
+
+
+def _log_transformed(graph: UncertainBipartiteGraph):
+    """Build the log-probability surrogate graph.
+
+    Returns ``(surrogate, original_edge_of)`` where ``original_edge_of``
+    maps surrogate edge indices back to the source graph, or ``None``
+    when no edge has positive probability.
+    """
+    probs = graph.probs
+    keep = np.flatnonzero(probs > 0.0)
+    if keep.size == 0:
+        return None
+    kept_probs = probs[keep]
+    log_probs = np.log(kept_probs)
+    weights = log_probs - log_probs.min() + _DELTA
+    surrogate = UncertainBipartiteGraph(
+        graph.left_labels,
+        graph.right_labels,
+        graph.edge_left[keep],
+        graph.edge_right[keep],
+        weights,
+        kept_probs,
+        name=f"{graph.name}-logprob" if graph.name else "logprob",
+    )
+    return surrogate, keep

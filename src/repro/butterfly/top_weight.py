@@ -1,0 +1,159 @@
+"""Top-k heaviest butterflies on a deterministic edge set.
+
+A natural generalisation of the Section V search: instead of only the
+maximum-weight butterflies, return the ``k`` heaviest ones.  The angle
+index keeps the top ``k+1`` angles per endpoint pair (the k heaviest
+butterflies of a pair combine angles among its ``k+1`` heaviest — the
+same exchange argument as the paper's A1/A2 proof, applied k times), and
+the edge-ordering prune compares against the *k-th best* butterfly found
+so far rather than the single maximum.
+
+The OLS preparing phase can seed its candidate set with these
+butterflies (see :func:`repro.core.ols.prepare_candidates`): a heavier
+butterfly missing from ``C_MB`` is exactly what drives the Lemma VI.5
+overestimation, and the heaviest backbone butterflies are the worst
+offenders.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..graph import UncertainBipartiteGraph
+from .max_weight import _resolve_side
+from .model import Butterfly
+
+
+def top_weight_butterflies(
+    graph: UncertainBipartiteGraph,
+    k: int,
+    present_edges: Optional[Iterable[int]] = None,
+    prune: bool = True,
+    pair_side: str = "auto",
+) -> List[Butterfly]:
+    """The ``k`` heaviest butterflies, weight-descending.
+
+    Args:
+        graph: The uncertain graph (weights only are used).
+        k: How many butterflies to return (fewer if the graph holds
+            fewer).  The returned *weights* are exactly the k largest
+            butterfly weights; when several butterflies tie at the k-th
+            weight, which of them fills the last slots is deterministic
+            per graph but not globally canonical (the per-pair angle
+            index keeps only ``k+1`` angles, enough for the weights but
+            not for every tied identity).
+        present_edges: Edge indices **sorted by weight descending**;
+            ``None`` means the whole backbone.
+        prune: Section V-B style early exit against the current k-th
+            best weight.
+        pair_side: As in
+            :func:`~repro.butterfly.max_weight.max_weight_butterflies`.
+
+    Returns:
+        At most ``k`` canonical butterflies, heaviest first (ties broken
+        by canonical key ascending).
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    weights = graph.weights
+    if present_edges is None:
+        present_edges = graph.edges_by_weight_desc
+    side = _resolve_side(graph, pair_side)
+    if side == "left":
+        pair_of, middle_of = graph.edge_left, graph.edge_right
+    else:
+        pair_of, middle_of = graph.edge_right, graph.edge_left
+    prune_bound = graph.top_weight_sum(3) if prune else None
+
+    # Per endpoint pair: the k+1 heaviest angles as a min-heap of
+    # (weight, middle, edge_lo, edge_hi).
+    per_pair: Dict[Tuple[int, int], List[Tuple[float, int, int, int]]] = {}
+    inserted: Dict[int, List[Tuple[int, int]]] = {}
+    # Global top-k butterfly weights as a min-heap (guides the prune).
+    best_weights: List[float] = []
+
+    def kth_best() -> float:
+        if len(best_weights) < k:
+            return float("-inf")
+        return best_weights[0]
+
+    for e in present_edges:
+        e = int(e)
+        w_e = float(weights[e])
+        if prune_bound is not None and w_e + prune_bound < kth_best():
+            break
+        u = int(pair_of[e])
+        v = int(middle_of[e])
+        bucket = inserted.setdefault(v, [])
+        for u_other, e_other in bucket:
+            angle_weight = w_e + float(weights[e_other])
+            if u < u_other:
+                pair, record = (u, u_other), (angle_weight, v, e, e_other)
+            else:
+                pair, record = (u_other, u), (angle_weight, v, e_other, e)
+            angles = per_pair.setdefault(pair, [])
+            # Track candidate butterfly weights from this new angle
+            # against the currently stored ones.
+            for other_weight, *_rest in angles:
+                butterfly_weight = angle_weight + other_weight
+                if len(best_weights) < k:
+                    heapq.heappush(best_weights, butterfly_weight)
+                elif butterfly_weight > best_weights[0]:
+                    heapq.heapreplace(best_weights, butterfly_weight)
+            if len(angles) <= k:
+                heapq.heappush(angles, record)
+            elif angle_weight > angles[0][0]:
+                heapq.heapreplace(angles, record)
+        bucket.append((u, e))
+
+    # Materialise every candidate combination and take the global top-k.
+    candidates: List[Butterfly] = []
+    for pair, angles in per_pair.items():
+        ordered = sorted(angles, key=lambda a: -a[0])
+        for i, rec_a in enumerate(ordered):
+            for rec_b in ordered[i + 1:]:
+                candidates.append(_build(graph, pair, rec_a, rec_b, side))
+    candidates.sort(key=lambda b: (-b.weight, b.key))
+    deduped: List[Butterfly] = []
+    seen = set()
+    for butterfly in candidates:
+        if butterfly.key in seen:
+            continue
+        seen.add(butterfly.key)
+        deduped.append(butterfly)
+        if len(deduped) == k:
+            break
+    return deduped
+
+
+def _build(
+    graph: UncertainBipartiteGraph,
+    pair: Tuple[int, int],
+    rec_a: Tuple[float, int, int, int],
+    rec_b: Tuple[float, int, int, int],
+    side: str,
+) -> Butterfly:
+    """Assemble a canonical butterfly from two (weight, middle, lo, hi)
+    angle records of one endpoint pair."""
+    _wa, middle_a, a_lo, a_hi = rec_a
+    _wb, middle_b, b_lo, b_hi = rec_b
+    weights = graph.weights
+    if side == "left":
+        u1, u2 = pair
+        if middle_a < middle_b:
+            v1, v2 = middle_a, middle_b
+            edges = (a_lo, b_lo, a_hi, b_hi)
+        else:
+            v1, v2 = middle_b, middle_a
+            edges = (b_lo, a_lo, b_hi, a_hi)
+    else:
+        v1, v2 = pair
+        if middle_a < middle_b:
+            u1, u2 = middle_a, middle_b
+            edges = (a_lo, a_hi, b_lo, b_hi)
+        else:
+            u1, u2 = middle_b, middle_a
+            edges = (b_lo, b_hi, a_lo, a_hi)
+    weight = float(sum(weights[e] for e in edges))
+    return Butterfly(u1, u2, v1, v2, weight, edges)

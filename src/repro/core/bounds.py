@@ -1,0 +1,242 @@
+"""Trial-number theory: Theorem IV.1, Lemmas V.2 / VI.1 / VI.4 / VI.5.
+
+These functions make the paper's accuracy analysis executable: the
+benchmarks use them to pick trial counts that give all methods the same
+ε-δ guarantee (Section VIII-B) and to regenerate the Figure 6 ratio
+matrix and the Figure 10 per-candidate ratio bars.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+import numpy as np
+
+from ..sampling.bounds import monte_carlo_trial_bound
+from .candidates import CandidateSet
+
+__all__ = [
+    "monte_carlo_trial_bound",
+    "os_trial_bound",
+    "optimized_trial_bound",
+    "karp_luby_trial_ratio",
+    "karp_luby_trial_bound",
+    "balance_ratio",
+    "candidate_hit_probability",
+    "preparing_trials_for_recall",
+    "ratio_matrix",
+    "candidate_trial_ratios",
+    "lemma_vi5_error_bound",
+]
+
+
+def os_trial_bound(
+    mu: float, epsilon: float = 0.1, delta: float = 0.1
+) -> int:
+    """Lemma V.2: OS needs ``N_os ≥ (1/μ)·4 ln(2/δ)/ε²`` trials.
+
+    OS estimates ``P(B)`` directly, so this is exactly the Theorem IV.1
+    Monte-Carlo bound.
+    """
+    return monte_carlo_trial_bound(mu, epsilon, delta)
+
+
+def optimized_trial_bound(
+    mu: float, epsilon: float = 0.1, delta: float = 0.1
+) -> int:
+    """Lemma VI.4 (first part): the optimised estimator's trial bound.
+
+    Algorithm 5 also estimates ``P(B)`` directly, hence the same
+    Monte-Carlo bound as OS.
+    """
+    return monte_carlo_trial_bound(mu, epsilon, delta)
+
+
+def karp_luby_trial_ratio(
+    existence_prob: float, blocking_mass: float, mu: float
+) -> float:
+    """Equation 8: ``N_kl / N_op`` for one candidate butterfly.
+
+    Args:
+        existence_prob: ``Pr[E(B_i)]`` — the candidate's four edges all
+            existing.
+        blocking_mass: ``S_i`` — the summed probability of the
+            edge-difference events of strictly heavier candidates.
+        mu: The target probability ``μ = P(B_i)`` being certified.
+
+    Returns:
+        The ratio ``Pr[E(B_i)] · S_i · (Pr[E(B_i)]/μ − 1)``.  Values
+        below ``1/|C_MB|`` would favour Karp-Luby over the optimised
+        estimator (Equation 9); the paper observes they rarely are.
+
+    Raises:
+        ValueError: If ``mu`` is non-positive or exceeds
+            ``existence_prob`` (``P(B) ≤ Pr[E(B)]`` always).
+    """
+    if not 0.0 < mu <= 1.0:
+        raise ValueError(f"mu must be in (0, 1], got {mu}")
+    if not 0.0 <= existence_prob <= 1.0:
+        raise ValueError(
+            f"existence_prob must be in [0, 1], got {existence_prob}"
+        )
+    if blocking_mass < 0.0:
+        raise ValueError(
+            f"blocking_mass must be non-negative, got {blocking_mass}"
+        )
+    if mu > existence_prob > 0.0:
+        raise ValueError(
+            f"mu={mu} exceeds existence_prob={existence_prob}; "
+            "P(B) can never exceed Pr[E(B)]"
+        )
+    return existence_prob * blocking_mass * (existence_prob / mu - 1.0)
+
+
+def karp_luby_trial_bound(
+    existence_prob: float,
+    blocking_mass: float,
+    mu: float,
+    epsilon: float = 0.1,
+    delta: float = 0.1,
+    minimum: int = 1,
+) -> int:
+    """Lemma VI.4 (second part): Karp-Luby trials for an ε-δ guarantee.
+
+    ``N_kl ≥ ratio(Eq. 8) · (1/μ)·4 ln(2/δ)/ε²``, floored at ``minimum``
+    (a ratio of zero — e.g. for the heaviest candidate, which nothing
+    blocks — still needs at least one trial in practice).
+    """
+    ratio = karp_luby_trial_ratio(existence_prob, blocking_mass, mu)
+    base = monte_carlo_trial_bound(mu, epsilon, delta)
+    return max(minimum, math.ceil(ratio * base))
+
+
+def balance_ratio(candidate_count: int) -> float:
+    """Equation 9: the break-even ratio ``1/|C_MB|``.
+
+    When ``N_kl/N_op`` (Equation 8) exceeds this value, the optimised
+    estimator wins on total work despite its ``O(|C_MB|)`` per-trial cost.
+    """
+    if candidate_count <= 0:
+        raise ValueError(
+            f"candidate_count must be positive, got {candidate_count}"
+        )
+    return 1.0 / candidate_count
+
+
+def candidate_hit_probability(probability: float, n_prepare: int) -> float:
+    """Lemma VI.1: chance a butterfly with ``P(B)=probability`` enters
+    ``C_MB`` within ``n_prepare`` preparing trials, i.e.
+    ``1 − (1 − P(B))^N``."""
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {probability}")
+    if n_prepare < 0:
+        raise ValueError(f"n_prepare must be non-negative, got {n_prepare}")
+    return 1.0 - (1.0 - probability) ** n_prepare
+
+
+def preparing_trials_for_recall(
+    probability: float, target_recall: float
+) -> int:
+    """Invert Lemma VI.1: preparing trials so that a butterfly with
+    ``P(B)=probability`` is captured with chance ``target_recall``.
+
+    The paper's default (``N_os=100``) makes the miss probability of a
+    ``P(B)=0.05`` butterfly below 0.6%.
+    """
+    if not 0.0 < probability < 1.0:
+        raise ValueError(f"probability must be in (0, 1), got {probability}")
+    if not 0.0 < target_recall < 1.0:
+        raise ValueError(
+            f"target_recall must be in (0, 1), got {target_recall}"
+        )
+    return math.ceil(
+        math.log(1.0 - target_recall) / math.log(1.0 - probability)
+    )
+
+
+def ratio_matrix(
+    mus: Sequence[float],
+    existence_probs: Sequence[float],
+    blocking_mass: float = 1.0,
+) -> np.ndarray:
+    """The Figure 6 matrix: Equation 8 over a ``(μ, Pr[E(B)])`` grid.
+
+    Cells where ``μ > Pr[E(B)]`` are infeasible (``P(B) ≤ Pr[E(B)]``) and
+    filled with ``nan``.
+
+    Returns:
+        Array of shape ``(len(mus), len(existence_probs))``; rows vary
+        ``μ = P(B)``, columns vary ``Pr[E(B)]``.
+    """
+    matrix = np.full((len(mus), len(existence_probs)), np.nan)
+    for i, mu in enumerate(mus):
+        for j, existence in enumerate(existence_probs):
+            if mu <= existence:
+                matrix[i, j] = karp_luby_trial_ratio(
+                    existence, blocking_mass, mu
+                )
+    return matrix
+
+
+def candidate_trial_ratios(
+    candidates: CandidateSet, mu: float = 0.1
+) -> List[float]:
+    """The Figure 10 bars: Equation 8 evaluated per candidate butterfly.
+
+    ``Pr[E(B_i)]`` and ``S_i`` come from the candidate set itself;
+    ``μ`` is the common certification target (the paper uses 0.1).  A
+    butterfly cannot have ``P(B) > Pr[E(B)]``, so for candidates whose
+    existence probability is at or below ``μ`` the target is clamped to
+    half the existence probability, keeping the ratio finite and
+    meaningful.
+    """
+    ratios: List[float] = []
+    for index in range(len(candidates)):
+        existence = candidates.existence_probability(index)
+        if existence == 0.0:
+            ratios.append(0.0)
+            continue
+        target = min(mu, 0.5 * existence)
+        ratios.append(
+            karp_luby_trial_ratio(
+                existence, candidates.blocking_mass(index), target
+            )
+        )
+    return ratios
+
+
+def lemma_vi5_error_bound(
+    exact_probabilities: Sequence[float],
+    in_candidate_set: Sequence[bool],
+    weights: Sequence[float],
+    index: int,
+) -> float:
+    """Lemma VI.5: the overestimation bound for one candidate.
+
+    ``P̂(B_i) − P(B_i) ≤ Σ P(B_j)`` over strictly-heavier butterflies
+    ``B_j`` missing from ``C_MB``.
+
+    Args:
+        exact_probabilities: Exact ``P(B_j)`` for every butterfly of the
+            backbone, in any consistent order.
+        in_candidate_set: Parallel flags — whether each butterfly made it
+            into ``C_MB``.
+        weights: Parallel butterfly weights.
+        index: Position of the butterfly whose error is bounded.
+    """
+    n = len(exact_probabilities)
+    if not (len(in_candidate_set) == len(weights) == n):
+        raise ValueError("parallel sequences must have equal length")
+    if not 0 <= index < n:
+        raise IndexError(f"index {index} out of range for {n} butterflies")
+    threshold = weights[index]
+    return float(
+        sum(
+            p
+            for p, present, w in zip(
+                exact_probabilities, in_candidate_set, weights
+            )
+            if w > threshold and not present
+        )
+    )

@@ -1,0 +1,45 @@
+"""Shared types for the OLS sampling-phase probability estimators.
+
+Both Algorithm 4 (Karp-Luby) and Algorithm 5 (the paper's optimised
+shared-trial estimator) consume a
+:class:`~repro.core.candidates.CandidateSet` and produce an
+:class:`EstimationOutcome`; the OLS driver is agnostic to which one ran.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..butterfly import ButterflyKey
+from ..sampling import ConvergenceTrace
+
+
+@dataclass
+class EstimationOutcome:
+    """Per-candidate probability estimates from one sampling phase.
+
+    Attributes:
+        method: ``"optimized"`` or ``"karp-luby"``.
+        estimates: Canonical butterfly key -> estimated ``P(B)`` *relative
+            to the candidate set* (Lemma VI.5 bounds the gap to the true
+            value).
+        traces: Convergence traces for tracked candidates.
+        trials_per_candidate: Trials spent per candidate, in candidate
+            order.  The optimised estimator shares trials, so the list
+            repeats one number; Karp-Luby sizes each candidate separately
+            (Lemma VI.4).
+        stats: Aggregate counters (``total_trials``, ``edges_sampled``,
+            ...).
+    """
+
+    method: str
+    estimates: Dict[ButterflyKey, float]
+    traces: Dict[ButterflyKey, ConvergenceTrace] = field(default_factory=dict)
+    trials_per_candidate: List[int] = field(default_factory=list)
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_trials(self) -> int:
+        """Total sampling-phase trials across candidates."""
+        return int(self.stats.get("total_trials", 0))

@@ -1,0 +1,199 @@
+"""Exact MPMB solvers (exponential — validation oracles for small graphs).
+
+Computing ``P(B)`` exactly is #P-hard (Lemma III.1), so these solvers are
+not part of the scalable pipeline; they exist to validate the sampling
+methods on small instances and to measure the Lemma VI.5 error bound.
+
+Two independent formulations are provided (and cross-checked in tests):
+
+* :func:`exact_mpmb_by_worlds` — enumerate presence patterns of the
+  *relevant* edges (those on at least one backbone butterfly; all other
+  edges cannot change ``S_MB`` and marginalise out of Equation 4) and
+  accumulate each pattern's probability onto its maximum butterflies.
+* :func:`exact_mpmb_by_inclusion_exclusion` — the Lemma VI.5 derivation
+  with the *complete* candidate set:
+  ``P(B_i) = Pr[E(B_i)] · (1 − Pr[∪_{j≤L(i)} E(B_j \\ B_i)])``,
+  with the union computed exactly by inclusion-exclusion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..butterfly import Butterfly, ButterflyKey, enumerate_butterflies
+from ..errors import IntractableError
+from ..graph import UncertainBipartiteGraph
+from ..sampling import exact_union_probability
+from .candidates import CandidateSet
+from .results import MPMBResult
+
+#: Default cap on enumerated relevant-edge patterns (2^22 ≈ 4.2e6).
+DEFAULT_MAX_WORLDS = 1 << 22
+
+#: Default cap on inclusion-exclusion subsets per candidate.
+DEFAULT_MAX_SUBSETS = 1 << 20
+
+
+def backbone_butterflies(graph: UncertainBipartiteGraph) -> List[Butterfly]:
+    """All butterflies of the backbone graph, via BFC-VP enumeration."""
+    return list(enumerate_butterflies(graph))
+
+
+def exact_mpmb_by_worlds(
+    graph: UncertainBipartiteGraph,
+    max_worlds: int = DEFAULT_MAX_WORLDS,
+) -> MPMBResult:
+    """Exact ``P(B)`` for every backbone butterfly via world enumeration.
+
+    Only edges participating in at least one backbone butterfly are
+    enumerated; all other edges leave ``S_MB`` unchanged in every world,
+    so their probability mass marginalises out.
+
+    Returns:
+        An :class:`~repro.core.results.MPMBResult` with
+        ``method="exact-worlds"`` and :attr:`prob_no_butterfly` filled in.
+
+    Raises:
+        IntractableError: If the relevant-edge count makes ``2^k`` exceed
+            ``max_worlds``.
+    """
+    butterflies = backbone_butterflies(graph)
+    if not butterflies:
+        return MPMBResult(
+            method="exact-worlds",
+            graph=graph,
+            n_trials=0,
+            estimates={},
+            butterflies={},
+            prob_no_butterfly=1.0,
+        )
+
+    relevant = sorted({e for b in butterflies for e in b.edges})
+    k = len(relevant)
+    if k >= 63 or (1 << k) > max_worlds:
+        raise IntractableError(
+            f"{k} relevant edges imply 2^{k} patterns, exceeding the "
+            f"budget of {max_worlds}"
+        )
+    position = {edge: i for i, edge in enumerate(relevant)}
+    n_patterns = 1 << k
+
+    # World-pattern probabilities, vectorised: probs[w] = Π p-or-(1-p).
+    pattern_probs = np.ones(n_patterns)
+    bits = np.arange(n_patterns, dtype=np.uint64)
+    edge_probs = graph.probs
+    for edge, pos in position.items():
+        present = (bits >> np.uint64(pos)) & np.uint64(1)
+        p = float(edge_probs[edge])
+        pattern_probs *= np.where(present == 1, p, 1.0 - p)
+
+    # Per-butterfly required-edge bitmasks.
+    masks = np.array(
+        [
+            sum(1 << position[e] for e in b.edges)
+            for b in butterflies
+        ],
+        dtype=np.uint64,
+    )
+
+    # Sweep weight classes heaviest-first; a pattern is "claimed" by the
+    # first class containing a complete butterfly (Equation 3's max).
+    candidates = CandidateSet(graph, butterflies)
+    ordered = candidates.butterflies
+    key_to_mask = {b.key: m for b, m in zip(butterflies, masks)}
+    estimates: Dict[ButterflyKey, float] = {}
+    unclaimed = np.ones(n_patterns, dtype=bool)
+    for cls in candidates.weight_classes():
+        complete_any = np.zeros(n_patterns, dtype=bool)
+        complete_per: List[np.ndarray] = []
+        for index in cls:
+            mask = key_to_mask[ordered[index].key]
+            complete = (bits & mask) == mask
+            complete_per.append(complete)
+            complete_any |= complete
+        for index, complete in zip(cls, complete_per):
+            estimates[ordered[index].key] = float(
+                pattern_probs[complete & unclaimed].sum()
+            )
+        unclaimed &= ~complete_any
+        if not unclaimed.any():
+            break
+
+    return MPMBResult(
+        method="exact-worlds",
+        graph=graph,
+        n_trials=0,
+        estimates=estimates,
+        butterflies={b.key: b for b in butterflies},
+        prob_no_butterfly=float(pattern_probs[unclaimed].sum()),
+    )
+
+
+def exact_mpmb_by_inclusion_exclusion(
+    graph: UncertainBipartiteGraph,
+    max_subsets: int = DEFAULT_MAX_SUBSETS,
+) -> MPMBResult:
+    """Exact ``P(B)`` via the Lemma VI.5 first-hit decomposition.
+
+    For each backbone butterfly ``B_i`` (candidate set = *all* backbone
+    butterflies, so nothing is missing and the Lemma VI.5 error is zero):
+
+        ``P(B_i) = Pr[E(B_i)] · (1 − Pr[∪_{j ≤ L(i)} E(B_j \\ B_i)])``
+
+    The union over blocking events is evaluated by inclusion-exclusion.
+
+    Raises:
+        IntractableError: If some candidate has too many strictly-heavier
+            blockers for the ``max_subsets`` budget.
+    """
+    butterflies = backbone_butterflies(graph)
+    candidates = CandidateSet(graph, butterflies)
+    probs = graph.probs
+    estimates: Dict[ButterflyKey, float] = {}
+    for index, butterfly in enumerate(candidates):
+        existence = candidates.existence_probability(index)
+        if existence == 0.0:
+            estimates[butterfly.key] = 0.0
+            continue
+        events = candidates.difference_events(index)
+        union = exact_union_probability(
+            events, lambda e: float(probs[e]), max_subsets=max_subsets
+        )
+        estimates[butterfly.key] = existence * (1.0 - union)
+    return MPMBResult(
+        method="exact-inclusion-exclusion",
+        graph=graph,
+        n_trials=0,
+        estimates=estimates,
+        butterflies={b.key: b for b in candidates},
+    )
+
+
+def exact_probability(
+    graph: UncertainBipartiteGraph,
+    butterfly: Butterfly,
+    max_subsets: int = DEFAULT_MAX_SUBSETS,
+) -> float:
+    """Exact ``P(B)`` for a single butterfly (Equation 4).
+
+    Builds the complete backbone candidate set and applies the first-hit
+    decomposition for just the requested butterfly.
+
+    Raises:
+        KeyError: If ``butterfly`` is not a butterfly of the backbone.
+        IntractableError: If too many heavier blockers exist.
+    """
+    candidates = CandidateSet(graph, backbone_butterflies(graph))
+    index = candidates.index_of(butterfly)
+    existence = candidates.existence_probability(index)
+    if existence == 0.0:
+        return 0.0
+    probs = graph.probs
+    union = exact_union_probability(
+        candidates.difference_events(index),
+        lambda e: float(probs[e]),
+        max_subsets=max_subsets,
+    )
+    return existence * (1.0 - union)

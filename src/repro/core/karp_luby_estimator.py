@@ -1,0 +1,161 @@
+"""Algorithm 4 — per-candidate probability estimation via Karp-Luby.
+
+For each candidate ``B_i`` the estimator targets the union of the
+blocking events ``E(B_j \\ B_i)`` over strictly heavier candidates
+``B_j`` and converts the union estimate into
+
+    ``P(B_i) = (1 − (Cnt_i/N_kl) · S_i) · Pr[E(B_i)]``    (Alg. 4 line 10).
+
+Trial counts are either fixed or sized dynamically per candidate through
+the Lemma VI.4 ratio (Equation 8) against a common Monte-Carlo baseline —
+which is exactly how the paper configures OLS-KL in Section VIII-B.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..butterfly import ButterflyKey
+from ..sampling import (
+    ConvergenceTrace,
+    KarpLubyUnionSampler,
+    RngLike,
+    checkpoint_schedule,
+    ensure_rng,
+    monte_carlo_trial_bound,
+)
+from .bounds import karp_luby_trial_bound
+from .candidates import CandidateSet
+from .estimation import EstimationOutcome
+
+
+def estimate_probabilities_karp_luby(
+    candidates: CandidateSet,
+    rng: RngLike = None,
+    n_trials: Optional[int] = None,
+    mu: float = 0.05,
+    epsilon: float = 0.1,
+    delta: float = 0.1,
+    min_trials: int = 16,
+    max_trials: int = 200_000,
+    track: Optional[Iterable[ButterflyKey]] = None,
+    checkpoints: int = 40,
+) -> EstimationOutcome:
+    """Estimate ``P(B)`` for every candidate with per-candidate KL runs.
+
+    Args:
+        candidates: The weight-sorted candidate set.
+        rng: Seed or generator.
+        n_trials: Fixed ``N_kl`` for every candidate; ``None`` (default)
+            sizes each candidate dynamically via Lemma VI.4 with the
+            ``mu``/``epsilon``/``delta`` target.
+        mu: Certification target ``μ`` for the dynamic sizing; clamped
+            per candidate to its existence probability (``P(B) ≤
+            Pr[E(B)]``).
+        epsilon: Relative error of the ε-δ guarantee.
+        delta: Failure probability of the ε-δ guarantee.
+        min_trials: Floor on the per-candidate trial count (a ratio of 0
+            still needs some trials to return an estimate).
+        max_trials: Cap on the per-candidate trial count.
+        track: Optional butterfly keys to trace (Figure 11).
+        checkpoints: Number of evenly spaced trace checkpoints.
+
+    Returns:
+        An :class:`~repro.core.estimation.EstimationOutcome` with
+        ``method="karp-luby"`` and stats counters ``total_trials`` and
+        ``base_trials`` (the Monte-Carlo baseline the ratios scale).
+    """
+    if n_trials is not None and n_trials <= 0:
+        raise ValueError(f"n_trials must be positive, got {n_trials}")
+    generator = ensure_rng(rng)
+    graph = candidates.graph
+    probs = graph.probs
+    tracked = set(track) if track is not None else set()
+
+    estimates: Dict[ButterflyKey, float] = {}
+    traces: Dict[ButterflyKey, ConvergenceTrace] = {}
+    trials_per_candidate: List[int] = []
+    total_trials = 0
+    base = monte_carlo_trial_bound(mu, epsilon, delta)
+
+    for index, butterfly in enumerate(candidates):
+        existence = candidates.existence_probability(index)
+        if existence == 0.0:
+            estimates[butterfly.key] = 0.0
+            trials_per_candidate.append(0)
+            continue
+        events = candidates.difference_events(index)
+        if not events:
+            # Nothing heavier can block this candidate: P(B) = Pr[E(B)].
+            estimates[butterfly.key] = existence
+            trials_per_candidate.append(0)
+            if butterfly.key in tracked:
+                trace = ConvergenceTrace(label=str(butterfly.key))
+                trace.record(1, existence)
+                traces[butterfly.key] = trace
+            continue
+
+        sampler = KarpLubyUnionSampler(
+            events, lambda e: float(probs[e]), generator
+        )
+        budget = _candidate_budget(
+            n_trials, existence, sampler.weight_sum, mu,
+            epsilon, delta, min_trials, max_trials,
+        )
+        trials_per_candidate.append(budget)
+        total_trials += budget
+
+        if butterfly.key in tracked:
+            trace = ConvergenceTrace(label=str(butterfly.key))
+            schedule = set(checkpoint_schedule(budget, checkpoints))
+            for trial in range(1, budget + 1):
+                sampler.trial()
+                if trial in schedule:
+                    trace.record(
+                        trial,
+                        _to_probability(sampler.estimate().raw_probability,
+                                        existence),
+                    )
+            traces[butterfly.key] = trace
+        else:
+            sampler.run(budget)
+        estimates[butterfly.key] = _to_probability(
+            sampler.estimate().raw_probability, existence
+        )
+
+    return EstimationOutcome(
+        method="karp-luby",
+        estimates=estimates,
+        traces=traces,
+        trials_per_candidate=trials_per_candidate,
+        stats={
+            "total_trials": float(total_trials),
+            "base_trials": float(base),
+        },
+    )
+
+
+def _candidate_budget(
+    n_trials: Optional[int],
+    existence: float,
+    blocking_mass: float,
+    mu: float,
+    epsilon: float,
+    delta: float,
+    min_trials: int,
+    max_trials: int,
+) -> int:
+    """Per-candidate trial count: fixed, or dynamic per Lemma VI.4."""
+    if n_trials is not None:
+        return n_trials
+    target = min(mu, existence)
+    bound = karp_luby_trial_bound(
+        existence, blocking_mass, target, epsilon, delta, minimum=min_trials
+    )
+    return max(min_trials, min(max_trials, bound))
+
+
+def _to_probability(raw_union: float, existence: float) -> float:
+    """Algorithm 4 line 10 with clamping into ``[0, Pr[E(B)]]``."""
+    value = (1.0 - raw_union) * existence
+    return float(min(existence, max(0.0, value)))

@@ -1,0 +1,219 @@
+"""Algorithm 3 — Ordering-Listing Sampling (OLS).
+
+OLS splits the work into two phases:
+
+1. **Preparing phase** (lines 2-4): a small number of OS trials — the
+   paper uses 100 against the 20 000 needed for direct estimation — whose
+   per-trial maximum butterflies are unioned into the candidate set
+   ``C_MB`` (Lemma VI.1 bounds the chance of missing a high-probability
+   butterfly).
+2. **Sampling phase** (line 5): a probability estimator runs over the
+   small candidate set only, never touching the full network again —
+   either the paper's optimised shared-trial estimator (Algorithm 5,
+   method ``"ols"``) or per-candidate Karp-Luby (Algorithm 4, method
+   ``"ols-kl"``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from ..butterfly import Butterfly, ButterflyKey, top_weight_butterflies
+from ..graph import UncertainBipartiteGraph
+from ..sampling import RngLike, ensure_rng
+from ..worlds import WorldSampler
+from .candidates import CandidateSet
+from .karp_luby_estimator import estimate_probabilities_karp_luby
+from .optimized_estimator import estimate_probabilities_optimized
+from .ordering_sampling import os_trial
+from .results import MPMBResult
+
+#: Paper default for the preparing phase (Section VIII-B).
+DEFAULT_PREPARE_TRIALS = 100
+
+
+def prepare_candidates(
+    graph: UncertainBipartiteGraph,
+    n_prepare: int = DEFAULT_PREPARE_TRIALS,
+    rng: RngLike = None,
+    prune: bool = True,
+    pair_side: str = "auto",
+    seed_backbone_top: int = 0,
+) -> CandidateSet:
+    """The OLS preparing phase: list candidate butterflies via OS trials.
+
+    Args:
+        graph: The uncertain bipartite network.
+        n_prepare: ``N_os`` preparing trials (paper default 100).
+        rng: Seed or generator.
+        prune: Forwarded to the OS trial (Section V-B switch).
+        pair_side: Forwarded to the OS trial.
+        seed_backbone_top: Additionally seed ``C_MB`` with the k heaviest
+            *backbone* butterflies (an extension beyond the paper).  The
+            Lemma VI.5 overestimation comes from strictly heavier
+            butterflies missing from the candidate set, so guaranteeing
+            the heaviest ones are present tightens the bound at the cost
+            of one deterministic top-k search.
+
+    Returns:
+        The deduplicated, weight-sorted candidate set ``C_MB``.
+    """
+    if n_prepare <= 0:
+        raise ValueError(f"n_prepare must be positive, got {n_prepare}")
+    if seed_backbone_top < 0:
+        raise ValueError(
+            f"seed_backbone_top must be non-negative, got {seed_backbone_top}"
+        )
+    sampler = WorldSampler(graph, ensure_rng(rng))
+    collected: Dict[ButterflyKey, Butterfly] = {}
+    if seed_backbone_top:
+        for butterfly in top_weight_butterflies(
+            graph, seed_backbone_top, pair_side=pair_side
+        ):
+            collected.setdefault(butterfly.key, butterfly)
+    for _ in range(n_prepare):
+        for butterfly in os_trial(
+            graph, sampler, prune=prune, pair_side=pair_side
+        ):
+            collected.setdefault(butterfly.key, butterfly)
+    return CandidateSet(graph, collected.values())
+
+
+def adaptive_prepare_candidates(
+    graph: UncertainBipartiteGraph,
+    patience: int = 50,
+    max_trials: int = 5_000,
+    rng: RngLike = None,
+    prune: bool = True,
+    pair_side: str = "auto",
+) -> tuple:
+    """Preparing phase that stops when the candidate set stabilises.
+
+    Instead of a fixed ``N_os``, keep running OS trials until ``patience``
+    consecutive trials contribute no new butterfly (or ``max_trials`` is
+    reached).  By Lemma VI.1 a butterfly with ``P(B) = p`` is missed
+    after ``t`` dry trials with probability ``(1-p)^t``, so a long dry
+    streak certifies that every remaining missing butterfly has small
+    ``P(B)`` — which is exactly what the Lemma VI.5 error bound needs.
+
+    Returns:
+        ``(candidate_set, trials_used)``.
+    """
+    if patience <= 0:
+        raise ValueError(f"patience must be positive, got {patience}")
+    if max_trials <= 0:
+        raise ValueError(f"max_trials must be positive, got {max_trials}")
+    sampler = WorldSampler(graph, ensure_rng(rng))
+    collected: Dict[ButterflyKey, Butterfly] = {}
+    dry = 0
+    trials = 0
+    while trials < max_trials and dry < patience:
+        trials += 1
+        new = False
+        for butterfly in os_trial(
+            graph, sampler, prune=prune, pair_side=pair_side
+        ):
+            if butterfly.key not in collected:
+                collected[butterfly.key] = butterfly
+                new = True
+        dry = 0 if new else dry + 1
+    return CandidateSet(graph, collected.values()), trials
+
+
+def ordering_listing_sampling(
+    graph: UncertainBipartiteGraph,
+    n_trials: int,
+    n_prepare: int = DEFAULT_PREPARE_TRIALS,
+    estimator: str = "optimized",
+    rng: RngLike = None,
+    track: Optional[Iterable[ButterflyKey]] = None,
+    checkpoints: int = 40,
+    prune: bool = True,
+    pair_side: str = "auto",
+    candidates: Optional[CandidateSet] = None,
+    mu: float = 0.05,
+    epsilon: float = 0.1,
+    delta: float = 0.1,
+) -> MPMBResult:
+    """Run OLS end to end (Algorithm 3).
+
+    Args:
+        graph: The uncertain bipartite network.
+        n_trials: Sampling-phase trials — ``N_op`` for the optimised
+            estimator; for Karp-Luby this is the *fixed* per-candidate
+            ``N_kl``, or pass ``n_trials=0`` to use the dynamic Lemma VI.4
+            sizing with the ``mu``/``epsilon``/``delta`` target.
+        n_prepare: Preparing-phase OS trials (paper default 100).
+        estimator: ``"optimized"`` (Algorithm 5 — the paper's OLS) or
+            ``"karp-luby"`` (Algorithm 4 — OLS-KL).
+        rng: Seed or generator (shared across both phases).
+        track: Optional butterfly keys to trace (Figure 11).
+        checkpoints: Number of evenly spaced trace checkpoints.
+        prune: Section V-B switch for the preparing phase.
+        pair_side: Angle-index side for the preparing phase.
+        candidates: Pre-computed candidate set; skips the preparing phase
+            when given (used by experiments that sweep the sampling phase
+            over one fixed candidate set).
+        mu: Dynamic Karp-Luby certification target (ignored otherwise).
+        epsilon: ε of the ε-δ guarantee for dynamic sizing.
+        delta: δ of the ε-δ guarantee for dynamic sizing.
+
+    Returns:
+        An :class:`~repro.core.results.MPMBResult` with ``method="ols"``
+        or ``"ols-kl"`` and stats including ``n_prepare``,
+        ``candidates_listed`` and the estimator's counters.
+    """
+    if estimator not in ("optimized", "karp-luby"):
+        raise ValueError(
+            "estimator must be 'optimized' or 'karp-luby', "
+            f"got {estimator!r}"
+        )
+    generator = ensure_rng(rng)
+    if candidates is None:
+        candidates = prepare_candidates(
+            graph, n_prepare, generator, prune=prune, pair_side=pair_side
+        )
+    if len(candidates) == 0:
+        return MPMBResult(
+            method="ols" if estimator == "optimized" else "ols-kl",
+            graph=graph,
+            n_trials=0,
+            estimates={},
+            butterflies={},
+            stats={"n_prepare": float(n_prepare), "candidates_listed": 0.0},
+        )
+
+    if estimator == "optimized":
+        if n_trials <= 0:
+            raise ValueError(
+                f"n_trials must be positive for the optimised estimator, "
+                f"got {n_trials}"
+            )
+        outcome = estimate_probabilities_optimized(
+            candidates, n_trials, generator,
+            track=track, checkpoints=checkpoints,
+        )
+        method = "ols"
+    else:
+        outcome = estimate_probabilities_karp_luby(
+            candidates, generator,
+            n_trials=n_trials if n_trials > 0 else None,
+            mu=mu, epsilon=epsilon, delta=delta,
+            track=track, checkpoints=checkpoints,
+        )
+        method = "ols-kl"
+
+    stats = {
+        "n_prepare": float(n_prepare),
+        "candidates_listed": float(len(candidates)),
+    }
+    stats.update(outcome.stats)
+    return MPMBResult(
+        method=method,
+        graph=graph,
+        n_trials=outcome.total_trials,
+        estimates=outcome.estimates,
+        butterflies={b.key: b for b in candidates},
+        traces=outcome.traces,
+        stats=stats,
+    )

@@ -1,0 +1,102 @@
+"""Algorithm 5 — the paper's optimised probability estimator.
+
+All candidates share each trial: a trial walks the weight-sorted
+candidate list, lazily sampling only the edges the inspected butterflies
+touch (memoised within the trial so shared edges stay consistent), and
+stops as soon as the next candidate's weight drops below the best
+existing butterfly found so far.  Every candidate in the trial's
+maximum-weight class earns ``1/N``.
+
+Compared with the per-candidate Karp-Luby runs of Algorithm 4 this costs
+``O(N·|C_MB|)`` instead of ``O(N·|C_MB|²)`` (Lemma VI.3) while directly
+estimating ``P(B)``, which Lemma VI.4 shows usually needs *fewer* trials
+for the same ε-δ guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..butterfly import ButterflyKey
+from ..sampling import (
+    ConvergenceTrace,
+    RngLike,
+    checkpoint_schedule,
+    ensure_rng,
+)
+from ..worlds.sampler import LazyEdgeTrial
+from .candidates import CandidateSet
+from .estimation import EstimationOutcome
+
+
+def estimate_probabilities_optimized(
+    candidates: CandidateSet,
+    n_trials: int,
+    rng: RngLike = None,
+    track: Optional[Iterable[ButterflyKey]] = None,
+    checkpoints: int = 40,
+) -> EstimationOutcome:
+    """Estimate ``P(B)`` for every candidate with shared trials.
+
+    Args:
+        candidates: The weight-sorted candidate set from the preparing
+            phase.
+        n_trials: ``N_op`` — shared trial count.
+        rng: Seed or generator.
+        track: Optional butterfly keys to trace (Figure 11).
+        checkpoints: Number of evenly spaced trace checkpoints.
+
+    Returns:
+        An :class:`~repro.core.estimation.EstimationOutcome` with
+        ``method="optimized"``; candidates never observed as maximum get
+        estimate 0.0.
+
+    Raises:
+        ValueError: If ``n_trials`` is not positive.
+    """
+    if n_trials <= 0:
+        raise ValueError(f"n_trials must be positive, got {n_trials}")
+    generator = ensure_rng(rng)
+    graph = candidates.graph
+    items = candidates.butterflies
+    counts = [0] * len(items)
+    tracked = set(track) if track is not None else set()
+    traces = {key: ConvergenceTrace(label=str(key)) for key in tracked}
+    tracked_indices = [
+        index for index, butterfly in enumerate(items)
+        if butterfly.key in tracked
+    ]
+    schedule = set(checkpoint_schedule(n_trials, checkpoints))
+    edges_sampled = 0
+
+    for trial in range(1, n_trials + 1):
+        lazy = LazyEdgeTrial(graph, generator)
+        w_max = float("-inf")
+        # Walk candidates heaviest-first; the first existing butterfly
+        # pins w_max, equal-weight peers are still checked, and the loop
+        # exits at the first strictly lighter candidate (Alg. 5 line 5).
+        for index, butterfly in enumerate(items):
+            if butterfly.weight < w_max:
+                break
+            if lazy.all_present(butterfly.edges):
+                counts[index] += 1
+                w_max = butterfly.weight
+        edges_sampled += lazy.n_sampled
+        if traces and trial in schedule:
+            for index in tracked_indices:
+                traces[items[index].key].record(trial, counts[index] / trial)
+
+    estimates = {
+        butterfly.key: count / n_trials
+        for butterfly, count in zip(items, counts)
+    }
+    return EstimationOutcome(
+        method="optimized",
+        estimates=estimates,
+        traces=traces,
+        trials_per_candidate=[n_trials] * len(items),
+        stats={
+            "total_trials": float(n_trials),
+            "edges_sampled": float(edges_sampled),
+        },
+    )

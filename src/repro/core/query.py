@@ -1,0 +1,133 @@
+"""Single-butterfly probability queries.
+
+The paper's methods rank *all* butterflies; a common downstream question
+is cheaper: *"what is P(B) for this specific butterfly?"*.  The exact
+answer is #P-hard (Lemma III.1), and OLS only estimates relative to its
+candidate set.  This module provides an unbiased conditional Monte-Carlo
+estimator:
+
+    ``P(B) = Pr[E(B)] · Pr[no strictly heavier butterfly | E(B)]``
+
+Each trial samples a world *conditioned on B's four edges existing*
+(independence makes that a simple forcing) and accepts iff the world's
+maximum butterfly weight equals ``w(B)`` — i.e. nothing strictly heavier
+materialised.  The acceptance rate estimates the conditional factor, and
+multiplying by the closed-form ``Pr[E(B)]`` gives ``P(B)``.
+
+Compared to running OS and reading one entry, the conditional estimator
+(a) never wastes trials on worlds where ``B`` does not exist, improving
+accuracy per trial by a factor of ``1/Pr[E(B)]`` (the Theorem IV.1 bound
+applies to the conditional probability, which is larger than ``P(B)``),
+and (b) needs no candidate set, so there is no Lemma VI.5 error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..butterfly import Butterfly, max_weight_butterflies
+from ..graph import UncertainBipartiteGraph
+from ..sampling import (
+    ConvergenceTrace,
+    RngLike,
+    checkpoint_schedule,
+    ensure_rng,
+    monte_carlo_trial_bound,
+)
+from ..worlds import WorldSampler
+
+
+@dataclass(frozen=True)
+class ProbabilityEstimate:
+    """Output of :func:`estimate_probability`.
+
+    Attributes:
+        probability: The estimated ``P(B)``.
+        existence_probability: Closed-form ``Pr[E(B)]``.
+        conditional_probability: Estimated
+            ``Pr[B ∈ S_MB | E(B)]`` (the acceptance rate).
+        n_trials: Conditional trials run.
+        trace: Convergence checkpoints of the ``P(B)`` estimate.
+    """
+
+    probability: float
+    existence_probability: float
+    conditional_probability: float
+    n_trials: int
+    trace: ConvergenceTrace
+
+    def trial_bound(self, epsilon: float = 0.1, delta: float = 0.1) -> int:
+        """Theorem IV.1 bound for the *conditional* estimate at the
+        observed rate (``0`` when the rate is degenerate)."""
+        rate = self.conditional_probability
+        if not 0.0 < rate <= 1.0:
+            return 0
+        return monte_carlo_trial_bound(rate, epsilon, delta)
+
+
+def estimate_probability(
+    graph: UncertainBipartiteGraph,
+    butterfly: Butterfly,
+    n_trials: int,
+    rng: RngLike = None,
+    checkpoints: int = 40,
+) -> ProbabilityEstimate:
+    """Unbiased conditional Monte-Carlo estimate of ``P(B)``.
+
+    Args:
+        graph: The uncertain bipartite network.
+        butterfly: The queried butterfly (must be a backbone butterfly of
+            ``graph`` — build it with
+            :func:`~repro.butterfly.model.make_butterfly`).
+        n_trials: Conditional worlds to sample.
+        rng: Seed or generator.
+        checkpoints: Convergence-trace resolution.
+
+    Raises:
+        ValueError: If ``n_trials`` is not positive or the butterfly's
+            edges do not belong to ``graph``.
+    """
+    if n_trials <= 0:
+        raise ValueError(f"n_trials must be positive, got {n_trials}")
+    for edge in butterfly.edges:
+        if not 0 <= edge < graph.n_edges:
+            raise ValueError(
+                f"butterfly edge index {edge} outside the graph"
+            )
+    existence = butterfly.existence_probability(graph)
+    trace = ConvergenceTrace(label=str(butterfly.key))
+    if existence == 0.0:
+        trace.record(1, 0.0)
+        return ProbabilityEstimate(0.0, 0.0, 0.0, n_trials, trace)
+
+    sampler = WorldSampler(graph, ensure_rng(rng))
+    order = graph.edges_by_weight_desc
+    target_weight = butterfly.weight
+    forced = set(butterfly.edges)
+    schedule = set(checkpoint_schedule(n_trials, checkpoints))
+    accepted = 0
+
+    for trial in range(1, n_trials + 1):
+        mask = sampler.sample_mask()
+        for edge in forced:
+            mask[edge] = True
+        present_sorted = order[mask[order]]
+        search = max_weight_butterflies(graph, present_sorted)
+        # B's edges are present, so the maximum is at least w(B); B is
+        # maximum iff nothing strictly heavier completed.  The tiny
+        # tolerance absorbs summation-order ulps on non-grid weights
+        # (the search accumulates angle sums, the butterfly the
+        # canonical edge order).
+        if search.weight <= target_weight + 1e-9 * max(1.0, target_weight):
+            accepted += 1
+        if trial in schedule:
+            trace.record(trial, existence * accepted / trial)
+
+    conditional = accepted / n_trials
+    return ProbabilityEstimate(
+        probability=existence * conditional,
+        existence_probability=existence,
+        conditional_probability=conditional,
+        n_trials=n_trials,
+        trace=trace,
+    )

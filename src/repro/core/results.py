@@ -1,0 +1,160 @@
+"""Result types shared by every MPMB method.
+
+All four sampling methods (MC-VP, OS, OLS-KL, OLS) and both exact solvers
+return an :class:`MPMBResult`: a mapping from canonical butterfly keys to
+estimated (or exact) probabilities ``P(B)``, the butterflies themselves,
+optional convergence traces, and instrumentation counters used by the
+experiment harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..butterfly import Butterfly, ButterflyKey
+from ..graph import UncertainBipartiteGraph
+from ..sampling import ConvergenceTrace
+
+
+@dataclass
+class MPMBResult:
+    """Outcome of an MPMB computation.
+
+    Attributes:
+        method: Identifier of the producing method (``"mc-vp"``, ``"os"``,
+            ``"ols"``, ``"ols-kl"``, ``"exact-worlds"``,
+            ``"exact-inclusion-exclusion"``).
+        graph: The analysed graph.
+        n_trials: Sampling-phase trial count (0 for exact methods).
+        estimates: Canonical butterfly key -> estimated ``P(B)``.
+        butterflies: Canonical key -> :class:`Butterfly` object.
+        traces: Optional convergence traces for tracked butterflies.
+        stats: Instrumentation counters (method-specific; e.g. angles
+            processed, candidates listed, preparing trials).
+        prob_no_butterfly: For exact solvers, the probability that a world
+            contains no butterfly at all; ``None`` for sampling methods
+            that did not measure it.
+    """
+
+    method: str
+    graph: UncertainBipartiteGraph
+    n_trials: int
+    estimates: Dict[ButterflyKey, float]
+    butterflies: Dict[ButterflyKey, Butterfly]
+    traces: Dict[ButterflyKey, ConvergenceTrace] = field(default_factory=dict)
+    stats: Dict[str, float] = field(default_factory=dict)
+    prob_no_butterfly: Optional[float] = None
+
+    def probability(self, butterfly: Butterfly | ButterflyKey) -> float:
+        """Estimated ``P(B)`` (0.0 for butterflies never observed)."""
+        key = butterfly.key if isinstance(butterfly, Butterfly) else butterfly
+        return self.estimates.get(key, 0.0)
+
+    @property
+    def best(self) -> Optional[Butterfly]:
+        """The MPMB — highest estimated probability, or ``None`` when the
+        graph yielded no butterfly in any trial/world.
+
+        Ties break deterministically by canonical key.
+        """
+        ranking = self.ranked()
+        return ranking[0][0] if ranking else None
+
+    @property
+    def best_probability(self) -> float:
+        """``P(B)`` of :attr:`best` (0.0 when no butterfly exists)."""
+        ranking = self.ranked()
+        return ranking[0][1] if ranking else 0.0
+
+    def ranked(self) -> List[Tuple[Butterfly, float]]:
+        """All observed butterflies, most probable first.
+
+        Ties break by canonical key so results are reproducible across
+        runs with the same seed.
+        """
+        order = sorted(
+            self.estimates.items(), key=lambda item: (-item[1], item[0])
+        )
+        return [
+            (self.butterflies[key], probability)
+            for key, probability in order
+        ]
+
+    def top_k(self, k: int) -> List[Tuple[Butterfly, float]]:
+        """The top-k MPMBs (Section VII)."""
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        return self.ranked()[:k]
+
+    def labelled_ranking(
+        self, k: Optional[int] = None
+    ) -> List[Tuple[tuple, float, float]]:
+        """Human-readable ranking: (vertex labels, weight, probability)."""
+        rows = self.ranked() if k is None else self.top_k(k)
+        return [
+            (butterfly.labels(self.graph), butterfly.weight, probability)
+            for butterfly, probability in rows
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        best = self.best
+        described = f"{best} P={self.best_probability:.4f}" if best else "none"
+        return (
+            f"<MPMBResult {self.method} trials={self.n_trials} "
+            f"observed={len(self.estimates)} best={described}>"
+        )
+
+
+def merge_results(first: MPMBResult, second: MPMBResult) -> MPMBResult:
+    """Pool two independent frequency-based runs of the same method.
+
+    The Monte-Carlo methods estimate ``P(B)`` as a winner frequency, so
+    two runs with ``N₁`` and ``N₂`` trials pool into the
+    trial-count-weighted average — equivalent to one ``N₁+N₂``-trial run
+    over the union of their sampled worlds.  Useful for distributing
+    trials across processes or sessions (results round-trip through
+    :mod:`repro.core.serialize`).
+
+    Raises:
+        ValueError: If the runs disagree on graph or method, or either
+            is not a frequency-based sampling run (exact solvers and
+            OLS-KL's ratio-based estimates do not pool this way).
+    """
+    poolable = ("mc-vp", "os", "ols")
+    if first.method != second.method:
+        raise ValueError(
+            f"cannot merge {first.method!r} with {second.method!r}"
+        )
+    if first.method not in poolable:
+        raise ValueError(
+            f"method {first.method!r} is not frequency-based; only "
+            f"{poolable} results pool by trial-weighted averaging"
+        )
+    if first.graph is not second.graph and first.graph != second.graph:
+        raise ValueError("results were computed on different graphs")
+    if first.n_trials <= 0 or second.n_trials <= 0:
+        raise ValueError("both results need positive trial counts")
+
+    total = first.n_trials + second.n_trials
+    keys = set(first.estimates) | set(second.estimates)
+    estimates = {
+        key: (
+            first.estimates.get(key, 0.0) * first.n_trials
+            + second.estimates.get(key, 0.0) * second.n_trials
+        ) / total
+        for key in keys
+    }
+    butterflies = dict(first.butterflies)
+    butterflies.update(second.butterflies)
+    stats = dict(first.stats)
+    for key, value in second.stats.items():
+        stats[key] = stats.get(key, 0.0) + value
+    return MPMBResult(
+        method=first.method,
+        graph=first.graph,
+        n_trials=total,
+        estimates=estimates,
+        butterflies=butterflies,
+        stats=stats,
+    )

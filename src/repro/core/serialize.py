@@ -1,0 +1,123 @@
+"""JSON-friendly serialisation of MPMB results.
+
+Long experiments (the paper-profile datasets take hours in Python) need
+their outputs persisted; this module converts an
+:class:`~repro.core.results.MPMBResult` to a plain dict — vertex labels
+instead of internal indices, so a result remains meaningful even when
+the graph is rebuilt later — and back, given the same graph.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from ..butterfly import butterfly_from_labels
+from ..graph import UncertainBipartiteGraph
+from ..sampling import ConvergenceTrace
+from .results import MPMBResult
+
+FORMAT_VERSION = 1
+
+
+def result_to_dict(result: MPMBResult) -> Dict:
+    """Convert a result into a JSON-serialisable dict.
+
+    Butterflies are stored by their four vertex *labels*; traces and
+    stats are carried verbatim.  The graph itself is not embedded — store
+    it separately with :func:`repro.graph.save_graph`.
+    """
+    graph = result.graph
+    records = []
+    for key, butterfly in result.butterflies.items():
+        records.append({
+            "labels": list(butterfly.labels(graph)),
+            "weight": butterfly.weight,
+            "probability": result.estimates.get(key, 0.0),
+        })
+    records.sort(key=lambda r: (-r["probability"], r["labels"]))
+    return {
+        "format": FORMAT_VERSION,
+        "method": result.method,
+        "n_trials": result.n_trials,
+        "graph_name": graph.name,
+        "prob_no_butterfly": result.prob_no_butterfly,
+        "stats": dict(result.stats),
+        "butterflies": records,
+        "traces": {
+            "|".join(map(str, key)): trace.checkpoints
+            for key, trace in result.traces.items()
+        },
+    }
+
+
+def result_from_dict(
+    payload: Dict, graph: UncertainBipartiteGraph
+) -> MPMBResult:
+    """Rebuild an :class:`MPMBResult` from :func:`result_to_dict` output.
+
+    Args:
+        payload: The serialised dict.
+        graph: The graph the result was computed on (labels must still
+            resolve; weights are re-derived from the graph).
+
+    Raises:
+        ValueError: On unknown format versions or labels that no longer
+            resolve to a butterfly of ``graph``.
+    """
+    version = payload.get("format")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported result format {version!r}; "
+            f"expected {FORMAT_VERSION}"
+        )
+    estimates = {}
+    butterflies = {}
+    for record in payload["butterflies"]:
+        u1, u2, v1, v2 = record["labels"]
+        try:
+            butterfly = butterfly_from_labels(graph, u1, u2, v1, v2)
+        except KeyError:
+            butterfly = None
+        if butterfly is None:
+            raise ValueError(
+                f"butterfly {record['labels']} does not exist in the "
+                "provided graph"
+            )
+        estimates[butterfly.key] = float(record["probability"])
+        butterflies[butterfly.key] = butterfly
+    traces = {}
+    for key_text, checkpoints in payload.get("traces", {}).items():
+        key = tuple(int(part) for part in key_text.split("|"))
+        trace = ConvergenceTrace(label=key_text)
+        for n_trials, estimate in checkpoints:
+            trace.record(int(n_trials), float(estimate))
+        traces[key] = trace
+    return MPMBResult(
+        method=payload["method"],
+        graph=graph,
+        n_trials=int(payload["n_trials"]),
+        estimates=estimates,
+        butterflies=butterflies,
+        traces=traces,
+        stats=dict(payload.get("stats", {})),
+        prob_no_butterfly=payload.get("prob_no_butterfly"),
+    )
+
+
+def save_result(
+    result: MPMBResult, target: Union[str, Path]
+) -> None:
+    """Write a result as JSON."""
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(result_to_dict(result), handle, indent=2)
+
+
+def load_result(
+    source: Union[str, Path], graph: UncertainBipartiteGraph
+) -> MPMBResult:
+    """Read a result previously written by :func:`save_result`."""
+    with open(source, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return result_from_dict(payload, graph)

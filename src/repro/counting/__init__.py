@@ -1,0 +1,23 @@
+"""Uncertain butterfly counting substrate (the paper's Related Work):
+distribution-based statistics of the butterfly-count random variable and
+threshold-based probable-butterfly enumeration."""
+
+from .expected import (
+    butterfly_count_variance,
+    exact_count_distribution,
+    expected_butterfly_count,
+    sample_butterfly_counts,
+)
+from .threshold import (
+    count_probable_butterflies,
+    enumerate_probable_butterflies,
+)
+
+__all__ = [
+    "expected_butterfly_count",
+    "butterfly_count_variance",
+    "sample_butterfly_counts",
+    "exact_count_distribution",
+    "enumerate_probable_butterflies",
+    "count_probable_butterflies",
+]

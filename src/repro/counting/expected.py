@@ -1,0 +1,179 @@
+"""Distribution-based uncertain butterfly counting (Related Work, [41],
+[44], [46]).
+
+The paper's Related Work contrasts MPMB (a *probable-based* problem) with
+*distribution-based* analyses that study the butterfly-count random
+variable ``X = Σ_B 1[E(B)]`` over possible worlds.  This module provides
+that substrate:
+
+* :func:`expected_butterfly_count` — ``E[X]`` exactly, by linearity of
+  expectation over the backbone butterflies (each exists with the product
+  of its four edge probabilities).
+* :func:`butterfly_count_variance` — ``Var[X]`` exactly, from pairwise
+  covariances (two butterflies are dependent iff they share edges).
+* :func:`sample_butterfly_counts` — the Monte-Carlo estimator of the
+  count distribution, for graphs whose butterfly inventory is too large
+  for the exact pairwise pass.
+* :func:`exact_count_distribution` — the full probability mass function
+  by relevant-edge world enumeration (tiny graphs only).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..butterfly import Butterfly, enumerate_butterflies
+from ..errors import IntractableError
+from ..graph import UncertainBipartiteGraph
+from ..sampling import RngLike, ensure_rng
+from ..worlds import WorldSampler
+
+#: Guard for the quadratic variance pass.
+DEFAULT_MAX_BUTTERFLIES = 5_000
+
+#: Guard for exact distribution enumeration (2^20 patterns).
+DEFAULT_MAX_WORLDS = 1 << 20
+
+
+def expected_butterfly_count(
+    graph: UncertainBipartiteGraph,
+    butterflies: Optional[List[Butterfly]] = None,
+) -> float:
+    """``E[X] = Σ_B Pr[E(B)]`` — exact, linear in the butterfly count.
+
+    Args:
+        graph: The uncertain bipartite network.
+        butterflies: Pre-enumerated backbone butterflies (optional reuse).
+    """
+    if butterflies is None:
+        butterflies = list(enumerate_butterflies(graph))
+    return float(
+        sum(b.existence_probability(graph) for b in butterflies)
+    )
+
+
+def butterfly_count_variance(
+    graph: UncertainBipartiteGraph,
+    butterflies: Optional[List[Butterfly]] = None,
+    max_butterflies: int = DEFAULT_MAX_BUTTERFLIES,
+) -> float:
+    """``Var[X]`` — exact, quadratic in the butterfly count.
+
+    ``Var[X] = Σ_B p_B(1-p_B) + Σ_{B≠B'} (Pr[both] − p_B p_B')`` where
+    ``Pr[both]`` multiplies probabilities over the *union* of the two
+    butterflies' edges; butterflies sharing no edge are independent and
+    contribute nothing, so only same-neighbourhood pairs matter.
+
+    Raises:
+        IntractableError: If the butterfly inventory exceeds
+            ``max_butterflies`` (use :func:`sample_butterfly_counts`).
+    """
+    if butterflies is None:
+        butterflies = list(enumerate_butterflies(graph))
+    n = len(butterflies)
+    if n > max_butterflies:
+        raise IntractableError(
+            f"{n} butterflies exceed the exact-variance budget of "
+            f"{max_butterflies}; use sample_butterfly_counts instead"
+        )
+    probs = graph.probs
+    existence = [b.existence_probability(graph) for b in butterflies]
+    variance = sum(p * (1.0 - p) for p in existence)
+
+    # Group butterflies by edge so only overlapping pairs are visited.
+    by_edge: Dict[int, List[int]] = {}
+    for index, butterfly in enumerate(butterflies):
+        for edge in butterfly.edges:
+            by_edge.setdefault(edge, []).append(index)
+    seen_pairs = set()
+    for indices in by_edge.values():
+        for i_pos, i in enumerate(indices):
+            for j in indices[i_pos + 1:]:
+                pair = (i, j) if i < j else (j, i)
+                if pair in seen_pairs:
+                    continue
+                seen_pairs.add(pair)
+                union = butterflies[i].edge_set() | butterflies[j].edge_set()
+                joint = 1.0
+                for edge in union:
+                    joint *= float(probs[edge])
+                variance += 2.0 * (joint - existence[i] * existence[j])
+    return float(variance)
+
+
+def sample_butterfly_counts(
+    graph: UncertainBipartiteGraph,
+    n_trials: int,
+    rng: RngLike = None,
+    butterflies: Optional[List[Butterfly]] = None,
+) -> np.ndarray:
+    """Monte-Carlo samples of the butterfly count ``X``.
+
+    Uses the backbone inventory once, then per trial checks each
+    butterfly's four edges against a sampled mask — ``O(#butterflies)``
+    per trial, no per-world re-enumeration.
+
+    Returns:
+        Integer array of length ``n_trials``.
+    """
+    if n_trials <= 0:
+        raise ValueError(f"n_trials must be positive, got {n_trials}")
+    if butterflies is None:
+        butterflies = list(enumerate_butterflies(graph))
+    sampler = WorldSampler(graph, ensure_rng(rng))
+    if not butterflies:
+        return np.zeros(n_trials, dtype=np.int64)
+    edge_matrix = np.array(
+        [b.edges for b in butterflies], dtype=np.int64
+    )
+    counts = np.empty(n_trials, dtype=np.int64)
+    for trial in range(n_trials):
+        mask = sampler.sample_mask()
+        counts[trial] = int(mask[edge_matrix].all(axis=1).sum())
+    return counts
+
+
+def exact_count_distribution(
+    graph: UncertainBipartiteGraph,
+    max_worlds: int = DEFAULT_MAX_WORLDS,
+) -> Dict[int, float]:
+    """The exact probability mass function of the butterfly count.
+
+    Enumerates presence patterns of the relevant edges (those on some
+    butterfly); all other edges marginalise out.  For validation on small
+    graphs — the distribution problem is #P-hard in general.
+
+    Returns:
+        ``{count: probability}`` with probabilities summing to 1.
+
+    Raises:
+        IntractableError: If ``2^|relevant edges|`` exceeds the budget.
+    """
+    butterflies = list(enumerate_butterflies(graph))
+    if not butterflies:
+        return {0: 1.0}
+    relevant = sorted({e for b in butterflies for e in b.edges})
+    k = len(relevant)
+    if k >= 63 or (1 << k) > max_worlds:
+        raise IntractableError(
+            f"{k} relevant edges imply 2^{k} patterns over the budget "
+            f"of {max_worlds}"
+        )
+    position = {edge: i for i, edge in enumerate(relevant)}
+    bits = np.arange(1 << k, dtype=np.uint64)
+    pattern_probs = np.ones(1 << k)
+    for edge, pos in position.items():
+        present = (bits >> np.uint64(pos)) & np.uint64(1)
+        p = float(graph.probs[edge])
+        pattern_probs *= np.where(present == 1, p, 1.0 - p)
+    counts = np.zeros(1 << k, dtype=np.int64)
+    for butterfly in butterflies:
+        mask = np.uint64(sum(1 << position[e] for e in butterfly.edges))
+        counts += ((bits & mask) == mask).astype(np.int64)
+    distribution = Counter()
+    for count, probability in zip(counts.tolist(), pattern_probs.tolist()):
+        distribution[count] += probability
+    return dict(sorted(distribution.items()))

@@ -1,0 +1,50 @@
+"""Dataset generators: synthetic stand-ins for the paper's four datasets
+(Section VIII-A) plus generic random bipartite builders.
+
+The real ABIDE / MovieLens / Jester / STRING corpora are not bundled
+(clinical gating, size, licensing); each generator synthesises a network
+with the same structural character — see the per-module docstrings and
+the substitution table in DESIGN.md.
+"""
+
+from .abide import abide_groups, abide_like
+from .loaders import load_ratings_csv, ratings_to_graph
+from .protein import protein_like
+from .ratings import jester_like, movielens_like, rating_network
+from .registry import (
+    DATASET_NAMES,
+    PAPER_SHAPES,
+    DatasetInfo,
+    dataset_info,
+    dataset_names,
+    load_dataset,
+)
+from .synthetic import (
+    clipped_normal_probs,
+    random_bipartite,
+    uniform_probs,
+    uniform_weights,
+    zipf_bipartite,
+)
+
+__all__ = [
+    "abide_like",
+    "ratings_to_graph",
+    "load_ratings_csv",
+    "abide_groups",
+    "protein_like",
+    "rating_network",
+    "movielens_like",
+    "jester_like",
+    "random_bipartite",
+    "zipf_bipartite",
+    "uniform_weights",
+    "uniform_probs",
+    "clipped_normal_probs",
+    "DATASET_NAMES",
+    "PAPER_SHAPES",
+    "DatasetInfo",
+    "dataset_names",
+    "dataset_info",
+    "load_dataset",
+]

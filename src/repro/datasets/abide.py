@@ -1,0 +1,110 @@
+"""ABIDE-like brain networks (use case 2, Table III row 1).
+
+The paper derives a bipartite uncertain network from the ABIDE resting-
+state fMRI corpus: vertices are AAL-atlas Regions of Interest split into
+the left/right hemispheres, edge weight is the physical distance between
+two ROIs and edge probability their activity correlation.  ABIDE itself
+is a gated clinical dataset, so this module synthesises a statistically
+similar stand-in: ROIs get 3D coordinates mirrored across the
+inter-hemispheric plane, weights are Euclidean distances (normalised),
+and probabilities follow a distance-modulated Beta-like law in which
+*long-range* connections are weaker — with a group parameter reproducing
+the paper's TC-vs-ASD contrast (ASD patients lack long connections).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..graph import UncertainBipartiteGraph
+from ..sampling import RngLike, ensure_rng
+
+#: AAL atlas hemisphere size used by the paper (58 ROIs per side).
+DEFAULT_ROIS = 58
+
+
+def abide_like(
+    n_rois: int = DEFAULT_ROIS,
+    rng: RngLike = None,
+    long_range_penalty: float = 0.35,
+    name: str = "abide",
+) -> UncertainBipartiteGraph:
+    """One ABIDE-like hemisphere-crossing network (complete bipartite).
+
+    Args:
+        n_rois: ROIs per hemisphere (the paper's network is the complete
+            58x58 bipartite graph: ``|E| = 3364``).
+        rng: Seed or generator.
+        long_range_penalty: How strongly distance suppresses connection
+            probability; larger values mean fewer long-range connections
+            (the ASD group uses a larger penalty).
+        name: Dataset name recorded on the graph.
+    """
+    if n_rois <= 0:
+        raise DatasetError(f"n_rois must be positive, got {n_rois}")
+    if long_range_penalty < 0:
+        raise DatasetError(
+            f"long_range_penalty must be non-negative, got {long_range_penalty}"
+        )
+    generator = ensure_rng(rng)
+
+    # ROI coordinates in one hemisphere; the other is the mirror image
+    # plus anatomical jitter.
+    left_coords = generator.uniform(
+        low=(5.0, 0.0, 0.0), high=(70.0, 100.0, 80.0), size=(n_rois, 3)
+    )
+    right_coords = left_coords.copy()
+    right_coords[:, 0] = -right_coords[:, 0]
+    right_coords += generator.normal(0.0, 3.0, size=(n_rois, 3))
+
+    # Complete bipartite edge grid.
+    li, ri = np.meshgrid(np.arange(n_rois), np.arange(n_rois), indexing="ij")
+    lefts = li.ravel()
+    rights = ri.ravel()
+    deltas = left_coords[lefts] - right_coords[rights]
+    distances = np.sqrt((deltas**2).sum(axis=1))
+    # Weight = physical distance, normalised to a handy (0, 10] range.
+    weights = 10.0 * distances / distances.max()
+    weights = np.maximum(weights, 1e-3)
+
+    # Correlation-like probability, suppressed with distance; noise keeps
+    # individual edges heterogeneous.
+    normalised = distances / distances.max()
+    base = 0.75 - long_range_penalty * normalised
+    noise = generator.normal(0.0, 0.08, size=base.shape)
+    probs = np.clip(base + noise, 0.02, 0.98)
+
+    return UncertainBipartiteGraph(
+        [f"ROI_L{i}" for i in range(n_rois)],
+        [f"ROI_R{j}" for j in range(n_rois)],
+        lefts,
+        rights,
+        weights,
+        probs,
+        name=name,
+    )
+
+
+def abide_groups(
+    n_rois: int = DEFAULT_ROIS,
+    rng: RngLike = None,
+) -> Tuple[UncertainBipartiteGraph, UncertainBipartiteGraph]:
+    """The paper's TC/ASD pair (Figure 3).
+
+    Returns ``(tc, asd)`` networks over the same ROI layout; the ASD
+    network uses a stronger long-range penalty, reproducing the paper's
+    observation that ASD patients "are lacking in long connections" and
+    that TC activation intensity is about twice the ASD one.
+    """
+    generator = ensure_rng(rng)
+    seed_tc, seed_asd = generator.integers(0, 2**31 - 1, size=2)
+    tc = abide_like(
+        n_rois, rng=int(seed_tc), long_range_penalty=0.25, name="abide-tc"
+    )
+    asd = abide_like(
+        n_rois, rng=int(seed_asd), long_range_penalty=0.40, name="abide-asd"
+    )
+    return tc, asd

@@ -1,0 +1,169 @@
+"""Named dataset registry used by the benchmarks and experiments.
+
+Each of the four paper datasets has two profiles:
+
+* ``"paper"`` — the Table III shape (full size).  Feasible for ABIDE
+  (3 364 edges) on any machine; the rating/protein networks at this size
+  are only sensible for long-running studies, since this reproduction is
+  pure Python rather than the paper's C++17/-O3.
+* ``"bench"`` — an explicitly scaled-down shape with the same structural
+  character (degree skew, weight/probability distributions), sized so the
+  full Figure 7-13 suite completes in minutes.  The scale factors are
+  recorded here and surfaced in EXPERIMENTS.md.
+
+Generation is deterministic per (name, profile, seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..graph import UncertainBipartiteGraph
+from ..sampling import RngLike
+from .abide import abide_like
+from .protein import protein_like
+from .ratings import jester_like, movielens_like, rating_network
+from .synthetic import clipped_normal_probs, random_bipartite
+
+#: Table III rows (|E|, |L|, |R|, weight meaning, probability meaning).
+PAPER_SHAPES: Dict[str, Tuple[int, int, int, str, str]] = {
+    "abide": (3_364, 58, 58, "physical distance", "correlation"),
+    "movielens": (100_836, 610, 9_724, "rating", "reliability"),
+    "jester": (4_136_360, 100, 73_421, "rating", "reliability"),
+    "protein": (39_471_870, 186_773, 186_772, "interaction", "Normal(0.5,0.2)"),
+}
+
+#: Order the paper plots datasets in.
+DATASET_NAMES: Tuple[str, ...] = ("abide", "movielens", "jester", "protein")
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """Registry metadata for one dataset profile."""
+
+    name: str
+    profile: str
+    description: str
+    factory: Callable[[RngLike], UncertainBipartiteGraph]
+
+
+def _bench_movielens(rng: RngLike) -> UncertainBipartiteGraph:
+    return rating_network(
+        n_users=150, n_items=600, n_ratings=6_000, rng=rng,
+        rating_step=0.5, rating_max=5.0, zipf_exponent=1.1,
+        quality_mean_frac=0.50,
+        name="movielens-bench",
+    )
+
+
+def _bench_jester(rng: RngLike) -> UncertainBipartiteGraph:
+    return rating_network(
+        n_users=30, n_items=1_000, n_ratings=6_000, rng=rng,
+        rating_step=0.25, rating_max=10.0, zipf_exponent=0.8,
+        quality_mean_frac=0.55,
+        name="jester-bench",
+    )
+
+
+_REGISTRY: Dict[Tuple[str, str], DatasetInfo] = {}
+
+
+def _register(info: DatasetInfo) -> None:
+    _REGISTRY[(info.name, info.profile)] = info
+
+
+_register(DatasetInfo(
+    "abide", "paper",
+    "Complete 58x58 hemisphere-crossing brain network (full paper size)",
+    lambda rng: abide_like(58, rng=rng, name="abide"),
+))
+_register(DatasetInfo(
+    "abide", "bench",
+    "28x28 brain network (~1/4 of the paper's edges)",
+    lambda rng: abide_like(28, rng=rng, name="abide-bench"),
+))
+_register(DatasetInfo(
+    "movielens", "paper",
+    "Rating network at the Table III MovieLens shape",
+    lambda rng: movielens_like(1.0, rng=rng),
+))
+_register(DatasetInfo(
+    "movielens", "bench",
+    "Rating network, 150 users x 600 items x 6k ratings (~6% scale)",
+    _bench_movielens,
+))
+_register(DatasetInfo(
+    "jester", "paper",
+    "Rating network at the Table III Jester shape (4.1M ratings)",
+    lambda rng: jester_like(1.0, rng=rng),
+))
+_register(DatasetInfo(
+    "jester", "bench",
+    "Rating network, 30 jokes x 1k users x 6k ratings (~0.15% scale)",
+    _bench_jester,
+))
+_register(DatasetInfo(
+    "protein", "paper",
+    "Protein network at the Table III STRING shape (39.5M edges)",
+    lambda rng: protein_like(1.0, rng=rng),
+))
+def _bench_protein(rng: RngLike) -> UncertainBipartiteGraph:
+    def interaction_weights(r: np.random.Generator, size: int) -> np.ndarray:
+        return r.uniform(0.5, 3.0, size)
+
+    return random_bipartite(
+        200, 200, 8_000, rng=rng,
+        weight_fn=interaction_weights,
+        prob_fn=clipped_normal_probs(0.5, 0.2),
+        name="protein-bench",
+    )
+
+
+_register(DatasetInfo(
+    "protein", "bench",
+    "Protein network, 200+200 proteins x 8k interactions (degree-matched "
+    "miniature of the STRING shape)",
+    _bench_protein,
+))
+
+
+def dataset_names() -> List[str]:
+    """The four paper dataset names in plot order."""
+    return list(DATASET_NAMES)
+
+
+def dataset_info(name: str, profile: str = "bench") -> DatasetInfo:
+    """Registry metadata for one dataset profile.
+
+    Raises:
+        DatasetError: For unknown names or profiles.
+    """
+    try:
+        return _REGISTRY[(name, profile)]
+    except KeyError:
+        known = sorted({n for n, _p in _REGISTRY})
+        raise DatasetError(
+            f"unknown dataset {name!r}/{profile!r}; known datasets: {known} "
+            "with profiles 'paper' and 'bench'"
+        ) from None
+
+
+def load_dataset(
+    name: str,
+    profile: str = "bench",
+    rng: RngLike = 0,
+) -> UncertainBipartiteGraph:
+    """Generate a registered dataset deterministically.
+
+    Args:
+        name: One of :data:`DATASET_NAMES`.
+        profile: ``"bench"`` (default, minutes-scale) or ``"paper"``
+            (Table III shape).
+        rng: Seed or generator; the default seed 0 makes repeated loads
+            identical.
+    """
+    return dataset_info(name, profile).factory(rng)

@@ -1,0 +1,175 @@
+"""Generic random uncertain-bipartite generators.
+
+These are the building blocks the paper-dataset stand-ins compose:
+uniform random graphs, Zipf-popularity graphs (rating workloads) and the
+distribution helpers for weights and probabilities.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Set, Tuple
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..graph import UncertainBipartiteGraph
+from ..sampling import RngLike, ensure_rng
+
+WeightFn = Callable[[np.random.Generator, int], np.ndarray]
+ProbFn = Callable[[np.random.Generator, int], np.ndarray]
+
+
+def uniform_weights(low: float = 0.5, high: float = 5.0) -> WeightFn:
+    """Weight sampler: uniform on ``[low, high)``."""
+    if not 0.0 < low <= high:
+        raise DatasetError(f"need 0 < low <= high, got [{low}, {high}]")
+
+    def sample(rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.uniform(low, high, size)
+
+    return sample
+
+
+def uniform_probs(low: float = 0.1, high: float = 0.9) -> ProbFn:
+    """Probability sampler: uniform on ``[low, high)``."""
+    if not 0.0 <= low <= high <= 1.0:
+        raise DatasetError(f"need 0 <= low <= high <= 1, got [{low}, {high}]")
+
+    def sample(rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.uniform(low, high, size)
+
+    return sample
+
+
+def clipped_normal_probs(
+    mean: float = 0.5,
+    std: float = 0.2,
+    low: float = 0.01,
+    high: float = 0.99,
+) -> ProbFn:
+    """Probability sampler: ``Normal(mean, std)`` clipped into ``[low, high]``.
+
+    This is the paper's own preprocessing for the Protein dataset
+    (Table III: ``Normal(0.5, 0.2)``); clipping keeps probabilities legal.
+    """
+
+    def sample(rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.clip(rng.normal(mean, std, size), low, high)
+
+    return sample
+
+
+def random_bipartite(
+    n_left: int,
+    n_right: int,
+    n_edges: int,
+    rng: RngLike = None,
+    weight_fn: Optional[WeightFn] = None,
+    prob_fn: Optional[ProbFn] = None,
+    name: str = "random",
+) -> UncertainBipartiteGraph:
+    """A uniform random uncertain bipartite graph without duplicate edges.
+
+    Args:
+        n_left: Left vertex count.
+        n_right: Right vertex count.
+        n_edges: Distinct edges to draw (must fit in ``n_left·n_right``).
+        rng: Seed or generator.
+        weight_fn: Weight sampler (default uniform [0.5, 5)).
+        prob_fn: Probability sampler (default uniform [0.1, 0.9)).
+        name: Dataset name recorded on the graph.
+    """
+    if n_left <= 0 or n_right <= 0:
+        raise DatasetError(
+            f"vertex counts must be positive, got {n_left}x{n_right}"
+        )
+    capacity = n_left * n_right
+    if not 0 <= n_edges <= capacity:
+        raise DatasetError(
+            f"n_edges={n_edges} outside [0, {capacity}] for a "
+            f"{n_left}x{n_right} bipartite graph"
+        )
+    generator = ensure_rng(rng)
+    weight_fn = weight_fn or uniform_weights()
+    prob_fn = prob_fn or uniform_probs()
+
+    # Sample distinct cells of the |L| x |R| grid, then split into rows
+    # and columns — O(n_edges) regardless of density.
+    cells = generator.choice(capacity, size=n_edges, replace=False)
+    lefts = cells // n_right
+    rights = cells % n_right
+    return UncertainBipartiteGraph(
+        [f"L{i}" for i in range(n_left)],
+        [f"R{j}" for j in range(n_right)],
+        lefts,
+        rights,
+        weight_fn(generator, n_edges),
+        prob_fn(generator, n_edges),
+        name=name,
+    )
+
+
+def zipf_bipartite(
+    n_left: int,
+    n_right: int,
+    n_edges: int,
+    rng: RngLike = None,
+    exponent: float = 1.2,
+    weight_fn: Optional[WeightFn] = None,
+    prob_fn: Optional[ProbFn] = None,
+    name: str = "zipf",
+) -> UncertainBipartiteGraph:
+    """A bipartite graph with Zipf-distributed right-vertex popularity.
+
+    Models rating workloads: left vertices are users choosing items
+    (right vertices) proportionally to ``rank^{-exponent}``, the classic
+    long-tail shape of MovieLens/Jester-style data.  Duplicate
+    (user, item) pairs are rejected, so each user rates distinct items.
+    """
+    if exponent <= 0:
+        raise DatasetError(f"exponent must be positive, got {exponent}")
+    if n_left <= 0 or n_right <= 0:
+        raise DatasetError(
+            f"vertex counts must be positive, got {n_left}x{n_right}"
+        )
+    if n_edges > n_left * n_right:
+        raise DatasetError(
+            f"n_edges={n_edges} exceeds capacity {n_left * n_right}"
+        )
+    generator = ensure_rng(rng)
+    weight_fn = weight_fn or uniform_weights()
+    prob_fn = prob_fn or uniform_probs()
+
+    ranks = np.arange(1, n_right + 1, dtype=float)
+    popularity = ranks**-exponent
+    popularity /= popularity.sum()
+
+    seen: Set[Tuple[int, int]] = set()
+    lefts = np.empty(n_edges, dtype=np.int64)
+    rights = np.empty(n_edges, dtype=np.int64)
+    filled = 0
+    # Draw in batches; rejection keeps pairs distinct.
+    while filled < n_edges:
+        batch = max(1024, (n_edges - filled) * 2)
+        candidate_left = generator.integers(0, n_left, batch)
+        candidate_right = generator.choice(n_right, size=batch, p=popularity)
+        for u, v in zip(candidate_left, candidate_right):
+            pair = (int(u), int(v))
+            if pair in seen:
+                continue
+            seen.add(pair)
+            lefts[filled] = pair[0]
+            rights[filled] = pair[1]
+            filled += 1
+            if filled == n_edges:
+                break
+
+    return UncertainBipartiteGraph(
+        [f"L{i}" for i in range(n_left)],
+        [f"R{j}" for j in range(n_right)],
+        lefts,
+        rights,
+        weight_fn(generator, n_edges),
+        prob_fn(generator, n_edges),
+        name=name,
+    )

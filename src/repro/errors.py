@@ -1,0 +1,43 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch one base class when they want to
+distinguish library failures from programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphValidationError(ReproError, ValueError):
+    """An uncertain bipartite graph violates a structural invariant.
+
+    Raised for out-of-range probabilities, non-positive weights, duplicate
+    edges, unknown vertex labels, or vertices appearing on both sides of
+    the bipartition.
+    """
+
+
+class GraphFormatError(ReproError, ValueError):
+    """An on-disk graph file could not be parsed."""
+
+
+class IntractableError(ReproError, RuntimeError):
+    """An exact computation would exceed its configured enumeration budget.
+
+    The exact MPMB solvers enumerate possible worlds (or apply
+    inclusion-exclusion over candidate butterflies), both of which are
+    exponential; this error signals that the instance is too large rather
+    than silently running forever.
+    """
+
+
+class EstimationError(ReproError, RuntimeError):
+    """A probability estimator was configured or invoked inconsistently."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset generator or the dataset registry received bad arguments."""

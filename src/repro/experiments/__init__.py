@@ -1,0 +1,56 @@
+"""Experiment harness: instrumentation, rendering, and the registry of
+every reproduced table and figure (see DESIGN.md's experiment index).
+
+Run experiments from the command line::
+
+    python -m repro.experiments fig7
+    python -m repro.experiments all --profile bench --seed 0
+"""
+
+from .figures import EXPERIMENTS, experiment_names, run_all, run_experiment
+from .harness import (
+    METHOD_ORDER,
+    ExperimentConfig,
+    ExperimentOutcome,
+    run_method,
+    time_preparing_phase,
+)
+from .instrument import Measurement, measure, peak_memory, timed
+from .markdown import render_markdown_report, write_markdown_report
+from .repetition import RepeatedEstimate, repeat_method
+from .report import (
+    format_bars,
+    format_bytes,
+    format_matrix,
+    format_seconds,
+    format_series,
+    format_sparkline,
+    format_table,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "experiment_names",
+    "run_experiment",
+    "run_all",
+    "ExperimentConfig",
+    "ExperimentOutcome",
+    "METHOD_ORDER",
+    "run_method",
+    "time_preparing_phase",
+    "Measurement",
+    "measure",
+    "timed",
+    "peak_memory",
+    "format_table",
+    "format_series",
+    "format_sparkline",
+    "format_bars",
+    "format_matrix",
+    "format_seconds",
+    "format_bytes",
+    "render_markdown_report",
+    "write_markdown_report",
+    "RepeatedEstimate",
+    "repeat_method",
+]

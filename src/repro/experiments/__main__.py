@@ -1,0 +1,107 @@
+"""Command-line entry point for the experiment suite.
+
+Usage::
+
+    python -m repro.experiments table3
+    python -m repro.experiments fig7 --profile bench --seed 0
+    python -m repro.experiments all --direct 1000 --sampling 1000
+    python -m repro.experiments list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .figures import experiment_names, run_experiment
+from .harness import ExperimentConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), or 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--profile", default="bench", choices=("bench", "paper"),
+        help="dataset profile (default: bench)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base seed")
+    parser.add_argument(
+        "--direct", type=int, default=2_000,
+        help="measured OS trials (default: 2000)",
+    )
+    parser.add_argument(
+        "--mcvp", type=int, default=8,
+        help="measured MC-VP trials (default: 8)",
+    )
+    parser.add_argument(
+        "--prepare", type=int, default=100,
+        help="preparing-phase trials (default: 100, the paper setting)",
+    )
+    parser.add_argument(
+        "--sampling", type=int, default=2_000,
+        help="OLS sampling-phase trials (default: 2000)",
+    )
+    parser.add_argument(
+        "--datasets", nargs="*", default=None,
+        help="restrict to these datasets (default: all four)",
+    )
+    parser.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="also write the outcomes as a Markdown replication report",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in experiment_names():
+            print(name)
+        return 0
+
+    config = ExperimentConfig(
+        profile=args.profile,
+        seed=args.seed,
+        n_direct=args.direct,
+        n_mcvp=args.mcvp,
+        n_prepare=args.prepare,
+        n_sampling=args.sampling,
+        datasets=tuple(args.datasets) if args.datasets else
+        ExperimentConfig.datasets,
+    )
+
+    names = (
+        experiment_names() if args.experiment == "all"
+        else [args.experiment]
+    )
+    outcomes = []
+    for name in names:
+        start = time.perf_counter()
+        try:
+            outcome = run_experiment(name, config)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        elapsed = time.perf_counter() - start
+        outcomes.append(outcome)
+        print(outcome.text)
+        print(f"[{name} completed in {elapsed:.1f}s]")
+        print()
+    if args.report:
+        from .markdown import write_markdown_report
+
+        write_markdown_report(outcomes, args.report, config)
+        print(f"wrote Markdown report to {args.report}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

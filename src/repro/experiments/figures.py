@@ -1,0 +1,80 @@
+"""Registry of every reproduced table and figure.
+
+Each entry maps an experiment id to a callable taking an
+:class:`~repro.experiments.harness.ExperimentConfig` and returning an
+:class:`~repro.experiments.harness.ExperimentOutcome`.  The CLI
+(``python -m repro.experiments``) and the benchmark suite both dispatch
+through this table, so the index in DESIGN.md stays authoritative.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .figures_convergence import (
+    fig11_convergence_sampling,
+    fig12_convergence_preparing,
+)
+from .figures_theory import (
+    fig6_ratio_matrix,
+    fig10_trial_ratio,
+    table3_datasets,
+    table4_trial_numbers,
+)
+from .figures_usecases import fig2_recommendation, fig3_brain
+from .figures_validation import lemma_vi5_validation
+from .figures_time import (
+    ablation_pruning,
+    fig7_overall_time,
+    fig8_phase_time,
+    fig9_scalability,
+    fig13_memory,
+)
+from .harness import ExperimentConfig, ExperimentOutcome
+
+ExperimentFn = Callable[[ExperimentConfig], ExperimentOutcome]
+
+EXPERIMENTS: Dict[str, ExperimentFn] = {
+    "table3": table3_datasets,
+    "table4": table4_trial_numbers,
+    "fig2": fig2_recommendation,
+    "fig3": fig3_brain,
+    "fig6": fig6_ratio_matrix,
+    "fig7": fig7_overall_time,
+    "fig8": fig8_phase_time,
+    "fig9": fig9_scalability,
+    "fig10": fig10_trial_ratio,
+    "fig11": fig11_convergence_sampling,
+    "fig12": fig12_convergence_preparing,
+    "fig13": fig13_memory,
+    "ablation-prune": ablation_pruning,
+    "lemma-vi5": lemma_vi5_validation,
+}
+
+
+def experiment_names() -> List[str]:
+    """All experiment ids in presentation order."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(
+    name: str, config: ExperimentConfig | None = None
+) -> ExperimentOutcome:
+    """Run one experiment by id.
+
+    Raises:
+        KeyError: For an unknown experiment id.
+    """
+    if name not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[name](config or ExperimentConfig())
+
+
+def run_all(
+    config: ExperimentConfig | None = None,
+) -> List[ExperimentOutcome]:
+    """Run the full suite in order (this is the EXPERIMENTS.md generator)."""
+    config = config or ExperimentConfig()
+    return [fn(config) for fn in EXPERIMENTS.values()]

@@ -1,0 +1,156 @@
+"""Shared experiment configuration and method runners.
+
+The paper's testbed is C++17/-O3; this reproduction is pure Python, so
+every timing experiment runs a *scaled* trial budget and, where the paper
+used its defaults (``N = 2x10^4`` direct trials, 100 preparing trials),
+also reports the extrapolation ``measured_per_trial x paper_N``.  The
+scaling knobs live in one :class:`ExperimentConfig` so the whole suite
+can be cranked up on faster machines (or down for CI smoke runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from ..core import (
+    mc_vp,
+    ordering_listing_sampling,
+    ordering_sampling,
+    prepare_candidates,
+)
+from ..core.results import MPMBResult
+from ..datasets import DATASET_NAMES, load_dataset
+from ..graph import UncertainBipartiteGraph
+from .instrument import Measurement, measure
+
+#: Methods in the paper's plotting order.
+METHOD_ORDER: Tuple[str, ...] = ("mc-vp", "os", "ols-kl", "ols")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiments.
+
+    Attributes:
+        profile: Dataset profile (``"bench"`` or ``"paper"``).
+        seed: Base seed; per-run seeds derive from it deterministically.
+        n_direct: Measured OS trials (paper: 20 000).
+        n_mcvp: Measured MC-VP trials (extrapolated to ``paper_direct``).
+        n_prepare: Preparing-phase trials (paper: 100).
+        n_sampling: OLS sampling-phase trials (paper: 20 000).
+        paper_direct: The paper's direct/sampling trial setting used for
+            extrapolated columns.
+        datasets: Dataset names to sweep.
+        mu: ε-δ target probability (Section VIII-B uses 0.05).
+        epsilon: Relative error target.
+        delta: Failure probability target.
+    """
+
+    profile: str = "bench"
+    seed: int = 0
+    n_direct: int = 2_000
+    n_mcvp: int = 8
+    n_prepare: int = 100
+    n_sampling: int = 2_000
+    paper_direct: int = 20_000
+    datasets: Tuple[str, ...] = DATASET_NAMES
+    mu: float = 0.05
+    epsilon: float = 0.1
+    delta: float = 0.1
+
+    def load(self, name: str) -> UncertainBipartiteGraph:
+        """Load one dataset deterministically for this config."""
+        return load_dataset(name, self.profile, rng=self.seed)
+
+
+@dataclass
+class ExperimentOutcome:
+    """Uniform experiment output: structured data plus rendered text.
+
+    Attributes:
+        name: Experiment id (``"fig7"``, ``"table3"``, ...).
+        title: Human-readable description.
+        data: Experiment-specific structured payload (rows, matrices,
+            traces) — whatever the paired test/benchmark asserts on.
+        text: The rendered report.
+    """
+
+    name: str
+    title: str
+    data: Dict[str, object] = field(default_factory=dict)
+    text: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.text
+
+
+def run_method(
+    graph: UncertainBipartiteGraph,
+    method: str,
+    config: ExperimentConfig,
+    rng_offset: int = 0,
+    trace_memory: bool = False,
+    n_override: Optional[int] = None,
+) -> Measurement:
+    """Run one MPMB method with the config's scaled trial budget.
+
+    Args:
+        graph: Dataset to analyse.
+        method: One of :data:`METHOD_ORDER`.
+        config: Shared knobs.
+        rng_offset: Added to the config seed so repeated runs differ.
+        trace_memory: Record peak allocations (Figure 13) — slows the run.
+        n_override: Replace the method's default measured trial count.
+
+    Returns:
+        A :class:`~repro.experiments.instrument.Measurement` whose value
+        is the :class:`~repro.core.results.MPMBResult`.
+    """
+    seed = config.seed + 1_000_003 * (rng_offset + 1)
+    runner = _method_runner(graph, method, config, seed, n_override)
+    return measure(runner, trace_memory=trace_memory)
+
+
+def _method_runner(
+    graph: UncertainBipartiteGraph,
+    method: str,
+    config: ExperimentConfig,
+    seed: int,
+    n_override: Optional[int],
+) -> Callable[[], MPMBResult]:
+    if method == "mc-vp":
+        n = n_override or config.n_mcvp
+        return lambda: mc_vp(graph, n, rng=seed)
+    if method == "os":
+        n = n_override or config.n_direct
+        return lambda: ordering_sampling(graph, n, rng=seed)
+    if method == "ols":
+        n = n_override or config.n_sampling
+        return lambda: ordering_listing_sampling(
+            graph, n, n_prepare=config.n_prepare,
+            estimator="optimized", rng=seed,
+        )
+    if method == "ols-kl":
+        n = n_override if n_override is not None else 0  # 0 = dynamic
+        return lambda: ordering_listing_sampling(
+            graph, n, n_prepare=config.n_prepare,
+            estimator="karp-luby", rng=seed,
+            mu=config.mu, epsilon=config.epsilon, delta=config.delta,
+        )
+    raise ValueError(
+        f"unknown method {method!r}; expected one of {METHOD_ORDER}"
+    )
+
+
+def time_preparing_phase(
+    graph: UncertainBipartiteGraph,
+    config: ExperimentConfig,
+    rng_offset: int = 0,
+):
+    """Time the OLS preparing phase alone; returns ``(candidates, secs)``."""
+    seed = config.seed + 7_000_037 * (rng_offset + 1)
+    measurement = measure(
+        lambda: prepare_candidates(graph, config.n_prepare, rng=seed)
+    )
+    return measurement.value, measurement.seconds

@@ -1,0 +1,73 @@
+"""Timing and memory instrumentation for the experiment harness.
+
+The paper reports wall-clock execution time (Figures 7-9) and peak memory
+(Figure 13).  :func:`timed` wraps a callable with ``perf_counter``;
+:func:`peak_memory` uses :mod:`tracemalloc` so the measurement reflects
+Python-object allocations of the measured call only (the graph itself is
+allocated outside the window, matching the paper's "extra space beyond
+the network" discussion in Section VIII-E).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Any, Callable, Tuple
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """A measured call: its return value, duration, and peak allocation.
+
+    Attributes:
+        value: The wrapped callable's return value.
+        seconds: Wall-clock duration.
+        peak_bytes: Peak tracemalloc allocation during the call
+            (0 when memory tracing was disabled).
+    """
+
+    value: Any
+    seconds: float
+    peak_bytes: int
+
+
+def timed(fn: Callable[[], Any]) -> Tuple[Any, float]:
+    """Run ``fn`` and return ``(result, wall_seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def peak_memory(fn: Callable[[], Any]) -> Tuple[Any, int]:
+    """Run ``fn`` under tracemalloc and return ``(result, peak_bytes)``.
+
+    Nested calls are supported: if tracing is already active the existing
+    trace is reused (peak is reset around the call).
+    """
+    already_tracing = tracemalloc.is_tracing()
+    if not already_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    try:
+        result = fn()
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not already_tracing:
+            tracemalloc.stop()
+    return result, peak
+
+
+def measure(fn: Callable[[], Any], trace_memory: bool = False) -> Measurement:
+    """Run ``fn`` measuring wall time and (optionally) peak allocations.
+
+    Note that memory tracing slows the call down noticeably, so timing
+    experiments keep it off and the Figure 13 memory experiment runs
+    separately.
+    """
+    if trace_memory:
+        start = time.perf_counter()
+        result, peak = peak_memory(fn)
+        return Measurement(result, time.perf_counter() - start, peak)
+    result, seconds = timed(fn)
+    return Measurement(result, seconds, 0)

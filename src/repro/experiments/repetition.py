@@ -1,0 +1,118 @@
+"""Repetition runner: error bars for sampling-method estimates.
+
+The paper's convergence figures track one run; reviewers often also want
+*across-run* dispersion.  :func:`repeat_method` executes a method ``R``
+times with statistically independent child RNG streams (numpy seed
+spawning, so runs never share randomness) and aggregates per-butterfly
+means and standard deviations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..butterfly import Butterfly, ButterflyKey
+from ..core import find_mpmb
+from ..graph import UncertainBipartiteGraph
+from ..sampling import RngLike, spawn_rngs
+
+
+@dataclass
+class RepeatedEstimate:
+    """Aggregated estimates over independent repetitions.
+
+    Attributes:
+        method: The repeated method's identifier.
+        repetitions: Number of independent runs.
+        means: Canonical key -> mean estimate (butterflies missing from a
+            run contribute 0 for that run, matching how a single run
+            reports unseen butterflies).
+        stds: Canonical key -> sample standard deviation.
+        butterflies: Canonical key -> butterfly object.
+    """
+
+    method: str
+    repetitions: int
+    means: Dict[ButterflyKey, float]
+    stds: Dict[ButterflyKey, float]
+    butterflies: Dict[ButterflyKey, Butterfly] = field(default_factory=dict)
+
+    def interval(
+        self, key: ButterflyKey, z: float = 2.0
+    ) -> Tuple[float, float]:
+        """A ``mean ± z·std/√R`` interval for one butterfly."""
+        mean = self.means.get(key, 0.0)
+        half = z * self.stds.get(key, 0.0) / np.sqrt(self.repetitions)
+        return (max(0.0, mean - half), min(1.0, mean + half))
+
+    def ranked(self) -> List[Tuple[Butterfly, float, float]]:
+        """``(butterfly, mean, std)`` rows, highest mean first."""
+        order = sorted(
+            self.means.items(), key=lambda item: (-item[1], item[0])
+        )
+        return [
+            (self.butterflies[key], mean, self.stds.get(key, 0.0))
+            for key, mean in order
+        ]
+
+
+def repeat_method(
+    graph: UncertainBipartiteGraph,
+    method: str,
+    n_trials: int,
+    repetitions: int,
+    rng: RngLike = None,
+    n_prepare: Optional[int] = None,
+    **kwargs,
+) -> RepeatedEstimate:
+    """Run one MPMB method ``repetitions`` times and aggregate.
+
+    Args:
+        graph: The uncertain bipartite network.
+        method: Any :data:`repro.core.mpmb.METHODS` entry (exact methods
+            work but are deterministic, so their std is 0).
+        n_trials: Sampling trials per run.
+        repetitions: Independent runs (must be >= 2 for a meaningful
+            standard deviation).
+        rng: Parent seed/generator; children are spawned from it.
+        n_prepare: Optional preparing-trial override (OLS variants).
+        **kwargs: Forwarded to :func:`repro.core.find_mpmb`.
+    """
+    if repetitions < 2:
+        raise ValueError(
+            f"repetitions must be at least 2, got {repetitions}"
+        )
+    children = spawn_rngs(rng, repetitions)
+    per_run: List[Dict[ButterflyKey, float]] = []
+    butterflies: Dict[ButterflyKey, Butterfly] = {}
+    for child in children:
+        if n_prepare is not None:
+            result = find_mpmb(
+                graph, method=method, n_trials=n_trials,
+                n_prepare=n_prepare, rng=child, **kwargs,
+            )
+        else:
+            result = find_mpmb(
+                graph, method=method, n_trials=n_trials, rng=child,
+                **kwargs,
+            )
+        per_run.append(dict(result.estimates))
+        butterflies.update(result.butterflies)
+
+    keys = sorted({key for run in per_run for key in run})
+    means: Dict[ButterflyKey, float] = {}
+    stds: Dict[ButterflyKey, float] = {}
+    for key in keys:
+        samples = np.array([run.get(key, 0.0) for run in per_run])
+        means[key] = float(samples.mean())
+        stds[key] = float(samples.std(ddof=1))
+    return RepeatedEstimate(
+        method=method,
+        repetitions=repetitions,
+        means=means,
+        stds=stds,
+        butterflies=butterflies,
+    )

@@ -1,0 +1,197 @@
+"""Plain-text rendering of experiment outputs.
+
+The paper's evaluation is figures and tables; this reproduction renders
+the same content as aligned ASCII tables, series listings, bar charts and
+heat matrices, so every experiment's output is diffable and readable in a
+terminal or log file.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import math
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Args:
+        headers: Column names.
+        rows: Row cells; every row must match ``headers`` in length.
+        title: Optional title printed above the table.
+    """
+    cells = [[_fmt(cell) for cell in row] for row in rows]
+    for i, row in enumerate(cells):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in cells))
+        if cells else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in cells:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Sequence[tuple],
+    title: str = "",
+) -> str:
+    """Render several named series against a shared x-axis as a table.
+
+    Args:
+        x_label: Name of the x column.
+        x_values: The shared x values.
+        series: ``(name, values)`` pairs, each aligned with ``x_values``.
+        title: Optional title.
+    """
+    headers = [x_label] + [name for name, _values in series]
+    rows = []
+    for i, x in enumerate(x_values):
+        row = [x]
+        for _name, values in series:
+            row.append(values[i] if i < len(values) else "")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_bars(
+    values: Sequence[float],
+    reference: Optional[float] = None,
+    width: int = 50,
+    title: str = "",
+    log_scale: bool = True,
+) -> str:
+    """Render a bar chart (one bar per value), optionally with a
+    reference line marker (Figure 10's ``1/|C_MB|`` red line).
+
+    Bars use a log scale by default since trial-number ratios span
+    orders of magnitude.
+    """
+    finite = [v for v in values if v > 0]
+    if not finite:
+        return (title + "\n" if title else "") + "(no positive values)"
+    if log_scale:
+        lo = math.log10(min(finite)) - 0.5
+        hi = math.log10(max(max(finite), reference or 0.0) + 1e-300) + 0.5
+
+        def scale(v: float) -> int:
+            if v <= 0:
+                return 0
+            return int(round((math.log10(v) - lo) / (hi - lo) * width))
+    else:
+        hi_lin = max(max(finite), reference or 0.0)
+
+        def scale(v: float) -> int:
+            return int(round(v / hi_lin * width)) if hi_lin else 0
+
+    ref_pos = scale(reference) if reference and reference > 0 else None
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for i, value in enumerate(values):
+        length = scale(value)
+        bar = list("#" * length + " " * (width - length))
+        if ref_pos is not None and 0 <= ref_pos < width:
+            bar[ref_pos] = "|"
+        lines.append(f"{i:>4d} [{''.join(bar)}] {value:.4g}")
+    if reference is not None:
+        lines.append(f"     reference line '|' = {reference:.4g}")
+    return "\n".join(lines)
+
+
+def format_matrix(
+    matrix,
+    row_labels: Sequence[object],
+    col_labels: Sequence[object],
+    title: str = "",
+    cell_format: str = "{:.3g}",
+) -> str:
+    """Render a 2-D matrix (Figure 6's ratio heat map, as numbers)."""
+    headers = [""] + [_fmt(c) for c in col_labels]
+    rows = []
+    for label, row in zip(row_labels, matrix):
+        cells: List[object] = [label]
+        for value in row:
+            if value is None or (isinstance(value, float) and math.isnan(value)):
+                cells.append("-")
+            else:
+                cells.append(cell_format.format(value))
+        rows.append(cells)
+    return format_table(headers, rows, title=title)
+
+
+#: Eight-level block characters for sparklines.
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def format_sparkline(
+    values: Sequence[float],
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+) -> str:
+    """Render a numeric series as a unicode sparkline.
+
+    Args:
+        values: The series (empty input renders as an empty string).
+        low: Scale floor; defaults to ``min(values)``.
+        high: Scale ceiling; defaults to ``max(values)``.  A flat series
+            renders at mid height.
+    """
+    if not values:
+        return ""
+    lo = min(values) if low is None else low
+    hi = max(values) if high is None else high
+    if hi <= lo:
+        return _SPARK_LEVELS[3] * len(values)
+    span = hi - lo
+    chars = []
+    for value in values:
+        fraction = (value - lo) / span
+        index = min(
+            len(_SPARK_LEVELS) - 1,
+            max(0, int(fraction * len(_SPARK_LEVELS))),
+        )
+        chars.append(_SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-readable duration (µs/ms/s)."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def format_bytes(n_bytes: float) -> str:
+    """Human-readable byte count."""
+    value = float(n_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f}{unit}"
+        value /= 1024
+    return f"{value:.1f}GiB"  # pragma: no cover - unreachable
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)

@@ -1,0 +1,38 @@
+"""Graph substrate: uncertain bipartite weighted networks (Definition 1).
+
+Public surface:
+
+* :class:`UncertainBipartiteGraph` — the immutable core data structure.
+* :class:`GraphBuilder` — incremental, validated construction.
+* :class:`EdgeSpec` — label-level edge description.
+* :func:`save_graph` / :func:`load_graph` (and string variants) — TSV I/O.
+* :func:`sample_vertices`, :func:`map_edges`, :func:`backbone` — views.
+* :func:`degree_priority` — BFC-VP vertex priorities.
+* :func:`compute_stats` — Table III statistics.
+"""
+
+from .bipartite import UncertainBipartiteGraph
+from .builder import GraphBuilder
+from .edges import EdgeSpec, as_edge_specs
+from .io import dumps_graph, load_graph, loads_graph, save_graph
+from .priority import degree_priority, expected_degree_priority
+from .stats import GraphStats, compute_stats
+from .views import backbone, map_edges, sample_vertices
+
+__all__ = [
+    "UncertainBipartiteGraph",
+    "GraphBuilder",
+    "EdgeSpec",
+    "as_edge_specs",
+    "save_graph",
+    "load_graph",
+    "dumps_graph",
+    "loads_graph",
+    "sample_vertices",
+    "map_edges",
+    "backbone",
+    "degree_priority",
+    "expected_degree_priority",
+    "GraphStats",
+    "compute_stats",
+]

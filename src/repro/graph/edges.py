@@ -1,0 +1,51 @@
+"""Edge value types for uncertain bipartite graphs.
+
+An edge connects a *left* vertex to a *right* vertex and carries a strictly
+positive weight together with an existence probability in ``[0, 1]``
+(Definition 1 of the paper).  :class:`EdgeSpec` is the label-level
+description used when building graphs; inside a built graph edges are
+referred to by their integer index.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, NamedTuple
+
+
+class EdgeSpec(NamedTuple):
+    """A label-level edge description used as graph-construction input.
+
+    Attributes:
+        left: Label of the left-partition endpoint (any hashable).
+        right: Label of the right-partition endpoint (any hashable).
+        weight: Edge weight ``w(e) > 0``.
+        prob: Existence probability ``p(e)`` in ``[0, 1]``.
+    """
+
+    left: Hashable
+    right: Hashable
+    weight: float
+    prob: float
+
+
+def as_edge_specs(edges: Iterable) -> Iterator[EdgeSpec]:
+    """Normalise an iterable of edge descriptions into :class:`EdgeSpec`.
+
+    Accepts 4-tuples ``(left, right, weight, prob)`` or existing
+    :class:`EdgeSpec` instances.
+
+    Raises:
+        ValueError: If an item does not have exactly four components.
+    """
+    for item in edges:
+        if isinstance(item, EdgeSpec):
+            yield item
+            continue
+        try:
+            left, right, weight, prob = item
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                "each edge must be a (left, right, weight, prob) 4-tuple, "
+                f"got {item!r}"
+            ) from exc
+        yield EdgeSpec(left, right, float(weight), float(prob))

@@ -1,0 +1,100 @@
+"""Plain-text serialisation of uncertain bipartite graphs.
+
+The on-disk format is a tab-separated edge list with a two-line header::
+
+    # ubg v1 <name>
+    # left <tab> right <tab> weight <tab> prob
+    u1	v1	2.0	0.5
+    u1	v2	2.0	0.6
+
+Labels are written with ``repr``-free plain ``str``; on load they come
+back as strings (callers that need richer label types should rebuild the
+graph themselves).  Lines starting with ``#`` after the header are
+ignored, as are blank lines.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+from ..errors import GraphFormatError
+from .bipartite import UncertainBipartiteGraph
+
+_MAGIC = "# ubg v1"
+
+PathOrFile = Union[str, Path, TextIO]
+
+
+def save_graph(graph: UncertainBipartiteGraph, target: PathOrFile) -> None:
+    """Write ``graph`` to ``target`` (path or text file object)."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            _write(graph, handle)
+    else:
+        _write(graph, target)
+
+
+def load_graph(source: PathOrFile) -> UncertainBipartiteGraph:
+    """Read a graph previously written by :func:`save_graph`.
+
+    Raises:
+        GraphFormatError: On missing magic header, malformed rows, or
+            unparsable numeric fields.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return _read(handle)
+    return _read(source)
+
+
+def dumps_graph(graph: UncertainBipartiteGraph) -> str:
+    """Serialise ``graph`` to a string (same format as :func:`save_graph`)."""
+    buffer = io.StringIO()
+    _write(graph, buffer)
+    return buffer.getvalue()
+
+
+def loads_graph(text: str) -> UncertainBipartiteGraph:
+    """Parse a graph from a string produced by :func:`dumps_graph`."""
+    return _read(io.StringIO(text))
+
+
+def _write(graph: UncertainBipartiteGraph, handle: TextIO) -> None:
+    handle.write(f"{_MAGIC} {graph.name}\n")
+    handle.write("# left\tright\tweight\tprob\n")
+    for spec in graph.iter_edge_specs():
+        handle.write(
+            f"{spec.left}\t{spec.right}\t{spec.weight!r}\t{spec.prob!r}\n"
+        )
+
+
+def _read(handle: TextIO) -> UncertainBipartiteGraph:
+    first = handle.readline()
+    if not first.startswith(_MAGIC):
+        raise GraphFormatError(
+            f"missing {_MAGIC!r} header; got {first[:40]!r}"
+        )
+    name = first[len(_MAGIC):].strip()
+    edges = []
+    for lineno, line in enumerate(handle, start=2):
+        line = line.rstrip("\n")
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("\t")
+        if len(parts) != 4:
+            raise GraphFormatError(
+                f"line {lineno}: expected 4 tab-separated fields, "
+                f"got {len(parts)}"
+            )
+        left, right, weight_text, prob_text = parts
+        try:
+            weight = float(weight_text)
+            prob = float(prob_text)
+        except ValueError as exc:
+            raise GraphFormatError(
+                f"line {lineno}: bad numeric field ({exc})"
+            ) from None
+        edges.append((left, right, weight, prob))
+    return UncertainBipartiteGraph.from_edges(edges, name=name)

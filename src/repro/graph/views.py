@@ -1,0 +1,120 @@
+"""Derived graphs: vertex-induced subsampling and simple transforms.
+
+The scalability experiment (Figure 9) forms new datasets by "randomly
+choosing 25%, 50%, 75%, 100% of vertices"; :func:`sample_vertices`
+implements exactly that — an induced subgraph on a uniform vertex sample.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import GraphValidationError
+from .bipartite import UncertainBipartiteGraph
+
+
+def sample_vertices(
+    graph: UncertainBipartiteGraph,
+    fraction: float,
+    rng: np.random.Generator,
+) -> UncertainBipartiteGraph:
+    """Induced subgraph on a uniform sample of vertices from each side.
+
+    Args:
+        graph: Source graph.
+        fraction: Fraction of vertices to keep on each side, in ``(0, 1]``.
+            Each side keeps ``max(1, round(fraction * n))`` vertices.
+        rng: Source of randomness (pass a seeded generator for
+            reproducibility).
+
+    Returns:
+        A new graph containing the sampled vertices (including any that end
+        up isolated) and every edge whose both endpoints were kept.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise GraphValidationError(f"fraction must be in (0, 1], got {fraction}")
+    if fraction == 1.0:
+        return graph
+
+    keep_left = _sample_indices(graph.n_left, fraction, rng)
+    keep_right = _sample_indices(graph.n_right, fraction, rng)
+    left_mask = np.zeros(graph.n_left, dtype=bool)
+    left_mask[keep_left] = True
+    right_mask = np.zeros(graph.n_right, dtype=bool)
+    right_mask[keep_right] = True
+
+    edge_mask = left_mask[graph.edge_left] & right_mask[graph.edge_right]
+    new_left_of = -np.ones(graph.n_left, dtype=np.int64)
+    new_left_of[keep_left] = np.arange(len(keep_left))
+    new_right_of = -np.ones(graph.n_right, dtype=np.int64)
+    new_right_of[keep_right] = np.arange(len(keep_right))
+
+    return UncertainBipartiteGraph(
+        [graph.left_label(int(i)) for i in keep_left],
+        [graph.right_label(int(i)) for i in keep_right],
+        new_left_of[graph.edge_left[edge_mask]],
+        new_right_of[graph.edge_right[edge_mask]],
+        graph.weights[edge_mask],
+        graph.probs[edge_mask],
+        name=f"{graph.name}@{fraction:.0%}" if graph.name else "",
+    )
+
+
+def _sample_indices(
+    n: int, fraction: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Sorted uniform sample of ``max(1, round(fraction*n))`` indices."""
+    k = max(1, int(round(fraction * n)))
+    chosen = rng.choice(n, size=min(k, n), replace=False)
+    return np.sort(chosen)
+
+
+def map_edges(
+    graph: UncertainBipartiteGraph,
+    weight_fn: Callable[[float], float] | None = None,
+    prob_fn: Callable[[float], float] | None = None,
+    name: str | None = None,
+) -> UncertainBipartiteGraph:
+    """Return a copy of ``graph`` with per-edge weight/probability rewrites.
+
+    Useful for what-if analyses, e.g. re-weighting cold items in the
+    recommendation application or flattening all probabilities to 1 to
+    obtain a deterministic variant.
+
+    Args:
+        graph: Source graph (unmodified).
+        weight_fn: Optional scalar map applied to every weight.
+        prob_fn: Optional scalar map applied to every probability.
+        name: Optional new name; defaults to the source name.
+    """
+    weights = graph.weights.copy()
+    probs = graph.probs.copy()
+    if weight_fn is not None:
+        weights = np.array([weight_fn(float(w)) for w in weights])
+    if prob_fn is not None:
+        probs = np.array([prob_fn(float(p)) for p in probs])
+    return UncertainBipartiteGraph(
+        graph.left_labels,
+        graph.right_labels,
+        graph.edge_left.copy(),
+        graph.edge_right.copy(),
+        weights,
+        probs,
+        name=graph.name if name is None else name,
+    )
+
+
+def backbone(graph: UncertainBipartiteGraph) -> UncertainBipartiteGraph:
+    """The backbone graph ``H``: identical structure, all probabilities 1.
+
+    The MPMB of a backbone graph is the deterministic maximum-weight
+    butterfly (with probability 1), which makes this transform handy for
+    sanity checks and tests.
+    """
+    return map_edges(
+        graph,
+        prob_fn=lambda _p: 1.0,
+        name=f"{graph.name}-backbone" if graph.name else "backbone",
+    )

@@ -1,0 +1,24 @@
+"""The Lemma III.1 #P-hardness machinery: Monotone #2-SAT and the
+reduction to MPMB probability computation."""
+
+from .monotone_2sat import (
+    Clause,
+    Monotone2SAT,
+    random_formula,
+)
+from .reduction import (
+    ReductionInstance,
+    build_reduction,
+    clean_random_instance,
+    has_spurious_butterflies,
+)
+
+__all__ = [
+    "Clause",
+    "Monotone2SAT",
+    "random_formula",
+    "ReductionInstance",
+    "build_reduction",
+    "has_spurious_butterflies",
+    "clean_random_instance",
+]

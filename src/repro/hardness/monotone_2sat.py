@@ -1,0 +1,126 @@
+"""Monotone #2-SAT formulas and a brute-force model counter.
+
+Monotone #2-SAT — counting satisfying assignments of a 2-CNF whose
+literals are all positive — is #P-hard [Valiant], and is the source
+problem of the paper's Lemma III.1 reduction.  The brute-force counter
+here is the oracle the reduction is validated against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
+
+from ..errors import IntractableError
+
+#: A clause (y_a ∨ y_b); a == b encodes the unit clause (y_a).
+Clause = Tuple[int, int]
+
+#: Guard for brute-force counting (2^24 assignments).
+DEFAULT_MAX_ASSIGNMENTS = 1 << 24
+
+
+@dataclass(frozen=True)
+class Monotone2SAT:
+    """A monotone 2-CNF formula over variables ``y_1 .. y_n``.
+
+    Attributes:
+        n_vars: Number of variables (1-based indices).
+        clauses: Clauses as index pairs; ``(a, a)`` is the unit clause
+            ``(y_a)``.
+    """
+
+    n_vars: int
+    clauses: Tuple[Clause, ...]
+
+    def __post_init__(self) -> None:
+        if self.n_vars < 0:
+            raise ValueError(f"n_vars must be non-negative, got {self.n_vars}")
+        for a, b in self.clauses:
+            if not (1 <= a <= self.n_vars and 1 <= b <= self.n_vars):
+                raise ValueError(
+                    f"clause ({a}, {b}) references a variable outside "
+                    f"1..{self.n_vars}"
+                )
+
+    @classmethod
+    def from_clauses(
+        cls, n_vars: int, clauses: Iterable[Sequence[int]]
+    ) -> "Monotone2SAT":
+        """Build a formula, normalising each clause to a sorted pair."""
+        normalised: List[Clause] = []
+        for clause in clauses:
+            a, b = clause
+            normalised.append((min(a, b), max(a, b)))
+        return cls(n_vars, tuple(normalised))
+
+    @property
+    def n_clauses(self) -> int:
+        """Number of clauses ``r``."""
+        return len(self.clauses)
+
+    def evaluate(self, assignment: Sequence[bool]) -> bool:
+        """Whether ``assignment`` (0-based, length ``n_vars``) satisfies F."""
+        if len(assignment) != self.n_vars:
+            raise ValueError(
+                f"assignment length {len(assignment)} != n_vars {self.n_vars}"
+            )
+        return all(
+            assignment[a - 1] or assignment[b - 1] for a, b in self.clauses
+        )
+
+    def count_models(
+        self, max_assignments: int = DEFAULT_MAX_ASSIGNMENTS
+    ) -> int:
+        """``|{x : F(x) = 1}|`` by brute force.
+
+        Raises:
+            IntractableError: If ``2^n_vars`` exceeds the budget.
+        """
+        if self.n_vars >= 63 or (1 << self.n_vars) > max_assignments:
+            raise IntractableError(
+                f"counting over {self.n_vars} variables needs "
+                f"2^{self.n_vars} assignments"
+            )
+        count = 0
+        for bits in range(1 << self.n_vars):
+            satisfied = True
+            for a, b in self.clauses:
+                if not ((bits >> (a - 1)) & 1 or (bits >> (b - 1)) & 1):
+                    satisfied = False
+                    break
+            if satisfied:
+                count += 1
+        return count
+
+    def variable_pairs(self) -> FrozenSet[Clause]:
+        """The distinct two-variable clauses (unit clauses excluded)."""
+        return frozenset(
+            (a, b) for a, b in self.clauses if a != b
+        )
+
+
+def random_formula(
+    n_vars: int,
+    n_clauses: int,
+    rng,
+    allow_units: bool = True,
+) -> Monotone2SAT:
+    """A random monotone 2-CNF with distinct clauses.
+
+    Args:
+        n_vars: Variable count.
+        n_clauses: Clause count; capped at the number of distinct clauses
+            available.
+        rng: ``numpy.random.Generator``.
+        allow_units: Whether unit clauses ``(y_a)`` may appear.
+    """
+    pool: List[Clause] = list(combinations(range(1, n_vars + 1), 2))
+    if allow_units:
+        pool.extend((a, a) for a in range(1, n_vars + 1))
+    n_clauses = min(n_clauses, len(pool))
+    chosen = rng.choice(len(pool), size=n_clauses, replace=False)
+    return Monotone2SAT(
+        n_vars, tuple(pool[int(i)] for i in sorted(chosen))
+    )

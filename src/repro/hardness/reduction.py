@@ -1,0 +1,171 @@
+"""The Lemma III.1 reduction: Monotone #2-SAT → MPMB probability.
+
+Given a monotone 2-CNF ``F`` over ``y_1 .. y_n``, the paper constructs an
+uncertain bipartite network ``G#`` such that for a designated target
+butterfly ``B``:
+
+    ``P(B) = |{x : F(x) = 1}| / 2^n``
+
+Construction (Section III-B):
+
+* Left vertices ``u_0 .. u_{n+2}``, right vertices ``v_0 .. v_{n+2}``.
+* Per variable ``y_i``: edge ``(u_i, v_i)`` with ``p = 0.5, w = 1``
+  (``y_i`` is *true* iff this edge is **absent**).
+* Per clause ``(y_a ∨ y_b), a ≠ b``: edges ``(u_a, v_b)`` and
+  ``(u_b, v_a)`` with ``p = 1, w = 1`` — together with the two variable
+  edges they complete the *clause butterfly* ``B(u_a, u_b, v_a, v_b)`` of
+  weight 4, which exists iff both variables are false (clause violated).
+* Per unit clause ``(y_a)``: edges ``(u_a, v_0)`` and ``(u_0, v_a)`` with
+  ``p = 1, w = 1``; the clause butterfly ``B(u_0, u_a, v_0, v_a)``
+  requires edge ``(u_0, v_0)`` too, which we add with ``p = 1, w = 1``
+  whenever a unit clause exists (the paper treats ``u_0/v_0`` as the
+  constant *true* — i.e. the "variable edge" of the constant is always
+  present, making the unit-clause butterfly exist iff ``y_a`` is false).
+* The target ``B(u_{n+1}, u_{n+2}, v_{n+1}, v_{n+2})``: four certain
+  edges of weight 0.5 (total weight 2 < 4).
+
+**Faithfulness note.** As literally stated, the construction can create
+*spurious* weight-4 butterflies the paper does not account for — e.g.
+clauses ``(a,c), (a,d), (b,c), (b,d)`` complete the all-certain butterfly
+``B(u_a, u_b, v_c, v_d)``, and clause triples sharing variables create
+mixed ones.  On such formulas ``P(B) ≠ count/2^n``.
+:func:`has_spurious_butterflies` detects the condition so callers (and
+the test suite) can restrict the equivalence claim to clean instances,
+which is how the reduction is exercised here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from ..butterfly import Butterfly, butterfly_from_labels, enumerate_butterflies
+from ..graph import GraphBuilder, UncertainBipartiteGraph
+from .monotone_2sat import Monotone2SAT
+
+
+@dataclass(frozen=True)
+class ReductionInstance:
+    """Output of the Lemma III.1 construction.
+
+    Attributes:
+        formula: The source formula.
+        graph: The constructed uncertain bipartite network ``G#``.
+        target: The designated butterfly ``B`` whose maximum-probability
+            equals ``count(F)/2^n`` on clean instances.
+        clause_butterflies: One butterfly per clause, aligned with
+            ``formula.clauses``.
+    """
+
+    formula: Monotone2SAT
+    graph: UncertainBipartiteGraph
+    target: Butterfly
+    clause_butterflies: Tuple[Butterfly, ...]
+
+    def expected_target_probability(self) -> float:
+        """``count(F) / 2^n`` — the value ``P(B)`` should take."""
+        return self.formula.count_models() / (2 ** self.formula.n_vars)
+
+
+def build_reduction(formula: Monotone2SAT) -> ReductionInstance:
+    """Construct the Section III-B gadget network for ``formula``."""
+    n = formula.n_vars
+    builder = GraphBuilder(name=f"2sat-reduction-n{n}-r{formula.n_clauses}")
+
+    # (i) one uncertain edge per variable.
+    for i in range(1, n + 1):
+        builder.add_edge(f"u{i}", f"v{i}", weight=1.0, prob=0.5)
+
+    # (ii)/(iii) certain clause edges; deduplicate shared gadget edges.
+    added: Set[Tuple[str, str]] = set()
+
+    def add_certain(left: str, right: str, weight: float) -> None:
+        if (left, right) not in added:
+            added.add((left, right))
+            builder.add_edge(left, right, weight=weight, prob=1.0)
+
+    has_unit = any(a == b for a, b in formula.clauses)
+    if has_unit:
+        # The constant-true "variable edge" of u0/v0 is always present.
+        add_certain("u0", "v0", 1.0)
+    for a, b in formula.clauses:
+        if a == b:
+            add_certain(f"u{a}", "v0", 1.0)
+            add_certain("u0", f"v{a}", 1.0)
+        else:
+            add_certain(f"u{a}", f"v{b}", 1.0)
+            add_certain(f"u{b}", f"v{a}", 1.0)
+
+    # (iv) the independent target butterfly (certain, weight 2 < 4).
+    for left, right in (
+        (f"u{n + 1}", f"v{n + 1}"),
+        (f"u{n + 1}", f"v{n + 2}"),
+        (f"u{n + 2}", f"v{n + 1}"),
+        (f"u{n + 2}", f"v{n + 2}"),
+    ):
+        builder.add_edge(left, right, weight=0.5, prob=1.0)
+
+    graph = builder.build()
+    target = butterfly_from_labels(
+        graph, f"u{n + 1}", f"u{n + 2}", f"v{n + 1}", f"v{n + 2}"
+    )
+    assert target is not None  # the four edges were just added
+
+    clause_butterflies: List[Butterfly] = []
+    for a, b in formula.clauses:
+        if a == b:
+            butterfly = butterfly_from_labels(
+                graph, "u0", f"u{a}", "v0", f"v{a}"
+            )
+        else:
+            butterfly = butterfly_from_labels(
+                graph, f"u{a}", f"u{b}", f"v{a}", f"v{b}"
+            )
+        assert butterfly is not None
+        clause_butterflies.append(butterfly)
+
+    return ReductionInstance(
+        formula=formula,
+        graph=graph,
+        target=target,
+        clause_butterflies=tuple(clause_butterflies),
+    )
+
+
+def has_spurious_butterflies(instance: ReductionInstance) -> bool:
+    """Whether ``G#`` contains butterflies beyond the intended gadgets.
+
+    The intended inventory is exactly the clause butterflies plus the
+    target; anything else (certain 4-cycles among clause edges, mixed
+    cycles through shared variables) breaks the ``P(B) = count/2^n``
+    identity — see the module docstring.
+    """
+    expected = {b.key for b in instance.clause_butterflies}
+    expected.add(instance.target.key)
+    for butterfly in enumerate_butterflies(instance.graph):
+        if butterfly.key not in expected:
+            return True
+    return False
+
+
+def clean_random_instance(
+    formula_factory,
+    attempts: int = 50,
+) -> Optional[ReductionInstance]:
+    """Draw reduction instances until one has no spurious butterflies.
+
+    Args:
+        formula_factory: Zero-argument callable producing a
+            :class:`Monotone2SAT` (e.g. a seeded
+            :func:`~repro.hardness.monotone_2sat.random_formula` closure).
+        attempts: Maximum draws before giving up.
+
+    Returns:
+        A clean :class:`ReductionInstance`, or ``None`` when every
+        attempt produced spurious butterflies.
+    """
+    for _ in range(attempts):
+        instance = build_reduction(formula_factory())
+        if not has_spurious_butterflies(instance):
+            return instance
+    return None

@@ -1,0 +1,33 @@
+"""Sampling substrate: RNG plumbing, Monte-Carlo and Karp-Luby estimators,
+convergence traces, and the Theorem IV.1 trial bound."""
+
+from .bounds import achievable_epsilon, monte_carlo_trial_bound
+from .convergence import ConvergenceTrace, checkpoint_schedule
+from .karp_luby import (
+    KarpLubyUnionSampler,
+    UnionEstimate,
+    estimate_union_probability,
+    event_probability,
+    exact_union_probability,
+    union_probability_first_hit,
+)
+from .monte_carlo import FrequencyEstimate, WinnerFrequencyEstimator
+from .rng import RngLike, ensure_rng, spawn_rngs
+
+__all__ = [
+    "RngLike",
+    "ensure_rng",
+    "spawn_rngs",
+    "ConvergenceTrace",
+    "checkpoint_schedule",
+    "FrequencyEstimate",
+    "WinnerFrequencyEstimator",
+    "KarpLubyUnionSampler",
+    "UnionEstimate",
+    "event_probability",
+    "estimate_union_probability",
+    "exact_union_probability",
+    "union_probability_first_hit",
+    "monte_carlo_trial_bound",
+    "achievable_epsilon",
+]

@@ -1,0 +1,58 @@
+"""Generic ε-δ trial-count bounds for Monte-Carlo estimation.
+
+Theorem IV.1 (after Karp, Luby & Madras [51]): to estimate a probability
+``μ`` with ``Pr(|μ̂ - μ| > εμ) ≤ δ``, a Monte-Carlo estimator needs
+
+    ``N ≥ (1/μ) · 4 ln(2/δ) / ε²``
+
+trials.  The paper instantiates this bound for every method (Lemma V.2 for
+OS, Lemma VI.4 for the OLS estimators); the paper-specific ratios live in
+:mod:`repro.core.bounds`, this module holds the shared primitive.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def monte_carlo_trial_bound(
+    mu: float, epsilon: float = 0.1, delta: float = 0.1
+) -> int:
+    """Theorem IV.1 lower bound on the trial count, rounded up.
+
+    Args:
+        mu: Target probability being estimated (must be in ``(0, 1]``).
+        epsilon: Relative error tolerance (must be positive).
+        delta: Failure probability (must be in ``(0, 1)``).
+
+    Returns:
+        The smallest integer ``N`` satisfying the bound.
+
+    Raises:
+        ValueError: On out-of-range arguments.
+    """
+    if not 0.0 < mu <= 1.0:
+        raise ValueError(f"mu must be in (0, 1], got {mu}")
+    if epsilon <= 0.0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    return math.ceil((1.0 / mu) * 4.0 * math.log(2.0 / delta) / epsilon**2)
+
+
+def achievable_epsilon(
+    mu: float, n_trials: int, delta: float = 0.1
+) -> float:
+    """Invert Theorem IV.1: the ε guaranteed by a given trial budget.
+
+    Useful for reporting what accuracy a scaled-down experiment actually
+    certifies (the reproduction runs far fewer trials than the paper's
+    C++ testbed).
+    """
+    if not 0.0 < mu <= 1.0:
+        raise ValueError(f"mu must be in (0, 1], got {mu}")
+    if n_trials <= 0:
+        raise ValueError(f"n_trials must be positive, got {n_trials}")
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    return math.sqrt(4.0 * math.log(2.0 / delta) / (mu * n_trials))

@@ -1,0 +1,248 @@
+"""Generic Karp-Luby estimation of a union of conjunctive events [36], [48].
+
+The estimator targets ``Pr[A_1 ∪ … ∪ A_r]`` where each event ``A_j`` is a
+conjunction of independent Bernoulli *atoms* (here: graph edges being
+present).  Directly summing ``Pr[A_j]`` over-counts worlds satisfying
+several events; Karp-Luby instead samples pairs ``(j, world)`` from the
+normalised event-weight distribution and rejects the pair unless ``j`` is
+the *first* satisfied event in that world.  The acceptance rate times the
+weight sum ``S`` is an unbiased estimate of the union probability — with
+relative accuracy independent of how small the union is, which is the
+method's advantage over naive Monte-Carlo for rare unions.
+
+This module is deliberately independent of butterflies: events are
+frozensets of hashable atom ids with a probability lookup.  The OLS-KL
+probability estimator builds its ``B_j \\ B_i`` edge-difference events on
+top of it, and the exact inclusion-exclusion twin below serves as the
+test oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Callable, Dict, FrozenSet, Hashable, List, Sequence
+
+import numpy as np
+
+from ..errors import EstimationError, IntractableError
+from .rng import RngLike, ensure_rng
+
+Atom = Hashable
+Event = FrozenSet[Atom]
+ProbFn = Callable[[Atom], float]
+
+#: Guard for the exact inclusion-exclusion oracle (2^20 subsets).
+DEFAULT_MAX_SUBSETS = 1 << 20
+
+
+def event_probability(event: Event, prob_of: ProbFn) -> float:
+    """``Pr[A]`` for one conjunctive event (product over its atoms)."""
+    result = 1.0
+    for atom in event:
+        result *= float(prob_of(atom))
+    return result
+
+
+@dataclass(frozen=True)
+class UnionEstimate:
+    """Result of a Karp-Luby union estimation run.
+
+    Attributes:
+        probability: The union probability estimate clipped into
+            ``[0, 1]``.
+        raw_probability: ``(accepted / n_trials) * weight_sum`` before
+            clipping.
+        weight_sum: ``S = Σ_j Pr[A_j]``.
+        n_trials: Trials executed.
+        accepted: Trials whose sampled event was the first satisfied one.
+    """
+
+    probability: float
+    raw_probability: float
+    weight_sum: float
+    n_trials: int
+    accepted: int
+
+
+class KarpLubyUnionSampler:
+    """Incremental Karp-Luby sampler for one fixed event family.
+
+    Exposes single trials (:meth:`trial`) so callers can interleave
+    checkpointing (convergence traces, dynamic stopping) with sampling;
+    :meth:`run` is the batteries-included loop.
+    """
+
+    def __init__(
+        self,
+        events: Sequence[Event],
+        prob_of: ProbFn,
+        rng: RngLike = None,
+    ) -> None:
+        """
+        Args:
+            events: Conjunctive events in priority order; an earlier event
+                "claims" any world jointly satisfying several events.
+            prob_of: Probability lookup for atoms (atoms are independent).
+            rng: Seed or generator.
+
+        Raises:
+            EstimationError: If any event has zero probability (it can
+                never be sampled and would bias the priority check) —
+                drop impossible events before constructing the sampler.
+        """
+        self.events = list(events)
+        self.prob_of = prob_of
+        self.rng = ensure_rng(rng)
+        weights = [event_probability(event, prob_of) for event in self.events]
+        for event, weight in zip(self.events, weights):
+            if weight == 0.0:
+                raise EstimationError(
+                    f"event {set(event)!r} has zero probability; drop "
+                    "impossible events before estimation"
+                )
+        self.weight_sum = float(sum(weights))
+        self._certain = any(not event for event in self.events)
+        if self.events and not self._certain:
+            self._cumulative = np.cumsum(weights) / self.weight_sum
+        else:
+            self._cumulative = np.array([])
+        self.n_trials = 0
+        self.accepted = 0
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the union is over zero events (probability 0)."""
+        return not self.events
+
+    @property
+    def is_certain(self) -> bool:
+        """True when some event is an empty conjunction (probability 1)."""
+        return self._certain
+
+    def trial(self) -> bool:
+        """Run one (event, world) sample; return acceptance.
+
+        Updates the running counters used by :meth:`estimate`.
+        """
+        self.n_trials += 1
+        if self.is_empty:
+            return False
+        if self._certain:
+            self.accepted += 1
+            return True
+        j = int(
+            np.searchsorted(self._cumulative, self.rng.random(), side="right")
+        )
+        j = min(j, len(self.events) - 1)
+        # World conditioned on event j holding; earlier events' remaining
+        # atoms are sampled lazily and memoised for consistency.
+        state: Dict[Atom, bool] = {atom: True for atom in self.events[j]}
+        accepted = self._first_satisfied(j, state)
+        if accepted:
+            self.accepted += 1
+        return accepted
+
+    def _first_satisfied(self, j: int, state: Dict[Atom, bool]) -> bool:
+        """Whether no event before ``j`` holds in the sampled world."""
+        for k in range(j):
+            satisfied = True
+            for atom in self.events[k]:
+                value = state.get(atom)
+                if value is None:
+                    value = bool(self.rng.random() < self.prob_of(atom))
+                    state[atom] = value
+                if not value:
+                    satisfied = False
+                    break
+            if satisfied:
+                return False
+        return True
+
+    def estimate(self) -> UnionEstimate:
+        """The running union-probability estimate."""
+        if self.n_trials == 0:
+            raise EstimationError("no trials run yet")
+        if self.is_empty:
+            raw = 0.0
+        elif self._certain:
+            raw = 1.0
+        else:
+            raw = self.accepted / self.n_trials * self.weight_sum
+        return UnionEstimate(
+            probability=float(min(1.0, max(0.0, raw))),
+            raw_probability=float(raw),
+            weight_sum=self.weight_sum,
+            n_trials=self.n_trials,
+            accepted=self.accepted,
+        )
+
+    def run(self, n_trials: int) -> UnionEstimate:
+        """Execute ``n_trials`` further trials and return the estimate."""
+        if n_trials <= 0:
+            raise EstimationError(
+                f"n_trials must be positive, got {n_trials}"
+            )
+        for _ in range(n_trials):
+            self.trial()
+        return self.estimate()
+
+
+def estimate_union_probability(
+    events: Sequence[Event],
+    prob_of: ProbFn,
+    n_trials: int,
+    rng: RngLike = None,
+) -> UnionEstimate:
+    """One-shot Karp-Luby estimate of ``Pr[∪_j A_j]`` (Alg. 4 lines 5-9)."""
+    return KarpLubyUnionSampler(events, prob_of, rng).run(n_trials)
+
+
+def exact_union_probability(
+    events: Sequence[Event],
+    prob_of: ProbFn,
+    max_subsets: int = DEFAULT_MAX_SUBSETS,
+) -> float:
+    """Exact ``Pr[∪_j A_j]`` by inclusion-exclusion (test oracle).
+
+    Exponential in ``len(events)``; guarded by ``max_subsets``.
+
+    Raises:
+        IntractableError: If ``2^len(events)`` exceeds the budget.
+    """
+    r = len(events)
+    if r == 0:
+        return 0.0
+    if r >= 63 or (1 << r) > max_subsets:
+        raise IntractableError(
+            f"inclusion-exclusion over {r} events needs 2^{r} terms"
+        )
+    total = 0.0
+    for size in range(1, r + 1):
+        sign = 1.0 if size % 2 == 1 else -1.0
+        for subset in combinations(range(r), size):
+            atoms: set = set()
+            for index in subset:
+                atoms |= events[index]
+            total += sign * event_probability(frozenset(atoms), prob_of)
+    return float(min(1.0, max(0.0, total)))
+
+
+def union_probability_first_hit(
+    events: Sequence[Event],
+    prob_of: ProbFn,
+) -> List[float]:
+    """Exact per-event "first satisfied" decomposition of the union.
+
+    Returns ``q_j = Pr[A_j ∧ ¬A_1 ∧ … ∧ ¬A_{j-1}]`` for every ``j`` —
+    the additive decomposition used in the Lemma VI.5 proof.  Computed by
+    inclusion-exclusion on each prefix, so it shares the exponential
+    guard semantics with :func:`exact_union_probability`.
+    """
+    results: List[float] = []
+    previous = 0.0
+    for j in range(1, len(events) + 1):
+        current = exact_union_probability(events[:j], prob_of)
+        results.append(max(0.0, current - previous))
+        previous = current
+    return results

@@ -1,0 +1,101 @@
+"""Generic Monte-Carlo winner-frequency estimation.
+
+All three MPMB sampling methods share the same outer loop: run ``N``
+independent trials, each of which reports a set of *winners* (butterflies
+in ``S_MB`` for that trial's world), and estimate each winner's
+probability as its relative frequency.  :class:`WinnerFrequencyEstimator`
+implements that loop once, with optional convergence tracking for the
+Figure 11/12 experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Iterable, List, Optional
+
+from .convergence import ConvergenceTrace, checkpoint_schedule
+
+#: A trial returns the hashable identities of this trial's winners.
+TrialFn = Callable[[], Iterable[Hashable]]
+
+
+@dataclass
+class FrequencyEstimate:
+    """Output of a winner-frequency run.
+
+    Attributes:
+        n_trials: Number of trials executed.
+        counts: Winner identity -> number of trials it won.
+        traces: Convergence traces for the tracked identities (if any).
+    """
+
+    n_trials: int
+    counts: Dict[Hashable, int]
+    traces: Dict[Hashable, ConvergenceTrace] = field(default_factory=dict)
+
+    def probability(self, key: Hashable) -> float:
+        """Estimated probability of ``key`` (0.0 if never seen)."""
+        if self.n_trials == 0:
+            return 0.0
+        return self.counts.get(key, 0) / self.n_trials
+
+    def probabilities(self) -> Dict[Hashable, float]:
+        """All estimated probabilities keyed by winner identity."""
+        if self.n_trials == 0:
+            return {}
+        return {
+            key: count / self.n_trials for key, count in self.counts.items()
+        }
+
+    def top(self, k: int = 1) -> List[Hashable]:
+        """The ``k`` most frequent winners (ties broken deterministically
+        by string representation of the key, then key order)."""
+        ranked = sorted(
+            self.counts.items(), key=lambda item: (-item[1], repr(item[0]))
+        )
+        return [key for key, _count in ranked[:k]]
+
+
+class WinnerFrequencyEstimator:
+    """Run winner-set trials and accumulate relative frequencies."""
+
+    def __init__(
+        self,
+        trial_fn: TrialFn,
+        track: Optional[Iterable[Hashable]] = None,
+        checkpoints: int = 40,
+    ) -> None:
+        """
+        Args:
+            trial_fn: Zero-argument callable executing one independent
+                trial and returning the winners' identities.
+            track: Identities whose running estimate should be traced for
+                convergence plots; ``None`` disables tracing.
+            checkpoints: Number of evenly spaced trace checkpoints.
+        """
+        self._trial_fn = trial_fn
+        self._track = list(track) if track is not None else []
+        self._checkpoints = checkpoints
+
+    def run(self, n_trials: int) -> FrequencyEstimate:
+        """Execute ``n_trials`` trials and return the estimate.
+
+        Raises:
+            ValueError: If ``n_trials`` is not positive.
+        """
+        if n_trials <= 0:
+            raise ValueError(f"n_trials must be positive, got {n_trials}")
+        counts: Dict[Hashable, int] = {}
+        traces = {
+            key: ConvergenceTrace(label=str(key)) for key in self._track
+        }
+        schedule = set(checkpoint_schedule(n_trials, self._checkpoints))
+        for trial in range(1, n_trials + 1):
+            for winner in self._trial_fn():
+                counts[winner] = counts.get(winner, 0) + 1
+            if traces and trial in schedule:
+                for key, trace in traces.items():
+                    trace.record(trial, counts.get(key, 0) / trial)
+        return FrequencyEstimate(
+            n_trials=n_trials, counts=counts, traces=traces
+        )

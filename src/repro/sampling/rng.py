@@ -1,0 +1,38 @@
+"""Random-number-generator plumbing.
+
+Every stochastic entry point in the library takes an optional ``rng``
+argument accepting a seed, a :class:`numpy.random.Generator`, or ``None``
+(fresh OS entropy).  Centralising the coercion here keeps seeding
+behaviour consistent and documented in one place.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+import numpy as np
+
+RngLike = Union[np.random.Generator, int, None]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    Passing an existing generator returns it unchanged (so callers can
+    share one stream across phases); an integer seeds a fresh PCG64
+    stream; ``None`` draws OS entropy.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def spawn_rngs(rng: RngLike, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators.
+
+    Uses the ``spawn`` API of numpy's seed sequences, so children do not
+    overlap with each other or with the parent.  Useful when running
+    repetitions of an experiment that must not share randomness.
+    """
+    parent = ensure_rng(rng)
+    return parent.spawn(count)

@@ -1,0 +1,18 @@
+"""Butterfly support and bitruss decomposition (Related Work, [42]):
+per-edge/per-vertex butterfly participation, expected supports on
+uncertain graphs, and the peeling-based bitruss hierarchy."""
+
+from .bitruss import BitrussResult, bitruss_decomposition
+from .support import (
+    edge_butterfly_support,
+    expected_edge_support,
+    vertex_butterfly_counts,
+)
+
+__all__ = [
+    "edge_butterfly_support",
+    "expected_edge_support",
+    "vertex_butterfly_counts",
+    "BitrussResult",
+    "bitruss_decomposition",
+]

@@ -1,0 +1,78 @@
+"""Exact enumeration of possible worlds (for small instances).
+
+The number of possible worlds is ``2^|E|``, so plain enumeration is only
+viable for toy graphs; the exact MPMB solver therefore enumerates only a
+*relevant* subset of edges (those participating in at least one backbone
+butterfly — all other edges cannot change ``S_MB`` and marginalise out of
+Equation 4).  This module provides the raw subset iterator plus a guarded
+budget so callers fail fast instead of hanging.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import IntractableError
+from ..graph import UncertainBipartiteGraph
+from .possible_world import PossibleWorld
+
+#: Default cap on enumerated worlds (2^20 ≈ 1e6 subsets).
+DEFAULT_MAX_WORLDS = 1 << 20
+
+
+def iter_all_worlds(
+    graph: UncertainBipartiteGraph,
+    max_worlds: int = DEFAULT_MAX_WORLDS,
+) -> Iterator[PossibleWorld]:
+    """Yield every possible world of ``graph`` (all ``2^|E|`` of them).
+
+    Raises:
+        IntractableError: If ``2^|E|`` exceeds ``max_worlds``.
+    """
+    m = graph.n_edges
+    _check_budget(m, max_worlds)
+    for bits in range(1 << m):
+        mask = np.array(
+            [(bits >> e) & 1 for e in range(m)], dtype=bool
+        )
+        yield PossibleWorld(graph, mask)
+
+
+def iter_subset_worlds(
+    graph: UncertainBipartiteGraph,
+    relevant_edges: Sequence[int],
+    max_worlds: int = DEFAULT_MAX_WORLDS,
+) -> Iterator[Tuple[np.ndarray, float]]:
+    """Enumerate presence patterns of ``relevant_edges`` with probabilities.
+
+    Each yielded pair is ``(present_mask_over_relevant, probability)``
+    where the probability is the product over *relevant* edges only —
+    the marginal probability of that pattern, with all irrelevant edges
+    summed out.  The masks index into ``relevant_edges`` positionally.
+
+    Raises:
+        IntractableError: If ``2^len(relevant_edges)`` exceeds
+            ``max_worlds``.
+    """
+    k = len(relevant_edges)
+    _check_budget(k, max_worlds)
+    probs = np.array([graph.probs[e] for e in relevant_edges], dtype=float)
+    for bits in range(1 << k):
+        mask = np.array([(bits >> i) & 1 for i in range(k)], dtype=bool)
+        probability = float(
+            np.prod(np.where(mask, probs, 1.0 - probs))
+        )
+        if probability == 0.0:
+            continue
+        yield mask, probability
+
+
+def _check_budget(n_bits: int, max_worlds: int) -> None:
+    if n_bits >= 63 or (1 << n_bits) > max_worlds:
+        raise IntractableError(
+            f"exact enumeration over {n_bits} edges needs 2^{n_bits} worlds, "
+            f"which exceeds the budget of {max_worlds}; use a sampling "
+            "method instead"
+        )

@@ -1,0 +1,100 @@
+"""Possible worlds of an uncertain bipartite network (Definition 2).
+
+A possible world keeps every vertex of the source graph and an
+edge-presence mask; its probability is the product of ``p(e)`` over
+present edges times ``1 - p(e)`` over absent ones (Equation 1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..graph import UncertainBipartiteGraph
+
+
+class PossibleWorld:
+    """One deterministic instantiation ``W ⊆ H`` of an uncertain graph.
+
+    Attributes:
+        graph: The source uncertain graph.
+        present: Boolean mask over edge indices; ``present[e]`` means edge
+            ``e`` exists in this world.
+    """
+
+    __slots__ = ("graph", "present", "_adj_left", "_adj_right")
+
+    def __init__(self, graph: UncertainBipartiteGraph, present: np.ndarray) -> None:
+        present = np.asarray(present, dtype=bool)
+        if present.shape != (graph.n_edges,):
+            raise ValueError(
+                f"mask length {present.shape} does not match |E|={graph.n_edges}"
+            )
+        self.graph = graph
+        self.present = present
+        self._adj_left: List[List[Tuple[int, int]]] | None = None
+        self._adj_right: List[List[Tuple[int, int]]] | None = None
+
+    @property
+    def n_present(self) -> int:
+        """Number of edges present in this world."""
+        return int(self.present.sum())
+
+    def probability(self) -> float:
+        """``Pr(W)`` per Equation 1.
+
+        Note that for graphs with many edges this underflows to 0.0 in
+        float64; use :meth:`log_probability` when comparing worlds.
+        """
+        probs = self.graph.probs
+        return float(
+            np.prod(np.where(self.present, probs, 1.0 - probs))
+        )
+
+    def log_probability(self) -> float:
+        """Natural log of ``Pr(W)``; ``-inf`` for impossible worlds."""
+        probs = self.graph.probs
+        terms = np.where(self.present, probs, 1.0 - probs)
+        with np.errstate(divide="ignore"):
+            return float(np.log(terms).sum())
+
+    def adjacency_left(self) -> List[List[Tuple[int, int]]]:
+        """World-restricted adjacency ``left vertex -> [(right, edge)]``."""
+        if self._adj_left is None:
+            self._build_adjacency()
+        return self._adj_left  # type: ignore[return-value]
+
+    def adjacency_right(self) -> List[List[Tuple[int, int]]]:
+        """World-restricted adjacency ``right vertex -> [(left, edge)]``."""
+        if self._adj_right is None:
+            self._build_adjacency()
+        return self._adj_right  # type: ignore[return-value]
+
+    def _build_adjacency(self) -> None:
+        graph = self.graph
+        adj_left: List[List[Tuple[int, int]]] = [
+            [] for _ in range(graph.n_left)
+        ]
+        adj_right: List[List[Tuple[int, int]]] = [
+            [] for _ in range(graph.n_right)
+        ]
+        edge_left = graph.edge_left
+        edge_right = graph.edge_right
+        for e in np.flatnonzero(self.present):
+            e = int(e)
+            u = int(edge_left[e])
+            v = int(edge_right[e])
+            adj_left[u].append((v, e))
+            adj_right[v].append((u, e))
+        self._adj_left = adj_left
+        self._adj_right = adj_right
+
+    def contains_edges(self, edges) -> bool:
+        """Whether every edge index in ``edges`` is present."""
+        return all(self.present[e] for e in edges)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<PossibleWorld {self.n_present}/{self.graph.n_edges} edges>"
+        )

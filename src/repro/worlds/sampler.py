@@ -1,0 +1,125 @@
+"""Monte-Carlo sampling of possible worlds.
+
+:class:`WorldSampler` draws independent possible worlds with vectorised
+Bernoulli sampling — each edge ``e`` is kept with probability ``p(e)``
+independently, exactly the process of Definition 2.  It also provides the
+*lazy* per-edge sampler used by the OLS sampling phase (Algorithm 5 lines
+7 and Algorithm 4 line 7), where a trial touches only the few edges that
+candidate butterflies reference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator
+
+import numpy as np
+
+from ..graph import UncertainBipartiteGraph
+from .possible_world import PossibleWorld
+
+
+class WorldSampler:
+    """Seeded sampler of possible worlds for one uncertain graph.
+
+    Args:
+        graph: The uncertain network.
+        rng: Seed or generator.
+        antithetic: Draw worlds in antithetic pairs — each uniform vector
+            ``u`` is followed by ``1 - u``.  Marginals are unchanged (so
+            every estimator stays unbiased) while negatively correlating
+            consecutive trials, a classic Monte-Carlo variance-reduction
+            technique (an optional extension beyond the paper).
+    """
+
+    def __init__(
+        self,
+        graph: UncertainBipartiteGraph,
+        rng: np.random.Generator | int | None = None,
+        antithetic: bool = False,
+    ) -> None:
+        self.graph = graph
+        self.rng = np.random.default_rng(rng)
+        self.antithetic = antithetic
+        self._pending: np.ndarray | None = None
+
+    def sample_mask(self) -> np.ndarray:
+        """One boolean edge-presence mask (vectorised Bernoulli draw)."""
+        if not self.antithetic:
+            return self.rng.random(self.graph.n_edges) < self.graph.probs
+        if self._pending is None:
+            uniforms = self.rng.random(self.graph.n_edges)
+            self._pending = 1.0 - uniforms
+        else:
+            uniforms = self._pending
+            self._pending = None
+        return uniforms < self.graph.probs
+
+    def sample_world(self) -> PossibleWorld:
+        """One :class:`PossibleWorld`."""
+        return PossibleWorld(self.graph, self.sample_mask())
+
+    def sample_worlds(self, count: int) -> Iterator[PossibleWorld]:
+        """Generator of ``count`` independent possible worlds."""
+        for _ in range(count):
+            yield self.sample_world()
+
+    def lazy_trial(self) -> "LazyEdgeTrial":
+        """A fresh lazy per-edge sampler sharing this sampler's RNG."""
+        return LazyEdgeTrial(self.graph, self.rng)
+
+
+class LazyEdgeTrial:
+    """Memoised per-edge Bernoulli sampling within a single trial.
+
+    The OLS sampling phase never materialises a full world: each trial asks
+    about at most a few dozen edges (those of the candidate butterflies it
+    walks before the weight-order early exit).  This class samples each
+    queried edge exactly once per trial, so the answers within a trial are
+    mutually consistent — together they describe one possible world
+    restricted to the queried edges.
+    """
+
+    __slots__ = ("_graph", "_rng", "_state")
+
+    def __init__(
+        self, graph: UncertainBipartiteGraph, rng: np.random.Generator
+    ) -> None:
+        self._graph = graph
+        self._rng = rng
+        self._state: Dict[int, bool] = {}
+
+    def edge_present(self, edge: int) -> bool:
+        """Whether ``edge`` exists in this trial's implicit world."""
+        state = self._state.get(edge)
+        if state is None:
+            state = bool(self._rng.random() < self._graph.probs[edge])
+            self._state[edge] = state
+        return state
+
+    def force_present(self, edges: Iterable[int]) -> None:
+        """Condition this trial's world on the given edges being present.
+
+        Used by the Karp–Luby estimator (Algorithm 4 line 7), which samples
+        a world *given* that a chosen butterfly's extra edges exist.
+
+        Raises:
+            ValueError: If an edge was already sampled absent — the caller
+                must force edges before querying them.
+        """
+        for edge in edges:
+            previous = self._state.get(edge)
+            if previous is False:
+                raise ValueError(
+                    f"edge {edge} was already sampled absent; conditioning "
+                    "must happen before the edge is queried"
+                )
+            self._state[edge] = True
+
+    def all_present(self, edges: Iterable[int]) -> bool:
+        """Whether every edge in ``edges`` exists in this trial's world."""
+        return all(self.edge_present(e) for e in edges)
+
+    @property
+    def n_sampled(self) -> int:
+        """How many distinct edges this trial has touched."""
+        return len(self._state)

@@ -1,0 +1,147 @@
+"""Tests for antithetic world sampling and the Markdown report writer."""
+
+import numpy as np
+import pytest
+
+from repro import WorldSampler, find_mpmb, ordering_sampling
+from repro.experiments import (
+    ExperimentConfig,
+    render_markdown_report,
+    run_experiment,
+    write_markdown_report,
+)
+from repro.experiments.__main__ import main as experiments_main
+
+
+class TestAntitheticSampling:
+    def test_pairs_are_complementary_at_half(self):
+        from .conftest import build_graph
+
+        graph = build_graph([
+            ("a", "x", 1.0, 0.5), ("a", "y", 1.0, 0.5),
+            ("b", "x", 1.0, 0.5), ("b", "y", 1.0, 0.5),
+        ])
+        sampler = WorldSampler(graph, rng=0, antithetic=True)
+        first = sampler.sample_mask()
+        second = sampler.sample_mask()
+        # At p = 0.5, u < p iff 1-u >= p (almost surely): exact mirror.
+        assert (first == ~second).all()
+
+    def test_marginals_preserved(self, figure1):
+        sampler = WorldSampler(figure1, rng=1, antithetic=True)
+        n = 4000
+        totals = np.zeros(figure1.n_edges)
+        for _ in range(n):
+            totals += sampler.sample_mask()
+        assert totals / n == pytest.approx(figure1.probs, abs=0.03)
+
+    def test_estimates_still_converge(self, figure1):
+        result = ordering_sampling(figure1, 20_000, rng=3, antithetic=True)
+        assert result.probability((0, 1, 1, 2)) == pytest.approx(
+            0.11424, abs=0.015
+        )
+
+    def test_variance_reduction_on_edge_count(self, figure1):
+        """The per-pair mean of a monotone statistic (present-edge count)
+        has lower variance under antithetic sampling."""
+        def pair_means(antithetic: bool) -> np.ndarray:
+            sampler = WorldSampler(figure1, rng=11, antithetic=antithetic)
+            means = []
+            for _ in range(400):
+                a = sampler.sample_mask().sum()
+                b = sampler.sample_mask().sum()
+                means.append((a + b) / 2)
+            return np.array(means)
+
+        plain = pair_means(False).var()
+        anti = pair_means(True).var()
+        assert anti < 0.5 * plain
+
+    def test_facade_passthrough(self, figure1):
+        result = find_mpmb(
+            figure1, method="os", n_trials=500, rng=5, antithetic=True
+        )
+        assert result.best is not None
+
+
+class TestMarkdownReport:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        config = ExperimentConfig(datasets=("abide",), n_prepare=20)
+        return [
+            run_experiment("table4", config),
+            run_experiment("fig6", config),
+        ], config
+
+    def test_render_contains_sections(self, outcomes):
+        results, config = outcomes
+        text = render_markdown_report(results, config)
+        assert "# MPMB replication report" in text
+        assert "## table4" in text
+        assert "## fig6" in text
+        assert "profile=`bench`" in text
+        assert "```" in text
+
+    def test_write(self, outcomes, tmp_path):
+        results, config = outcomes
+        target = tmp_path / "report.md"
+        write_markdown_report(results, target, config)
+        assert target.read_text().startswith("# MPMB replication report")
+
+    def test_cli_report_flag(self, tmp_path, capsys):
+        target = tmp_path / "cli-report.md"
+        code = experiments_main([
+            "table4", "--datasets", "abide", "--report", str(target),
+        ])
+        assert code == 0
+        assert target.exists()
+        assert "wrote Markdown report" in capsys.readouterr().out
+
+
+class TestRepetition:
+    def test_aggregation(self, figure1):
+        from repro.experiments import repeat_method
+
+        aggregate = repeat_method(
+            figure1, "os", n_trials=1_500, repetitions=6, rng=0
+        )
+        assert aggregate.repetitions == 6
+        key = (0, 1, 1, 2)
+        # Mean near the exact value; positive dispersion.
+        assert aggregate.means[key] == pytest.approx(0.11424, abs=0.02)
+        assert aggregate.stds[key] > 0.0
+        low, high = aggregate.interval(key)
+        assert 0.0 <= low <= aggregate.means[key] <= high <= 1.0
+
+    def test_ranked_rows(self, figure1):
+        from repro.experiments import repeat_method
+
+        aggregate = repeat_method(
+            figure1, "os", n_trials=800, repetitions=3, rng=1
+        )
+        rows = aggregate.ranked()
+        means = [mean for _b, mean, _s in rows]
+        assert means == sorted(means, reverse=True)
+
+    def test_exact_method_zero_std(self, figure1):
+        from repro.experiments import repeat_method
+
+        aggregate = repeat_method(
+            figure1, "exact-worlds", n_trials=0, repetitions=2, rng=2
+        )
+        assert all(std == 0.0 for std in aggregate.stds.values())
+
+    def test_validation(self, figure1):
+        from repro.experiments import repeat_method
+
+        with pytest.raises(ValueError):
+            repeat_method(figure1, "os", 100, repetitions=1)
+
+    def test_ols_with_prepare_override(self, figure1):
+        from repro.experiments import repeat_method
+
+        aggregate = repeat_method(
+            figure1, "ols", n_trials=1_000, repetitions=3, rng=3,
+            n_prepare=150,
+        )
+        assert aggregate.means

@@ -1,0 +1,141 @@
+"""Tests for the two application layers (recommendation, brain)."""
+
+import pytest
+
+from repro.apps import (
+    analyse_brain,
+    build_interest_graph,
+    compare_groups,
+    recommend,
+)
+from repro.datasets import abide_groups
+
+INTERACTIONS = [
+    ("alice", "football", 0.72),
+    ("alice", "harry-potter", 0.72),
+    ("alice", "skating", 0.70),
+    ("alice", "chess", 0.70),
+    ("bob", "football", 0.72),
+    ("bob", "harry-potter", 0.72),
+    ("bob", "chess", 0.70),
+    ("bob", "skating", 0.70),
+    ("bob", "origami", 0.60),
+    *[
+        (f"user{i}", item, 0.8)
+        for i in range(8)
+        for item in ("football", "harry-potter")
+    ],
+]
+
+
+class TestInterestGraph:
+    def test_structure(self):
+        graph = build_interest_graph(INTERACTIONS)
+        assert graph.n_left == 10  # alice, bob, user0..7
+        assert graph.n_right == 5
+        assert graph.n_edges == len(INTERACTIONS)
+
+    def test_cold_items_weigh_more(self):
+        graph = build_interest_graph(INTERACTIONS, cold_reward=2.0)
+        football = graph.weights[
+            graph.edge_between(
+                graph.left_index("alice"), graph.right_index("football")
+            )
+        ]
+        skating = graph.weights[
+            graph.edge_between(
+                graph.left_index("alice"), graph.right_index("skating")
+            )
+        ]
+        assert skating > football
+
+    def test_zero_reward_flattens_weights(self):
+        graph = build_interest_graph(INTERACTIONS, cold_reward=0.0)
+        assert (graph.weights == 1.0).all()
+
+    def test_negative_reward_rejected(self):
+        with pytest.raises(ValueError):
+            build_interest_graph(INTERACTIONS, cold_reward=-1.0)
+
+
+class TestRecommend:
+    def test_cold_reward_surfaces_niche_pair(self):
+        recommendations = recommend(
+            INTERACTIONS, for_user="alice", k_butterflies=5,
+            cold_reward=2.0, n_trials=3_000, rng=11,
+        )
+        assert recommendations, "expected at least one recommendation"
+        top = recommendations[0]
+        assert top.user == "alice"
+        assert top.item == "origami"
+        assert top.peer == "bob"
+        assert set(top.via_items) == {"skating", "chess"}
+        assert 0.0 < top.probability <= 1.0
+
+    def test_no_self_or_known_items(self):
+        recommendations = recommend(
+            INTERACTIONS, k_butterflies=5, cold_reward=2.0,
+            n_trials=2_000, rng=11,
+        )
+        liked = {}
+        for user, item, _p in INTERACTIONS:
+            liked.setdefault(user, set()).add(item)
+        for rec in recommendations:
+            assert rec.item not in liked[rec.user]
+            assert rec.peer != rec.user
+
+    def test_deduplicated_per_user_item(self):
+        recommendations = recommend(
+            INTERACTIONS, k_butterflies=8, cold_reward=2.0,
+            n_trials=2_000, rng=11,
+        )
+        pairs = [(rec.user, rec.item) for rec in recommendations]
+        assert len(pairs) == len(set(pairs))
+
+    def test_sorted_by_probability(self):
+        recommendations = recommend(
+            INTERACTIONS, k_butterflies=8, cold_reward=2.0,
+            n_trials=2_000, rng=11,
+        )
+        probabilities = [rec.probability for rec in recommendations]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+
+class TestBrain:
+    @pytest.fixture(scope="class")
+    def groups(self):
+        return abide_groups(14, rng=3)
+
+    def test_analysis_shape(self, groups):
+        tc, _asd = groups
+        analysis = analyse_brain(tc, k=5, n_trials=1_500, n_prepare=80,
+                                 rng=5)
+        assert analysis.group == "abide-tc"
+        assert 0 < len(analysis.findings) <= 5
+        for finding in analysis.findings:
+            assert len(finding.rois) == 4
+            assert finding.intensity == pytest.approx(
+                finding.probability * finding.weight
+            )
+
+    def test_findings_ranked(self, groups):
+        tc, _asd = groups
+        analysis = analyse_brain(tc, k=5, n_trials=1_500, n_prepare=80,
+                                 rng=5)
+        probabilities = [f.probability for f in analysis.findings]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_roi_clusters(self, groups):
+        tc, _asd = groups
+        analysis = analyse_brain(tc, k=5, n_trials=1_500, n_prepare=80,
+                                 rng=5)
+        clusters = analysis.roi_clusters()
+        assert sum(clusters.values()) == 4 * len(analysis.findings)
+
+    def test_tc_asd_contrast(self, groups):
+        tc, asd = groups
+        tc_analysis, asd_analysis, ratio = compare_groups(
+            tc, asd, k=5, n_trials=1_500, n_prepare=80, rng=5
+        )
+        assert tc_analysis.mean_intensity > asd_analysis.mean_intensity
+        assert ratio > 1.0

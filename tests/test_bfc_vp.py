@@ -1,0 +1,103 @@
+"""Tests for BFC-VP butterfly counting/enumeration, incl. property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PossibleWorld, count_butterflies, enumerate_butterflies
+from repro.butterfly import brute_force_butterflies, world_global_adjacency
+
+from .conftest import build_graph, random_small_graph
+
+
+def complete_bipartite(n_left, n_right):
+    return build_graph([
+        (f"L{u}", f"R{v}", 1.0, 0.5)
+        for u in range(n_left)
+        for v in range(n_right)
+    ])
+
+
+class TestCounting:
+    def test_single_butterfly(self, square):
+        assert count_butterflies(square) == 1
+
+    def test_no_butterfly(self, no_butterfly_graph):
+        assert count_butterflies(no_butterfly_graph) == 0
+
+    def test_complete_bipartite_formula(self):
+        # K_{m,n} contains C(m,2) * C(n,2) butterflies.
+        for m, n in [(2, 2), (3, 3), (3, 5), (4, 4)]:
+            graph = complete_bipartite(m, n)
+            expected = (m * (m - 1) // 2) * (n * (n - 1) // 2)
+            assert count_butterflies(graph) == expected
+
+    def test_figure1_backbone(self, figure1):
+        # Complete K_{2,3}: 1 * 3 = 3 butterflies.
+        assert count_butterflies(figure1) == 3
+
+    def test_world_restricted_count(self, figure1):
+        mask = np.ones(6, dtype=bool)
+        mask[0] = False  # drop (u1, v1): kills both butterflies using v1
+        world = PossibleWorld(figure1, mask)
+        adjacency = world_global_adjacency(world)
+        assert count_butterflies(figure1, adjacency=adjacency) == 1
+
+
+class TestEnumeration:
+    def test_enumeration_matches_count(self, figure1):
+        butterflies = list(enumerate_butterflies(figure1))
+        assert len(butterflies) == count_butterflies(figure1)
+
+    def test_no_duplicates(self, figure1):
+        keys = [b.key for b in enumerate_butterflies(figure1)]
+        assert len(keys) == len(set(keys))
+
+    def test_matches_brute_force(self, figure1):
+        fast = {b.key: b for b in enumerate_butterflies(figure1)}
+        slow = {b.key: b for b in brute_force_butterflies(figure1)}
+        assert fast.keys() == slow.keys()
+        for key, butterfly in fast.items():
+            assert butterfly.weight == slow[key].weight
+            assert sorted(butterfly.edges) == sorted(slow[key].edges)
+
+    def test_canonical_form(self, figure1):
+        for butterfly in enumerate_butterflies(figure1):
+            assert butterfly.u1 < butterfly.u2
+            assert butterfly.v1 < butterfly.v2
+            u, v = figure1.edge_endpoints(butterfly.edges[0])
+            assert (u, v) == (butterfly.u1, butterfly.v1)
+
+    def test_weights_match_edge_sums(self, figure1):
+        weights = figure1.weights
+        for butterfly in enumerate_butterflies(figure1):
+            assert butterfly.weight == pytest.approx(
+                sum(weights[e] for e in butterfly.edges)
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_enumeration_equals_brute_force(seed):
+    """BFC-VP finds exactly the butterflies brute force finds."""
+    graph = random_small_graph(np.random.default_rng(seed), 5, 5)
+    fast = sorted(b.key for b in enumerate_butterflies(graph))
+    slow = sorted(b.key for b in brute_force_butterflies(graph))
+    assert fast == slow
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_world_enumeration_equals_brute_force(seed):
+    """The same equivalence holds on sampled possible worlds."""
+    rng = np.random.default_rng(seed)
+    graph = random_small_graph(rng, 5, 5)
+    mask = rng.random(graph.n_edges) < graph.probs
+    world = PossibleWorld(graph, mask)
+    adjacency = world_global_adjacency(world)
+    fast = sorted(
+        b.key for b in enumerate_butterflies(graph, adjacency=adjacency)
+    )
+    slow = sorted(b.key for b in brute_force_butterflies(graph, world))
+    assert fast == slow

@@ -1,0 +1,156 @@
+"""Tests for the paper's trial-number theory (core.bounds)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import CandidateSet
+from repro.core import backbone_butterflies
+from repro.core.bounds import (
+    balance_ratio,
+    candidate_hit_probability,
+    candidate_trial_ratios,
+    karp_luby_trial_bound,
+    karp_luby_trial_ratio,
+    lemma_vi5_error_bound,
+    monte_carlo_trial_bound,
+    optimized_trial_bound,
+    os_trial_bound,
+    preparing_trials_for_recall,
+    ratio_matrix,
+)
+
+
+class TestEquation8:
+    def test_formula(self):
+        # Pr[E]=0.5, S=1, mu=0.1 -> 0.5 * 1 * (5 - 1) = 2.
+        assert karp_luby_trial_ratio(0.5, 1.0, 0.1) == pytest.approx(2.0)
+
+    def test_zero_when_mu_equals_existence(self):
+        assert karp_luby_trial_ratio(0.3, 2.0, 0.3) == 0.0
+
+    def test_scales_linearly_with_blocking_mass(self):
+        one = karp_luby_trial_ratio(0.5, 1.0, 0.1)
+        three = karp_luby_trial_ratio(0.5, 3.0, 0.1)
+        assert three == pytest.approx(3 * one)
+
+    def test_mu_above_existence_rejected(self):
+        with pytest.raises(ValueError, match="exceeds existence"):
+            karp_luby_trial_ratio(0.2, 1.0, 0.5)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            karp_luby_trial_ratio(1.5, 1.0, 0.1)
+        with pytest.raises(ValueError):
+            karp_luby_trial_ratio(0.5, -1.0, 0.1)
+        with pytest.raises(ValueError):
+            karp_luby_trial_ratio(0.5, 1.0, 0.0)
+
+
+class TestLemmaVI4:
+    def test_bound_is_ratio_times_base(self):
+        base = monte_carlo_trial_bound(0.1, 0.1, 0.1)
+        ratio = karp_luby_trial_ratio(0.5, 1.0, 0.1)
+        assert karp_luby_trial_bound(0.5, 1.0, 0.1, 0.1, 0.1) == math.ceil(
+            ratio * base
+        )
+
+    def test_floor(self):
+        assert karp_luby_trial_bound(
+            0.3, 0.0, 0.3, minimum=7
+        ) == 7
+
+    def test_direct_bounds_alias_theorem41(self):
+        assert os_trial_bound(0.05) == monte_carlo_trial_bound(0.05)
+        assert optimized_trial_bound(0.05) == monte_carlo_trial_bound(0.05)
+
+
+class TestEquation9:
+    def test_balance_ratio(self):
+        assert balance_ratio(100) == pytest.approx(0.01)
+        with pytest.raises(ValueError):
+            balance_ratio(0)
+
+
+class TestLemmaVI1:
+    def test_hit_probability(self):
+        # Paper: P(B)=0.1 and 20 trials -> "nearly 90%".
+        assert candidate_hit_probability(0.1, 20) == pytest.approx(
+            0.878, abs=0.005
+        )
+
+    def test_paper_default(self):
+        # 100 trials make the P(B)=0.05 miss probability < 0.6%.
+        miss = 1.0 - candidate_hit_probability(0.05, 100)
+        assert miss < 0.006
+
+    def test_inverse(self):
+        n = preparing_trials_for_recall(0.05, 0.995)
+        assert candidate_hit_probability(0.05, n) >= 0.995
+        assert candidate_hit_probability(0.05, n - 1) < 0.995
+
+    def test_edge_cases(self):
+        assert candidate_hit_probability(0.0, 100) == 0.0
+        assert candidate_hit_probability(1.0, 1) == 1.0
+        assert candidate_hit_probability(0.3, 0) == 0.0
+        with pytest.raises(ValueError):
+            candidate_hit_probability(1.2, 10)
+        with pytest.raises(ValueError):
+            preparing_trials_for_recall(0.0, 0.9)
+        with pytest.raises(ValueError):
+            preparing_trials_for_recall(0.5, 1.0)
+
+
+class TestRatioMatrix:
+    def test_shape_and_feasibility(self):
+        mus = [0.1, 0.3]
+        existence = [0.2, 0.5]
+        matrix = ratio_matrix(mus, existence)
+        assert matrix.shape == (2, 2)
+        # mu=0.3 > existence=0.2 is infeasible.
+        assert np.isnan(matrix[1, 0])
+        assert matrix[0, 0] == pytest.approx(
+            karp_luby_trial_ratio(0.2, 1.0, 0.1)
+        )
+
+    def test_monotone_in_existence(self):
+        mus = [0.05]
+        existence = [0.2, 0.5, 0.9]
+        row = ratio_matrix(mus, existence)[0]
+        assert row[0] < row[1] < row[2]
+
+
+class TestCandidateRatios:
+    def test_figure1(self, figure1):
+        candidates = CandidateSet(figure1, backbone_butterflies(figure1))
+        ratios = candidate_trial_ratios(candidates, mu=0.1)
+        assert len(ratios) == 3
+        assert ratios[0] == 0.0  # top candidate: S_0 = 0
+        assert all(r >= 0 for r in ratios)
+        assert any(r > 0 for r in ratios[1:])
+
+    def test_feasibility_clamp(self, figure1):
+        candidates = CandidateSet(figure1, backbone_butterflies(figure1))
+        # Even with an absurd mu the clamp keeps the ratio finite.
+        ratios = candidate_trial_ratios(candidates, mu=0.99)
+        assert all(np.isfinite(r) for r in ratios)
+
+
+class TestLemmaVI5:
+    def test_bound_counts_heavier_missing_only(self):
+        exact = [0.3, 0.2, 0.1, 0.05]
+        present = [True, False, True, False]
+        weights = [10.0, 9.0, 8.0, 7.0]
+        # For index 2 (weight 8): heavier missing = index 1 (0.2).
+        assert lemma_vi5_error_bound(exact, present, weights, 2) == 0.2
+        # For index 0: nothing heavier.
+        assert lemma_vi5_error_bound(exact, present, weights, 0) == 0.0
+        # For index 3: indices 1 missing (0.2); index 0, 2 present.
+        assert lemma_vi5_error_bound(exact, present, weights, 3) == 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lemma_vi5_error_bound([0.1], [True, False], [1.0], 0)
+        with pytest.raises(IndexError):
+            lemma_vi5_error_bound([0.1], [True], [1.0], 5)

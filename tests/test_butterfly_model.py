@@ -1,0 +1,94 @@
+"""Tests for the Butterfly/Angle value types."""
+
+import pytest
+
+from repro import make_butterfly
+from repro.butterfly import Angle, butterfly_from_labels
+
+from .conftest import build_graph
+
+
+class TestMakeButterfly:
+    def test_basic(self, figure1):
+        butterfly = make_butterfly(figure1, 0, 1, 0, 1)
+        assert butterfly is not None
+        assert butterfly.key == (0, 1, 0, 1)
+        # Weight: (u1,v1)=2 + (u1,v2)=2 + (u2,v1)=3 + (u2,v2)=3.
+        assert butterfly.weight == 10.0
+
+    def test_canonicalises_vertex_order(self, figure1):
+        a = make_butterfly(figure1, 1, 0, 2, 1)
+        b = make_butterfly(figure1, 0, 1, 1, 2)
+        assert a == b
+        assert a.key == (0, 1, 1, 2)
+
+    def test_edges_in_canonical_slot_order(self, figure1):
+        butterfly = make_butterfly(figure1, 0, 1, 1, 2)
+        e11, e12, e21, e22 = butterfly.edges
+        assert figure1.edge_endpoints(e11) == (0, 1)
+        assert figure1.edge_endpoints(e12) == (0, 2)
+        assert figure1.edge_endpoints(e21) == (1, 1)
+        assert figure1.edge_endpoints(e22) == (1, 2)
+
+    def test_degenerate_vertices_rejected(self, figure1):
+        assert make_butterfly(figure1, 0, 0, 0, 1) is None
+        assert make_butterfly(figure1, 0, 1, 2, 2) is None
+
+    def test_missing_edge_returns_none(self, no_butterfly_graph):
+        assert make_butterfly(no_butterfly_graph, 0, 1, 0, 1) is None
+
+    def test_existence_probability(self, figure1):
+        butterfly = make_butterfly(figure1, 0, 1, 1, 2)
+        # p = 0.6 * 0.8 * 0.4 * 0.7
+        assert butterfly.existence_probability(figure1) == pytest.approx(
+            0.1344
+        )
+
+    def test_labels(self, figure1):
+        butterfly = make_butterfly(figure1, 0, 1, 1, 2)
+        assert butterfly.labels(figure1) == ("u1", "u2", "v2", "v3")
+
+    def test_edge_set(self, figure1):
+        butterfly = make_butterfly(figure1, 0, 1, 0, 1)
+        assert butterfly.edge_set() == frozenset(butterfly.edges)
+        assert len(butterfly.edge_set()) == 4
+
+    def test_from_labels(self, figure1):
+        butterfly = butterfly_from_labels(figure1, "u2", "u1", "v3", "v2")
+        assert butterfly is not None
+        assert butterfly.key == (0, 1, 1, 2)
+
+    def test_hashable_and_str(self, figure1):
+        butterfly = make_butterfly(figure1, 0, 1, 0, 1)
+        assert butterfly in {butterfly}
+        assert "B(" in str(butterfly)
+
+
+class TestAngle:
+    def test_angle_fields(self):
+        angle = Angle(a=0, b=1, middle=2, edge_a=3, edge_b=4, weight=5.0)
+        assert angle.a == 0
+        assert angle.weight == 5.0
+
+    def test_angle_frozen(self):
+        angle = Angle(0, 1, 2, 3, 4, 5.0)
+        with pytest.raises(AttributeError):
+            angle.weight = 6.0
+
+
+class TestSharedEdges:
+    def test_two_butterflies_share_two_edges(self):
+        graph = build_graph([
+            ("a", "x", 1.0, 0.5),
+            ("a", "y", 1.0, 0.5),
+            ("a", "z", 1.0, 0.5),
+            ("b", "x", 1.0, 0.5),
+            ("b", "y", 1.0, 0.5),
+            ("b", "z", 1.0, 0.5),
+        ])
+        first = make_butterfly(graph, 0, 1, 0, 1)
+        second = make_butterfly(graph, 0, 1, 0, 2)
+        shared = first.edge_set() & second.edge_set()
+        assert len(shared) == 2
+        difference = second.edge_set() - first.edge_set()
+        assert len(difference) == 2

@@ -1,0 +1,106 @@
+"""Tests for the candidate set C_MB (ordering, L(i), blocking events)."""
+
+import pytest
+
+from repro import CandidateSet, make_butterfly
+from repro.core import backbone_butterflies
+
+from .conftest import build_graph
+
+
+@pytest.fixture
+def three_candidates(figure1):
+    """All three backbone butterflies of Figure 1 as candidates."""
+    return CandidateSet(figure1, backbone_butterflies(figure1))
+
+
+class TestOrdering:
+    def test_sorted_by_weight_desc(self, three_candidates):
+        weights = [b.weight for b in three_candidates]
+        assert weights == sorted(weights, reverse=True)
+        assert weights == [10.0, 7.0, 7.0]
+
+    def test_deduplication(self, figure1):
+        butterfly = make_butterfly(figure1, 0, 1, 0, 1)
+        candidates = CandidateSet(figure1, [butterfly, butterfly, butterfly])
+        assert len(candidates) == 1
+
+    def test_tie_break_by_key_is_deterministic(self, three_candidates):
+        tied = [b.key for b in three_candidates if b.weight == 7.0]
+        assert tied == sorted(tied)
+
+    def test_container_protocol(self, three_candidates, figure1):
+        assert len(three_candidates) == 3
+        assert list(three_candidates)[0].weight == 10.0
+        assert three_candidates[0].key == (0, 1, 0, 1)
+        assert make_butterfly(figure1, 0, 1, 0, 1) in three_candidates
+
+    def test_index_of(self, three_candidates, figure1):
+        butterfly = make_butterfly(figure1, 0, 1, 0, 1)
+        assert three_candidates.index_of(butterfly) == 0
+        assert three_candidates.index_of(butterfly.key) == 0
+        fake = make_butterfly(figure1, 0, 1, 0, 2)
+        smaller = CandidateSet(figure1, [butterfly])
+        with pytest.raises(KeyError):
+            smaller.index_of(fake)
+
+    def test_empty(self, figure1):
+        empty = CandidateSet(figure1, [])
+        assert len(empty) == 0
+        assert empty.weight_classes() == []
+
+
+class TestPaperQuantities:
+    def test_heavier_count(self, three_candidates):
+        assert three_candidates.heavier_count(0) == 0
+        # Both weight-7 butterflies see only the weight-10 one as heavier.
+        assert three_candidates.heavier_count(1) == 1
+        assert three_candidates.heavier_count(2) == 1
+
+    def test_existence_probability(self, three_candidates, figure1):
+        # Heaviest candidate: edges (u1,v1)(u1,v2)(u2,v1)(u2,v2).
+        assert three_candidates.existence_probability(0) == pytest.approx(
+            0.5 * 0.6 * 0.3 * 0.4
+        )
+
+    def test_difference_events(self, three_candidates):
+        # Candidate 0 has no heavier blockers.
+        assert three_candidates.difference_events(0) == []
+        # Each weight-7 candidate is blocked by the weight-10 one, minus
+        # their two shared edges -> a 2-edge difference event.
+        for index in (1, 2):
+            events = three_candidates.difference_events(index)
+            assert len(events) == 1
+            assert len(events[0]) == 2
+
+    def test_blocking_mass(self, three_candidates, figure1):
+        # For B(0,1,1,2) (edges u*v2, u*v3), the blocker difference is
+        # {(u1,v1), (u2,v1)} with probability 0.5 * 0.3.
+        index = three_candidates.index_of((0, 1, 1, 2))
+        assert three_candidates.blocking_mass(index) == pytest.approx(0.15)
+
+    def test_blocking_mass_zero_for_top(self, three_candidates):
+        assert three_candidates.blocking_mass(0) == 0.0
+
+    def test_impossible_blockers_dropped(self):
+        graph = build_graph([
+            # Heavy butterfly that can never exist (one p=0 edge).
+            ("a", "x", 5.0, 0.0), ("a", "y", 5.0, 1.0),
+            ("b", "x", 5.0, 1.0), ("b", "y", 5.0, 1.0),
+            # Light butterfly, always present.
+            ("c", "z", 1.0, 1.0), ("c", "w", 1.0, 1.0),
+            ("d", "z", 1.0, 1.0), ("d", "w", 1.0, 1.0),
+        ])
+        candidates = CandidateSet(graph, backbone_butterflies(graph))
+        light = candidates.index_of(
+            next(b for b in candidates if b.weight == 4.0)
+        )
+        assert candidates.heavier_count(light) == 1
+        assert candidates.difference_events(light) == []
+        assert candidates.blocking_mass(light) == 0.0
+
+    def test_weight_classes(self, three_candidates):
+        classes = three_candidates.weight_classes()
+        assert [len(c) for c in classes] == [1, 2]
+        assert classes[0] == [0]
+        assert classes[1] == [1, 2]

@@ -1,0 +1,197 @@
+"""Tests for conditional (what-if) analysis and the ratings loaders."""
+
+import pytest
+
+from repro import DatasetError, GraphValidationError
+from repro.core import (
+    condition_graph,
+    conditional_mpmb,
+    edge_influence,
+    exact_probability,
+    find_mpmb,
+)
+from repro.butterfly import make_butterfly
+from repro.datasets import load_ratings_csv, ratings_to_graph
+
+
+class TestConditionGraph:
+    def test_probabilities_rewritten(self, figure1):
+        conditioned = condition_graph(
+            figure1,
+            present=[("u1", "v1")],
+            absent=[("u2", "v3")],
+        )
+        e_present = conditioned.edge_between(0, 0)
+        e_absent = conditioned.edge_between(1, 2)
+        assert conditioned.probs[e_present] == 1.0
+        assert conditioned.probs[e_absent] == 0.0
+        # Everything else untouched.
+        assert conditioned.probs[1] == figure1.probs[1]
+        assert conditioned.weights.tolist() == figure1.weights.tolist()
+
+    def test_original_untouched(self, figure1):
+        before = figure1.probs.tolist()
+        condition_graph(figure1, present=[("u1", "v1")])
+        assert figure1.probs.tolist() == before
+
+    def test_unknown_edge_rejected(self, figure1):
+        with pytest.raises(GraphValidationError, match="no edge"):
+            condition_graph(figure1, present=[("u1", "v9")])
+
+    def test_conflicting_condition_rejected(self, figure1):
+        with pytest.raises(GraphValidationError, match="both"):
+            condition_graph(
+                figure1,
+                present=[("u1", "v1")],
+                absent=[("u1", "v1")],
+            )
+
+
+class TestConditionalMpmb:
+    def test_law_of_total_probability(self, figure1):
+        """P(B max) = p(e)·P(B max | e) + (1-p(e))·P(B max | ¬e)."""
+        butterfly = make_butterfly(figure1, 0, 1, 1, 2)
+        edge = ("u1", "v1")
+        p_edge = 0.5
+        given_present = conditional_mpmb(
+            figure1, present=[edge], method="exact-worlds"
+        ).probability(butterfly.key)
+        given_absent = conditional_mpmb(
+            figure1, absent=[edge], method="exact-worlds"
+        ).probability(butterfly.key)
+        total = p_edge * given_present + (1 - p_edge) * given_absent
+        assert total == pytest.approx(
+            exact_probability(figure1, butterfly)
+        )
+
+    def test_conditioning_on_blocker(self, figure1):
+        """Forcing the heavy butterfly's edges absent promotes the
+        lighter ones."""
+        unconditional = find_mpmb(figure1, method="exact-worlds")
+        conditioned = conditional_mpmb(
+            figure1, absent=[("u2", "v1")], method="exact-worlds"
+        )
+        key = (0, 1, 1, 2)
+        assert conditioned.probability(key) > unconditional.probability(key)
+        # The weight-10 butterfly is now impossible.
+        assert conditioned.probability((0, 1, 0, 1)) == 0.0
+
+    def test_edge_influence(self, figure1):
+        present, absent, swing = edge_influence(
+            figure1, ("u2", "v2"), method="exact-worlds"
+        )
+        assert present.best is not None
+        # Edge (u2,v2) belongs to both top butterflies — forcing it
+        # absent kills them.
+        assert swing > 0.0
+
+    def test_sampling_method_on_conditioned_graph(self, figure1):
+        exact = conditional_mpmb(
+            figure1, present=[("u1", "v2")], method="exact-worlds"
+        )
+        sampled = conditional_mpmb(
+            figure1, present=[("u1", "v2")], method="os",
+            n_trials=20_000, rng=5,
+        )
+        assert sampled.best.key == exact.best.key
+        assert sampled.best_probability == pytest.approx(
+            exact.best_probability, abs=0.02
+        )
+
+
+class TestRatingsToGraph:
+    RATINGS = [
+        ("alice", "film1", 5.0),
+        ("bob", "film1", 5.0),
+        ("carol", "film1", 1.0),
+        ("alice", "film2", 3.0),
+        ("bob", "film2", 3.0),
+    ]
+
+    def test_weights_are_ratings(self):
+        graph = ratings_to_graph(self.RATINGS)
+        edge = graph.edge_between(
+            graph.left_index("alice"), graph.right_index("film1")
+        )
+        assert graph.weights[edge] == 5.0
+
+    def test_reliability_penalises_outliers(self):
+        graph = ratings_to_graph(self.RATINGS)
+        conformist = graph.edge_between(
+            graph.left_index("alice"), graph.right_index("film1")
+        )
+        outlier = graph.edge_between(
+            graph.left_index("carol"), graph.right_index("film1")
+        )
+        assert graph.probs[conformist] > graph.probs[outlier]
+
+    def test_exact_consensus_is_most_reliable(self):
+        graph = ratings_to_graph(self.RATINGS)
+        consensus = graph.edge_between(
+            graph.left_index("alice"), graph.right_index("film2")
+        )
+        # film2's ratings are all 3.0 -> deviation 0 -> max reliability.
+        assert graph.probs[consensus] == pytest.approx(0.95)
+
+    def test_validation(self):
+        with pytest.raises(DatasetError, match="non-empty"):
+            ratings_to_graph([])
+        with pytest.raises(DatasetError, match="positive"):
+            ratings_to_graph([("a", "x", -1.0)])
+        with pytest.raises(DatasetError, match="duplicate"):
+            ratings_to_graph([("a", "x", 2.0), ("a", "x", 3.0)])
+        with pytest.raises(DatasetError, match="rating_max"):
+            ratings_to_graph([("a", "x", 5.0)], rating_max=3.0)
+        with pytest.raises(DatasetError, match="min_prob"):
+            ratings_to_graph([("a", "x", 5.0)], min_prob=0.9, max_prob=0.1)
+
+
+class TestCsvLoader:
+    CSV = (
+        "userId,movieId,rating\n"
+        "1,10,5.0\n"
+        "2,10,4.5\n"
+        "1,20,3.0\n"
+        "2,20,3.0\n"
+    )
+
+    def test_load(self, tmp_path):
+        path = tmp_path / "ratings.csv"
+        path.write_text(self.CSV)
+        graph = load_ratings_csv(
+            path, user_column="userId", item_column="movieId",
+        )
+        assert graph.n_left == 2
+        assert graph.n_right == 2
+        assert graph.n_edges == 4
+        assert graph.name == "ratings"
+        # Label prefixing keeps the partitions disjoint.
+        assert "u:1" in graph.left_labels
+        assert "i:10" in graph.right_labels
+
+    def test_mpmb_on_loaded_graph(self, tmp_path):
+        path = tmp_path / "ratings.csv"
+        path.write_text(self.CSV)
+        graph = load_ratings_csv(
+            path, user_column="userId", item_column="movieId",
+        )
+        result = find_mpmb(graph, method="exact-worlds")
+        assert result.best is not None
+
+    def test_missing_column(self, tmp_path):
+        path = tmp_path / "ratings.csv"
+        path.write_text("user,item\n1,2\n")
+        with pytest.raises(DatasetError, match="missing columns"):
+            load_ratings_csv(path)
+
+    def test_bad_rating(self, tmp_path):
+        path = tmp_path / "ratings.csv"
+        path.write_text("user,item,rating\na,x,five\n")
+        with pytest.raises(DatasetError, match="bad rating"):
+            load_ratings_csv(path)
+
+    def test_custom_delimiter(self, tmp_path):
+        path = tmp_path / "ratings.tsv"
+        path.write_text("user\titem\trating\na\tx\t4.0\n")
+        graph = load_ratings_csv(path, delimiter="\t")
+        assert graph.n_edges == 1

@@ -1,0 +1,186 @@
+"""Tests for the uncertain butterfly counting substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import IntractableError
+from repro.counting import (
+    butterfly_count_variance,
+    count_probable_butterflies,
+    enumerate_probable_butterflies,
+    exact_count_distribution,
+    expected_butterfly_count,
+    sample_butterfly_counts,
+)
+from repro.butterfly import enumerate_butterflies
+
+from .conftest import build_graph, random_small_graph
+
+
+class TestExpectedCount:
+    def test_figure1(self, figure1):
+        # Three backbone butterflies with existence products:
+        # (v1,v2): .5*.6*.3*.4=.036; (v1,v3): .5*.8*.3*.7=.084;
+        # (v2,v3): .6*.8*.4*.7=.1344
+        assert expected_butterfly_count(figure1) == pytest.approx(
+            0.036 + 0.084 + 0.1344
+        )
+
+    def test_no_butterfly(self, no_butterfly_graph):
+        assert expected_butterfly_count(no_butterfly_graph) == 0.0
+
+    def test_certain_graph(self, square):
+        assert expected_butterfly_count(square) == 1.0
+
+    def test_matches_distribution_mean(self, figure1):
+        distribution = exact_count_distribution(figure1)
+        mean = sum(count * p for count, p in distribution.items())
+        assert expected_butterfly_count(figure1) == pytest.approx(mean)
+
+
+class TestVariance:
+    def test_single_butterfly_bernoulli(self, square):
+        # One certain butterfly: variance 0.
+        assert butterfly_count_variance(square) == pytest.approx(0.0)
+
+    def test_bernoulli_variance(self):
+        graph = build_graph([
+            ("a", "x", 1.0, 0.5), ("a", "y", 1.0, 0.5),
+            ("b", "x", 1.0, 0.5), ("b", "y", 1.0, 0.5),
+        ])
+        p = 0.5**4
+        assert butterfly_count_variance(graph) == pytest.approx(
+            p * (1 - p)
+        )
+
+    def test_matches_distribution_variance(self, figure1):
+        distribution = exact_count_distribution(figure1)
+        mean = sum(c * p for c, p in distribution.items())
+        second = sum(c * c * p for c, p in distribution.items())
+        assert butterfly_count_variance(figure1) == pytest.approx(
+            second - mean * mean
+        )
+
+    def test_budget_guard(self, figure1):
+        with pytest.raises(IntractableError):
+            butterfly_count_variance(figure1, max_butterflies=1)
+
+
+class TestSampledCounts:
+    def test_mean_converges(self, figure1):
+        counts = sample_butterfly_counts(figure1, 8_000, rng=0)
+        assert counts.mean() == pytest.approx(
+            expected_butterfly_count(figure1), abs=0.02
+        )
+
+    def test_no_butterfly_graph(self, no_butterfly_graph):
+        counts = sample_butterfly_counts(no_butterfly_graph, 50, rng=0)
+        assert (counts == 0).all()
+
+    def test_invalid_trials(self, figure1):
+        with pytest.raises(ValueError):
+            sample_butterfly_counts(figure1, 0)
+
+
+class TestExactDistribution:
+    def test_sums_to_one(self, figure1):
+        distribution = exact_count_distribution(figure1)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+        assert min(distribution) >= 0
+
+    def test_no_butterfly(self, no_butterfly_graph):
+        assert exact_count_distribution(no_butterfly_graph) == {0: 1.0}
+
+    def test_zero_count_matches_mpmb_none(self, figure1):
+        from repro import exact_mpmb_by_worlds
+
+        distribution = exact_count_distribution(figure1)
+        exact = exact_mpmb_by_worlds(figure1)
+        assert distribution[0] == pytest.approx(exact.prob_no_butterfly)
+
+    def test_budget_guard(self):
+        graph = build_graph([
+            (f"L{u}", f"R{v}", 1.0, 0.5)
+            for u in range(5) for v in range(5)
+        ])
+        with pytest.raises(IntractableError):
+            exact_count_distribution(graph, max_worlds=1 << 5)
+
+
+class TestThresholdEnumeration:
+    def test_filters_by_existence(self, figure1):
+        # Existence probabilities: .036, .084, .1344.
+        assert count_probable_butterflies(figure1, 0.01) == 3
+        assert count_probable_butterflies(figure1, 0.05) == 2
+        assert count_probable_butterflies(figure1, 0.1) == 1
+        assert count_probable_butterflies(figure1, 0.2) == 0
+
+    def test_matches_brute_filter(self, figure1):
+        for threshold in (0.02, 0.05, 0.09, 0.5):
+            fast = sorted(
+                b.key for b in enumerate_probable_butterflies(
+                    figure1, threshold
+                )
+            )
+            slow = sorted(
+                b.key for b in enumerate_butterflies(figure1)
+                if b.existence_probability(figure1) >= threshold
+            )
+            assert fast == slow, threshold
+
+    def test_prune_toggle_identical(self, figure1):
+        pruned = sorted(
+            b.key for b in enumerate_probable_butterflies(
+                figure1, 0.05, prune=True
+            )
+        )
+        unpruned = sorted(
+            b.key for b in enumerate_probable_butterflies(
+                figure1, 0.05, prune=False
+            )
+        )
+        assert pruned == unpruned
+
+    def test_invalid_threshold(self, figure1):
+        with pytest.raises(ValueError):
+            list(enumerate_probable_butterflies(figure1, 0.0))
+        with pytest.raises(ValueError):
+            list(enumerate_probable_butterflies(figure1, 1.5))
+
+    def test_zero_probability_edges_skipped(self):
+        graph = build_graph([
+            ("a", "x", 1.0, 0.0), ("a", "y", 1.0, 1.0),
+            ("b", "x", 1.0, 1.0), ("b", "y", 1.0, 1.0),
+        ])
+        assert count_probable_butterflies(graph, 0.5) == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), threshold=st.floats(0.01, 0.9))
+def test_property_threshold_enumeration_correct(seed, threshold):
+    """Probability-ordered enumeration equals the brute-force filter."""
+    graph = random_small_graph(np.random.default_rng(seed), 5, 5)
+    fast = sorted(
+        b.key for b in enumerate_probable_butterflies(graph, threshold)
+    )
+    slow = sorted(
+        b.key for b in enumerate_butterflies(graph)
+        if b.existence_probability(graph) >= threshold
+    )
+    assert fast == slow
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_moments_match_distribution(seed):
+    """E[X] and Var[X] agree with the exact count distribution."""
+    graph = random_small_graph(np.random.default_rng(seed), 4, 4)
+    distribution = exact_count_distribution(graph)
+    mean = sum(c * p for c, p in distribution.items())
+    second = sum(c * c * p for c, p in distribution.items())
+    assert expected_butterfly_count(graph) == pytest.approx(mean)
+    assert butterfly_count_variance(graph) == pytest.approx(
+        second - mean * mean, abs=1e-9
+    )

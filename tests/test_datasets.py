@@ -1,0 +1,179 @@
+"""Tests for the dataset generators and registry."""
+
+import numpy as np
+import pytest
+
+from repro import DatasetError
+from repro.datasets import (
+    DATASET_NAMES,
+    PAPER_SHAPES,
+    abide_groups,
+    abide_like,
+    dataset_info,
+    dataset_names,
+    jester_like,
+    load_dataset,
+    movielens_like,
+    protein_like,
+    random_bipartite,
+    rating_network,
+    uniform_probs,
+    uniform_weights,
+    zipf_bipartite,
+)
+
+
+class TestRandomBipartite:
+    def test_shape(self):
+        graph = random_bipartite(10, 20, 50, rng=0)
+        assert graph.n_left == 10
+        assert graph.n_right == 20
+        assert graph.n_edges == 50
+
+    def test_no_duplicate_edges(self):
+        graph = random_bipartite(5, 5, 20, rng=1)
+        pairs = {
+            (spec.left, spec.right) for spec in graph.iter_edge_specs()
+        }
+        assert len(pairs) == 20
+
+    def test_deterministic(self):
+        assert random_bipartite(8, 8, 30, rng=5) == random_bipartite(
+            8, 8, 30, rng=5
+        )
+
+    def test_capacity_validation(self):
+        with pytest.raises(DatasetError):
+            random_bipartite(2, 2, 5, rng=0)
+        with pytest.raises(DatasetError):
+            random_bipartite(0, 2, 1, rng=0)
+
+    def test_distribution_helpers_validate(self):
+        with pytest.raises(DatasetError):
+            uniform_weights(2.0, 1.0)
+        with pytest.raises(DatasetError):
+            uniform_probs(-0.1, 0.5)
+
+    def test_custom_distributions(self):
+        graph = random_bipartite(
+            5, 5, 10, rng=0,
+            weight_fn=uniform_weights(1.0, 2.0),
+            prob_fn=uniform_probs(0.4, 0.6),
+        )
+        assert ((graph.weights >= 1.0) & (graph.weights <= 2.0)).all()
+        assert ((graph.probs >= 0.4) & (graph.probs <= 0.6)).all()
+
+
+class TestZipf:
+    def test_long_tail_popularity(self):
+        graph = zipf_bipartite(50, 200, 2_000, rng=0, exponent=1.2)
+        degrees = np.sort(graph.degrees_right())[::-1]
+        # Head items much more popular than the median item.
+        assert degrees[0] >= 5 * max(1, degrees[len(degrees) // 2])
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            zipf_bipartite(5, 5, 10, rng=0, exponent=0.0)
+        with pytest.raises(DatasetError):
+            zipf_bipartite(2, 2, 100, rng=0)
+
+
+class TestRatingNetwork:
+    def test_weights_on_grid(self):
+        graph = rating_network(20, 50, 200, rng=0, rating_step=0.5,
+                               rating_max=5.0)
+        scaled = graph.weights / 0.5
+        assert np.allclose(scaled, np.round(scaled))
+        assert graph.weights.min() >= 0.5
+        assert graph.weights.max() <= 5.0
+
+    def test_probabilities_from_conformity(self):
+        graph = rating_network(20, 50, 200, rng=0)
+        assert ((graph.probs >= 0.05) & (graph.probs <= 0.9)).all()
+
+    def test_capacity_clamp(self):
+        # Asking for more ratings than the grid holds silently caps at
+        # half density rather than erroring.
+        graph = rating_network(4, 4, 100, rng=0)
+        assert graph.n_edges == 8
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            rating_network(5, 5, 10, rating_step=0.0)
+        with pytest.raises(DatasetError):
+            rating_network(1, 1, 10, rng=0)  # capacity // 2 == 0
+
+    def test_movielens_jester_wrappers(self):
+        ml = movielens_like(scale=0.02, rng=0)
+        assert ml.name == "movielens@0.02"
+        assert ml.n_left == max(10, round(610 * 0.02))
+        js = jester_like(scale=0.01, rng=0)
+        assert js.n_left == 20  # minimum floor for the tiny joke side
+
+    def test_scale_validation(self):
+        with pytest.raises(DatasetError):
+            movielens_like(scale=0.0)
+
+
+class TestAbide:
+    def test_complete_bipartite(self):
+        graph = abide_like(10, rng=0)
+        assert graph.n_edges == 100
+        assert graph.n_left == graph.n_right == 10
+
+    def test_long_range_penalty_suppresses_probability(self):
+        gentle = abide_like(12, rng=0, long_range_penalty=0.1)
+        harsh = abide_like(12, rng=0, long_range_penalty=0.6)
+        assert harsh.probs.mean() < gentle.probs.mean()
+
+    def test_groups(self):
+        tc, asd = abide_groups(10, rng=0)
+        assert tc.name == "abide-tc"
+        assert asd.name == "abide-asd"
+        assert tc.probs.mean() > asd.probs.mean()
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            abide_like(0)
+        with pytest.raises(DatasetError):
+            abide_like(5, long_range_penalty=-1.0)
+
+
+class TestProtein:
+    def test_paper_preprocessing(self):
+        graph = protein_like(scale=0.001, rng=0)
+        assert ((graph.probs >= 0.01) & (graph.probs <= 0.99)).all()
+        # Clipped Normal(0.5, 0.2): mean near 0.5.
+        assert graph.probs.mean() == pytest.approx(0.5, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            protein_like(scale=-1.0)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert dataset_names() == list(DATASET_NAMES)
+        assert set(PAPER_SHAPES) == set(DATASET_NAMES)
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_bench_profiles_load(self, name):
+        graph = load_dataset(name, "bench", rng=0)
+        assert graph.n_edges > 0
+        assert name in graph.name
+
+    def test_deterministic(self):
+        assert load_dataset("abide", "bench", rng=0) == load_dataset(
+            "abide", "bench", rng=0
+        )
+
+    def test_info(self):
+        info = dataset_info("protein", "bench")
+        assert info.name == "protein"
+        assert "protein" in info.description.lower()
+
+    def test_unknown_rejected(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            load_dataset("imdb")
+        with pytest.raises(DatasetError):
+            dataset_info("abide", "huge")

@@ -1,0 +1,100 @@
+"""Cross-cutting edge cases: error hierarchy, degenerate app inputs,
+and the paper-profile dataset smoke check."""
+
+import pytest
+
+from repro import (
+    DatasetError,
+    EstimationError,
+    GraphFormatError,
+    GraphValidationError,
+    IntractableError,
+    ReproError,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for error in (
+            GraphValidationError, GraphFormatError, IntractableError,
+            EstimationError, DatasetError,
+        ):
+            assert issubclass(error, ReproError)
+
+    def test_value_errors_catchable_as_builtin(self):
+        for error in (GraphValidationError, GraphFormatError, DatasetError):
+            assert issubclass(error, ValueError)
+
+    def test_runtime_errors_catchable_as_builtin(self):
+        for error in (IntractableError, EstimationError):
+            assert issubclass(error, RuntimeError)
+
+    def test_one_handler_for_everything(self, figure1):
+        from repro.core import exact_mpmb_by_worlds
+
+        with pytest.raises(ReproError):
+            exact_mpmb_by_worlds(figure1, max_worlds=2)
+
+
+class TestDegenerateAppInputs:
+    def test_compare_groups_with_no_butterflies(self, no_butterfly_graph):
+        from repro.apps import compare_groups
+
+        tc_analysis, asd_analysis, ratio = compare_groups(
+            no_butterfly_graph, no_butterfly_graph,
+            k=3, n_trials=50, n_prepare=10, rng=0,
+        )
+        assert tc_analysis.findings == ()
+        assert asd_analysis.findings == ()
+        assert ratio == 0.0
+        assert tc_analysis.mean_intensity == 0.0
+
+    def test_recommend_with_no_butterflies(self):
+        from repro.apps import recommend
+
+        # A single user cannot form butterflies.
+        interactions = [("solo", f"item{i}", 0.5) for i in range(4)]
+        assert recommend(interactions, n_trials=50, rng=0) == []
+
+    def test_analyse_brain_k_larger_than_candidates(self, square):
+        from repro.apps import analyse_brain
+
+        analysis = analyse_brain(square, k=50, n_trials=50,
+                                 n_prepare=10, rng=0)
+        assert len(analysis.findings) == 1
+
+
+class TestSingleEdgeGraphs:
+    def test_all_methods_on_single_edge(self):
+        from repro import find_mpmb
+        from .conftest import build_graph
+
+        graph = build_graph([("a", "x", 1.0, 0.7)])
+        for method in ("mc-vp", "os", "ols", "ols-kl", "exact-worlds"):
+            result = find_mpmb(graph, method=method, n_trials=20, rng=0)
+            assert result.best is None
+
+    def test_counting_on_single_edge(self):
+        from repro.counting import (
+            exact_count_distribution,
+            expected_butterfly_count,
+        )
+        from .conftest import build_graph
+
+        graph = build_graph([("a", "x", 1.0, 0.7)])
+        assert expected_butterfly_count(graph) == 0.0
+        assert exact_count_distribution(graph) == {0: 1.0}
+
+
+class TestPaperProfile:
+    def test_abide_paper_profile_full_size(self):
+        """The one Table III dataset cheap enough to generate and touch
+        at full size in the test suite."""
+        from repro.datasets import load_dataset
+        from repro.core import ordering_sampling
+
+        graph = load_dataset("abide", "paper", rng=0)
+        assert graph.n_left == graph.n_right == 58
+        assert graph.n_edges == 58 * 58  # the complete bipartite graph
+        result = ordering_sampling(graph, 20, rng=1)
+        assert result.best is not None

@@ -1,0 +1,174 @@
+"""Tests for the OLS sampling-phase estimators (Algorithms 4 and 5)."""
+
+import pytest
+
+from repro import CandidateSet
+from repro.core import (
+    backbone_butterflies,
+    estimate_probabilities_karp_luby,
+    estimate_probabilities_optimized,
+    exact_mpmb_by_worlds,
+)
+
+from .conftest import FIGURE_1_EXACT, build_graph
+
+
+@pytest.fixture
+def full_candidates(figure1):
+    """Complete candidate set: Lemma VI.5 error is zero, so estimates
+    must converge to the exact values."""
+    return CandidateSet(figure1, backbone_butterflies(figure1))
+
+
+class TestOptimizedEstimator:
+    def test_converges_to_exact(self, full_candidates):
+        outcome = estimate_probabilities_optimized(
+            full_candidates, 30_000, rng=0
+        )
+        assert outcome.method == "optimized"
+        for key, exact in FIGURE_1_EXACT.items():
+            assert outcome.estimates[key] == pytest.approx(exact, abs=0.01)
+
+    def test_shared_trials(self, full_candidates):
+        outcome = estimate_probabilities_optimized(
+            full_candidates, 100, rng=0
+        )
+        assert outcome.trials_per_candidate == [100, 100, 100]
+        assert outcome.total_trials == 100
+
+    def test_lazy_sampling_counter(self, full_candidates):
+        outcome = estimate_probabilities_optimized(
+            full_candidates, 50, rng=0
+        )
+        # Figure 1 has 6 edges; a trial samples at most all of them.
+        assert 0 < outcome.stats["edges_sampled"] <= 50 * 6
+
+    def test_tied_candidates_both_counted(self):
+        # Two disjoint equal-weight butterflies: the weight-order early
+        # exit must not skip the second when the first exists.
+        graph = build_graph([
+            ("a", "x", 1.0, 1.0), ("a", "y", 1.0, 1.0),
+            ("b", "x", 1.0, 1.0), ("b", "y", 1.0, 1.0),
+            ("c", "z", 1.0, 1.0), ("c", "w", 1.0, 1.0),
+            ("d", "z", 1.0, 1.0), ("d", "w", 1.0, 1.0),
+        ])
+        candidates = CandidateSet(graph, backbone_butterflies(graph))
+        outcome = estimate_probabilities_optimized(candidates, 50, rng=0)
+        assert all(
+            value == pytest.approx(1.0)
+            for value in outcome.estimates.values()
+        )
+
+    def test_early_exit_skips_lighter(self):
+        # A certain heavy butterfly means the light one is never sampled
+        # as maximum.
+        graph = build_graph([
+            ("a", "x", 2.0, 1.0), ("a", "y", 2.0, 1.0),
+            ("b", "x", 2.0, 1.0), ("b", "y", 2.0, 1.0),
+            ("c", "z", 1.0, 0.9), ("c", "w", 1.0, 0.9),
+            ("d", "z", 1.0, 0.9), ("d", "w", 1.0, 0.9),
+        ])
+        candidates = CandidateSet(graph, backbone_butterflies(graph))
+        outcome = estimate_probabilities_optimized(candidates, 100, rng=0)
+        light = next(
+            key for key, value in outcome.estimates.items()
+            if value == 0.0
+        )
+        assert outcome.estimates[light] == 0.0
+
+    def test_traces(self, full_candidates):
+        key = (0, 1, 1, 2)
+        outcome = estimate_probabilities_optimized(
+            full_candidates, 200, rng=0, track=[key], checkpoints=4
+        )
+        assert len(outcome.traces[key].checkpoints) == 4
+
+    def test_invalid_trials(self, full_candidates):
+        with pytest.raises(ValueError):
+            estimate_probabilities_optimized(full_candidates, 0)
+
+
+class TestKarpLubyEstimator:
+    def test_converges_to_exact_fixed_trials(self, full_candidates):
+        outcome = estimate_probabilities_karp_luby(
+            full_candidates, rng=0, n_trials=30_000
+        )
+        assert outcome.method == "karp-luby"
+        for key, exact in FIGURE_1_EXACT.items():
+            assert outcome.estimates[key] == pytest.approx(exact, abs=0.01)
+
+    def test_top_candidate_needs_no_trials(self, full_candidates):
+        outcome = estimate_probabilities_karp_luby(
+            full_candidates, rng=0, n_trials=100
+        )
+        # The heaviest candidate has no blockers: estimate = Pr[E(B)],
+        # zero trials spent.
+        assert outcome.trials_per_candidate[0] == 0
+        assert outcome.estimates[(0, 1, 0, 1)] == pytest.approx(
+            0.5 * 0.6 * 0.3 * 0.4
+        )
+
+    def test_dynamic_budget_scales_with_ratio(self, full_candidates):
+        outcome = estimate_probabilities_karp_luby(
+            full_candidates, rng=0, mu=0.05, min_trials=16,
+            max_trials=5_000,
+        )
+        budgets = outcome.trials_per_candidate
+        assert budgets[0] == 0          # unblocked top candidate
+        assert all(
+            16 <= budget <= 5_000 for budget in budgets[1:]
+        )
+        assert outcome.stats["base_trials"] > 0
+
+    def test_impossible_candidate(self):
+        graph = build_graph([
+            ("a", "x", 1.0, 0.0), ("a", "y", 1.0, 0.5),
+            ("b", "x", 1.0, 0.5), ("b", "y", 1.0, 0.5),
+        ])
+        candidates = CandidateSet(graph, backbone_butterflies(graph))
+        outcome = estimate_probabilities_karp_luby(
+            candidates, rng=0, n_trials=10
+        )
+        assert list(outcome.estimates.values()) == [0.0]
+
+    def test_estimates_clamped(self, full_candidates):
+        outcome = estimate_probabilities_karp_luby(
+            full_candidates, rng=0, n_trials=16
+        )
+        for index, butterfly in enumerate(full_candidates):
+            value = outcome.estimates[butterfly.key]
+            assert 0.0 <= value <= (
+                full_candidates.existence_probability(index) + 1e-12
+            )
+
+    def test_traces(self, full_candidates):
+        key = (0, 1, 1, 2)
+        outcome = estimate_probabilities_karp_luby(
+            full_candidates, rng=0, n_trials=200, track=[key],
+            checkpoints=5,
+        )
+        trace = outcome.traces[key]
+        assert trace.checkpoints
+        assert trace.final_estimate == outcome.estimates[key]
+
+    def test_invalid_trials(self, full_candidates):
+        with pytest.raises(ValueError):
+            estimate_probabilities_karp_luby(full_candidates, n_trials=-1)
+
+
+class TestEstimatorsAgree:
+    def test_against_each_other_and_exact(self, figure1, full_candidates):
+        exact = exact_mpmb_by_worlds(figure1)
+        optimised = estimate_probabilities_optimized(
+            full_candidates, 20_000, rng=11
+        )
+        karp = estimate_probabilities_karp_luby(
+            full_candidates, rng=11, n_trials=20_000
+        )
+        for key in exact.estimates:
+            assert optimised.estimates[key] == pytest.approx(
+                exact.estimates[key], abs=0.015
+            )
+            assert karp.estimates[key] == pytest.approx(
+                exact.estimates[key], abs=0.015
+            )

@@ -1,0 +1,77 @@
+"""Smoke tests for the timing/convergence experiment functions at tiny
+budgets — the full-budget versions run in benchmarks/."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+
+TINY = ExperimentConfig(
+    profile="bench",
+    seed=0,
+    n_direct=20,
+    n_mcvp=1,
+    n_prepare=15,
+    n_sampling=40,
+    paper_direct=100,
+    datasets=("abide",),
+)
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["fig7", "fig8", "fig9", "fig11", "fig12", "fig13", "ablation-prune"],
+)
+def test_experiment_runs_and_renders(name):
+    outcome = run_experiment(name, TINY)
+    assert outcome.name == name
+    assert outcome.text
+    assert outcome.data
+
+
+def test_fig7_payload_schema():
+    outcome = run_experiment("fig7", TINY)
+    times = outcome.data["abide"]
+    assert set(times) == {"mc-vp", "os", "ols-kl", "ols"}
+    assert all(value >= 0 for value in times.values())
+
+
+def test_fig8_payload_schema():
+    outcome = run_experiment("fig8", TINY)
+    methods = outcome.data["abide"]
+    assert set(methods) == {"os", "ols-kl", "ols"}
+    for times in methods.values():
+        assert len(times) == 5  # N = 0/25/50/75/100 %
+
+
+def test_fig9_payload_schema():
+    outcome = run_experiment("fig9", TINY)
+    methods = outcome.data["abide"]
+    for times in methods.values():
+        assert len(times) == 4  # 25/50/75/100 % vertices
+
+
+def test_fig11_traces_present():
+    outcome = run_experiment("fig11", TINY)
+    payload = outcome.data["abide"]
+    assert payload["reference"] >= 0.0
+    assert set(payload["traces"]) == {"os", "ols", "ols-kl"}
+    os_trace = payload["traces"]["os"]
+    assert os_trace is not None and os_trace.checkpoints
+
+
+def test_fig12_estimates_lengths():
+    outcome = run_experiment("fig12", TINY)
+    payload = outcome.data["abide"]
+    assert len(payload["budgets"]) == len(payload["estimates"]) == 8
+
+
+def test_fig13_positive_peaks():
+    outcome = run_experiment("fig13", TINY)
+    peaks = outcome.data["abide"]
+    assert all(peak > 0 for peak in peaks.values())
+
+
+def test_ablation_counters_consistent():
+    outcome = run_experiment("ablation-prune", TINY)
+    payload = outcome.data["abide"]
+    assert payload["edges_prune"] <= payload["edges_noprune"]

@@ -1,0 +1,198 @@
+"""Tests for the experiment harness: rendering, instrumentation, and the
+fast (non-timing-heavy) experiments."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentConfig,
+    ExperimentOutcome,
+    experiment_names,
+    format_bars,
+    format_bytes,
+    format_matrix,
+    format_seconds,
+    format_series,
+    format_table,
+    measure,
+    peak_memory,
+    run_experiment,
+    run_method,
+    timed,
+)
+from repro.experiments.__main__ import build_parser, main
+from repro.experiments.figures_convergence import pick_tracked_butterfly
+
+FAST_CONFIG = ExperimentConfig(
+    profile="bench",
+    seed=0,
+    n_direct=40,
+    n_mcvp=2,
+    n_prepare=20,
+    n_sampling=60,
+    datasets=("abide",),
+)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"], [["a", 1], ["bb", 22]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        assert len({len(line) for line in lines[1:]}) == 1
+
+    def test_format_table_validates_row_width(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_format_series(self):
+        text = format_series(
+            "x", [1, 2], [("s1", [10, 20]), ("s2", [30, 40])]
+        )
+        assert "s1" in text and "40" in text
+
+    def test_format_bars_with_reference(self):
+        text = format_bars([0.5, 2.0, 0.01], reference=0.1, title="bars")
+        assert "bars" in text
+        assert "|" in text
+        assert "reference" in text
+
+    def test_format_bars_empty(self):
+        assert "no positive values" in format_bars([0.0, 0.0])
+
+    def test_format_matrix_nan_cells(self):
+        text = format_matrix(
+            np.array([[1.0, float("nan")]]), ["r"], ["c1", "c2"]
+        )
+        assert "-" in text
+
+    def test_format_seconds(self):
+        assert format_seconds(0.0000005).endswith("us")
+        assert format_seconds(0.005).endswith("ms")
+        assert format_seconds(2.5) == "2.50s"
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512.0B"
+        assert format_bytes(2048) == "2.0KiB"
+        assert format_bytes(3 * 1024**2) == "3.0MiB"
+
+
+class TestInstrument:
+    def test_timed(self):
+        value, seconds = timed(lambda: 42)
+        assert value == 42
+        assert seconds >= 0.0
+
+    def test_peak_memory_counts_allocations(self):
+        def allocate():
+            return [0] * 200_000
+
+        _value, peak = peak_memory(allocate)
+        assert peak > 200_000 * 4  # at least the list payload
+
+    def test_measure_with_and_without_memory(self):
+        lean = measure(lambda: 1)
+        assert lean.peak_bytes == 0
+        fat = measure(lambda: [0] * 10_000, trace_memory=True)
+        assert fat.peak_bytes > 0
+
+
+class TestHarness:
+    def test_run_method_all(self, figure1):
+        for method in ("mc-vp", "os", "ols", "ols-kl"):
+            measurement = run_method(figure1, method, FAST_CONFIG)
+            assert measurement.value.method in (
+                method, "ols", "ols-kl"
+            )
+            assert measurement.seconds >= 0
+
+    def test_run_method_unknown(self, figure1):
+        with pytest.raises(ValueError):
+            run_method(figure1, "quantum", FAST_CONFIG)
+
+    def test_config_load(self):
+        graph = FAST_CONFIG.load("abide")
+        assert graph.n_edges > 0
+
+
+class TestExperimentRegistry:
+    def test_names_match_design_doc(self):
+        expected = {
+            "table3", "table4", "fig2", "fig3", "fig6", "fig7", "fig8",
+            "fig9", "fig10", "fig11", "fig12", "fig13", "ablation-prune",
+            "lemma-vi5",
+        }
+        assert set(experiment_names()) == expected
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99", FAST_CONFIG)
+
+    @pytest.mark.parametrize("name", ["table3", "table4", "fig6"])
+    def test_instant_experiments(self, name):
+        outcome = run_experiment(name, FAST_CONFIG)
+        assert isinstance(outcome, ExperimentOutcome)
+        assert outcome.name == name
+        assert outcome.text
+
+    def test_fig10_runs(self):
+        outcome = run_experiment("fig10", FAST_CONFIG)
+        assert "abide" in outcome.data
+        payload = outcome.data["abide"]
+        assert payload["reference"] > 0
+        assert len(payload["ratios"]) >= 1
+
+    def test_fig7_shape(self):
+        outcome = run_experiment("fig7", FAST_CONFIG)
+        times = outcome.data["abide"]
+        assert set(times) == {"mc-vp", "os", "ols-kl", "ols"}
+        assert all(value > 0 for value in times.values())
+        # The headline claim, at any scale: OS beats MC-VP.
+        assert times["mc-vp"] > times["os"]
+
+    def test_fig13_runs(self):
+        outcome = run_experiment("fig13", FAST_CONFIG)
+        peaks = outcome.data["abide"]
+        assert all(peak > 0 for peak in peaks.values())
+
+
+class TestConvergenceHelpers:
+    def test_pick_tracked_butterfly(self):
+        graph = FAST_CONFIG.load("abide")
+        key = pick_tracked_butterfly(graph, FAST_CONFIG)
+        assert key is not None
+        assert len(key) == 4
+
+    def test_pick_on_empty_graph(self, no_butterfly_graph):
+        assert pick_tracked_butterfly(
+            no_butterfly_graph, FAST_CONFIG
+        ) is None
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fig7"])
+        assert args.experiment == "fig7"
+        assert args.profile == "bench"
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "table3" in out
+
+    def test_unknown_experiment_exit_code(self, capsys):
+        assert main(["fig99"]) == 2
+
+    def test_run_small_experiment(self, capsys):
+        code = main([
+            "table4", "--datasets", "abide", "--direct", "10",
+            "--sampling", "10", "--prepare", "5", "--mcvp", "1",
+        ])
+        assert code == 0
+        assert "Table IV" in capsys.readouterr().out

@@ -1,0 +1,196 @@
+"""Unit tests for the core graph data structure."""
+
+import numpy as np
+import pytest
+
+from repro import EdgeSpec, GraphValidationError, UncertainBipartiteGraph
+from repro.graph.edges import as_edge_specs
+
+from .conftest import FIGURE_1_EDGES, build_graph
+
+
+class TestConstruction:
+    def test_from_edges_basic(self, figure1):
+        assert figure1.n_left == 2
+        assert figure1.n_right == 3
+        assert figure1.n_edges == 6
+        assert figure1.n_vertices == 5
+        assert figure1.name == "figure-1"
+
+    def test_labels_round_trip(self, figure1):
+        for label in ("u1", "u2"):
+            assert figure1.left_label(figure1.left_index(label)) == label
+        for label in ("v1", "v2", "v3"):
+            assert figure1.right_label(figure1.right_index(label)) == label
+
+    def test_label_tuples(self, figure1):
+        assert figure1.left_labels == ("u1", "u2")
+        assert figure1.right_labels == ("v1", "v2", "v3")
+
+    def test_unknown_label_raises(self, figure1):
+        with pytest.raises(KeyError, match="unknown left"):
+            figure1.left_index("nope")
+        with pytest.raises(KeyError, match="unknown right"):
+            figure1.right_index("nope")
+
+    def test_explicit_labels_allow_isolated_vertices(self):
+        graph = UncertainBipartiteGraph.from_edges(
+            [("a", "x", 1.0, 0.5)],
+            left_labels=["a", "lonely"],
+            right_labels=["x"],
+        )
+        assert graph.n_left == 2
+        assert graph.degree_left(graph.left_index("lonely")) == 0
+
+    def test_edge_arrays_read_only(self, figure1):
+        for array in (
+            figure1.weights, figure1.probs,
+            figure1.edge_left, figure1.edge_right,
+        ):
+            with pytest.raises(ValueError):
+                array[0] = 0
+
+    def test_empty_graph(self):
+        graph = UncertainBipartiteGraph.from_edges([])
+        assert graph.n_edges == 0
+        assert graph.n_vertices == 0
+        assert graph.top_weight_sum() == 0.0
+
+    def test_edge_spec_round_trip(self, figure1):
+        specs = list(figure1.iter_edge_specs())
+        assert specs[0] == EdgeSpec("u1", "v1", 2.0, 0.5)
+        assert len(specs) == 6
+
+    def test_equality(self, figure1):
+        other = build_graph(FIGURE_1_EDGES, name="figure-1")
+        assert figure1 == other
+        assert figure1 != build_graph(FIGURE_1_EDGES[:5])
+        assert figure1.__eq__(42) is NotImplemented
+
+
+class TestValidation:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(GraphValidationError, match="weight"):
+            build_graph([("a", "x", -1.0, 0.5)])
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(GraphValidationError, match="weight"):
+            build_graph([("a", "x", 0.0, 0.5)])
+
+    def test_probability_above_one_rejected(self):
+        with pytest.raises(GraphValidationError, match="probability"):
+            build_graph([("a", "x", 1.0, 1.5)])
+
+    def test_probability_below_zero_rejected(self):
+        with pytest.raises(GraphValidationError, match="probability"):
+            build_graph([("a", "x", 1.0, -0.1)])
+
+    def test_nan_weight_rejected(self):
+        with pytest.raises(GraphValidationError):
+            UncertainBipartiteGraph.from_edges(
+                [("a", "x", float("nan"), 0.5)]
+            )
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(GraphValidationError, match="[Dd]uplicate"):
+            UncertainBipartiteGraph.from_edges([
+                ("a", "x", 1.0, 0.5),
+                ("a", "x", 2.0, 0.6),
+            ])
+
+    def test_overlapping_partitions_rejected(self):
+        with pytest.raises(GraphValidationError, match="both partitions"):
+            UncertainBipartiteGraph.from_edges(
+                [("a", "x", 1.0, 0.5)],
+                left_labels=["a"],
+                right_labels=["a", "x"],
+            )
+
+    def test_unknown_edge_endpoint_rejected(self):
+        with pytest.raises(GraphValidationError, match="not a left"):
+            UncertainBipartiteGraph.from_edges(
+                [("ghost", "x", 1.0, 0.5)],
+                left_labels=["a"],
+                right_labels=["x"],
+            )
+
+    def test_malformed_edge_tuple_rejected(self):
+        with pytest.raises(ValueError, match="4-tuple"):
+            list(as_edge_specs([("a", "x", 1.0)]))
+
+    def test_probability_bounds_inclusive(self):
+        graph = build_graph([
+            ("a", "x", 1.0, 0.0),
+            ("a", "y", 1.0, 1.0),
+        ])
+        assert graph.probs.tolist() == [0.0, 1.0]
+
+
+class TestDerivedIndexes:
+    def test_adjacency_left(self, figure1):
+        adjacency = figure1.adjacency_left
+        u1 = figure1.left_index("u1")
+        neighbours = {figure1.right_label(v) for v, _e in adjacency[u1]}
+        assert neighbours == {"v1", "v2", "v3"}
+
+    def test_adjacency_right(self, figure1):
+        adjacency = figure1.adjacency_right
+        v2 = figure1.right_index("v2")
+        neighbours = {figure1.left_label(u) for u, _e in adjacency[v2]}
+        assert neighbours == {"u1", "u2"}
+
+    def test_edge_between(self, figure1):
+        u1 = figure1.left_index("u1")
+        v3 = figure1.right_index("v3")
+        edge = figure1.edge_between(u1, v3)
+        assert edge is not None
+        assert figure1.weights[edge] == 1.0
+        assert figure1.edge_between(u1, 99) is None
+
+    def test_edge_endpoints(self, figure1):
+        for e in range(figure1.n_edges):
+            u, v = figure1.edge_endpoints(e)
+            assert 0 <= u < figure1.n_left
+            assert 0 <= v < figure1.n_right
+
+    def test_edges_by_weight_desc(self, figure1):
+        order = figure1.edges_by_weight_desc
+        weights = figure1.weights[order]
+        assert all(weights[i] >= weights[i + 1] for i in range(len(weights) - 1))
+
+    def test_weight_order_stable_for_ties(self, figure1):
+        order = figure1.edges_by_weight_desc
+        weights = figure1.weights
+        # Within each weight class, edge indices ascend.
+        for i in range(len(order) - 1):
+            if weights[order[i]] == weights[order[i + 1]]:
+                assert order[i] < order[i + 1]
+
+    def test_top_weight_sum(self, figure1):
+        # Weights are [2, 2, 1, 3, 3, 1] -> top three are 3 + 3 + 2.
+        assert figure1.top_weight_sum(3) == 8.0
+        assert figure1.top_weight_sum(1) == 3.0
+        assert figure1.top_weight_sum(100) == 12.0
+
+
+class TestDegrees:
+    def test_degrees(self, figure1):
+        assert figure1.degrees_left().tolist() == [3, 3]
+        assert figure1.degrees_right().tolist() == [2, 2, 2]
+        assert figure1.degree_left(0) == 3
+        assert figure1.degree_right(2) == 2
+
+    def test_expected_degrees(self, figure1):
+        expected_left = figure1.expected_degrees_left()
+        # u1: 0.5 + 0.6 + 0.8; u2: 0.3 + 0.4 + 0.7
+        assert expected_left == pytest.approx([1.9, 1.4])
+        expected_right = figure1.expected_degrees_right()
+        assert expected_right == pytest.approx([0.8, 1.0, 1.5])
+
+    def test_expected_degree_sums_match(self, figure1):
+        assert figure1.expected_degrees_left().sum() == pytest.approx(
+            figure1.expected_degrees_right().sum()
+        )
+        assert np.isclose(
+            figure1.expected_degrees_left().sum(), figure1.probs.sum()
+        )

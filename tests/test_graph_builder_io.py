@@ -1,0 +1,116 @@
+"""Tests for GraphBuilder and the TSV graph serialisation."""
+
+import io
+
+import pytest
+
+from repro import GraphBuilder, GraphFormatError, GraphValidationError
+from repro.graph import dumps_graph, load_graph, loads_graph, save_graph
+
+from .conftest import FIGURE_1_EDGES, build_graph
+
+
+class TestBuilder:
+    def test_incremental_build(self):
+        builder = GraphBuilder(name="demo")
+        builder.add_edge("a", "x", 1.0, 0.5).add_edge("a", "y", 2.0, 0.9)
+        assert builder.n_edges == 2
+        graph = builder.build()
+        assert graph.name == "demo"
+        assert graph.n_edges == 2
+
+    def test_isolated_vertices(self):
+        builder = GraphBuilder()
+        builder.add_left_vertex("lonely-left")
+        builder.add_right_vertex("lonely-right")
+        builder.add_edge("a", "x", 1.0, 0.5)
+        graph = builder.build()
+        assert graph.n_left == 2
+        assert graph.n_right == 2
+        assert graph.n_edges == 1
+
+    def test_duplicate_edge_rejected(self):
+        builder = GraphBuilder()
+        builder.add_edge("a", "x", 1.0, 0.5)
+        with pytest.raises(GraphValidationError, match="duplicate edge"):
+            builder.add_edge("a", "x", 2.0, 0.6)
+
+    def test_side_conflict_rejected(self):
+        builder = GraphBuilder()
+        builder.add_edge("a", "x", 1.0, 0.5)
+        with pytest.raises(GraphValidationError, match="partition"):
+            builder.add_edge("x", "b", 1.0, 0.5)
+
+    def test_bad_weight_rejected_at_add_time(self):
+        builder = GraphBuilder()
+        with pytest.raises(GraphValidationError, match="weight"):
+            builder.add_edge("a", "x", 0.0, 0.5)
+        # The failed add must not have registered anything.
+        assert builder.n_edges == 0
+
+    def test_bad_probability_rejected_at_add_time(self):
+        builder = GraphBuilder()
+        with pytest.raises(GraphValidationError, match="probability"):
+            builder.add_edge("a", "x", 1.0, 1.01)
+
+    def test_builder_reusable_after_build(self):
+        builder = GraphBuilder()
+        builder.add_edge("a", "x", 1.0, 0.5)
+        first = builder.build()
+        builder.add_edge("b", "x", 2.0, 0.7)
+        second = builder.build()
+        assert first.n_edges == 1
+        assert second.n_edges == 2
+
+
+class TestIO:
+    def test_string_round_trip(self, figure1):
+        text = dumps_graph(figure1)
+        loaded = loads_graph(text)
+        assert loaded.name == "figure-1"
+        assert loaded.n_edges == figure1.n_edges
+        assert loaded.weights.tolist() == figure1.weights.tolist()
+        assert loaded.probs.tolist() == figure1.probs.tolist()
+        assert list(loaded.left_labels) == list(figure1.left_labels)
+
+    def test_file_round_trip(self, figure1, tmp_path):
+        path = tmp_path / "graph.tsv"
+        save_graph(figure1, path)
+        loaded = load_graph(path)
+        assert loaded == figure1
+
+    def test_file_object_round_trip(self, figure1):
+        buffer = io.StringIO()
+        save_graph(figure1, buffer)
+        buffer.seek(0)
+        assert load_graph(buffer) == figure1
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = (
+            "# ubg v1 demo\n"
+            "# left\tright\tweight\tprob\n"
+            "\n"
+            "# a comment\n"
+            "a\tx\t1.0\t0.5\n"
+        )
+        graph = loads_graph(text)
+        assert graph.n_edges == 1
+        assert graph.name == "demo"
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(GraphFormatError, match="header"):
+            loads_graph("a\tx\t1.0\t0.5\n")
+
+    def test_wrong_field_count_rejected(self):
+        with pytest.raises(GraphFormatError, match="4 tab-separated"):
+            loads_graph("# ubg v1\na\tx\t1.0\n")
+
+    def test_bad_number_rejected(self):
+        with pytest.raises(GraphFormatError, match="numeric"):
+            loads_graph("# ubg v1\na\tx\theavy\t0.5\n")
+
+    def test_precision_preserved(self):
+        graph = build_graph([("a", "x", 1.0 / 3.0, 0.123456789012345)])
+        loaded = loads_graph(dumps_graph(graph))
+        assert loaded.weights[0] == graph.weights[0]
+        assert loaded.probs[0] == graph.probs[0]

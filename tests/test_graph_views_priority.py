@@ -1,0 +1,146 @@
+"""Tests for graph views (subsampling, edge maps) and vertex priorities."""
+
+import numpy as np
+import pytest
+
+from repro import GraphValidationError, sample_vertices
+from repro.graph import (
+    backbone,
+    compute_stats,
+    degree_priority,
+    expected_degree_priority,
+    map_edges,
+)
+
+from .conftest import build_graph
+
+
+class TestSampleVertices:
+    def test_full_fraction_returns_same_object(self, figure1, rng):
+        assert sample_vertices(figure1, 1.0, rng) is figure1
+
+    def test_half_fraction_shapes(self, figure1, rng):
+        sub = sample_vertices(figure1, 0.5, rng)
+        assert sub.n_left == 1
+        assert sub.n_right in (1, 2)
+        # Only edges with both endpoints kept survive.
+        for spec in sub.iter_edge_specs():
+            assert spec.left in sub.left_labels
+            assert spec.right in sub.right_labels
+
+    def test_edges_preserve_attributes(self, figure1, rng):
+        sub = sample_vertices(figure1, 0.8, rng)
+        original = {
+            (spec.left, spec.right): (spec.weight, spec.prob)
+            for spec in figure1.iter_edge_specs()
+        }
+        for spec in sub.iter_edge_specs():
+            assert original[(spec.left, spec.right)] == (
+                spec.weight, spec.prob
+            )
+
+    def test_invalid_fraction(self, figure1, rng):
+        with pytest.raises(GraphValidationError):
+            sample_vertices(figure1, 0.0, rng)
+        with pytest.raises(GraphValidationError):
+            sample_vertices(figure1, 1.5, rng)
+
+    def test_deterministic_given_seed(self, figure1):
+        a = sample_vertices(figure1, 0.5, np.random.default_rng(9))
+        b = sample_vertices(figure1, 0.5, np.random.default_rng(9))
+        assert a == b
+
+    def test_keeps_at_least_one_vertex(self, figure1, rng):
+        sub = sample_vertices(figure1, 0.01, rng)
+        assert sub.n_left >= 1
+        assert sub.n_right >= 1
+
+
+class TestMapEdges:
+    def test_weight_rewrite(self, figure1):
+        doubled = map_edges(figure1, weight_fn=lambda w: 2 * w)
+        assert doubled.weights.tolist() == (2 * figure1.weights).tolist()
+        assert doubled.probs.tolist() == figure1.probs.tolist()
+
+    def test_backbone_sets_probabilities_to_one(self, figure1):
+        determined = backbone(figure1)
+        assert (determined.probs == 1.0).all()
+        assert determined.weights.tolist() == figure1.weights.tolist()
+        assert "backbone" in determined.name
+
+    def test_original_untouched(self, figure1):
+        before = figure1.probs.tolist()
+        backbone(figure1)
+        assert figure1.probs.tolist() == before
+
+    def test_rewrite_can_invalidate(self, figure1):
+        with pytest.raises(GraphValidationError):
+            map_edges(figure1, weight_fn=lambda _w: -1.0)
+
+
+class TestPriority:
+    def test_priority_is_permutation(self, figure1):
+        priority = degree_priority(figure1)
+        assert sorted(priority.tolist()) == list(range(figure1.n_vertices))
+
+    def test_higher_degree_gets_higher_priority(self):
+        graph = build_graph([
+            ("hub", "x", 1.0, 0.5),
+            ("hub", "y", 1.0, 0.5),
+            ("hub", "z", 1.0, 0.5),
+            ("leaf", "x", 1.0, 0.5),
+        ])
+        priority = degree_priority(graph)
+        hub = graph.left_index("hub")
+        leaf = graph.left_index("leaf")
+        assert priority[hub] > priority[leaf]
+
+    def test_ties_break_by_global_index(self, figure1):
+        priority = degree_priority(figure1)
+        # u1 and u2 both have degree 3; u2 has the larger global index.
+        assert priority[1] > priority[0]
+
+    def test_expected_degree_priority_differs_when_probs_skew(self):
+        graph = build_graph([
+            ("a", "x", 1.0, 0.1),
+            ("a", "y", 1.0, 0.1),
+            ("b", "x", 1.0, 0.9),
+        ])
+        plain = degree_priority(graph)
+        expected = expected_degree_priority(graph)
+        a, b = graph.left_index("a"), graph.left_index("b")
+        assert plain[a] > plain[b]        # degree 2 vs 1
+        assert expected[b] > expected[a]  # 0.9 vs 0.2
+
+
+class TestStats:
+    def test_figure1_stats(self, figure1):
+        stats = compute_stats(figure1)
+        assert stats.n_edges == 6
+        assert stats.n_left == 2
+        assert stats.n_right == 3
+        assert stats.mean_weight == pytest.approx(2.0)
+        assert stats.mean_prob == pytest.approx(0.55, abs=1e-9)
+        assert stats.max_degree_left == 3
+        assert stats.max_degree_right == 2
+        assert stats.os_cost_proxy > 0
+        assert stats.mcvp_cost_proxy > 0
+
+    def test_os_cost_uses_cheaper_side(self, figure1):
+        stats = compute_stats(figure1)
+        left = float((figure1.expected_degrees_left() ** 2).sum())
+        right = float((figure1.expected_degrees_right() ** 2).sum())
+        assert stats.os_cost_proxy == pytest.approx(min(left, right))
+
+    def test_empty_graph_stats(self):
+        from repro import UncertainBipartiteGraph
+
+        stats = compute_stats(UncertainBipartiteGraph.from_edges([]))
+        assert stats.n_edges == 0
+        assert stats.mean_weight == 0.0
+        assert stats.mcvp_cost_proxy == 0.0
+
+    def test_as_row(self, figure1):
+        row = compute_stats(figure1).as_row()
+        assert row[0] == "figure-1"
+        assert row[1] == 6

@@ -1,0 +1,153 @@
+"""Tests for the Monotone #2-SAT machinery and the Lemma III.1 reduction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import IntractableError, exact_probability
+from repro.hardness import (
+    Monotone2SAT,
+    build_reduction,
+    clean_random_instance,
+    has_spurious_butterflies,
+    random_formula,
+)
+
+
+class TestMonotone2SAT:
+    def test_evaluate(self):
+        formula = Monotone2SAT.from_clauses(3, [(1, 2), (3, 3)])
+        assert formula.evaluate([True, False, True])
+        assert not formula.evaluate([False, False, True])
+        assert not formula.evaluate([True, True, False])
+
+    def test_count_models_tautology(self):
+        formula = Monotone2SAT(3, ())
+        assert formula.count_models() == 8
+
+    def test_count_models_known(self):
+        # (y1 v y2) over 2 vars: 3 models.
+        formula = Monotone2SAT.from_clauses(2, [(1, 2)])
+        assert formula.count_models() == 3
+        # Adding the unit clause (y1): models {10, 11} -> 2.
+        formula = Monotone2SAT.from_clauses(2, [(1, 2), (1, 1)])
+        assert formula.count_models() == 2
+
+    def test_count_matches_evaluate(self):
+        rng = np.random.default_rng(0)
+        formula = random_formula(5, 4, rng)
+        expected = sum(
+            formula.evaluate([(bits >> i) & 1 == 1 for i in range(5)])
+            for bits in range(32)
+        )
+        assert formula.count_models() == expected
+
+    def test_invalid_clause_rejected(self):
+        with pytest.raises(ValueError):
+            Monotone2SAT(2, ((1, 3),))
+        with pytest.raises(ValueError):
+            Monotone2SAT(-1, ())
+
+    def test_wrong_assignment_length(self):
+        formula = Monotone2SAT(2, ())
+        with pytest.raises(ValueError):
+            formula.evaluate([True])
+
+    def test_budget_guard(self):
+        formula = Monotone2SAT(40, ())
+        with pytest.raises(IntractableError):
+            formula.count_models(max_assignments=1 << 10)
+
+    def test_random_formula_distinct_clauses(self):
+        rng = np.random.default_rng(1)
+        formula = random_formula(6, 10, rng)
+        assert len(set(formula.clauses)) == formula.n_clauses
+
+    def test_variable_pairs(self):
+        formula = Monotone2SAT.from_clauses(3, [(1, 2), (3, 3)])
+        assert formula.variable_pairs() == frozenset({(1, 2)})
+
+
+class TestReduction:
+    def test_structure(self):
+        formula = Monotone2SAT.from_clauses(3, [(1, 2), (2, 3)])
+        instance = build_reduction(formula)
+        graph = instance.graph
+        # Variables: 3 uncertain edges; clauses: 4 certain edges;
+        # target: 4 certain edges.
+        assert graph.n_edges == 3 + 4 + 4
+        uncertain = [
+            spec for spec in graph.iter_edge_specs() if spec.prob == 0.5
+        ]
+        assert len(uncertain) == 3
+        assert instance.target.weight == 2.0
+        assert all(b.weight == 4.0 for b in instance.clause_butterflies)
+
+    def test_unit_clause_gadget(self):
+        formula = Monotone2SAT.from_clauses(2, [(1, 1)])
+        instance = build_reduction(formula)
+        labels = instance.clause_butterflies[0].labels(instance.graph)
+        assert "u0" in labels and "v0" in labels
+
+    def test_exactness_on_clean_instances(self):
+        cases = [
+            Monotone2SAT.from_clauses(2, [(1, 2)]),
+            Monotone2SAT.from_clauses(3, [(1, 2), (3, 3)]),
+            Monotone2SAT.from_clauses(4, [(1, 2), (3, 4)]),
+            Monotone2SAT.from_clauses(3, [(1, 1), (2, 2), (3, 3)]),
+        ]
+        for formula in cases:
+            instance = build_reduction(formula)
+            assert not has_spurious_butterflies(instance)
+            probability = exact_probability(instance.graph, instance.target)
+            assert probability == pytest.approx(
+                instance.expected_target_probability()
+            ), formula
+
+    def test_spurious_detection(self):
+        # Clauses (1,3),(1,4),(2,3),(2,4) complete the always-present
+        # butterfly B(u1, u2, v3, v4) — a spurious gadget (see the
+        # reduction module docstring).
+        formula = Monotone2SAT.from_clauses(
+            4, [(1, 3), (1, 4), (2, 3), (2, 4)]
+        )
+        instance = build_reduction(formula)
+        assert has_spurious_butterflies(instance)
+        # And the identity indeed breaks: the spurious certain butterfly
+        # beats the target in every world.
+        probability = exact_probability(instance.graph, instance.target)
+        assert probability == 0.0
+        assert instance.expected_target_probability() > 0.0
+
+    def test_clean_random_instance_search(self):
+        rng = np.random.default_rng(3)
+        instance = clean_random_instance(
+            lambda: random_formula(4, 2, rng), attempts=50
+        )
+        assert instance is not None
+        assert not has_spurious_butterflies(instance)
+
+    def test_clean_search_can_fail(self):
+        # A factory that always produces the known-spurious formula.
+        formula = Monotone2SAT.from_clauses(
+            4, [(1, 3), (1, 4), (2, 3), (2, 4)]
+        )
+        assert clean_random_instance(lambda: formula, attempts=3) is None
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_property_reduction_exact_on_clean_instances(seed):
+    """On spurious-free instances, P(target) = #models / 2^n."""
+    rng = np.random.default_rng(seed)
+    formula = random_formula(
+        int(rng.integers(2, 5)), int(rng.integers(1, 4)), rng
+    )
+    instance = build_reduction(formula)
+    if has_spurious_butterflies(instance):
+        return  # the identity provably only holds on clean instances
+    probability = exact_probability(instance.graph, instance.target)
+    assert probability == pytest.approx(
+        instance.expected_target_probability(), abs=1e-10
+    )

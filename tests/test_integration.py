@@ -1,0 +1,148 @@
+"""Cross-module integration tests: every sampling method against the
+exact solvers on randomised instances, end-to-end pipelines, and the
+Lemma VI.5 error bound observed empirically."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CandidateSet,
+    exact_mpmb_by_worlds,
+    find_mpmb,
+    ordering_listing_sampling,
+    prepare_candidates,
+    sample_vertices,
+)
+from repro.core import backbone_butterflies
+from repro.core.bounds import lemma_vi5_error_bound
+from repro.datasets import load_dataset
+from repro.graph import loads_graph, dumps_graph
+
+from .conftest import random_small_graph
+
+SAMPLING_METHODS = ("mc-vp", "os", "ols", "ols-kl")
+
+
+class TestMethodsMatchExactOnRandomGraphs:
+    """The central correctness claim: all four samplers estimate the same
+    quantity the exact solvers compute."""
+
+    @pytest.fixture(scope="class")
+    def instances(self):
+        cases = []
+        # Seeds chosen so the random instances contain 2+ butterflies.
+        for seed in (2, 3, 4, 10, 15):
+            graph = random_small_graph(np.random.default_rng(seed), 4, 4)
+            exact = exact_mpmb_by_worlds(graph)
+            if exact.estimates:
+                cases.append((seed, graph, exact))
+        assert len(cases) >= 3
+        return cases
+
+    @pytest.mark.parametrize("method", SAMPLING_METHODS)
+    def test_estimates_within_tolerance(self, instances, method):
+        for seed, graph, exact in instances:
+            result = find_mpmb(
+                graph, method=method, n_trials=15_000,
+                n_prepare=300, rng=seed,
+            )
+            for key, true_value in exact.estimates.items():
+                estimated = result.probability(key)
+                # OLS variants may omit never-winning candidates; their
+                # estimate is then 0, which must match a small truth.
+                assert estimated == pytest.approx(
+                    true_value, abs=0.025
+                ), (
+                    f"seed={seed} method={method} butterfly={key}: "
+                    f"estimated {estimated} vs exact {true_value}"
+                )
+
+    def test_best_butterfly_agreement(self, instances):
+        """When the exact winner is clear-cut, every method finds it."""
+        for seed, graph, exact in instances:
+            ranked = exact.ranked()
+            if len(ranked) > 1 and ranked[0][1] - ranked[1][1] < 0.05:
+                continue  # ambiguous instance; skip the argmax check
+            for method in SAMPLING_METHODS:
+                result = find_mpmb(
+                    graph, method=method, n_trials=15_000,
+                    n_prepare=300, rng=seed,
+                )
+                assert result.best is not None
+                assert result.best.key == ranked[0][0].key, (
+                    f"seed={seed} method={method}"
+                )
+
+
+class TestLemmaVI5Empirically:
+    def test_ols_overestimate_bounded(self):
+        """With a truncated candidate set, the OLS estimate exceeds the
+        exact value by at most the mass of missing heavier butterflies."""
+        graph = random_small_graph(np.random.default_rng(10), 4, 4)
+        exact = exact_mpmb_by_worlds(graph)
+        butterflies = backbone_butterflies(graph)
+        if len(butterflies) < 3:
+            pytest.skip("instance too small to truncate")
+        full = CandidateSet(graph, butterflies)
+        # Drop one middle-weight candidate to create a known omission.
+        kept = [b for i, b in enumerate(full) if i != 1]
+        truncated = CandidateSet(graph, kept)
+        result = ordering_listing_sampling(
+            graph, 40_000, candidates=truncated, rng=3
+        )
+        ordered = list(full)
+        weights = [b.weight for b in ordered]
+        in_set = [b.key in {k.key for k in kept} for b in ordered]
+        exact_probs = [exact.estimates[b.key] for b in ordered]
+        for index, butterfly in enumerate(ordered):
+            if not in_set[index]:
+                continue
+            bound = lemma_vi5_error_bound(
+                exact_probs, in_set, weights, index
+            )
+            overestimate = (
+                result.probability(butterfly.key) - exact_probs[index]
+            )
+            assert overestimate <= bound + 0.02, (
+                f"butterfly {butterfly.key}: overestimate {overestimate} "
+                f"exceeds Lemma VI.5 bound {bound}"
+            )
+
+
+class TestPipelines:
+    def test_io_then_solve(self, figure1):
+        """Serialise, reload, and solve — results unchanged."""
+        reloaded = loads_graph(dumps_graph(figure1))
+        original = find_mpmb(figure1, method="os", n_trials=500, rng=5)
+        roundtrip = find_mpmb(reloaded, method="os", n_trials=500, rng=5)
+        assert original.estimates == roundtrip.estimates
+
+    def test_subsample_then_solve(self):
+        """The Figure 9 pipeline: vertex-sample a dataset, then run OLS."""
+        graph = load_dataset("abide", "bench", rng=0)
+        sub = sample_vertices(graph, 0.5, np.random.default_rng(1))
+        result = ordering_listing_sampling(sub, 500, n_prepare=50, rng=2)
+        assert result.method == "ols"
+        # A complete-bipartite brain graph always has butterflies.
+        assert result.best is not None
+
+    def test_candidates_reused_across_estimators(self):
+        """One preparing phase can feed both estimators (Figure 8)."""
+        graph = load_dataset("protein", "bench", rng=0)
+        candidates = prepare_candidates(graph, 60, rng=1)
+        optimised = ordering_listing_sampling(
+            graph, 1_000, candidates=candidates, rng=2
+        )
+        karp = ordering_listing_sampling(
+            graph, 200, candidates=candidates, estimator="karp-luby", rng=2
+        )
+        assert set(optimised.estimates) == set(karp.estimates)
+
+    @pytest.mark.parametrize("name", ["abide", "movielens", "protein"])
+    def test_bench_datasets_end_to_end(self, name):
+        graph = load_dataset(name, "bench", rng=0)
+        result = find_mpmb(
+            graph, method="ols", n_trials=400, n_prepare=40, rng=1
+        )
+        assert result.best is not None
+        assert 0.0 < result.best_probability <= 1.0

@@ -1,0 +1,179 @@
+"""Tests for the generic Karp-Luby union estimator vs the exact oracle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import EstimationError, IntractableError
+from repro.sampling import (
+    KarpLubyUnionSampler,
+    estimate_union_probability,
+    event_probability,
+    exact_union_probability,
+    union_probability_first_hit,
+)
+
+
+def prob_table(table):
+    return lambda atom: table[atom]
+
+
+class TestExactUnion:
+    def test_single_event(self):
+        probability = exact_union_probability(
+            [frozenset({"a", "b"})], prob_table({"a": 0.5, "b": 0.4})
+        )
+        assert probability == pytest.approx(0.2)
+
+    def test_disjoint_events(self):
+        probs = {"a": 0.5, "b": 0.4}
+        probability = exact_union_probability(
+            [frozenset({"a"}), frozenset({"b"})], prob_table(probs)
+        )
+        assert probability == pytest.approx(0.5 + 0.4 - 0.2)
+
+    def test_overlapping_events(self):
+        probs = {"a": 0.5, "b": 0.4, "c": 0.3}
+        events = [frozenset({"a", "b"}), frozenset({"a", "c"})]
+        # P = p(ab) + p(ac) - p(abc)
+        expected = 0.2 + 0.15 - 0.06
+        assert exact_union_probability(
+            events, prob_table(probs)
+        ) == pytest.approx(expected)
+
+    def test_empty_union(self):
+        assert exact_union_probability([], prob_table({})) == 0.0
+
+    def test_budget_guard(self):
+        events = [frozenset({i}) for i in range(25)]
+        with pytest.raises(IntractableError):
+            exact_union_probability(
+                events, lambda _a: 0.5, max_subsets=1 << 10
+            )
+
+    def test_first_hit_decomposition_sums_to_union(self):
+        probs = {"a": 0.5, "b": 0.4, "c": 0.3, "d": 0.8}
+        events = [
+            frozenset({"a", "b"}),
+            frozenset({"b", "c"}),
+            frozenset({"d"}),
+        ]
+        pieces = union_probability_first_hit(events, prob_table(probs))
+        assert sum(pieces) == pytest.approx(
+            exact_union_probability(events, prob_table(probs))
+        )
+        assert all(piece >= 0 for piece in pieces)
+
+    def test_event_probability(self):
+        assert event_probability(
+            frozenset({"a", "b"}), prob_table({"a": 0.5, "b": 0.5})
+        ) == 0.25
+        assert event_probability(frozenset(), prob_table({})) == 1.0
+
+
+class TestSampler:
+    def test_empty_events(self):
+        sampler = KarpLubyUnionSampler([], prob_table({}))
+        estimate = sampler.run(10)
+        assert estimate.probability == 0.0
+        assert sampler.is_empty
+
+    def test_certain_event(self):
+        sampler = KarpLubyUnionSampler(
+            [frozenset()], prob_table({}), rng=0
+        )
+        assert sampler.is_certain
+        assert sampler.run(5).probability == 1.0
+
+    def test_zero_probability_event_rejected(self):
+        with pytest.raises(EstimationError, match="zero probability"):
+            KarpLubyUnionSampler(
+                [frozenset({"a"})], prob_table({"a": 0.0})
+            )
+
+    def test_no_trials_estimate_rejected(self):
+        sampler = KarpLubyUnionSampler(
+            [frozenset({"a"})], prob_table({"a": 0.5})
+        )
+        with pytest.raises(EstimationError, match="no trials"):
+            sampler.estimate()
+
+    def test_nonpositive_run_rejected(self):
+        sampler = KarpLubyUnionSampler(
+            [frozenset({"a"})], prob_table({"a": 0.5})
+        )
+        with pytest.raises(EstimationError):
+            sampler.run(0)
+
+    def test_single_event_estimate_is_exact(self):
+        # With one event every accepted trial is the event itself, so the
+        # estimate equals S exactly regardless of randomness.
+        sampler = KarpLubyUnionSampler(
+            [frozenset({"a", "b"})], prob_table({"a": 0.5, "b": 0.4}), rng=1
+        )
+        estimate = sampler.run(100)
+        assert estimate.probability == pytest.approx(0.2)
+        assert estimate.accepted == 100
+
+    def test_estimate_clipping(self):
+        # raw = accepted/N * S can exceed 1 transiently; probability is
+        # clipped while raw_probability is preserved.
+        probs = {f"x{i}": 0.9 for i in range(8)}
+        events = [frozenset({f"x{i}"}) for i in range(8)]
+        estimate = estimate_union_probability(
+            events, prob_table(probs), 500, rng=3
+        )
+        assert 0.0 <= estimate.probability <= 1.0
+        assert estimate.weight_sum == pytest.approx(7.2)
+
+    def test_convergence_to_exact(self):
+        probs = {"a": 0.5, "b": 0.4, "c": 0.3, "d": 0.6}
+        events = [
+            frozenset({"a", "b"}),
+            frozenset({"b", "c"}),
+            frozenset({"c", "d"}),
+            frozenset({"a", "d"}),
+        ]
+        exact = exact_union_probability(events, prob_table(probs))
+        estimate = estimate_union_probability(
+            events, prob_table(probs), 20_000, rng=5
+        )
+        assert estimate.probability == pytest.approx(exact, rel=0.05)
+
+    def test_incremental_trials_accumulate(self):
+        sampler = KarpLubyUnionSampler(
+            [frozenset({"a"}), frozenset({"b"})],
+            prob_table({"a": 0.5, "b": 0.5}),
+            rng=2,
+        )
+        sampler.run(10)
+        sampler.run(10)
+        assert sampler.n_trials == 20
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    data=st.data(),
+)
+def test_property_kl_close_to_exact(seed, data):
+    """KL estimates converge to inclusion-exclusion on random families."""
+    n_atoms = data.draw(st.integers(2, 6))
+    atoms = {f"a{i}": data.draw(st.floats(0.1, 0.9)) for i in range(n_atoms)}
+    n_events = data.draw(st.integers(1, 5))
+    events = []
+    for _ in range(n_events):
+        size = data.draw(st.integers(1, min(3, n_atoms)))
+        chosen = data.draw(
+            st.lists(
+                st.sampled_from(sorted(atoms)), min_size=size,
+                max_size=size, unique=True,
+            )
+        )
+        events.append(frozenset(chosen))
+    exact = exact_union_probability(events, prob_table(atoms))
+    estimate = estimate_union_probability(
+        events, prob_table(atoms), 8_000, rng=seed
+    )
+    # 8k trials: generous absolute tolerance keeps this stable.
+    assert estimate.probability == pytest.approx(exact, abs=0.05)

@@ -1,0 +1,178 @@
+"""Tests for the Section V maximum-weight butterfly search (A1/A2 index)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import max_weight_butterflies
+from repro.butterfly import TopTwoAngleIndex, brute_force_butterflies
+
+from .conftest import build_graph, random_small_graph
+
+
+def brute_force_max(graph, mask=None):
+    """Oracle: (max weight, sorted S_MB keys) by full enumeration."""
+    from repro import PossibleWorld
+
+    world = None if mask is None else PossibleWorld(graph, mask)
+    butterflies = brute_force_butterflies(graph, world)
+    if not butterflies:
+        return 0.0, []
+    best = max(b.weight for b in butterflies)
+    keys = sorted(b.key for b in butterflies if b.weight == best)
+    return best, keys
+
+
+class TestTopTwoAngleIndex:
+    """The Table II update rules."""
+
+    def test_first_angle(self):
+        index = TopTwoAngleIndex()
+        assert index.add((0, 1), 5.0, (9, 1, 2)) == -np.inf
+        assert index.best_weight((0, 1)) == -np.inf
+
+    def test_two_equal_angles_form_double(self):
+        index = TopTwoAngleIndex()
+        index.add((0, 1), 5.0, (9, 1, 2))
+        best = index.add((0, 1), 5.0, (8, 3, 4))
+        assert best == 10.0
+
+    def test_new_maximum_demotes_old(self):
+        index = TopTwoAngleIndex()
+        index.add((0, 1), 5.0, (9, 1, 2))
+        best = index.add((0, 1), 7.0, (8, 3, 4))
+        assert best == 12.0  # 7 + 5
+        assert index.best_weight((0, 1)) == 12.0
+
+    def test_middle_insertion_updates_a2(self):
+        index = TopTwoAngleIndex()
+        index.add((0, 1), 7.0, (9, 1, 2))
+        index.add((0, 1), 3.0, (8, 3, 4))
+        best = index.add((0, 1), 5.0, (7, 5, 6))
+        assert best == 12.0  # 7 + 5 replaces 7 + 3
+
+    def test_tie_on_a2_appends(self):
+        index = TopTwoAngleIndex()
+        index.add((0, 1), 7.0, (9, 1, 2))
+        index.add((0, 1), 5.0, (8, 3, 4))
+        index.add((0, 1), 5.0, (7, 5, 6))
+        assert index.n_angles_stored == 3
+
+    def test_below_a2_ignored(self):
+        index = TopTwoAngleIndex()
+        index.add((0, 1), 7.0, (9, 1, 2))
+        index.add((0, 1), 5.0, (8, 3, 4))
+        index.add((0, 1), 1.0, (7, 5, 6))
+        assert index.n_angles_stored == 2
+        assert index.n_angles_seen == 3
+
+    def test_pairs_independent(self):
+        index = TopTwoAngleIndex()
+        index.add((0, 1), 5.0, (9, 1, 2))
+        index.add((0, 2), 5.0, (9, 3, 4))
+        assert index.best_weight((0, 1)) == -np.inf
+        assert index.n_pairs == 2
+
+
+class TestMaxWeightSearch:
+    def test_figure1_backbone(self, figure1):
+        search = max_weight_butterflies(figure1)
+        assert search.found
+        assert search.weight == 10.0
+        assert [b.key for b in search.butterflies] == [(0, 1, 0, 1)]
+
+    def test_no_butterfly(self, no_butterfly_graph):
+        search = max_weight_butterflies(no_butterfly_graph)
+        assert not search.found
+        assert search.weight == 0.0
+        assert search.butterflies == []
+
+    def test_restricted_edges(self, figure1):
+        # Drop edge (u2, v1) (index 3): butterfly (0,1,0,1) dies and the
+        # two weight-7 butterflies... (0,1,1,2) survives; (0,1,0,2) needs
+        # edge 3 too, so only one maximum remains.
+        order = figure1.edges_by_weight_desc
+        present = [int(e) for e in order if e != 3]
+        search = max_weight_butterflies(figure1, present)
+        assert search.weight == 7.0
+        assert [b.key for b in search.butterflies] == [(0, 1, 1, 2)]
+
+    def test_tied_maxima_all_reported(self):
+        graph = build_graph([
+            ("a", "x", 1.0, 0.5), ("a", "y", 1.0, 0.5), ("a", "z", 1.0, 0.5),
+            ("b", "x", 1.0, 0.5), ("b", "y", 1.0, 0.5), ("b", "z", 1.0, 0.5),
+        ])
+        search = max_weight_butterflies(graph)
+        assert search.weight == 4.0
+        assert len(search.butterflies) == 3  # C(3,2) middles pairs
+
+    def test_prune_does_not_change_result(self, figure1):
+        with_prune = max_weight_butterflies(figure1, prune=True)
+        without = max_weight_butterflies(figure1, prune=False)
+        assert with_prune.weight == without.weight
+        assert sorted(b.key for b in with_prune.butterflies) == sorted(
+            b.key for b in without.butterflies
+        )
+        assert with_prune.n_edges_processed <= without.n_edges_processed
+
+    def test_pair_side_equivalence(self, figure1):
+        left = max_weight_butterflies(figure1, pair_side="left")
+        right = max_weight_butterflies(figure1, pair_side="right")
+        assert left.weight == right.weight
+        assert sorted(b.key for b in left.butterflies) == sorted(
+            b.key for b in right.butterflies
+        )
+
+    def test_invalid_pair_side(self, figure1):
+        with pytest.raises(ValueError, match="pair_side"):
+            max_weight_butterflies(figure1, pair_side="diagonal")
+
+    def test_instrumentation_counters(self, figure1):
+        search = max_weight_butterflies(figure1)
+        assert search.n_edges_processed <= figure1.n_edges
+        assert search.n_angles_processed >= search.n_angles_stored > 0
+
+    def test_butterfly_edges_canonical(self, figure1):
+        search = max_weight_butterflies(figure1)
+        butterfly = search.butterflies[0]
+        assert figure1.edge_endpoints(butterfly.edges[0]) == (
+            butterfly.u1, butterfly.v1,
+        )
+        assert figure1.edge_endpoints(butterfly.edges[3]) == (
+            butterfly.u2, butterfly.v2,
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 100_000), pair_side=st.sampled_from(
+    ["auto", "left", "right"]
+))
+def test_property_matches_brute_force(seed, pair_side):
+    """The A1/A2 search finds the exact maximum set on random graphs."""
+    graph = random_small_graph(np.random.default_rng(seed), 5, 5)
+    expected_weight, expected_keys = brute_force_max(graph)
+    search = max_weight_butterflies(graph, pair_side=pair_side)
+    if not expected_keys:
+        assert not search.found
+    else:
+        assert search.weight == expected_weight
+        assert sorted(b.key for b in search.butterflies) == expected_keys
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 100_000), prune=st.booleans())
+def test_property_matches_brute_force_on_worlds(seed, prune):
+    """Same equivalence on sampled worlds, with and without pruning."""
+    rng = np.random.default_rng(seed)
+    graph = random_small_graph(rng, 5, 5)
+    mask = rng.random(graph.n_edges) < graph.probs
+    expected_weight, expected_keys = brute_force_max(graph, mask)
+    order = graph.edges_by_weight_desc
+    present_sorted = order[mask[order]]
+    search = max_weight_butterflies(graph, present_sorted, prune=prune)
+    if not expected_keys:
+        assert not search.found
+    else:
+        assert search.weight == expected_weight
+        assert sorted(b.key for b in search.butterflies) == expected_keys

@@ -1,0 +1,150 @@
+"""Additional hypothesis property tests across module boundaries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import exact_probability, find_mpmb
+from repro.core import condition_graph, conditional_mpmb
+from repro.core.serialize import result_from_dict, result_to_dict
+from repro.graph import dumps_graph, loads_graph
+
+from .conftest import random_small_graph
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_property_io_round_trip(seed):
+    """Graphs survive TSV serialisation bit-exactly."""
+    graph = random_small_graph(
+        np.random.default_rng(seed), 5, 5, grid_weights=False
+    )
+    loaded = loads_graph(dumps_graph(graph))
+    assert loaded.n_edges == graph.n_edges
+    assert loaded.weights.tolist() == graph.weights.tolist()
+    assert loaded.probs.tolist() == graph.probs.tolist()
+    assert list(loaded.left_labels) == list(graph.left_labels)
+    assert list(loaded.right_labels) == list(graph.right_labels)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_property_result_serialisation_round_trip(seed):
+    """Exact results survive the JSON dict round trip."""
+    graph = random_small_graph(np.random.default_rng(seed), 4, 4)
+    result = find_mpmb(graph, method="exact-worlds")
+    payload = result_to_dict(result)
+    restored = result_from_dict(payload, graph)
+    assert restored.estimates == pytest.approx(result.estimates)
+    assert set(restored.butterflies) == set(result.butterflies)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 50_000))
+def test_property_law_of_total_probability(seed):
+    """For every butterfly B and any edge e:
+    P(B) = p(e)·P(B | e present) + (1-p(e))·P(B | e absent)."""
+    rng = np.random.default_rng(seed)
+    graph = random_small_graph(rng, 4, 4)
+    exact = find_mpmb(graph, method="exact-worlds")
+    if not exact.estimates:
+        return
+    edge = int(rng.integers(0, graph.n_edges))
+    u, v = graph.edge_endpoints(edge)
+    ref = (graph.left_label(u), graph.right_label(v))
+    p_edge = float(graph.probs[edge])
+    given_present = conditional_mpmb(
+        graph, present=[ref], method="exact-worlds"
+    )
+    given_absent = conditional_mpmb(
+        graph, absent=[ref], method="exact-worlds"
+    )
+    for key, total in exact.estimates.items():
+        decomposed = (
+            p_edge * given_present.probability(key)
+            + (1 - p_edge) * given_absent.probability(key)
+        )
+        assert decomposed == pytest.approx(total, abs=1e-10), key
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 50_000))
+def test_property_conditioning_is_probability_rewriting(seed):
+    """condition_graph changes only the conditioned probabilities."""
+    rng = np.random.default_rng(seed)
+    graph = random_small_graph(rng, 4, 4)
+    edge = int(rng.integers(0, graph.n_edges))
+    u, v = graph.edge_endpoints(edge)
+    ref = (graph.left_label(u), graph.right_label(v))
+    conditioned = condition_graph(graph, present=[ref])
+    assert conditioned.probs[edge] == 1.0
+    for other in range(graph.n_edges):
+        if other != edge:
+            assert conditioned.probs[other] == graph.probs[other]
+    assert conditioned.weights.tolist() == graph.weights.tolist()
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 50_000))
+def test_property_exact_probability_consistent_with_solver(seed):
+    """Single-butterfly exact queries equal the full solver's entries."""
+    graph = random_small_graph(np.random.default_rng(seed), 4, 4)
+    exact = find_mpmb(graph, method="exact-worlds")
+    for key, value in exact.estimates.items():
+        butterfly = exact.butterflies[key]
+        assert exact_probability(graph, butterfly) == pytest.approx(
+            value, abs=1e-10
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 50_000))
+def test_property_merge_equals_concatenated_counts(seed):
+    """Pooling two OS runs gives exactly the frequency of one run over
+    the concatenation of their sampled worlds: the merged estimate's
+    implied win count is the sum of the per-run win counts."""
+    from repro import ordering_sampling
+    from repro.core import merge_results
+
+    graph = random_small_graph(np.random.default_rng(seed), 4, 4)
+    a = ordering_sampling(graph, 300, rng=seed)
+    b = ordering_sampling(graph, 500, rng=seed + 1)
+    merged = merge_results(a, b)
+    assert merged.n_trials == 800
+    for key in set(a.estimates) | set(b.estimates):
+        wins = round(a.probability(key) * 300) + round(
+            b.probability(key) * 500
+        )
+        assert merged.probability(key) * 800 == pytest.approx(wins)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 50_000))
+def test_property_top_weight_search_consistent_with_max_search(seed):
+    """top_weight_butterflies(k=1) always returns a butterfly from the
+    exact maximum set, and its weight equals the exact maximum."""
+    from repro.butterfly import max_weight_butterflies, top_weight_butterflies
+
+    graph = random_small_graph(np.random.default_rng(seed), 5, 5)
+    search = max_weight_butterflies(graph)
+    top = top_weight_butterflies(graph, 1)
+    if not search.found:
+        assert top == []
+    else:
+        assert len(top) == 1
+        assert top[0].weight == search.weight
+        assert top[0].key in {b.key for b in search.butterflies}
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 50_000))
+def test_property_expected_bitruss_bounded_by_deterministic(seed):
+    """Expected supports never exceed backbone supports, so the expected
+    peel levels are bounded by the deterministic ones."""
+    from repro.support import bitruss_decomposition
+
+    graph = random_small_graph(np.random.default_rng(seed), 4, 4)
+    deterministic = bitruss_decomposition(graph, mode="deterministic")
+    expected = bitruss_decomposition(graph, mode="expected")
+    assert expected.max_truss <= deterministic.max_truss + 1e-9

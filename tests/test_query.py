@@ -1,0 +1,96 @@
+"""Tests for the single-butterfly conditional probability estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import exact_mpmb_by_worlds, make_butterfly
+from repro.core import estimate_probability
+from repro.sampling import monte_carlo_trial_bound
+
+from .conftest import build_graph, random_small_graph
+
+
+class TestEstimateProbability:
+    def test_figure1_target(self, figure1):
+        butterfly = make_butterfly(figure1, 0, 1, 1, 2)
+        estimate = estimate_probability(figure1, butterfly, 20_000, rng=3)
+        assert estimate.probability == pytest.approx(0.11424, abs=0.01)
+        assert estimate.existence_probability == pytest.approx(0.1344)
+        assert estimate.conditional_probability == pytest.approx(
+            estimate.probability / estimate.existence_probability
+        )
+
+    def test_unblocked_heaviest(self, figure1):
+        # The weight-10 butterfly is blocked by nothing: conditional
+        # probability is exactly 1.
+        butterfly = make_butterfly(figure1, 0, 1, 0, 1)
+        estimate = estimate_probability(figure1, butterfly, 500, rng=1)
+        assert estimate.conditional_probability == 1.0
+        assert estimate.probability == pytest.approx(
+            butterfly.existence_probability(figure1)
+        )
+
+    def test_certain_butterfly(self, square):
+        butterfly = make_butterfly(square, 0, 1, 0, 1)
+        estimate = estimate_probability(square, butterfly, 100, rng=0)
+        assert estimate.probability == 1.0
+
+    def test_impossible_butterfly(self):
+        graph = build_graph([
+            ("a", "x", 1.0, 0.0), ("a", "y", 1.0, 0.5),
+            ("b", "x", 1.0, 0.5), ("b", "y", 1.0, 0.5),
+        ])
+        butterfly = make_butterfly(graph, 0, 1, 0, 1)
+        estimate = estimate_probability(graph, butterfly, 100, rng=0)
+        assert estimate.probability == 0.0
+        assert estimate.existence_probability == 0.0
+
+    def test_trace_recorded(self, figure1):
+        butterfly = make_butterfly(figure1, 0, 1, 1, 2)
+        estimate = estimate_probability(
+            figure1, butterfly, 200, rng=0, checkpoints=5
+        )
+        assert len(estimate.trace.checkpoints) == 5
+        assert estimate.trace.final_estimate == pytest.approx(
+            estimate.probability
+        )
+
+    def test_trial_bound_beats_direct(self, figure1):
+        """The conditional estimator's Theorem IV.1 budget is smaller
+        than direct estimation's by the existence-probability factor."""
+        butterfly = make_butterfly(figure1, 0, 1, 1, 2)
+        estimate = estimate_probability(figure1, butterfly, 5_000, rng=2)
+        direct_bound = monte_carlo_trial_bound(estimate.probability)
+        assert estimate.trial_bound() < direct_bound
+
+    def test_validation(self, figure1, square):
+        butterfly = make_butterfly(figure1, 0, 1, 1, 2)
+        with pytest.raises(ValueError):
+            estimate_probability(figure1, butterfly, 0)
+        # A butterfly from a larger graph has out-of-range edge indices.
+        big = build_graph(
+            [(f"L{u}", f"R{v}", 1.0, 0.5) for u in range(4)
+             for v in range(4)]
+        )
+        foreign = make_butterfly(big, 2, 3, 2, 3)
+        with pytest.raises(ValueError, match="outside"):
+            estimate_probability(square, foreign, 10)
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 5_000))
+def test_property_matches_exact(seed):
+    """The conditional estimator converges to Equation 4 on random
+    instances (checked for every backbone butterfly)."""
+    graph = random_small_graph(np.random.default_rng(seed), 4, 4)
+    exact = exact_mpmb_by_worlds(graph)
+    for key, true_value in exact.estimates.items():
+        butterfly = exact.butterflies[key]
+        estimate = estimate_probability(
+            graph, butterfly, 4_000, rng=seed + 1
+        )
+        assert estimate.probability == pytest.approx(
+            true_value, abs=0.035
+        ), key

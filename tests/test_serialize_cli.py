@@ -1,0 +1,112 @@
+"""Tests for result serialisation and the package CLI."""
+
+import json
+
+import pytest
+
+from repro import find_mpmb
+from repro.core import (
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.graph import save_graph
+from repro.__main__ import build_parser, main
+
+
+class TestResultSerialisation:
+    def test_round_trip(self, figure1, tmp_path):
+        result = find_mpmb(figure1, method="os", n_trials=500, rng=3,
+                           track=[(0, 1, 1, 2)])
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        loaded = load_result(path, figure1)
+        assert loaded.method == result.method
+        assert loaded.n_trials == result.n_trials
+        assert loaded.estimates == result.estimates
+        assert loaded.stats == result.stats
+        assert loaded.traces[(0, 1, 1, 2)].checkpoints == (
+            result.traces[(0, 1, 1, 2)].checkpoints
+        )
+
+    def test_json_valid(self, figure1, tmp_path):
+        result = find_mpmb(figure1, method="exact-worlds")
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        payload = json.loads(path.read_text())
+        assert payload["format"] == 1
+        assert payload["method"] == "exact-worlds"
+        assert payload["butterflies"][0]["probability"] == pytest.approx(
+            0.11424
+        )
+        # Labels, not indices.
+        assert payload["butterflies"][0]["labels"] == [
+            "u1", "u2", "v2", "v3",
+        ]
+
+    def test_records_sorted_by_probability(self, figure1):
+        result = find_mpmb(figure1, method="exact-worlds")
+        payload = result_to_dict(result)
+        probabilities = [r["probability"] for r in payload["butterflies"]]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_unknown_format_rejected(self, figure1):
+        with pytest.raises(ValueError, match="format"):
+            result_from_dict({"format": 99}, figure1)
+
+    def test_foreign_butterfly_rejected(self, figure1, square):
+        result = find_mpmb(square, method="exact-worlds")
+        payload = result_to_dict(result)
+        with pytest.raises(ValueError, match="does not exist"):
+            result_from_dict(payload, figure1)
+
+
+class TestPackageCli:
+    def test_parser(self):
+        args = build_parser().parse_args(
+            ["search", "--dataset", "abide", "--trials", "100"]
+        )
+        assert args.command == "search"
+        assert args.dataset == "abide"
+
+    def test_search_on_file(self, figure1, tmp_path, capsys):
+        path = tmp_path / "g.tsv"
+        save_graph(figure1, path)
+        code = main([
+            "search", str(path), "--method", "os",
+            "--trials", "2000", "--top", "3", "--seed", "7",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "'u1', 'u2', 'v2', 'v3'" in out
+        assert "Top-3 MPMB" in out
+
+    def test_search_on_dataset(self, capsys):
+        code = main([
+            "search", "--dataset", "abide", "--method", "ols",
+            "--trials", "200", "--prepare", "20", "--seed", "1",
+        ])
+        assert code == 0
+        assert "ROI_" in capsys.readouterr().out
+
+    def test_search_without_butterfly(self, no_butterfly_graph, tmp_path,
+                                      capsys):
+        path = tmp_path / "g.tsv"
+        save_graph(no_butterfly_graph, path)
+        code = main(["search", str(path), "--trials", "50"])
+        assert code == 1
+        assert "No butterfly" in capsys.readouterr().out
+
+    def test_stats(self, figure1, tmp_path, capsys):
+        path = tmp_path / "g.tsv"
+        save_graph(figure1, path)
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "|E|" in out and "6" in out
+
+    def test_requires_exactly_one_source(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["search"])
+        with pytest.raises(SystemExit):
+            main(["search", "path.tsv", "--dataset", "abide"])

@@ -1,0 +1,169 @@
+"""Tests for butterfly support and bitruss decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.butterfly import enumerate_butterflies
+from repro.support import (
+    bitruss_decomposition,
+    edge_butterfly_support,
+    expected_edge_support,
+    vertex_butterfly_counts,
+)
+
+from .conftest import build_graph, random_small_graph
+
+
+def complete_bipartite(m, n, prob=0.5):
+    return build_graph([
+        (f"L{u}", f"R{v}", 1.0, prob)
+        for u in range(m)
+        for v in range(n)
+    ])
+
+
+class TestEdgeSupport:
+    def test_figure1(self, figure1):
+        support = edge_butterfly_support(figure1)
+        # K_{2,3}: each edge lies in exactly 2 of the 3 butterflies.
+        assert support.tolist() == [2, 2, 2, 2, 2, 2]
+
+    def test_no_butterfly(self, no_butterfly_graph):
+        assert edge_butterfly_support(no_butterfly_graph).sum() == 0
+
+    def test_total_is_four_per_butterfly(self, figure1):
+        support = edge_butterfly_support(figure1)
+        n_butterflies = sum(1 for _ in enumerate_butterflies(figure1))
+        assert support.sum() == 4 * n_butterflies
+
+    def test_expected_support_conditional(self):
+        graph = build_graph([
+            ("a", "x", 1.0, 0.5), ("a", "y", 1.0, 0.5),
+            ("b", "x", 1.0, 0.5), ("b", "y", 1.0, 0.5),
+        ])
+        expected = expected_edge_support(graph)
+        # One butterfly; conditioned on each edge: 0.5^3.
+        assert expected == pytest.approx([0.125] * 4)
+
+    def test_expected_support_zero_prob_edge(self):
+        graph = build_graph([
+            ("a", "x", 1.0, 0.0), ("a", "y", 1.0, 0.5),
+            ("b", "x", 1.0, 0.5), ("b", "y", 1.0, 0.5),
+        ])
+        expected = expected_edge_support(graph)
+        # The p=0 edge has conditional support 0 by definition; the
+        # others see the butterfly killed by the p=0 edge.
+        assert expected[0] == 0.0
+        assert (expected[1:] == 0.0).all()
+
+    def test_expected_equals_deterministic_at_p1(self, figure1):
+        from repro.graph import backbone
+
+        determined = backbone(figure1)
+        assert expected_edge_support(determined) == pytest.approx(
+            edge_butterfly_support(determined).astype(float)
+        )
+
+    def test_vertex_counts(self, figure1):
+        counts = vertex_butterfly_counts(figure1)
+        # Each of the 3 butterflies touches both left vertices.
+        assert counts["left"].tolist() == [3, 3]
+        # Each right vertex appears in 2 butterflies.
+        assert counts["right"].tolist() == [2, 2, 2]
+
+
+class TestBitruss:
+    def test_single_butterfly(self, square):
+        result = bitruss_decomposition(square)
+        assert result.edge_truss.tolist() == [1.0] * 4
+        assert result.max_truss == 1.0
+
+    def test_no_butterfly(self, no_butterfly_graph):
+        result = bitruss_decomposition(no_butterfly_graph)
+        assert result.max_truss == 0.0
+        assert len(result.k_bitruss_edges(1)) == 0
+
+    def test_complete_bipartite_uniform_truss(self):
+        # K_{3,3}: every edge is in 4 butterflies; peeling is symmetric,
+        # so every edge has the same truss number 4... after the first
+        # removal supports drop, but the *peeling level* is monotone and
+        # the k-bitruss for k=4 is the whole graph.
+        graph = complete_bipartite(3, 3)
+        result = bitruss_decomposition(graph)
+        assert result.max_truss == 4.0
+        assert (result.edge_truss == 4.0).all()
+
+    def test_pendant_edges_peel_first(self):
+        graph = build_graph([
+            # A solid 2x2 butterfly...
+            ("a", "x", 1.0, 0.5), ("a", "y", 1.0, 0.5),
+            ("b", "x", 1.0, 0.5), ("b", "y", 1.0, 0.5),
+            # ...plus a pendant edge in no butterfly.
+            ("a", "z", 1.0, 0.5),
+        ])
+        result = bitruss_decomposition(graph)
+        pendant = graph.edge_between(
+            graph.left_index("a"), graph.right_index("z")
+        )
+        assert result.edge_truss[pendant] == 0.0
+        core = result.k_bitruss_edges(1)
+        assert len(core) == 4
+        assert pendant not in core
+
+    def test_monotone_hierarchy(self, figure1):
+        result = bitruss_decomposition(figure1)
+        # k-bitruss shrinks as k grows.
+        sizes = [
+            len(result.k_bitruss_edges(k))
+            for k in range(int(result.max_truss) + 2)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_expected_mode_scales_with_probability(self):
+        confident = complete_bipartite(3, 3, prob=0.9)
+        doubtful = complete_bipartite(3, 3, prob=0.2)
+        high = bitruss_decomposition(confident, mode="expected")
+        low = bitruss_decomposition(doubtful, mode="expected")
+        assert high.max_truss > low.max_truss
+
+    def test_expected_mode_at_p1_matches_deterministic(self, figure1):
+        from repro.graph import backbone
+
+        determined = backbone(figure1)
+        deterministic = bitruss_decomposition(determined)
+        expected = bitruss_decomposition(determined, mode="expected")
+        assert expected.edge_truss == pytest.approx(
+            deterministic.edge_truss
+        )
+
+    def test_invalid_mode(self, figure1):
+        with pytest.raises(ValueError, match="mode"):
+            bitruss_decomposition(figure1, mode="quantum")
+
+
+def _support_within(graph, alive):
+    from repro.butterfly import enumerate_butterflies
+
+    support = {e: 0 for e in alive}
+    for butterfly in enumerate_butterflies(graph):
+        if all(e in alive for e in butterfly.edges):
+            for e in butterfly.edges:
+                support[e] += 1
+    return support
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_k_bitruss_is_maximal_subgraph(seed):
+    """Every edge of the k-bitruss has >= k butterflies *within* it."""
+    graph = random_small_graph(np.random.default_rng(seed), 5, 5)
+    result = bitruss_decomposition(graph)
+    for k in range(1, int(result.max_truss) + 1):
+        kept = set(result.k_bitruss_edges(k).tolist())
+        support = _support_within(graph, kept)
+        for edge in kept:
+            assert support[edge] >= k, (
+                f"k={k}: edge {edge} has support {support[edge]}"
+            )

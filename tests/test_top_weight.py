@@ -1,0 +1,255 @@
+"""Tests for the top-k heaviest-butterfly search and the OLS
+candidate-seeding / adaptive-preparing extensions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.butterfly import brute_force_butterflies, top_weight_butterflies
+from repro.core import (
+    adaptive_prepare_candidates,
+    ordering_listing_sampling,
+    prepare_candidates,
+)
+
+from .conftest import build_graph, random_small_graph
+
+
+def brute_top_k(graph, k):
+    ordered = sorted(
+        brute_force_butterflies(graph), key=lambda b: (-b.weight, b.key)
+    )
+    return [(b.key, b.weight) for b in ordered[:k]]
+
+
+class TestTopWeightButterflies:
+    def test_figure1_full_ranking(self, figure1):
+        top = top_weight_butterflies(figure1, 3)
+        assert [(b.key, b.weight) for b in top] == [
+            ((0, 1, 0, 1), 10.0),
+            ((0, 1, 0, 2), 7.0),
+            ((0, 1, 1, 2), 7.0),
+        ]
+
+    def test_k_one_matches_max_search(self, figure1):
+        from repro.butterfly import max_weight_butterflies
+
+        top = top_weight_butterflies(figure1, 1)
+        search = max_weight_butterflies(figure1)
+        assert top[0].weight == search.weight
+        assert top[0].key in {b.key for b in search.butterflies}
+
+    def test_k_larger_than_inventory(self, figure1):
+        top = top_weight_butterflies(figure1, 50)
+        assert len(top) == 3
+
+    def test_no_butterfly(self, no_butterfly_graph):
+        assert top_weight_butterflies(no_butterfly_graph, 5) == []
+
+    def test_invalid_k(self, figure1):
+        with pytest.raises(ValueError):
+            top_weight_butterflies(figure1, 0)
+
+    def test_prune_toggle_identical(self, figure1):
+        pruned = top_weight_butterflies(figure1, 2, prune=True)
+        unpruned = top_weight_butterflies(figure1, 2, prune=False)
+        assert [b.key for b in pruned] == [b.key for b in unpruned]
+
+    def test_pair_side_identical(self, figure1):
+        left = top_weight_butterflies(figure1, 3, pair_side="left")
+        right = top_weight_butterflies(figure1, 3, pair_side="right")
+        assert [b.key for b in left] == [b.key for b in right]
+
+    def test_weights_descending(self):
+        graph = build_graph([
+            (f"L{u}", f"R{v}", float(u + v + 1), 0.5)
+            for u in range(4) for v in range(4)
+        ])
+        top = top_weight_butterflies(graph, 10)
+        weights = [b.weight for b in top]
+        assert weights == sorted(weights, reverse=True)
+        assert len(top) == 10
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 100_000), k=st.integers(1, 8))
+def test_property_top_k_matches_brute_force(seed, k):
+    """Top-k search agrees with sorting the brute-force enumeration:
+    identical weight multiset, and identical identities except within a
+    weight tie at the k-th position (see the function's docstring)."""
+    graph = random_small_graph(np.random.default_rng(seed), 5, 5)
+    expected = brute_top_k(graph, k)
+    actual = [
+        (b.key, b.weight) for b in top_weight_butterflies(graph, k)
+    ]
+    assert [w for _key, w in actual] == [w for _key, w in expected]
+    by_weight = {}
+    for butterfly in brute_force_butterflies(graph):
+        by_weight.setdefault(butterfly.weight, set()).add(butterfly.key)
+    for key, weight in actual:
+        assert key in by_weight[weight]
+    # No duplicates among the returned butterflies.
+    assert len({key for key, _w in actual}) == len(actual)
+
+
+class TestSeededPreparing:
+    def test_seeding_guarantees_heaviest(self, figure1):
+        # One preparing trial may easily miss everything; seeding pins
+        # the heaviest backbone butterflies regardless.
+        candidates = prepare_candidates(
+            figure1, 1, rng=123, seed_backbone_top=2
+        )
+        keys = {b.key for b in candidates}
+        assert (0, 1, 0, 1) in keys  # the weight-10 butterfly
+
+    def test_seeding_reduces_overestimation(self, figure1):
+        """With the heavy blocker guaranteed in C_MB, the weight-7
+        butterfly's estimate cannot carry the Lemma VI.5 surplus."""
+        from repro import exact_probability, make_butterfly
+
+        target = make_butterfly(figure1, 0, 1, 1, 2)
+        exact = exact_probability(figure1, target)
+        # Unseeded with a pathological preparing run (1 trial, a seed
+        # that happens to capture only the light butterflies).
+        for seed in range(40):
+            unseeded = prepare_candidates(figure1, 1, rng=seed)
+            keys = {b.key for b in unseeded}
+            if target.key in keys and (0, 1, 0, 1) not in keys:
+                break
+        else:
+            pytest.skip("no pathological preparing draw found")
+        biased = ordering_listing_sampling(
+            figure1, 20_000, candidates=unseeded, rng=5
+        )
+        assert biased.probability(target.key) > exact + 0.01
+
+        seeded_set = prepare_candidates(
+            figure1, 1, rng=seed, seed_backbone_top=1
+        )
+        unbiased = ordering_listing_sampling(
+            figure1, 20_000, candidates=seeded_set, rng=5
+        )
+        assert unbiased.probability(target.key) == pytest.approx(
+            exact, abs=0.02
+        )
+
+    def test_invalid_seed_count(self, figure1):
+        with pytest.raises(ValueError):
+            prepare_candidates(figure1, 10, seed_backbone_top=-1)
+
+
+class TestAdaptivePreparing:
+    def test_stabilises(self, figure1):
+        candidates, trials = adaptive_prepare_candidates(
+            figure1, patience=60, max_trials=3_000, rng=0
+        )
+        # Figure 1 has three butterflies; a long patience finds the two
+        # frequent ones at least.
+        assert len(candidates) >= 2
+        assert trials <= 3_000
+
+    def test_respects_max_trials(self, figure1):
+        _candidates, trials = adaptive_prepare_candidates(
+            figure1, patience=10_000, max_trials=25, rng=0
+        )
+        assert trials == 25
+
+    def test_validation(self, figure1):
+        with pytest.raises(ValueError):
+            adaptive_prepare_candidates(figure1, patience=0)
+        with pytest.raises(ValueError):
+            adaptive_prepare_candidates(
+                figure1, patience=100, max_trials=0
+            )
+
+    def test_no_butterfly_graph_stops_quickly(self, no_butterfly_graph):
+        candidates, trials = adaptive_prepare_candidates(
+            no_butterfly_graph, patience=20, max_trials=1_000, rng=0
+        )
+        assert len(candidates) == 0
+        assert trials == 20
+
+
+class TestMostProbableButterflies:
+    def test_figure1(self, figure1):
+        from repro.butterfly import most_probable_butterfly
+
+        best = most_probable_butterfly(figure1)
+        assert best is not None
+        butterfly, probability = best
+        # Existence products: .036, .084, .1344 -> (0,1,1,2) wins.
+        assert butterfly.key == (0, 1, 1, 2)
+        assert probability == pytest.approx(0.1344)
+
+    def test_full_ranking(self, figure1):
+        from repro.butterfly import most_probable_butterflies
+
+        ranked = most_probable_butterflies(figure1, 3)
+        probabilities = [p for _b, p in ranked]
+        assert probabilities == pytest.approx([0.1344, 0.084, 0.036])
+
+    def test_differs_from_max_weight(self, figure1):
+        """Probability order and weight order disagree on Figure 1 —
+        exactly the hot-vs-valuable tension of Figure 2."""
+        from repro.butterfly import (
+            most_probable_butterfly,
+            max_weight_butterflies,
+        )
+
+        probable, _p = most_probable_butterfly(figure1)
+        heaviest = max_weight_butterflies(figure1).butterflies[0]
+        assert probable.key != heaviest.key
+
+    def test_zero_probability_edges_excluded(self):
+        graph = build_graph([
+            # This butterfly is impossible (one p=0 edge)...
+            ("a", "x", 9.0, 0.0), ("a", "y", 9.0, 1.0),
+            ("b", "x", 9.0, 1.0), ("b", "y", 9.0, 1.0),
+            # ...so the low-probability one must win.
+            ("c", "z", 1.0, 0.3), ("c", "w", 1.0, 0.3),
+            ("d", "z", 1.0, 0.3), ("d", "w", 1.0, 0.3),
+        ])
+        from repro.butterfly import most_probable_butterfly
+
+        butterfly, probability = most_probable_butterfly(graph)
+        assert butterfly.key == (2, 3, 2, 3)
+        assert probability == pytest.approx(0.3**4)
+
+    def test_no_butterfly(self, no_butterfly_graph):
+        from repro.butterfly import most_probable_butterfly
+
+        assert most_probable_butterfly(no_butterfly_graph) is None
+
+    def test_invalid_k(self, figure1):
+        from repro.butterfly import most_probable_butterflies
+
+        with pytest.raises(ValueError):
+            most_probable_butterflies(figure1, 0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000), k=st.integers(1, 5))
+def test_property_most_probable_matches_brute_force(seed, k):
+    """The log-transform search equals sorting by existence product."""
+    from repro.butterfly import most_probable_butterflies
+
+    graph = random_small_graph(np.random.default_rng(seed), 5, 5)
+    expected = sorted(
+        (
+            (b.existence_probability(graph), b.key)
+            for b in brute_force_butterflies(graph)
+            if b.existence_probability(graph) > 0
+        ),
+        key=lambda item: (-item[0], item[1]),
+    )[:k]
+    actual = [
+        (probability, butterfly.key)
+        for butterfly, probability in most_probable_butterflies(graph, k)
+    ]
+    assert len(actual) == len(expected)
+    for (exp_p, exp_key), (act_p, act_key) in zip(expected, actual):
+        assert act_p == pytest.approx(exp_p)
+        # Keys may differ only under exact probability ties.
+        if act_key != exp_key:
+            assert act_p == pytest.approx(exp_p, abs=1e-12)
