@@ -6,8 +6,10 @@ small probabilities) can be split across processes or machines: each
 worker runs the same method with an independent spawned RNG stream,
 persists its result as JSON, and the coordinator pools them with
 trial-weighted averaging.  This example simulates three workers in one
-process and also demonstrates the single-butterfly conditional query,
-antithetic variance reduction, and repetition-based error bars.
+process, then runs the real fault-tolerant worker pool — including a
+worker that crashes once and is retried — and also demonstrates the
+single-butterfly conditional query, antithetic variance reduction, and
+repetition-based error bars.
 
 Run:
     python examples/distributed_trials.py
@@ -16,7 +18,13 @@ Run:
 import tempfile
 from pathlib import Path
 
-from repro import GraphBuilder, make_butterfly, ordering_sampling
+from repro import (
+    FaultPlan,
+    GraphBuilder,
+    make_butterfly,
+    ordering_sampling,
+    run_parallel_trials,
+)
 from repro.core import (
     estimate_probability,
     load_result,
@@ -61,6 +69,22 @@ def main() -> None:
     print(
         f"pooled    : {pooled.n_trials} trials, "
         f"P̂ = {pooled.probability(key):.4f}  (exact {EXACT})\n"
+    )
+
+    # --- The real fault-tolerant pool (with an injected crash) --------
+    # Worker 0's first attempt dies hard; the pool retries it with
+    # backoff on the same RNG stream, so the pooled estimate is
+    # identical to a fault-free run.
+    survived = run_parallel_trials(
+        graph, 12_000, 3, method="os", rng=2024,
+        faults=FaultPlan(worker_crash_attempts={0: 1}),
+    )
+    print(
+        f"worker pool: {survived.n_trials} trials across "
+        f"{survived.stats['workers_total']:.0f} workers, "
+        f"{survived.stats['worker_attempts']:.0f} attempts "
+        f"(one injected crash, retried), "
+        f"P̂ = {survived.probability(key):.4f}\n"
     )
 
     # --- Single-butterfly conditional query --------------------------

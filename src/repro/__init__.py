@@ -49,12 +49,23 @@ from .core import (
     prepare_candidates,
 )
 from .errors import (
+    CheckpointError,
     DatasetError,
     EstimationError,
     GraphFormatError,
     GraphValidationError,
     IntractableError,
     ReproError,
+    TrialBudgetExceeded,
+    WorkerFailureError,
+)
+from .runtime import (
+    Deadline,
+    FaultPlan,
+    Guarantee,
+    RuntimePolicy,
+    recompute_guarantee,
+    run_parallel_trials,
 )
 from .graph import (
     EdgeSpec,
@@ -118,4 +129,14 @@ __all__ = [
     "IntractableError",
     "EstimationError",
     "DatasetError",
+    "CheckpointError",
+    "TrialBudgetExceeded",
+    "WorkerFailureError",
+    # runtime
+    "RuntimePolicy",
+    "Deadline",
+    "FaultPlan",
+    "Guarantee",
+    "recompute_guarantee",
+    "run_parallel_trials",
 ]

@@ -22,9 +22,12 @@ from typing import List, Optional
 
 from .core import find_mpmb
 from .core.mpmb import METHODS
+from .errors import CheckpointError
+from .core.results import MPMBResult
 from .datasets import dataset_names, load_dataset
 from .experiments.report import format_seconds, format_table
 from .graph import UncertainBipartiteGraph, compute_stats, load_graph
+from .runtime import POOLABLE_METHODS, RuntimePolicy, run_parallel_trials
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,6 +57,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=1, help="how many MPMBs to report"
     )
     search.add_argument("--seed", type=int, default=None, help="RNG seed")
+    search.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="periodically snapshot the trial loop to PATH (atomic JSON)",
+    )
+    search.add_argument(
+        "--checkpoint-every", type=int, default=1000, metavar="N",
+        help="trials between checkpoint snapshots (default: 1000)",
+    )
+    search.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume the trial loop from a checkpoint written by "
+             "--checkpoint (bit-identical to an uninterrupted run)",
+    )
+    search.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget; on expiry the partial result is "
+             "reported as degraded with a re-widened guarantee",
+    )
+    search.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="fault-tolerant parallel worker processes (poolable "
+             "methods only; default: 1 = in-process)",
+    )
 
     stats = commands.add_parser(
         "stats", help="print dataset statistics (Table III columns)"
@@ -91,18 +117,91 @@ def _load(args: argparse.Namespace) -> UncertainBipartiteGraph:
     return load_dataset(args.dataset, args.profile, rng=args.dataset_seed)
 
 
+def _validate_search(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
+    """Reject invalid search options upfront with a clear exit-2 error."""
+    exact = args.method.startswith("exact-")
+    if args.trials < 0 or (
+        args.trials == 0 and args.method != "ols-kl" and not exact
+    ):
+        parser.error(
+            f"--trials must be at least 1 for method {args.method!r} "
+            f"(got {args.trials}); only ols-kl accepts 0 for dynamic "
+            "Lemma VI.4 sizing"
+        )
+    if args.prepare <= 0:
+        parser.error(f"--prepare must be at least 1 (got {args.prepare})")
+    if args.top <= 0:
+        parser.error(f"--top must be at least 1 (got {args.top})")
+    if args.timeout is not None and args.timeout <= 0:
+        parser.error(f"--timeout must be positive (got {args.timeout})")
+    if args.checkpoint_every <= 0:
+        parser.error(
+            f"--checkpoint-every must be at least 1 "
+            f"(got {args.checkpoint_every})"
+        )
+    if args.workers <= 0:
+        parser.error(f"--workers must be at least 1 (got {args.workers})")
+    if exact and (
+        args.checkpoint or args.resume or args.timeout is not None
+        or args.workers > 1
+    ):
+        parser.error(
+            f"--checkpoint/--resume/--timeout/--workers do not apply to "
+            f"the exact method {args.method!r}"
+        )
+    if args.workers > 1:
+        if args.method not in POOLABLE_METHODS:
+            parser.error(
+                f"--workers requires a poolable method "
+                f"({', '.join(POOLABLE_METHODS)}); {args.method!r} "
+                "results cannot be pooled by trial-weighted averaging"
+            )
+        if args.checkpoint or args.resume:
+            parser.error(
+                "--checkpoint/--resume cannot be combined with "
+                "--workers > 1; checkpointing covers the in-process loop"
+            )
+
+
+def _search_policy(args: argparse.Namespace) -> Optional[RuntimePolicy]:
+    if (
+        args.checkpoint is None
+        and args.resume is None
+        and args.timeout is None
+    ):
+        return None
+    return RuntimePolicy(
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume_from=args.resume,
+        timeout_seconds=args.timeout,
+    )
+
+
 def _run_search(args: argparse.Namespace) -> int:
     graph = _load(args)
     print(f"Graph: {graph!r}")
     start = time.perf_counter()
-    result = find_mpmb(
-        graph, method=args.method, n_trials=args.trials,
-        n_prepare=args.prepare, rng=args.seed,
-    )
+    if args.workers > 1:
+        result = run_parallel_trials(
+            graph, args.trials, args.workers, method=args.method,
+            rng=args.seed, n_prepare=args.prepare,
+        )
+    else:
+        policy = _search_policy(args)
+        kwargs = {} if policy is None else {"runtime": policy}
+        result = find_mpmb(
+            graph, method=args.method, n_trials=args.trials,
+            n_prepare=args.prepare, rng=args.seed, **kwargs,
+        )
     elapsed = time.perf_counter() - start
+    if result.degraded:
+        _print_degraded_notice(result)
     if result.best is None:
         print("No butterfly observed in any sampled world.")
-        return 1
+        return 130 if result.degraded_reason == "interrupted" else 1
     rows = [
         [rank, str(labels), f"{weight:g}", f"{probability:.5f}"]
         for rank, (labels, weight, probability) in enumerate(
@@ -117,7 +216,28 @@ def _run_search(args: argparse.Namespace) -> int:
             f"({result.n_trials} trials, {format_seconds(elapsed)})"
         ),
     ))
-    return 0
+    return 130 if result.degraded_reason == "interrupted" else 0
+
+
+def _print_degraded_notice(result: MPMBResult) -> None:
+    """Explain a partial result before ranking it."""
+    reasons = {
+        "deadline": "the wall-clock budget expired",
+        "interrupted": "the run was interrupted",
+        "workers-dropped": "some workers failed permanently",
+    }
+    why = reasons.get(result.degraded_reason, result.degraded_reason)
+    target = (
+        f" of {result.target_trials} planned"
+        if result.target_trials is not None
+        else ""
+    )
+    print(
+        f"DEGRADED result: {why}; estimates cover "
+        f"{result.n_trials} trials{target}."
+    )
+    if result.guarantee is not None:
+        print(f"Re-widened guarantee: {result.guarantee}")
 
 
 def _run_stats(args: argparse.Namespace) -> int:
@@ -142,11 +262,26 @@ def _run_stats(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    if args.command == "search":
-        return _run_search(args)
-    if args.command == "stats":
-        return _run_stats(args)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "search":
+            _validate_search(parser, args)
+            return _run_search(args)
+        if args.command == "stats":
+            return _run_stats(args)
+    except KeyboardInterrupt:
+        # The engine converts mid-loop Ctrl-C into a degraded result;
+        # this guards the phases outside the trial loop (graph loading,
+        # preparing, exact solvers) so no traceback reaches the user.
+        print("interrupted before a partial result was available",
+              file=sys.stderr)
+        return 130
+    except CheckpointError as error:
+        # A wrong/corrupt --resume or --checkpoint target is a usage
+        # problem; the message says what mismatched.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     print(f"unknown command {args.command!r}", file=sys.stderr)
     return 2
 

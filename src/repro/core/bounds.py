@@ -22,6 +22,7 @@ __all__ = [
     "optimized_trial_bound",
     "karp_luby_trial_ratio",
     "karp_luby_trial_bound",
+    "karp_luby_achievable_epsilon",
     "balance_ratio",
     "candidate_hit_probability",
     "preparing_trials_for_recall",
@@ -109,6 +110,31 @@ def karp_luby_trial_bound(
     ratio = karp_luby_trial_ratio(existence_prob, blocking_mass, mu)
     base = monte_carlo_trial_bound(mu, epsilon, delta)
     return max(minimum, math.ceil(ratio * base))
+
+
+def karp_luby_achievable_epsilon(
+    existence_prob: float,
+    blocking_mass: float,
+    mu: float,
+    n_trials: int,
+    delta: float = 0.1,
+) -> float:
+    """Invert Lemma VI.4: the ε a Karp-Luby budget actually certifies.
+
+    Solving ``N = ratio(Eq. 8) · (1/μ)·4 ln(2/δ)/ε²`` for ε gives
+    ``ε = sqrt(ratio · 4 ln(2/δ) / (μ·N))``.  Used to re-widen the
+    guarantee of a deadline-degraded OLS-KL run from the trials each
+    candidate actually received.  A ratio of zero (nothing blocks the
+    candidate) certifies ε = 0: the estimate equals ``Pr[E(B)]`` exactly.
+    """
+    if n_trials <= 0:
+        raise ValueError(f"n_trials must be positive, got {n_trials}")
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    ratio = karp_luby_trial_ratio(existence_prob, blocking_mass, mu)
+    if ratio <= 0.0:
+        return 0.0
+    return math.sqrt(ratio * 4.0 * math.log(2.0 / delta) / (mu * n_trials))
 
 
 def balance_ratio(candidate_count: int) -> float:

@@ -9,9 +9,10 @@ shared-trial estimator) consume a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..butterfly import ButterflyKey
+from ..runtime.degradation import Guarantee
 from ..sampling import ConvergenceTrace
 
 
@@ -31,6 +32,13 @@ class EstimationOutcome:
             (Lemma VI.4).
         stats: Aggregate counters (``total_trials``, ``edges_sampled``,
             ...).
+        stop_reason: ``None`` for complete runs; ``"deadline"`` or
+            ``"interrupted"`` when the phase stopped early under a
+            :class:`~repro.runtime.policy.RuntimePolicy`.
+        target_trials: The trial budget a degraded phase was sized for
+            (``None`` for complete runs).
+        guarantee: The re-widened ε-δ statement a degraded phase still
+            certifies (``None`` for complete runs).
     """
 
     method: str
@@ -38,8 +46,16 @@ class EstimationOutcome:
     traces: Dict[ButterflyKey, ConvergenceTrace] = field(default_factory=dict)
     trials_per_candidate: List[int] = field(default_factory=list)
     stats: Dict[str, float] = field(default_factory=dict)
+    stop_reason: Optional[str] = None
+    target_trials: Optional[int] = None
+    guarantee: Optional[Guarantee] = None
 
     @property
     def total_trials(self) -> int:
         """Total sampling-phase trials across candidates."""
         return int(self.stats.get("total_trials", 0))
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the phase stopped before its budget."""
+        return self.stop_reason is not None

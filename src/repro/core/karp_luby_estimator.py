@@ -9,13 +9,21 @@ blocking events ``E(B_j \\ B_i)`` over strictly heavier candidates
 Trial counts are either fixed or sized dynamically per candidate through
 the Lemma VI.4 ratio (Equation 8) against a common Monte-Carlo baseline —
 which is exactly how the paper configures OLS-KL in Section VIII-B.
+
+The candidate loop routes through the resilient runtime engine with
+``unit="candidate"``: checkpoints snapshot fully-completed candidates
+only, and a wall-clock deadline can stop *inside* a candidate's trial
+run — the partial estimate is kept and the outcome degrades with a
+guarantee re-widened via the inverted Lemma VI.4 bound.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, List, Optional
 
 from ..butterfly import ButterflyKey
+from ..errors import CheckpointError
 from ..sampling import (
     ConvergenceTrace,
     KarpLubyUnionSampler,
@@ -24,9 +32,174 @@ from ..sampling import (
     ensure_rng,
     monte_carlo_trial_bound,
 )
-from .bounds import karp_luby_trial_bound
+from ..sampling.rng import restore_rng_state, rng_state_payload
+from ..runtime.degradation import Guarantee
+from ..runtime.engine import LoopInterrupt, execute_trial_loop
+from ..runtime.policy import Deadline, RuntimePolicy
+from .bounds import karp_luby_achievable_epsilon, karp_luby_trial_bound
 from .candidates import CandidateSet
 from .estimation import EstimationOutcome
+
+#: How many Karp-Luby trials run between mid-candidate deadline checks.
+DEADLINE_CHECK_EVERY = 64
+
+
+class _KarpLubyLoop:
+    """Algorithm 4's candidate loop behind the engine's contract.
+
+    One engine "trial" is one candidate.  Snapshot state covers
+    fully-completed candidates only — their estimates, per-candidate
+    trial counts, traces — plus the candidate keys (resume validation)
+    and the RNG stream position; a candidate interrupted mid-run is
+    re-estimated from scratch on resume, which keeps the checkpoint
+    payload exact.
+    """
+
+    def __init__(
+        self,
+        candidates: CandidateSet,
+        generator,
+        n_trials: Optional[int],
+        mu: float,
+        epsilon: float,
+        delta: float,
+        min_trials: int,
+        max_trials: int,
+        track: Optional[Iterable[ButterflyKey]] = None,
+        checkpoints: int = 40,
+        deadline: Optional[Deadline] = None,
+    ) -> None:
+        self.candidates = candidates
+        self.generator = generator
+        self.items = candidates.butterflies
+        self.n_trials = n_trials
+        self.mu = mu
+        self.epsilon = epsilon
+        self.delta = delta
+        self.min_trials = min_trials
+        self.max_trials = max_trials
+        self.deadline = deadline
+        self._tracked = set(track) if track is not None else set()
+        self._checkpoints = checkpoints
+        self.estimates: Dict[ButterflyKey, float] = {}
+        self.traces: Dict[ButterflyKey, ConvergenceTrace] = {}
+        self.trials_per_candidate: List[int] = []
+
+    @property
+    def total_trials(self) -> int:
+        return sum(self.trials_per_candidate)
+
+    def run_trial(self, trial: int) -> None:
+        """Estimate candidate ``trial - 1`` (engine trials are 1-based)."""
+        index = trial - 1
+        butterfly = self.items[index]
+        probs = self.candidates.graph.probs
+        existence = self.candidates.existence_probability(index)
+        if existence == 0.0:
+            self.estimates[butterfly.key] = 0.0
+            self.trials_per_candidate.append(0)
+            return
+        events = self.candidates.difference_events(index)
+        if not events:
+            # Nothing heavier can block this candidate: P(B) = Pr[E(B)].
+            self.estimates[butterfly.key] = existence
+            self.trials_per_candidate.append(0)
+            if butterfly.key in self._tracked:
+                trace = ConvergenceTrace(label=str(butterfly.key))
+                trace.record(1, existence)
+                self.traces[butterfly.key] = trace
+            return
+
+        sampler = KarpLubyUnionSampler(
+            events, lambda e: float(probs[e]), self.generator
+        )
+        budget = _candidate_budget(
+            self.n_trials, existence, sampler.weight_sum, self.mu,
+            self.epsilon, self.delta, self.min_trials, self.max_trials,
+        )
+        trace: Optional[ConvergenceTrace] = None
+        schedule: set = set()
+        if butterfly.key in self._tracked:
+            trace = ConvergenceTrace(label=str(butterfly.key))
+            schedule = set(checkpoint_schedule(budget, self._checkpoints))
+
+        done = 0
+        for step in range(1, budget + 1):
+            sampler.trial()
+            done = step
+            if trace is not None and step in schedule:
+                trace.record(
+                    step,
+                    _to_probability(
+                        sampler.estimate().raw_probability, existence
+                    ),
+                )
+            if (
+                self.deadline is not None
+                and step < budget
+                and step % DEADLINE_CHECK_EVERY == 0
+                and self.deadline.expired
+            ):
+                break
+
+        self.estimates[butterfly.key] = _to_probability(
+            sampler.estimate().raw_probability, existence
+        )
+        self.trials_per_candidate.append(done)
+        if trace is not None:
+            self.traces[butterfly.key] = trace
+        if done < budget:
+            # The partial estimate above is kept for the degraded result,
+            # but the engine's completed count excludes this candidate.
+            raise LoopInterrupt("deadline")
+
+    def state_payload(self, completed: int) -> Dict:
+        completed_items = self.items[:completed]
+        index_of = {b.key: i for i, b in enumerate(self.items)}
+        return {
+            "candidates": [list(b.key) for b in self.items],
+            "estimates": [
+                [list(b.key), float(self.estimates[b.key])]
+                for b in completed_items
+            ],
+            "trials_per_candidate": [
+                int(n) for n in self.trials_per_candidate[:completed]
+            ],
+            "traces": {
+                "|".join(map(str, key)): [
+                    [n, value] for n, value in trace.checkpoints
+                ]
+                for key, trace in self.traces.items()
+                if index_of[key] < completed
+            },
+            "rng": rng_state_payload(self.generator),
+        }
+
+    def restore_state(self, payload: Dict) -> None:
+        keys = [tuple(int(part) for part in raw) for raw in
+                payload["candidates"]]
+        current = [b.key for b in self.items]
+        if keys != current:
+            raise CheckpointError(
+                "checkpointed candidate set does not match the current "
+                f"candidate set ({len(keys)} vs {len(current)} candidates)"
+            )
+        self.estimates = {
+            tuple(int(part) for part in raw): float(value)
+            for raw, value in payload["estimates"]
+        }
+        self.trials_per_candidate = [
+            int(n) for n in payload["trials_per_candidate"]
+        ]
+        self.traces = {}
+        for raw_key, recorded in payload["traces"].items():
+            key = tuple(int(part) for part in raw_key.split("|"))
+            trace = ConvergenceTrace(label=str(key))
+            trace.checkpoints = [
+                (int(n), float(value)) for n, value in recorded
+            ]
+            self.traces[key] = trace
+        restore_rng_state(self.generator, payload["rng"])
 
 
 def estimate_probabilities_karp_luby(
@@ -40,6 +213,7 @@ def estimate_probabilities_karp_luby(
     max_trials: int = 200_000,
     track: Optional[Iterable[ButterflyKey]] = None,
     checkpoints: int = 40,
+    runtime: Optional[RuntimePolicy] = None,
 ) -> EstimationOutcome:
     """Estimate ``P(B)`` for every candidate with per-candidate KL runs.
 
@@ -59,80 +233,125 @@ def estimate_probabilities_karp_luby(
         max_trials: Cap on the per-candidate trial count.
         track: Optional butterfly keys to trace (Figure 11).
         checkpoints: Number of evenly spaced trace checkpoints.
+        runtime: Optional :class:`~repro.runtime.policy.RuntimePolicy`
+            enabling candidate-granular checkpoint/resume and deadline
+            degradation (the deadline is also checked *inside* each
+            candidate's trial run, every
+            :data:`DEADLINE_CHECK_EVERY` trials).
 
     Returns:
         An :class:`~repro.core.estimation.EstimationOutcome` with
         ``method="karp-luby"`` and stats counters ``total_trials`` and
-        ``base_trials`` (the Monte-Carlo baseline the ratios scale).
+        ``base_trials`` (the Monte-Carlo baseline the ratios scale).  A
+        degraded outcome keeps every estimate computed so far (including
+        the partially-sampled candidate) and re-widens ε through the
+        inverted Lemma VI.4 bound over the trials each candidate
+        actually received; unprocessed candidates have no estimate.
     """
     if n_trials is not None and n_trials <= 0:
         raise ValueError(f"n_trials must be positive, got {n_trials}")
     generator = ensure_rng(rng)
-    graph = candidates.graph
-    probs = graph.probs
-    tracked = set(track) if track is not None else set()
-
-    estimates: Dict[ButterflyKey, float] = {}
-    traces: Dict[ButterflyKey, ConvergenceTrace] = {}
-    trials_per_candidate: List[int] = []
-    total_trials = 0
     base = monte_carlo_trial_bound(mu, epsilon, delta)
-
-    for index, butterfly in enumerate(candidates):
-        existence = candidates.existence_probability(index)
-        if existence == 0.0:
-            estimates[butterfly.key] = 0.0
-            trials_per_candidate.append(0)
-            continue
-        events = candidates.difference_events(index)
-        if not events:
-            # Nothing heavier can block this candidate: P(B) = Pr[E(B)].
-            estimates[butterfly.key] = existence
-            trials_per_candidate.append(0)
-            if butterfly.key in tracked:
-                trace = ConvergenceTrace(label=str(butterfly.key))
-                trace.record(1, existence)
-                traces[butterfly.key] = trace
-            continue
-
-        sampler = KarpLubyUnionSampler(
-            events, lambda e: float(probs[e]), generator
+    if len(candidates) == 0:
+        return EstimationOutcome(
+            method="karp-luby",
+            estimates={},
+            stats={"total_trials": 0.0, "base_trials": float(base)},
         )
-        budget = _candidate_budget(
-            n_trials, existence, sampler.weight_sum, mu,
-            epsilon, delta, min_trials, max_trials,
+    deadline = runtime.make_deadline() if runtime is not None else None
+    loop = _KarpLubyLoop(
+        candidates, generator, n_trials, mu, epsilon, delta,
+        min_trials, max_trials,
+        track=track, checkpoints=checkpoints, deadline=deadline,
+    )
+    report = execute_trial_loop(
+        method="ols-kl",
+        graph_name=candidates.graph.name,
+        n_target=len(candidates),
+        loop=loop,
+        policy=runtime,
+        deadline=deadline,
+        unit="candidate",
+    )
+    guarantee = None
+    target_trials = None
+    if report.degraded:
+        guarantee, target_trials = _degraded_guarantee(
+            candidates, loop, n_trials, mu, epsilon, delta,
+            min_trials, max_trials,
         )
-        trials_per_candidate.append(budget)
-        total_trials += budget
-
-        if butterfly.key in tracked:
-            trace = ConvergenceTrace(label=str(butterfly.key))
-            schedule = set(checkpoint_schedule(budget, checkpoints))
-            for trial in range(1, budget + 1):
-                sampler.trial()
-                if trial in schedule:
-                    trace.record(
-                        trial,
-                        _to_probability(sampler.estimate().raw_probability,
-                                        existence),
-                    )
-            traces[butterfly.key] = trace
-        else:
-            sampler.run(budget)
-        estimates[butterfly.key] = _to_probability(
-            sampler.estimate().raw_probability, existence
-        )
-
     return EstimationOutcome(
         method="karp-luby",
-        estimates=estimates,
-        traces=traces,
-        trials_per_candidate=trials_per_candidate,
+        estimates=dict(loop.estimates),
+        traces=loop.traces,
+        trials_per_candidate=list(loop.trials_per_candidate),
         stats={
-            "total_trials": float(total_trials),
+            "total_trials": float(loop.total_trials),
             "base_trials": float(base),
         },
+        stop_reason=report.stop_reason,
+        target_trials=target_trials,
+        guarantee=guarantee,
     )
+
+
+def _degraded_guarantee(
+    candidates: CandidateSet,
+    loop: _KarpLubyLoop,
+    n_trials: Optional[int],
+    mu: float,
+    epsilon: float,
+    delta: float,
+    min_trials: int,
+    max_trials: int,
+) -> tuple:
+    """Re-widen a degraded KL run's guarantee from achieved trials.
+
+    ε is the *widest* error certified among the candidates that received
+    trials (inverted Lemma VI.4); it is infinite when a trial-needing
+    candidate received none.  The target budget sums every candidate's
+    planned trial count, so callers can see how far the run got.
+    """
+    target_total = 0
+    eps_values: List[float] = []
+    shortfall = False
+    for index in range(len(candidates)):
+        existence = candidates.existence_probability(index)
+        if existence == 0.0:
+            continue
+        mass = candidates.blocking_mass(index)
+        if mass == 0.0:
+            continue
+        budget = _candidate_budget(
+            n_trials, existence, mass, mu, epsilon, delta,
+            min_trials, max_trials,
+        )
+        target_total += budget
+        done = (
+            loop.trials_per_candidate[index]
+            if index < len(loop.trials_per_candidate)
+            else 0
+        )
+        if done > 0:
+            eps_values.append(
+                karp_luby_achievable_epsilon(
+                    existence, mass, min(mu, existence), done, delta
+                )
+            )
+        else:
+            shortfall = True
+    if shortfall or not eps_values:
+        achieved_epsilon = math.inf
+    else:
+        achieved_epsilon = max(eps_values)
+    guarantee = Guarantee(
+        mu=mu,
+        epsilon=achieved_epsilon,
+        delta=delta,
+        achieved_trials=loop.total_trials,
+        target_trials=target_total,
+    )
+    return guarantee, target_total
 
 
 def _candidate_budget(

@@ -24,9 +24,12 @@ from ..graph import (
     degree_priority,
     expected_degree_priority,
 )
-from ..sampling import RngLike, WinnerFrequencyEstimator, ensure_rng
+from ..sampling import RngLike, ensure_rng
 from ..worlds import WorldSampler
-from .results import MPMBResult
+from .results import MPMBResult, result_from_frequency_loop
+from ..runtime.engine import execute_trial_loop
+from ..runtime.frequency import WinnerCountLoop
+from ..runtime.policy import RuntimePolicy
 
 
 def mc_vp(
@@ -37,6 +40,7 @@ def mc_vp(
     checkpoints: int = 40,
     antithetic: bool = False,
     priority_kind: str = "degree",
+    runtime: Optional[RuntimePolicy] = None,
 ) -> MPMBResult:
     """Run MC-VP for ``n_trials`` Monte-Carlo rounds.
 
@@ -53,6 +57,9 @@ def mc_vp(
             paper's BFC-VP order) or ``"expected-degree"`` (rank by
             ``d̄(u) = Σ p(e)``, the quantity Lemma IV.1's cost is
             actually written in; an ablation variant).
+        runtime: Optional :class:`~repro.runtime.policy.RuntimePolicy`
+            enabling checkpoint/resume, deadlines, and graceful
+            degradation for the trial loop.
 
     Returns:
         An :class:`~repro.core.results.MPMBResult` with ``method="mc-vp"``
@@ -69,14 +76,13 @@ def mc_vp(
             f"got {priority_kind!r}"
         )
     sampler = WorldSampler(graph, ensure_rng(rng), antithetic=antithetic)
-    butterflies: Dict[ButterflyKey, Butterfly] = {}
     stats = {
         "angles_processed": 0.0,
         "angles_stored_peak": 0.0,
         "butterflies_checked": 0.0,
     }
 
-    def run_trial() -> List[ButterflyKey]:
+    def run_trial() -> List[Butterfly]:
         mask = sampler.sample_mask()
         winners, trial_stats = _max_butterflies_vertex_priority(
             graph, mask, priority
@@ -86,24 +92,21 @@ def mc_vp(
             stats["angles_stored_peak"], trial_stats[0]
         )
         stats["butterflies_checked"] += trial_stats[1]
-        keys = []
-        for butterfly in winners:
-            butterflies.setdefault(butterfly.key, butterfly)
-            keys.append(butterfly.key)
-        return keys
+        return winners
 
-    estimator = WinnerFrequencyEstimator(
-        run_trial, track=track, checkpoints=checkpoints
+    loop = WinnerCountLoop(
+        graph, sampler, run_trial, n_trials,
+        track=track, checkpoints=checkpoints, stats=stats,
     )
-    outcome = estimator.run(n_trials)
-    return MPMBResult(
+    report = execute_trial_loop(
         method="mc-vp",
-        graph=graph,
-        n_trials=n_trials,
-        estimates=outcome.probabilities(),
-        butterflies=butterflies,
-        traces=outcome.traces,
-        stats=stats,
+        graph_name=graph.name,
+        n_target=n_trials,
+        loop=loop,
+        policy=runtime,
+    )
+    return result_from_frequency_loop(
+        "mc-vp", graph, loop, report, policy=runtime
     )
 
 

@@ -19,9 +19,13 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional
 
 from ..butterfly import Butterfly, ButterflyKey, top_weight_butterflies
+from ..butterfly.model import make_butterfly
+from ..errors import CheckpointError
 from ..graph import UncertainBipartiteGraph
 from ..sampling import RngLike, ensure_rng
 from ..worlds import WorldSampler
+from ..runtime.checkpoint import read_checkpoint
+from ..runtime.policy import RuntimePolicy
 from .candidates import CandidateSet
 from .karp_luby_estimator import estimate_probabilities_karp_luby
 from .optimized_estimator import estimate_probabilities_optimized
@@ -134,6 +138,7 @@ def ordering_listing_sampling(
     mu: float = 0.05,
     epsilon: float = 0.1,
     delta: float = 0.1,
+    runtime: Optional[RuntimePolicy] = None,
 ) -> MPMBResult:
     """Run OLS end to end (Algorithm 3).
 
@@ -157,6 +162,10 @@ def ordering_listing_sampling(
         mu: Dynamic Karp-Luby certification target (ignored otherwise).
         epsilon: ε of the ε-δ guarantee for dynamic sizing.
         delta: δ of the ε-δ guarantee for dynamic sizing.
+        runtime: Optional :class:`~repro.runtime.policy.RuntimePolicy`
+            for the sampling phase.  On resume the candidate set is
+            rebuilt from the checkpoint itself (its payload stores the
+            candidate keys), so the preparing phase is skipped entirely.
 
     Returns:
         An :class:`~repro.core.results.MPMBResult` with ``method="ols"``
@@ -169,6 +178,13 @@ def ordering_listing_sampling(
             f"got {estimator!r}"
         )
     generator = ensure_rng(rng)
+    resumed_candidates = False
+    if candidates is None and runtime is not None:
+        candidates = _candidates_from_checkpoint(
+            graph, runtime,
+            "ols" if estimator == "optimized" else "ols-kl",
+        )
+        resumed_candidates = candidates is not None
     if candidates is None:
         candidates = prepare_candidates(
             graph, n_prepare, generator, prune=prune, pair_side=pair_side
@@ -191,7 +207,7 @@ def ordering_listing_sampling(
             )
         outcome = estimate_probabilities_optimized(
             candidates, n_trials, generator,
-            track=track, checkpoints=checkpoints,
+            track=track, checkpoints=checkpoints, runtime=runtime,
         )
         method = "ols"
     else:
@@ -199,7 +215,7 @@ def ordering_listing_sampling(
             candidates, generator,
             n_trials=n_trials if n_trials > 0 else None,
             mu=mu, epsilon=epsilon, delta=delta,
-            track=track, checkpoints=checkpoints,
+            track=track, checkpoints=checkpoints, runtime=runtime,
         )
         method = "ols-kl"
 
@@ -207,6 +223,8 @@ def ordering_listing_sampling(
         "n_prepare": float(n_prepare),
         "candidates_listed": float(len(candidates)),
     }
+    if resumed_candidates:
+        stats["resumed_candidates"] = 1.0
     stats.update(outcome.stats)
     return MPMBResult(
         method=method,
@@ -216,4 +234,40 @@ def ordering_listing_sampling(
         butterflies={b.key: b for b in candidates},
         traces=outcome.traces,
         stats=stats,
+        degraded=outcome.degraded,
+        degraded_reason=outcome.stop_reason,
+        target_trials=outcome.target_trials,
+        guarantee=outcome.guarantee,
     )
+
+
+def _candidates_from_checkpoint(
+    graph: UncertainBipartiteGraph,
+    runtime: RuntimePolicy,
+    method: str,
+) -> Optional[CandidateSet]:
+    """Rebuild ``C_MB`` from a resume checkpoint, if one is readable.
+
+    The sampling-phase checkpoints store the candidate keys in their
+    state payload, so a resumed OLS run can skip the preparing phase and
+    continue against the exact candidate set the interrupted run used —
+    necessary for bit-identical resumption, since re-running the
+    preparing phase would consume RNG draws the original run already
+    made.
+    """
+    if runtime.resume_from is None:
+        return None
+    document = read_checkpoint(runtime.resume_from)
+    if document is None or document.get("method") != method:
+        return None
+    butterflies = []
+    for raw_key in document["state"]["candidates"]:
+        key = tuple(int(part) for part in raw_key)
+        butterfly = make_butterfly(graph, *key)
+        if butterfly is None:
+            raise CheckpointError(
+                f"checkpointed candidate {key} does not exist in "
+                f"graph {graph.name!r}"
+            )
+        butterflies.append(butterfly)
+    return CandidateSet(graph, butterflies)

@@ -11,22 +11,123 @@ Compared with the per-candidate Karp-Luby runs of Algorithm 4 this costs
 ``O(N·|C_MB|)`` instead of ``O(N·|C_MB|²)`` (Lemma VI.3) while directly
 estimating ``P(B)``, which Lemma VI.4 shows usually needs *fewer* trials
 for the same ε-δ guarantee.
+
+The trial loop routes through the resilient runtime engine
+(:func:`~repro.runtime.engine.execute_trial_loop`), so it supports
+checkpoint/resume, deadlines, and graceful degradation when a
+:class:`~repro.runtime.policy.RuntimePolicy` is supplied.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Dict, Iterable, Optional
 
 from ..butterfly import ButterflyKey
+from ..errors import CheckpointError
 from ..sampling import (
     ConvergenceTrace,
     RngLike,
     checkpoint_schedule,
     ensure_rng,
 )
+from ..sampling.rng import restore_rng_state, rng_state_payload
 from ..worlds.sampler import LazyEdgeTrial
+from ..runtime.degradation import recompute_guarantee
+from ..runtime.engine import execute_trial_loop
+from ..runtime.policy import RuntimePolicy
 from .candidates import CandidateSet
 from .estimation import EstimationOutcome
+
+
+class _OptimizedLoop:
+    """Algorithm 5's inner loop behind the engine's checkpoint contract.
+
+    Snapshot state: per-candidate winner counts (in candidate order),
+    the candidate keys themselves (resume validation), the lazy-sampling
+    edge counter, trace checkpoints, and the RNG stream position.
+    """
+
+    def __init__(
+        self,
+        candidates: CandidateSet,
+        generator,
+        n_target: int,
+        track: Optional[Iterable[ButterflyKey]] = None,
+        checkpoints: int = 40,
+    ) -> None:
+        self.candidates = candidates
+        self.generator = generator
+        self.items = candidates.butterflies
+        self.counts = [0] * len(self.items)
+        self.edges_sampled = 0
+        tracked = set(track) if track is not None else set()
+        self.traces: Dict[ButterflyKey, ConvergenceTrace] = {
+            key: ConvergenceTrace(label=str(key)) for key in tracked
+        }
+        self._tracked_indices = [
+            index for index, butterfly in enumerate(self.items)
+            if butterfly.key in tracked
+        ]
+        self._schedule = set(checkpoint_schedule(n_target, checkpoints))
+
+    def run_trial(self, trial: int) -> None:
+        lazy = LazyEdgeTrial(self.candidates.graph, self.generator)
+        w_max = float("-inf")
+        # Walk candidates heaviest-first; the first existing butterfly
+        # pins w_max, equal-weight peers are still checked, and the loop
+        # exits at the first strictly lighter candidate (Alg. 5 line 5).
+        for index, butterfly in enumerate(self.items):
+            if butterfly.weight < w_max:
+                break
+            if lazy.all_present(butterfly.edges):
+                self.counts[index] += 1
+                w_max = butterfly.weight
+        self.edges_sampled += lazy.n_sampled
+        if self.traces and trial in self._schedule:
+            for index in self._tracked_indices:
+                self.traces[self.items[index].key].record(
+                    trial, self.counts[index] / trial
+                )
+
+    def state_payload(self, completed: int) -> Dict:
+        return {
+            "candidates": [list(b.key) for b in self.items],
+            "counts": list(self.counts),
+            "edges_sampled": int(self.edges_sampled),
+            "traces": {
+                "|".join(map(str, key)): [
+                    [n, value] for n, value in trace.checkpoints
+                ]
+                for key, trace in self.traces.items()
+            },
+            "rng": rng_state_payload(self.generator),
+        }
+
+    def restore_state(self, payload: Dict) -> None:
+        keys = [tuple(int(part) for part in raw) for raw in
+                payload["candidates"]]
+        current = [b.key for b in self.items]
+        if keys != current:
+            raise CheckpointError(
+                "checkpointed candidate set does not match the current "
+                f"candidate set ({len(keys)} vs {len(current)} candidates)"
+            )
+        self.counts = [int(count) for count in payload["counts"]]
+        self.edges_sampled = int(payload["edges_sampled"])
+        for key, trace in self.traces.items():
+            recorded = payload["traces"].get("|".join(map(str, key)), [])
+            trace.checkpoints = [
+                (int(n), float(value)) for n, value in recorded
+            ]
+        restore_rng_state(self.generator, payload["rng"])
+
+    def estimates(self, completed: int) -> Dict[ButterflyKey, float]:
+        if completed <= 0:
+            return {butterfly.key: 0.0 for butterfly in self.items}
+        return {
+            butterfly.key: count / completed
+            for butterfly, count in zip(self.items, self.counts)
+        }
 
 
 def estimate_probabilities_optimized(
@@ -35,6 +136,7 @@ def estimate_probabilities_optimized(
     rng: RngLike = None,
     track: Optional[Iterable[ButterflyKey]] = None,
     checkpoints: int = 40,
+    runtime: Optional[RuntimePolicy] = None,
 ) -> EstimationOutcome:
     """Estimate ``P(B)`` for every candidate with shared trials.
 
@@ -45,11 +147,14 @@ def estimate_probabilities_optimized(
         rng: Seed or generator.
         track: Optional butterfly keys to trace (Figure 11).
         checkpoints: Number of evenly spaced trace checkpoints.
+        runtime: Optional :class:`~repro.runtime.policy.RuntimePolicy`
+            enabling checkpoint/resume and deadline degradation.
 
     Returns:
         An :class:`~repro.core.estimation.EstimationOutcome` with
         ``method="optimized"``; candidates never observed as maximum get
-        estimate 0.0.
+        estimate 0.0.  A deadline-degraded outcome normalises over the
+        trials actually completed and carries a re-widened guarantee.
 
     Raises:
         ValueError: If ``n_trials`` is not positive.
@@ -57,46 +162,36 @@ def estimate_probabilities_optimized(
     if n_trials <= 0:
         raise ValueError(f"n_trials must be positive, got {n_trials}")
     generator = ensure_rng(rng)
-    graph = candidates.graph
-    items = candidates.butterflies
-    counts = [0] * len(items)
-    tracked = set(track) if track is not None else set()
-    traces = {key: ConvergenceTrace(label=str(key)) for key in tracked}
-    tracked_indices = [
-        index for index, butterfly in enumerate(items)
-        if butterfly.key in tracked
-    ]
-    schedule = set(checkpoint_schedule(n_trials, checkpoints))
-    edges_sampled = 0
-
-    for trial in range(1, n_trials + 1):
-        lazy = LazyEdgeTrial(graph, generator)
-        w_max = float("-inf")
-        # Walk candidates heaviest-first; the first existing butterfly
-        # pins w_max, equal-weight peers are still checked, and the loop
-        # exits at the first strictly lighter candidate (Alg. 5 line 5).
-        for index, butterfly in enumerate(items):
-            if butterfly.weight < w_max:
-                break
-            if lazy.all_present(butterfly.edges):
-                counts[index] += 1
-                w_max = butterfly.weight
-        edges_sampled += lazy.n_sampled
-        if traces and trial in schedule:
-            for index in tracked_indices:
-                traces[items[index].key].record(trial, counts[index] / trial)
-
-    estimates = {
-        butterfly.key: count / n_trials
-        for butterfly, count in zip(items, counts)
-    }
+    loop = _OptimizedLoop(
+        candidates, generator, n_trials,
+        track=track, checkpoints=checkpoints,
+    )
+    report = execute_trial_loop(
+        method="ols",
+        graph_name=candidates.graph.name,
+        n_target=n_trials,
+        loop=loop,
+        policy=runtime,
+    )
+    achieved = report.completed
+    guarantee = None
+    if report.degraded:
+        guarantee = recompute_guarantee(
+            achieved,
+            n_trials,
+            mu=runtime.guarantee_mu if runtime is not None else 0.05,
+            delta=runtime.guarantee_delta if runtime is not None else 0.1,
+        )
     return EstimationOutcome(
         method="optimized",
-        estimates=estimates,
-        traces=traces,
-        trials_per_candidate=[n_trials] * len(items),
+        estimates=loop.estimates(achieved),
+        traces=loop.traces,
+        trials_per_candidate=[achieved] * len(loop.items),
         stats={
-            "total_trials": float(n_trials),
-            "edges_sampled": float(edges_sampled),
+            "total_trials": float(achieved),
+            "edges_sampled": float(loop.edges_sampled),
         },
+        stop_reason=report.stop_reason,
+        target_trials=n_trials if report.degraded else None,
+        guarantee=guarantee,
     )

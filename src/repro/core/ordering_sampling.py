@@ -11,15 +11,16 @@ benchmarks.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
-
-import numpy as np
+from typing import Iterable, List, Optional
 
 from ..butterfly import Butterfly, ButterflyKey, max_weight_butterflies
 from ..graph import UncertainBipartiteGraph
-from ..sampling import RngLike, WinnerFrequencyEstimator, ensure_rng
+from ..sampling import RngLike, ensure_rng
 from ..worlds import WorldSampler
-from .results import MPMBResult
+from .results import MPMBResult, result_from_frequency_loop
+from ..runtime.engine import execute_trial_loop
+from ..runtime.frequency import WinnerCountLoop
+from ..runtime.policy import RuntimePolicy
 
 
 def os_trial(
@@ -48,6 +49,7 @@ def ordering_sampling(
     prune: bool = True,
     pair_side: str = "auto",
     antithetic: bool = False,
+    runtime: Optional[RuntimePolicy] = None,
 ) -> MPMBResult:
     """Run Ordering Sampling for ``n_trials`` Monte-Carlo rounds.
 
@@ -63,6 +65,9 @@ def ordering_sampling(
             (Lemma V.1 cost minimisation), ``"left"`` or ``"right"``.
         antithetic: Sample worlds in antithetic pairs (variance
             reduction; see :class:`~repro.worlds.sampler.WorldSampler`).
+        runtime: Optional :class:`~repro.runtime.policy.RuntimePolicy`
+            enabling checkpoint/resume, deadlines, and graceful
+            degradation for the trial loop.
 
     Returns:
         An :class:`~repro.core.results.MPMBResult` with ``method="os"``
@@ -71,7 +76,6 @@ def ordering_sampling(
     """
     sampler = WorldSampler(graph, ensure_rng(rng), antithetic=antithetic)
     order = graph.edges_by_weight_desc
-    butterflies: Dict[ButterflyKey, Butterfly] = {}
     stats = {
         "edges_processed": 0.0,
         "angles_processed": 0.0,
@@ -79,7 +83,7 @@ def ordering_sampling(
         "trials_pruned": 0.0,
     }
 
-    def run_trial() -> List[ButterflyKey]:
+    def run_trial() -> List[Butterfly]:
         mask = sampler.sample_mask()
         present_sorted = order[mask[order]]
         search = max_weight_butterflies(
@@ -90,22 +94,19 @@ def ordering_sampling(
         stats["angles_stored"] += search.n_angles_stored
         if search.pruned:
             stats["trials_pruned"] += 1
-        keys = []
-        for butterfly in search.butterflies:
-            butterflies.setdefault(butterfly.key, butterfly)
-            keys.append(butterfly.key)
-        return keys
+        return search.butterflies
 
-    estimator = WinnerFrequencyEstimator(
-        run_trial, track=track, checkpoints=checkpoints
+    loop = WinnerCountLoop(
+        graph, sampler, run_trial, n_trials,
+        track=track, checkpoints=checkpoints, stats=stats,
     )
-    outcome = estimator.run(n_trials)
-    return MPMBResult(
+    report = execute_trial_loop(
         method="os",
-        graph=graph,
-        n_trials=n_trials,
-        estimates=outcome.probabilities(),
-        butterflies=butterflies,
-        traces=outcome.traces,
-        stats=stats,
+        graph_name=graph.name,
+        n_target=n_trials,
+        loop=loop,
+        policy=runtime,
+    )
+    return result_from_frequency_loop(
+        "os", graph, loop, report, policy=runtime
     )

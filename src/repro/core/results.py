@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..butterfly import Butterfly, ButterflyKey
 from ..graph import UncertainBipartiteGraph
+from ..runtime.degradation import Guarantee, recompute_guarantee
 from ..sampling import ConvergenceTrace
 
 
@@ -35,6 +36,19 @@ class MPMBResult:
         prob_no_butterfly: For exact solvers, the probability that a world
             contains no butterfly at all; ``None`` for sampling methods
             that did not measure it.
+        degraded: True when the run stopped before its target budget
+            (deadline expiry, interruption, or dropped workers); the
+            estimates cover only ``n_trials`` completed trials.
+        degraded_reason: Why the run degraded (``"deadline"``,
+            ``"interrupted"``, ``"workers-dropped"``); ``None`` for
+            complete runs.
+        target_trials: The budget the run was sized for (set only on
+            degraded results; complete runs have it equal to
+            ``n_trials`` implicitly).
+        guarantee: The ε-δ statement the run actually certifies.  For
+            degraded frequency runs ε is *re-widened*: Theorem IV.1 is
+            inverted for the achieved trial count instead of silently
+            reporting the target-budget guarantee.
     """
 
     method: str
@@ -45,6 +59,10 @@ class MPMBResult:
     traces: Dict[ButterflyKey, ConvergenceTrace] = field(default_factory=dict)
     stats: Dict[str, float] = field(default_factory=dict)
     prob_no_butterfly: Optional[float] = None
+    degraded: bool = False
+    degraded_reason: Optional[str] = None
+    target_trials: Optional[int] = None
+    guarantee: Optional[Guarantee] = None
 
     def probability(self, butterfly: Butterfly | ButterflyKey) -> float:
         """Estimated ``P(B)`` (0.0 for butterflies never observed)."""
@@ -106,6 +124,52 @@ class MPMBResult:
         )
 
 
+def result_from_frequency_loop(
+    method: str,
+    graph: UncertainBipartiteGraph,
+    loop,
+    report,
+    policy=None,
+) -> MPMBResult:
+    """Assemble an :class:`MPMBResult` from an engine-driven winner loop.
+
+    Shared by MC-VP and OS: winner frequencies are computed over the
+    trials the engine actually completed, and an early stop yields a
+    degraded result whose ε is re-widened for the achieved trial count
+    (policy ``guarantee_mu``/``guarantee_delta``, paper defaults
+    otherwise).
+
+    Args:
+        method: Result method identifier.
+        graph: The analysed graph.
+        loop: The :class:`~repro.runtime.frequency.WinnerCountLoop`.
+        report: The engine's :class:`~repro.runtime.engine.LoopReport`.
+        policy: The :class:`~repro.runtime.policy.RuntimePolicy`, if any.
+    """
+    degraded = report.degraded
+    guarantee = None
+    if degraded:
+        guarantee = recompute_guarantee(
+            report.completed,
+            report.target,
+            mu=policy.guarantee_mu if policy is not None else 0.05,
+            delta=policy.guarantee_delta if policy is not None else 0.1,
+        )
+    return MPMBResult(
+        method=method,
+        graph=graph,
+        n_trials=report.completed,
+        estimates=loop.probabilities(report.completed),
+        butterflies=dict(loop.butterflies),
+        traces=loop.traces,
+        stats=loop.stats,
+        degraded=degraded,
+        degraded_reason=report.stop_reason,
+        target_trials=report.target if degraded else None,
+        guarantee=guarantee,
+    )
+
+
 def merge_results(first: MPMBResult, second: MPMBResult) -> MPMBResult:
     """Pool two independent frequency-based runs of the same method.
 
@@ -150,6 +214,14 @@ def merge_results(first: MPMBResult, second: MPMBResult) -> MPMBResult:
     stats = dict(first.stats)
     for key, value in second.stats.items():
         stats[key] = stats.get(key, 0.0) + value
+    degraded = first.degraded or second.degraded
+    reasons = [
+        r for r in (first.degraded_reason, second.degraded_reason) if r
+    ]
+    targets = [
+        t for t in (first.target_trials, second.target_trials)
+        if t is not None
+    ]
     return MPMBResult(
         method=first.method,
         graph=first.graph,
@@ -157,4 +229,7 @@ def merge_results(first: MPMBResult, second: MPMBResult) -> MPMBResult:
         estimates=estimates,
         butterflies=butterflies,
         stats=stats,
+        degraded=degraded,
+        degraded_reason=reasons[0] if reasons else None,
+        target_trials=sum(targets) if targets else None,
     )

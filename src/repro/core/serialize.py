@@ -15,6 +15,7 @@ from typing import Dict, Union
 
 from ..butterfly import butterfly_from_labels
 from ..graph import UncertainBipartiteGraph
+from ..runtime.degradation import Guarantee
 from ..sampling import ConvergenceTrace
 from .results import MPMBResult
 
@@ -37,7 +38,7 @@ def result_to_dict(result: MPMBResult) -> Dict:
             "probability": result.estimates.get(key, 0.0),
         })
     records.sort(key=lambda r: (-r["probability"], r["labels"]))
-    return {
+    payload = {
         "format": FORMAT_VERSION,
         "method": result.method,
         "n_trials": result.n_trials,
@@ -50,6 +51,18 @@ def result_to_dict(result: MPMBResult) -> Dict:
             for key, trace in result.traces.items()
         },
     }
+    # Degradation metadata rides along as optional keys so the format
+    # version stays 1 and pre-runtime readers keep working.
+    if result.degraded:
+        payload["degraded"] = True
+        payload["degraded_reason"] = result.degraded_reason
+        payload["target_trials"] = result.target_trials
+        payload["guarantee"] = (
+            result.guarantee.to_dict()
+            if result.guarantee is not None
+            else None
+        )
+    return payload
 
 
 def result_from_dict(
@@ -94,6 +107,8 @@ def result_from_dict(
         for n_trials, estimate in checkpoints:
             trace.record(int(n_trials), float(estimate))
         traces[key] = trace
+    raw_guarantee = payload.get("guarantee")
+    raw_target = payload.get("target_trials")
     return MPMBResult(
         method=payload["method"],
         graph=graph,
@@ -103,6 +118,14 @@ def result_from_dict(
         traces=traces,
         stats=dict(payload.get("stats", {})),
         prob_no_butterfly=payload.get("prob_no_butterfly"),
+        degraded=bool(payload.get("degraded", False)),
+        degraded_reason=payload.get("degraded_reason"),
+        target_trials=None if raw_target is None else int(raw_target),
+        guarantee=(
+            Guarantee.from_dict(raw_guarantee)
+            if raw_guarantee is not None
+            else None
+        ),
     )
 
 

@@ -41,3 +41,32 @@ class EstimationError(ReproError, RuntimeError):
 
 class DatasetError(ReproError, ValueError):
     """A dataset generator or the dataset registry received bad arguments."""
+
+
+class TrialBudgetExceeded(ReproError, RuntimeError):
+    """A trial loop exhausted its wall-clock or trial budget.
+
+    The resilient runtime normally *degrades* instead of raising — it
+    stops cleanly and returns a partial result flagged ``degraded=True``
+    — but callers that demand the full budget (e.g. certification runs)
+    can ask the runtime to raise this instead.
+    """
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A runtime checkpoint could not be written, read, or applied.
+
+    Raised for unwritable checkpoint targets, corrupt or truncated
+    snapshot files, and snapshots that do not match the run being
+    resumed (different method, graph, or trial target).
+    """
+
+
+class WorkerFailureError(ReproError, RuntimeError):
+    """Every worker of a parallel trial pool failed permanently.
+
+    Individual worker crashes, hangs, and stragglers are retried with
+    exponential backoff and, past the attempt cap, dropped (the merged
+    result is then flagged degraded); this error signals that *no*
+    worker survived, so there is no partial result to return.
+    """

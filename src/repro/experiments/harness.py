@@ -22,6 +22,7 @@ from ..core import (
 from ..core.results import MPMBResult
 from ..datasets import DATASET_NAMES, load_dataset
 from ..graph import UncertainBipartiteGraph
+from ..runtime import RuntimePolicy
 from .instrument import Measurement, measure
 
 #: Methods in the paper's plotting order.
@@ -45,6 +46,9 @@ class ExperimentConfig:
         mu: ε-δ target probability (Section VIII-B uses 0.05).
         epsilon: Relative error target.
         delta: Failure probability target.
+        timeout_seconds: Optional per-run wall-clock budget; expired
+            runs return degraded results with re-widened guarantees
+            instead of blocking the whole sweep.
     """
 
     profile: str = "bench"
@@ -58,6 +62,17 @@ class ExperimentConfig:
     mu: float = 0.05
     epsilon: float = 0.1
     delta: float = 0.1
+    timeout_seconds: Optional[float] = None
+
+    def runtime_policy(self) -> Optional[RuntimePolicy]:
+        """The runtime policy experiment runs execute under, if any."""
+        if self.timeout_seconds is None:
+            return None
+        return RuntimePolicy(
+            timeout_seconds=self.timeout_seconds,
+            guarantee_mu=self.mu,
+            guarantee_delta=self.delta,
+        )
 
     def load(self, name: str) -> UncertainBipartiteGraph:
         """Load one dataset deterministically for this config."""
@@ -119,17 +134,20 @@ def _method_runner(
     seed: int,
     n_override: Optional[int],
 ) -> Callable[[], MPMBResult]:
+    runtime = config.runtime_policy()
     if method == "mc-vp":
         n = n_override or config.n_mcvp
-        return lambda: mc_vp(graph, n, rng=seed)
+        return lambda: mc_vp(graph, n, rng=seed, runtime=runtime)
     if method == "os":
         n = n_override or config.n_direct
-        return lambda: ordering_sampling(graph, n, rng=seed)
+        return lambda: ordering_sampling(
+            graph, n, rng=seed, runtime=runtime
+        )
     if method == "ols":
         n = n_override or config.n_sampling
         return lambda: ordering_listing_sampling(
             graph, n, n_prepare=config.n_prepare,
-            estimator="optimized", rng=seed,
+            estimator="optimized", rng=seed, runtime=runtime,
         )
     if method == "ols-kl":
         n = n_override if n_override is not None else 0  # 0 = dynamic
@@ -137,6 +155,7 @@ def _method_runner(
             graph, n, n_prepare=config.n_prepare,
             estimator="karp-luby", rng=seed,
             mu=config.mu, epsilon=config.epsilon, delta=config.delta,
+            runtime=runtime,
         )
     raise ValueError(
         f"unknown method {method!r}; expected one of {METHOD_ORDER}"

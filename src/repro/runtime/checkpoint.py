@@ -1,0 +1,146 @@
+"""Atomic JSON checkpoint I/O for the trial runtime.
+
+A checkpoint is one JSON document: identifying metadata (method, graph,
+trial target) plus an estimator-specific ``state`` payload containing the
+winner/frequency counters, candidate keys, serialized RNG stream
+position, and convergence traces.  Writes go to a temporary sibling file
+that is fsynced and then atomically renamed over the target, so a crash
+mid-write can never corrupt the previous snapshot — at worst the run
+resumes from one checkpoint earlier.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Callable, Dict, Optional, Union
+
+from ..errors import CheckpointError
+
+#: Version of the checkpoint document layout.
+CHECKPOINT_FORMAT = 1
+
+#: Discriminator so arbitrary JSON files are rejected early.
+CHECKPOINT_KIND = "repro-runtime-checkpoint"
+
+
+def checkpoint_document(
+    *,
+    method: str,
+    graph_name: str,
+    unit: str,
+    target: int,
+    completed: int,
+    state: Dict,
+) -> Dict:
+    """Assemble a full checkpoint document around a state payload."""
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "kind": CHECKPOINT_KIND,
+        "method": method,
+        "graph_name": graph_name,
+        "unit": unit,
+        "target": int(target),
+        "completed": int(completed),
+        "state": state,
+    }
+
+
+def write_checkpoint(
+    path: Union[str, Path],
+    document: Dict,
+    fail_hook: Optional[Callable[[], None]] = None,
+) -> None:
+    """Atomically persist a checkpoint document.
+
+    Args:
+        path: Target file; a ``.tmp`` sibling is used for staging.
+        document: JSON-serialisable checkpoint document.
+        fail_hook: Fault-injection hook invoked after staging begins —
+            an :class:`OSError` it raises is reported exactly like a
+            real write failure (and must leave any previous snapshot at
+            ``path`` intact).
+
+    Raises:
+        CheckpointError: On any I/O failure; the temporary file is
+            removed and the previous snapshot, if any, is untouched.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        if fail_hook is not None:
+            fail_hook()
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except OSError as exc:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise CheckpointError(
+            f"failed to write checkpoint {path}: {exc}"
+        ) from exc
+
+
+def read_checkpoint(path: Union[str, Path]) -> Optional[Dict]:
+    """Load a checkpoint document, or ``None`` when the file is absent.
+
+    Raises:
+        CheckpointError: If the file exists but is not a valid
+            checkpoint (unreadable, malformed JSON, wrong kind, or an
+            unsupported format version).
+    """
+    path = Path(path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except FileNotFoundError:
+        return None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(
+            f"failed to read checkpoint {path}: {exc}"
+        ) from exc
+    if not isinstance(document, dict) or (
+        document.get("kind") != CHECKPOINT_KIND
+    ):
+        raise CheckpointError(
+            f"{path} is not a repro runtime checkpoint"
+        )
+    if document.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"unsupported checkpoint format {document.get('format')!r} "
+            f"in {path}; expected {CHECKPOINT_FORMAT}"
+        )
+    return document
+
+
+def validate_checkpoint(
+    document: Dict,
+    *,
+    method: str,
+    graph_name: str,
+    unit: str,
+    target: int,
+) -> None:
+    """Ensure a snapshot belongs to the run being resumed.
+
+    Raises:
+        CheckpointError: On any mismatch, naming the differing field.
+    """
+    expected = {
+        "method": method,
+        "graph_name": graph_name,
+        "unit": unit,
+        "target": int(target),
+    }
+    for key, want in expected.items():
+        have = document.get(key)
+        if have != want:
+            raise CheckpointError(
+                f"checkpoint {key} mismatch: snapshot has {have!r}, "
+                f"this run expects {want!r}"
+            )

@@ -1,0 +1,105 @@
+"""Graceful-degradation semantics: re-widened ε-δ guarantees.
+
+When a run stops early — deadline expiry, Ctrl-C, or dropped workers —
+the estimates over the trials actually completed are still unbiased, but
+the (ε, δ) guarantee the *target* budget was sized for (Theorem IV.1 /
+Lemma VI.4) no longer holds.  Silently reporting the target guarantee
+would overstate accuracy, so the runtime inverts the Hoeffding-style
+bound for the achieved trial count: the result keeps ``δ`` and ``μ`` and
+reports the wider ``ε`` that the completed trials actually certify,
+packaged as a :class:`Guarantee` on the degraded
+:class:`~repro.core.results.MPMBResult`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..sampling.bounds import achievable_epsilon
+
+
+@dataclass(frozen=True)
+class Guarantee:
+    """The ε-δ accuracy statement a finished (or degraded) run certifies.
+
+    Attributes:
+        mu: Smallest target probability ``μ`` the statement covers.
+        epsilon: Relative error ``ε`` — for a degraded run this is
+            *re-widened*: recomputed from the trials actually completed
+            rather than the target budget.
+        delta: Failure probability ``δ``.
+        achieved_trials: Trials actually completed.
+        target_trials: Trials the run was sized for.
+    """
+
+    mu: float
+    epsilon: float
+    delta: float
+    achieved_trials: int
+    target_trials: int
+
+    @property
+    def complete(self) -> bool:
+        """Whether the full target budget was spent."""
+        return self.achieved_trials >= self.target_trials
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable form (infinity encoded as ``None``)."""
+        return {
+            "mu": self.mu,
+            "epsilon": None if math.isinf(self.epsilon) else self.epsilon,
+            "delta": self.delta,
+            "achieved_trials": self.achieved_trials,
+            "target_trials": self.target_trials,
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict) -> "Guarantee":
+        """Rebuild a guarantee serialized by :meth:`to_dict`."""
+        epsilon = payload.get("epsilon")
+        return Guarantee(
+            mu=float(payload["mu"]),
+            epsilon=float("inf") if epsilon is None else float(epsilon),
+            delta=float(payload["delta"]),
+            achieved_trials=int(payload["achieved_trials"]),
+            target_trials=int(payload["target_trials"]),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        eps = "inf" if math.isinf(self.epsilon) else f"{self.epsilon:.4f}"
+        return (
+            f"ε={eps} at δ={self.delta:g} for μ≥{self.mu:g} "
+            f"({self.achieved_trials}/{self.target_trials} trials)"
+        )
+
+
+def recompute_guarantee(
+    achieved_trials: int,
+    target_trials: int,
+    mu: float = 0.05,
+    delta: float = 0.1,
+) -> Guarantee:
+    """Invert Theorem IV.1 for the trials actually completed.
+
+    ``N ≥ (1/μ)·4 ln(2/δ)/ε²`` solved for ε gives the relative error a
+    frequency estimate over ``achieved_trials`` trials certifies with
+    probability ``1-δ``.  Zero completed trials certify nothing
+    (``ε = ∞``).
+    """
+    if achieved_trials < 0:
+        raise ValueError(
+            f"achieved_trials must be non-negative, got {achieved_trials}"
+        )
+    if achieved_trials == 0:
+        epsilon = float("inf")
+    else:
+        epsilon = achievable_epsilon(mu, achieved_trials, delta)
+    return Guarantee(
+        mu=mu,
+        epsilon=epsilon,
+        delta=delta,
+        achieved_trials=achieved_trials,
+        target_trials=target_trials,
+    )

@@ -1,0 +1,76 @@
+"""Deterministic fault injection for the resilient trial runtime.
+
+Retry, resume, and degradation paths are only trustworthy if they are
+exercised, and real crashes are not reproducible.  A :class:`FaultPlan`
+describes, ahead of time and deterministically, exactly which failures to
+inject: an in-process crash or interrupt before a given trial, checkpoint
+writes that fail, and parallel workers that crash or hang on specific
+attempts.  The trial engine and the worker pool consult the plan at the
+matching decision points, so a test can stage "worker 0 dies once, then
+recovers" or "the second checkpoint write hits a full disk" and assert
+on the runtime's reaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
+
+from ..errors import ReproError
+
+#: Exit code used by injected hard worker crashes (recognisable in logs).
+CRASH_EXIT_CODE = 23
+
+#: How long an injected hang sleeps; the pool's straggler timeout is
+#: expected to fire long before this.
+HANG_SECONDS = 3600.0
+
+
+class InjectedCrash(ReproError):
+    """A simulated hard crash requested by a :class:`FaultPlan`.
+
+    Deliberately *not* caught by the trial engine: it propagates like a
+    real crash would, so only state persisted by earlier checkpoints
+    survives.
+    """
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of failures to inject.
+
+    Attributes:
+        crash_before_trial: Raise :class:`InjectedCrash` immediately
+            before running this 1-based trial (simulates the process
+            dying mid-run; periodic checkpoints written earlier remain).
+        interrupt_before_trial: Raise :class:`KeyboardInterrupt` before
+            this trial (simulates Ctrl-C; the engine degrades
+            gracefully).
+        checkpoint_failures: 1-based indices of checkpoint *writes* that
+            fail with an I/O error (the atomic-write protocol must leave
+            the previous snapshot intact).
+        worker_crash_attempts: Worker id -> number of leading attempts
+            that exit hard with :data:`CRASH_EXIT_CODE` (attempt
+            ``worker_crash_attempts[w] + 1`` succeeds).
+        worker_hang_attempts: Worker id -> number of leading attempts
+            that hang until the pool's straggler timeout terminates
+            them.
+    """
+
+    crash_before_trial: Optional[int] = None
+    interrupt_before_trial: Optional[int] = None
+    checkpoint_failures: Tuple[int, ...] = ()
+    worker_crash_attempts: Mapping[int, int] = field(default_factory=dict)
+    worker_hang_attempts: Mapping[int, int] = field(default_factory=dict)
+
+    def checkpoint_write_should_fail(self, write_index: int) -> bool:
+        """Whether the ``write_index``-th checkpoint write must fail."""
+        return write_index in self.checkpoint_failures
+
+    def worker_behaviour(self, worker_id: int, attempt: int) -> str:
+        """``"crash"``, ``"hang"``, or ``"ok"`` for one worker attempt."""
+        if attempt <= self.worker_crash_attempts.get(worker_id, 0):
+            return "crash"
+        if attempt <= self.worker_hang_attempts.get(worker_id, 0):
+            return "hang"
+        return "ok"

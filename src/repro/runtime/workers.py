@@ -1,0 +1,280 @@
+"""Fault-tolerant parallel trial execution.
+
+Butterfly sampling parallelises embarrassingly well (Shi & Shun's
+parallel butterfly work makes the same observation for certain graphs):
+the frequency-based methods pool across independent trial streams by
+trial-weighted averaging (:func:`~repro.core.results.merge_results`).
+This module turns that observation into a production worker pool:
+
+* each worker is a ``multiprocessing`` process running its share of the
+  trial budget on an independent spawned RNG stream;
+* a crashed worker (non-zero exit, missing result) is retried with
+  exponential backoff up to a capped attempt count, with the *same*
+  stream, so retries are deterministic;
+* a straggler that exceeds the timeout is terminated and treated as a
+  failed attempt;
+* workers that fail permanently are dropped, and the surviving partial
+  results merge into a result flagged ``degraded=True`` whose ε-δ
+  guarantee is re-widened to the trials actually pooled.
+
+Failures are injectable through :class:`~repro.runtime.faults.FaultPlan`
+so every path above is exercised by deterministic tests.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from functools import reduce
+from typing import Callable, Dict, List, Optional
+
+import multiprocessing
+
+from ..errors import WorkerFailureError
+from ..sampling.rng import RngLike, spawn_rngs
+from .degradation import recompute_guarantee
+from .faults import CRASH_EXIT_CODE, HANG_SECONDS, FaultPlan
+
+#: Methods whose results pool by trial-weighted averaging.
+POOLABLE_METHODS = ("mc-vp", "os", "ols")
+
+
+@dataclass
+class WorkerReport:
+    """Outcome of one worker across all its attempts.
+
+    Attributes:
+        worker_id: 0-based worker index.
+        attempts: Attempts consumed (1 = succeeded first try).
+        status: ``"ok"`` or ``"dropped"``.
+        n_trials: Trials this worker contributed (0 when dropped).
+        error: Last failure description (``None`` when it succeeded
+            first try).
+    """
+
+    worker_id: int
+    attempts: int
+    status: str
+    n_trials: int
+    error: Optional[str] = None
+
+
+def split_trials(n_trials: int, n_workers: int) -> List[int]:
+    """Near-even per-worker trial shares summing to ``n_trials``."""
+    if n_trials <= 0:
+        raise ValueError(f"n_trials must be positive, got {n_trials}")
+    if n_workers <= 0:
+        raise ValueError(f"n_workers must be positive, got {n_workers}")
+    base, extra = divmod(n_trials, n_workers)
+    return [base + (1 if w < extra else 0) for w in range(n_workers)]
+
+
+def backoff_seconds(
+    attempt: int, base: float = 0.05, cap: float = 2.0
+) -> float:
+    """Exponential backoff before retry ``attempt + 1`` (capped)."""
+    return min(cap, base * (2.0 ** (attempt - 1)))
+
+
+def _worker_main(
+    worker_id: int,
+    attempt: int,
+    graph,
+    method: str,
+    n_trials: int,
+    generator,
+    method_kwargs: Dict,
+    faults: Optional[FaultPlan],
+    queue,
+) -> None:
+    """Subprocess entry point: run one trial share, ship the result back.
+
+    An unhandled exception propagates and becomes a non-zero exit code,
+    which the coordinator treats exactly like a crash.
+    """
+    behaviour = (
+        faults.worker_behaviour(worker_id, attempt) if faults else "ok"
+    )
+    if behaviour == "crash":
+        os._exit(CRASH_EXIT_CODE)
+    if behaviour == "hang":
+        time.sleep(HANG_SECONDS)
+    from ..core.mpmb import find_mpmb
+    from ..core.serialize import result_to_dict
+
+    result = find_mpmb(
+        graph, method=method, n_trials=n_trials, rng=generator,
+        **method_kwargs,
+    )
+    queue.put(result_to_dict(result))
+
+
+def run_parallel_trials(
+    graph,
+    n_trials: int,
+    n_workers: int,
+    method: str = "os",
+    rng: RngLike = None,
+    max_attempts: int = 3,
+    backoff_base: float = 0.05,
+    backoff_cap: float = 2.0,
+    straggler_timeout: Optional[float] = None,
+    faults: Optional[FaultPlan] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    mp_context: Optional[str] = None,
+    guarantee_mu: float = 0.05,
+    guarantee_delta: float = 0.1,
+    **method_kwargs,
+):
+    """Run a trial budget across fault-tolerant parallel workers.
+
+    Args:
+        graph: The uncertain bipartite network.
+        n_trials: Total trial budget, split near-evenly across workers.
+        n_workers: Worker process count.
+        method: One of :data:`POOLABLE_METHODS` (frequency-based, so
+            partial results pool by trial-weighted averaging).
+        rng: Base seed/generator; workers get statistically independent
+            spawned child streams.  A retried worker reuses its original
+            stream, so retries reproduce the same trials.
+        max_attempts: Attempts per worker before it is dropped.
+        backoff_base: First retry waits this many seconds; subsequent
+            retries double it.
+        backoff_cap: Upper bound on any single backoff sleep.
+        straggler_timeout: Seconds to wait for a worker before
+            terminating it as a straggler; ``None`` waits indefinitely.
+        faults: Optional deterministic fault-injection plan.
+        sleep: Sleep function (injectable so tests assert backoff
+            without waiting).
+        mp_context: ``multiprocessing`` start method (``None`` = platform
+            default).
+        guarantee_mu: ``μ`` for the re-widened guarantee of a degraded
+            pool.
+        guarantee_delta: ``δ`` for the re-widened guarantee.
+        **method_kwargs: Forwarded to the method (e.g. ``n_prepare=``).
+
+    Returns:
+        The merged :class:`~repro.core.results.MPMBResult`.  When
+        workers were dropped it is flagged ``degraded=True`` with
+        ``degraded_reason="workers-dropped"`` and a guarantee re-widened
+        to the trials actually pooled.  Stats gain ``workers_total``,
+        ``workers_dropped`` and ``worker_attempts`` counters.
+
+    Raises:
+        ValueError: On non-poolable methods or non-positive budgets.
+        WorkerFailureError: If every worker failed permanently.
+    """
+    if method not in POOLABLE_METHODS:
+        raise ValueError(
+            f"method {method!r} cannot be pooled across workers; "
+            f"expected one of {POOLABLE_METHODS}"
+        )
+    if max_attempts <= 0:
+        raise ValueError(
+            f"max_attempts must be positive, got {max_attempts}"
+        )
+    shares = split_trials(n_trials, n_workers)
+    # Lazy imports: this module is part of the runtime package, which the
+    # core estimators import — importing core eagerly here would cycle.
+    from ..core.results import merge_results
+    from ..core.serialize import result_from_dict
+
+    context = multiprocessing.get_context(mp_context)
+    streams = spawn_rngs(rng, n_workers)
+    reports: Dict[int, WorkerReport] = {}
+    results: Dict[int, object] = {}
+    pending: List[tuple] = [
+        (worker_id, 1) for worker_id in range(n_workers)
+        if shares[worker_id] > 0
+    ]
+
+    while pending:
+        launched = []
+        for worker_id, attempt in pending:
+            queue = context.SimpleQueue()
+            process = context.Process(
+                target=_worker_main,
+                args=(
+                    worker_id, attempt, graph, method, shares[worker_id],
+                    streams[worker_id], method_kwargs, faults, queue,
+                ),
+                daemon=True,
+            )
+            process.start()
+            launched.append((worker_id, attempt, process, queue))
+
+        retry: List[tuple] = []
+        round_backoff = 0.0
+        for worker_id, attempt, process, queue in launched:
+            process.join(straggler_timeout)
+            failure: Optional[str] = None
+            if process.is_alive():
+                process.terminate()
+                process.join()
+                failure = (
+                    f"straggler exceeded {straggler_timeout}s timeout"
+                )
+            elif process.exitcode != 0:
+                failure = f"worker exited with code {process.exitcode}"
+            elif queue.empty():
+                failure = "worker exited without returning a result"
+            else:
+                payload = queue.get()
+                results[worker_id] = result_from_dict(payload, graph)
+                reports[worker_id] = WorkerReport(
+                    worker_id=worker_id,
+                    attempts=attempt,
+                    status="ok",
+                    n_trials=shares[worker_id],
+                )
+            if failure is not None:
+                if attempt >= max_attempts:
+                    reports[worker_id] = WorkerReport(
+                        worker_id=worker_id,
+                        attempts=attempt,
+                        status="dropped",
+                        n_trials=0,
+                        error=failure,
+                    )
+                else:
+                    retry.append((worker_id, attempt + 1))
+                    round_backoff = max(
+                        round_backoff,
+                        backoff_seconds(
+                            attempt, backoff_base, backoff_cap
+                        ),
+                    )
+        if retry and round_backoff > 0.0:
+            sleep(round_backoff)
+        pending = retry
+
+    dropped = [r for r in reports.values() if r.status == "dropped"]
+    if not results:
+        detail = "; ".join(
+            f"worker {r.worker_id}: {r.error} "
+            f"(after {r.attempts} attempts)"
+            for r in dropped
+        )
+        raise WorkerFailureError(
+            f"all {n_workers} workers failed permanently: {detail}"
+        )
+
+    merged = reduce(
+        merge_results,
+        [results[worker_id] for worker_id in sorted(results)],
+    )
+    merged.stats["workers_total"] = float(n_workers)
+    merged.stats["workers_dropped"] = float(len(dropped))
+    merged.stats["worker_attempts"] = float(
+        sum(r.attempts for r in reports.values())
+    )
+    if dropped:
+        merged.degraded = True
+        merged.degraded_reason = "workers-dropped"
+        merged.target_trials = n_trials
+        merged.guarantee = recompute_guarantee(
+            merged.n_trials, n_trials,
+            mu=guarantee_mu, delta=guarantee_delta,
+        )
+    return merged

@@ -12,12 +12,20 @@ from .karp_luby import (
     union_probability_first_hit,
 )
 from .monte_carlo import FrequencyEstimate, WinnerFrequencyEstimator
-from .rng import RngLike, ensure_rng, spawn_rngs
+from .rng import (
+    RngLike,
+    ensure_rng,
+    restore_rng_state,
+    rng_state_payload,
+    spawn_rngs,
+)
 
 __all__ = [
     "RngLike",
     "ensure_rng",
     "spawn_rngs",
+    "rng_state_payload",
+    "restore_rng_state",
     "ConvergenceTrace",
     "checkpoint_schedule",
     "FrequencyEstimate",

@@ -8,7 +8,7 @@ behaviour consistent and documented in one place.
 
 from __future__ import annotations
 
-from typing import List, Union
+from typing import Dict, List, Union
 
 import numpy as np
 
@@ -25,6 +25,36 @@ def ensure_rng(rng: RngLike = None) -> np.random.Generator:
     if isinstance(rng, np.random.Generator):
         return rng
     return np.random.default_rng(rng)
+
+
+def rng_state_payload(generator: np.random.Generator) -> Dict:
+    """A JSON-serialisable snapshot of a generator's exact stream position.
+
+    The payload is the bit generator's ``state`` dict (PCG64 state words
+    are plain Python ints, which JSON carries losslessly), so restoring
+    it with :func:`restore_rng_state` resumes the stream bit-for-bit —
+    the property the checkpoint/resume runtime depends on.
+    """
+    return dict(generator.bit_generator.state)
+
+
+def restore_rng_state(
+    generator: np.random.Generator, payload: Dict
+) -> None:
+    """Restore a stream position captured by :func:`rng_state_payload`.
+
+    Raises:
+        ValueError: If the payload belongs to a different bit-generator
+            kind than ``generator`` uses.
+    """
+    expected = generator.bit_generator.state.get("bit_generator")
+    recorded = payload.get("bit_generator")
+    if recorded != expected:
+        raise ValueError(
+            f"RNG state was captured from {recorded!r} but the target "
+            f"generator uses {expected!r}"
+        )
+    generator.bit_generator.state = payload
 
 
 def spawn_rngs(rng: RngLike, count: int) -> List[np.random.Generator]:

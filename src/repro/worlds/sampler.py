@@ -15,6 +15,7 @@ from typing import Dict, Iterable, Iterator
 import numpy as np
 
 from ..graph import UncertainBipartiteGraph
+from ..sampling.rng import restore_rng_state, rng_state_payload
 from .possible_world import PossibleWorld
 
 
@@ -66,6 +67,31 @@ class WorldSampler:
     def lazy_trial(self) -> "LazyEdgeTrial":
         """A fresh lazy per-edge sampler sharing this sampler's RNG."""
         return LazyEdgeTrial(self.graph, self.rng)
+
+    def state_payload(self) -> Dict:
+        """JSON-serialisable snapshot of the sampler's stream position.
+
+        Covers both the RNG state and the buffered antithetic uniforms,
+        so a restored sampler reproduces the exact world sequence an
+        uninterrupted run would have drawn (JSON round-trips ``repr``
+        floats losslessly).
+        """
+        return {
+            "rng": rng_state_payload(self.rng),
+            "pending": (
+                None
+                if self._pending is None
+                else [float(u) for u in self._pending]
+            ),
+        }
+
+    def restore_state(self, payload: Dict) -> None:
+        """Restore a snapshot captured by :meth:`state_payload`."""
+        restore_rng_state(self.rng, payload["rng"])
+        pending = payload.get("pending")
+        self._pending = (
+            None if pending is None else np.asarray(pending, dtype=float)
+        )
 
 
 class LazyEdgeTrial:

@@ -2,10 +2,49 @@
 
 from __future__ import annotations
 
+import os
+import signal
+import threading
+
 import numpy as np
 import pytest
 
 from repro import GraphBuilder, UncertainBipartiteGraph
+
+#: Per-test wall-clock limit in seconds (pytest-timeout is not available
+#: in this environment, so a SIGALRM watchdog stands in for it).
+TEST_TIMEOUT_SECONDS = float(os.environ.get("REPRO_TEST_TIMEOUT", "120"))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Fail a hanging test instead of hanging the whole suite.
+
+    SIGALRM only works on POSIX main threads; elsewhere the test runs
+    unguarded, which is no worse than before.
+    """
+    use_alarm = (
+        TEST_TIMEOUT_SECONDS > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not use_alarm:
+        yield
+        return
+
+    def _timed_out(signum, frame):
+        pytest.fail(
+            f"test exceeded {TEST_TIMEOUT_SECONDS:g}s watchdog timeout",
+            pytrace=False,
+        )
+
+    previous = signal.signal(signal.SIGALRM, _timed_out)
+    signal.setitimer(signal.ITIMER_REAL, TEST_TIMEOUT_SECONDS)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 #: The paper's Figure 1(a) network.
 FIGURE_1_EDGES = [

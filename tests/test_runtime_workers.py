@@ -1,0 +1,141 @@
+"""Fault-tolerant parallel worker pool (retry, backoff, degradation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import FaultPlan, WorkerFailureError
+from repro.core import result_to_dict
+from repro.runtime import backoff_seconds, run_parallel_trials, split_trials
+from repro.sampling.bounds import achievable_epsilon
+
+from .conftest import FIGURE_1_EDGES, build_graph
+
+
+@pytest.fixture
+def graph():
+    return build_graph(FIGURE_1_EDGES, name="figure-1")
+
+
+class TestSplitAndBackoff:
+    def test_split_is_near_even_and_sums(self):
+        assert split_trials(10, 3) == [4, 3, 3]
+        assert split_trials(3, 5) == [1, 1, 1, 0, 0]
+        assert sum(split_trials(1234, 7)) == 1234
+
+    def test_split_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            split_trials(0, 3)
+        with pytest.raises(ValueError):
+            split_trials(10, 0)
+
+    def test_backoff_doubles_then_caps(self):
+        assert backoff_seconds(1) == pytest.approx(0.05)
+        assert backoff_seconds(2) == pytest.approx(0.10)
+        assert backoff_seconds(3) == pytest.approx(0.20)
+        assert backoff_seconds(10) == 2.0
+
+
+class TestHappyPath:
+    def test_merged_result_pools_all_trials(self, graph):
+        result = run_parallel_trials(graph, 60, 3, method="os", rng=5)
+        assert result.n_trials == 60
+        assert not result.degraded
+        assert result.stats["workers_total"] == 3.0
+        assert result.stats["workers_dropped"] == 0.0
+        assert result.stats["worker_attempts"] == 3.0
+        assert result.best is not None
+        for probability in result.estimates.values():
+            assert 0.0 <= probability <= 1.0
+
+    def test_non_poolable_method_rejected(self, graph):
+        with pytest.raises(ValueError, match="pooled"):
+            run_parallel_trials(graph, 10, 2, method="ols-kl")
+
+
+class TestRetries:
+    def test_crash_once_retries_with_backoff_and_converges(self, graph):
+        slept = []
+        clean = run_parallel_trials(graph, 60, 3, method="os", rng=5)
+        faulty = run_parallel_trials(
+            graph, 60, 3, method="os", rng=5,
+            faults=FaultPlan(worker_crash_attempts={0: 1}),
+            sleep=slept.append,
+        )
+        assert slept == [pytest.approx(backoff_seconds(1))]
+        assert faulty.stats["worker_attempts"] == 4.0
+        assert not faulty.degraded
+        # The retried worker replays its original RNG stream, so the
+        # pooled estimate is identical to the fault-free pool.
+        faulty_payload = result_to_dict(faulty)
+        clean_payload = result_to_dict(clean)
+        faulty_payload["stats"].pop("worker_attempts")
+        clean_payload["stats"].pop("worker_attempts")
+        assert faulty_payload == clean_payload
+
+    def test_repeated_crashes_escalate_backoff(self, graph):
+        slept = []
+        run_parallel_trials(
+            graph, 30, 2, method="os", rng=5, max_attempts=3,
+            faults=FaultPlan(worker_crash_attempts={1: 2}),
+            sleep=slept.append,
+        )
+        assert slept == [
+            pytest.approx(backoff_seconds(1)),
+            pytest.approx(backoff_seconds(2)),
+        ]
+
+
+class TestPermanentFailures:
+    def test_dropped_worker_degrades_pool(self, graph):
+        shares = split_trials(60, 3)
+        result = run_parallel_trials(
+            graph, 60, 3, method="os", rng=5, max_attempts=2,
+            faults=FaultPlan(worker_crash_attempts={1: 99}),
+            sleep=lambda _: None,
+        )
+        assert result.degraded
+        assert result.degraded_reason == "workers-dropped"
+        assert result.n_trials == 60 - shares[1]
+        assert result.target_trials == 60
+        assert result.stats["workers_dropped"] == 1.0
+        guarantee = result.guarantee
+        assert guarantee.achieved_trials == result.n_trials
+        assert guarantee.target_trials == 60
+        assert guarantee.epsilon == pytest.approx(
+            achievable_epsilon(0.05, result.n_trials, 0.1)
+        )
+
+    def test_straggler_is_terminated_and_retried(self, graph):
+        result = run_parallel_trials(
+            graph, 20, 2, method="os", rng=5,
+            straggler_timeout=1.0, max_attempts=2,
+            faults=FaultPlan(worker_hang_attempts={0: 1}),
+            sleep=lambda _: None,
+        )
+        assert result.n_trials == 20
+        assert not result.degraded
+        assert result.stats["worker_attempts"] == 3.0
+
+    def test_all_workers_failing_raises(self, graph):
+        with pytest.raises(WorkerFailureError, match="failed permanently"):
+            run_parallel_trials(
+                graph, 20, 2, method="os", rng=5, max_attempts=2,
+                faults=FaultPlan(worker_crash_attempts={0: 99, 1: 99}),
+                sleep=lambda _: None,
+            )
+
+
+class TestDeterminism:
+    def test_pool_matches_sequential_merge(self, graph):
+        """Worker pooling is the trial-weighted merge of its shares."""
+        pooled = run_parallel_trials(graph, 40, 2, method="os", rng=9)
+        assert pooled.n_trials == 40
+        # Same call is reproducible end to end.
+        again = run_parallel_trials(graph, 40, 2, method="os", rng=9)
+        assert result_to_dict(pooled) == result_to_dict(again)
+
+    def test_zero_share_workers_are_skipped(self, graph):
+        result = run_parallel_trials(graph, 2, 4, method="os", rng=9)
+        assert result.n_trials == 2
+        assert result.stats["worker_attempts"] == 2.0
