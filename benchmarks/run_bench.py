@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Benchmark the four sampling methods and write ``BENCH_sampling.json``.
+
+Runs every method in :data:`repro.experiments.harness.METHOD_ORDER`
+(MC-VP, OS, OLS-KL, OLS) on registry synthetic datasets and records, per
+(dataset, method) pair: wall-clock seconds, trials per second, peak
+tracemalloc bytes, and — where the platform exposes it — the process's
+``ru_maxrss`` high-water mark.  The output schema is stable (versioned
+``format`` + ``kind`` discriminators, sorted keys) so downstream tooling
+and the regression policy in ``docs/benchmarks.md`` can diff runs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py
+    PYTHONPATH=src python benchmarks/run_bench.py \
+        --datasets abide movielens --trials 2000 --out BENCH_sampling.json
+
+The default budgets are deliberately small (this is a pure-Python
+reproduction of a C++ testbed); crank ``--trials`` up on faster
+machines.  Metrics come from the same observability layer the CLI uses,
+so each entry also embeds the per-method counters (prune rate, candidate
+counts, lazy-cache hit rate, ...).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - Windows has no resource module
+    resource = None
+
+from repro.datasets import dataset_names, load_dataset
+from repro.experiments.harness import (
+    METHOD_ORDER,
+    ExperimentConfig,
+    run_method,
+)
+from repro.observability import Observer
+
+#: Version of the benchmark document layout.
+BENCH_FORMAT = 1
+
+#: Discriminator so arbitrary JSON files are rejected early.
+BENCH_KIND = "repro-bench"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description=(
+            "Benchmark the sampling methods; write BENCH_sampling.json."
+        )
+    )
+    parser.add_argument(
+        "--out", default="BENCH_sampling.json", metavar="PATH",
+        help="output JSON path (default: BENCH_sampling.json)",
+    )
+    parser.add_argument(
+        "--datasets", nargs="+", default=["abide", "movielens"],
+        choices=dataset_names(), metavar="NAME",
+        help="registry datasets to sweep (default: abide movielens)",
+    )
+    parser.add_argument(
+        "--profile", default="bench", choices=("bench", "paper"),
+        help="dataset generation profile (default: bench)",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=1_000,
+        help="direct/sampling-phase trials for OS and OLS (default: 1000)",
+    )
+    parser.add_argument(
+        "--mcvp-trials", type=int, default=4,
+        help="MC-VP trials (its per-trial cost dwarfs the others; "
+             "default: 4)",
+    )
+    parser.add_argument(
+        "--prepare", type=int, default=50,
+        help="OLS preparing-phase trials (default: 50)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    return parser
+
+
+def bench_entry(
+    dataset: str,
+    method: str,
+    config: ExperimentConfig,
+) -> Dict:
+    """One (dataset, method) measurement as a JSON-ready dict."""
+    graph = config.load(dataset)
+    observer = Observer()
+    measurement = run_method(
+        graph, method, config, trace_memory=True, observer=observer
+    )
+    result = measurement.value
+    trials_per_second = (
+        result.n_trials / measurement.seconds
+        if measurement.seconds > 0 else 0.0
+    )
+    snapshot = observer.metrics.to_dict()
+    return {
+        "dataset": dataset,
+        "profile": config.profile,
+        "method": method,
+        "n_trials": result.n_trials,
+        "wall_seconds": measurement.seconds,
+        "trials_per_second": trials_per_second,
+        "peak_tracemalloc_bytes": measurement.peak_bytes,
+        "ru_maxrss_kb": (
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            if resource is not None else None
+        ),
+        "degraded": result.degraded,
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+    }
+
+
+def run_suite(args: argparse.Namespace) -> Dict:
+    """The full benchmark document for ``args``."""
+    config = ExperimentConfig(
+        profile=args.profile,
+        seed=args.seed,
+        n_direct=args.trials,
+        n_mcvp=args.mcvp_trials,
+        n_prepare=args.prepare,
+        n_sampling=args.trials,
+    )
+    entries: List[Dict] = []
+    for dataset in args.datasets:
+        for method in METHOD_ORDER:
+            print(f"benchmarking {method} on {dataset} ...",
+                  file=sys.stderr)
+            entries.append(bench_entry(dataset, method, config))
+    return {
+        "format": BENCH_FORMAT,
+        "kind": BENCH_KIND,
+        "suite": "sampling",
+        "config": {
+            "profile": args.profile,
+            "seed": args.seed,
+            "trials": args.trials,
+            "mcvp_trials": args.mcvp_trials,
+            "prepare": args.prepare,
+            "datasets": list(args.datasets),
+            "methods": list(METHOD_ORDER),
+        },
+        "entries": entries,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    document = run_suite(args)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {len(document['entries'])} entries to {args.out}",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -59,6 +59,12 @@ from .errors import (
     TrialBudgetExceeded,
     WorkerFailureError,
 )
+from .observability import (
+    MetricsRegistry,
+    Observer,
+    PhaseTracer,
+    ensure_observer,
+)
 from .runtime import (
     Deadline,
     FaultPlan,
@@ -139,4 +145,9 @@ __all__ = [
     "Guarantee",
     "recompute_guarantee",
     "run_parallel_trials",
+    # observability
+    "Observer",
+    "MetricsRegistry",
+    "PhaseTracer",
+    "ensure_observer",
 ]

@@ -8,6 +8,10 @@ Usage::
     # On a bundled dataset stand-in:
     python -m repro search --dataset movielens --profile bench --top 10
 
+    # Observability: metrics JSON, phase-trace summary, cProfile dump
+    # ("search" and a default dataset are implied when flags lead):
+    python -m repro --method ols --metrics-out m.json --trace
+
     # Dataset statistics (the Table III columns):
     python -m repro stats --dataset abide
     python -m repro stats graph.tsv
@@ -16,6 +20,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
@@ -27,7 +32,12 @@ from .core.results import MPMBResult
 from .datasets import dataset_names, load_dataset
 from .experiments.report import format_seconds, format_table
 from .graph import UncertainBipartiteGraph, compute_stats, load_graph
+from .observability import Observer, ensure_observer
+from .observability.profiling import maybe_cprofile
 from .runtime import POOLABLE_METHODS, RuntimePolicy, run_parallel_trials
+
+#: Dataset generated when a command is given no graph source at all.
+DEFAULT_DATASET = "abide"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -80,6 +90,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault-tolerant parallel worker processes (poolable "
              "methods only; default: 1 = in-process)",
     )
+    search.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the run's metrics and phase spans to PATH as JSON "
+             "(schema: docs/observability.md)",
+    )
+    search.add_argument(
+        "--trace", action="store_true",
+        help="print the phase-span tree and metric table after the run",
+    )
+    search.add_argument(
+        "--profile-out", default=None, metavar="PATH",
+        help="profile the search with cProfile and write the pstats "
+             "report to PATH (opt-in: profiling distorts timings)",
+    )
 
     stats = commands.add_parser(
         "stats", help="print dataset statistics (Table III columns)"
@@ -108,13 +132,21 @@ def _add_source_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _load(args: argparse.Namespace) -> UncertainBipartiteGraph:
-    if (args.graph is None) == (args.dataset is None):
+    if args.graph is not None and args.dataset is not None:
         raise SystemExit(
             "provide exactly one graph source: a TSV path or --dataset"
         )
     if args.graph is not None:
         return load_graph(args.graph)
-    return load_dataset(args.dataset, args.profile, rng=args.dataset_seed)
+    dataset = args.dataset
+    if dataset is None:
+        dataset = DEFAULT_DATASET
+        print(
+            f"no graph source given; defaulting to --dataset {dataset} "
+            f"--profile {args.profile}",
+            file=sys.stderr,
+        )
+    return load_dataset(dataset, args.profile, rng=args.dataset_seed)
 
 
 def _validate_search(
@@ -180,23 +212,37 @@ def _search_policy(args: argparse.Namespace) -> Optional[RuntimePolicy]:
     )
 
 
+def _build_observer(args: argparse.Namespace) -> Optional[Observer]:
+    """A live observer when any observability flag asked for one."""
+    if args.metrics_out or args.trace or args.profile_out:
+        return Observer()
+    return None
+
+
 def _run_search(args: argparse.Namespace) -> int:
-    graph = _load(args)
+    observer = ensure_observer(_build_observer(args))
+    with observer.span("graph-load"):
+        graph = _load(args)
     print(f"Graph: {graph!r}")
     start = time.perf_counter()
-    if args.workers > 1:
-        result = run_parallel_trials(
-            graph, args.trials, args.workers, method=args.method,
-            rng=args.seed, n_prepare=args.prepare,
-        )
-    else:
-        policy = _search_policy(args)
-        kwargs = {} if policy is None else {"runtime": policy}
-        result = find_mpmb(
-            graph, method=args.method, n_trials=args.trials,
-            n_prepare=args.prepare, rng=args.seed, **kwargs,
-        )
+    with maybe_cprofile(args.profile_out is not None) as profile:
+        if args.workers > 1:
+            result = run_parallel_trials(
+                graph, args.trials, args.workers, method=args.method,
+                rng=args.seed, n_prepare=args.prepare,
+                observer=observer if observer.enabled else None,
+            )
+        else:
+            policy = _search_policy(args)
+            kwargs = {} if policy is None else {"runtime": policy}
+            result = find_mpmb(
+                graph, method=args.method, n_trials=args.trials,
+                n_prepare=args.prepare, rng=args.seed,
+                observer=observer if observer.enabled else None,
+                **kwargs,
+            )
     elapsed = time.perf_counter() - start
+    _write_observability_outputs(args, observer, profile, result)
     if result.degraded:
         _print_degraded_notice(result)
     if result.best is None:
@@ -217,6 +263,31 @@ def _run_search(args: argparse.Namespace) -> int:
         ),
     ))
     return 130 if result.degraded_reason == "interrupted" else 0
+
+
+def _write_observability_outputs(
+    args: argparse.Namespace,
+    observer: Observer,
+    profile,
+    result: MPMBResult,
+) -> None:
+    """Emit --metrics-out / --trace / --profile-out artefacts."""
+    if not observer.enabled:
+        return
+    if args.metrics_out:
+        document = observer.export_document(
+            method=result.method, graph_name=result.graph.name
+        )
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"Metrics written to {args.metrics_out}", file=sys.stderr)
+    if args.trace:
+        print(observer.summary())
+    if args.profile_out:
+        with open(args.profile_out, "w", encoding="utf-8") as handle:
+            handle.write(profile.report)
+        print(f"Profile written to {args.profile_out}", file=sys.stderr)
 
 
 def _print_degraded_notice(result: MPMBResult) -> None:
@@ -263,6 +334,13 @@ def _run_stats(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
+    if argv is None:
+        argv = sys.argv[1:]
+    # Flag-led invocations imply the search command, so the README's
+    # one-liners work without the subcommand boilerplate:
+    # ``python -m repro --method ols --metrics-out m.json --trace``.
+    if argv and argv[0].startswith("-") and argv[0] not in ("-h", "--help"):
+        argv = ["search", *argv]
     args = parser.parse_args(argv)
     try:
         if args.command == "search":

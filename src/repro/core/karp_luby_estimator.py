@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List, Optional
 
 from ..butterfly import ButterflyKey
 from ..errors import CheckpointError
+from ..observability import Observer, ensure_observer
 from ..sampling import (
     ConvergenceTrace,
     KarpLubyUnionSampler,
@@ -214,6 +215,7 @@ def estimate_probabilities_karp_luby(
     track: Optional[Iterable[ButterflyKey]] = None,
     checkpoints: int = 40,
     runtime: Optional[RuntimePolicy] = None,
+    observer: Optional[Observer] = None,
 ) -> EstimationOutcome:
     """Estimate ``P(B)`` for every candidate with per-candidate KL runs.
 
@@ -238,6 +240,10 @@ def estimate_probabilities_karp_luby(
             degradation (the deadline is also checked *inside* each
             candidate's trial run, every
             :data:`DEADLINE_CHECK_EVERY` trials).
+        observer: Optional :class:`~repro.observability.Observer`
+            recording the ``sampling`` span, engine counters, and the
+            per-candidate trial-count histogram (the Lemma VI.4 budget
+            spread).
 
     Returns:
         An :class:`~repro.core.estimation.EstimationOutcome` with
@@ -250,6 +256,7 @@ def estimate_probabilities_karp_luby(
     """
     if n_trials is not None and n_trials <= 0:
         raise ValueError(f"n_trials must be positive, got {n_trials}")
+    observer = ensure_observer(observer)
     generator = ensure_rng(rng)
     base = monte_carlo_trial_bound(mu, epsilon, delta)
     if len(candidates) == 0:
@@ -264,15 +271,21 @@ def estimate_probabilities_karp_luby(
         min_trials, max_trials,
         track=track, checkpoints=checkpoints, deadline=deadline,
     )
-    report = execute_trial_loop(
-        method="ols-kl",
-        graph_name=candidates.graph.name,
-        n_target=len(candidates),
-        loop=loop,
-        policy=runtime,
-        deadline=deadline,
-        unit="candidate",
-    )
+    with observer.span(
+        "sampling", method="ols-kl", candidates=len(candidates)
+    ):
+        report = execute_trial_loop(
+            method="ols-kl",
+            graph_name=candidates.graph.name,
+            n_target=len(candidates),
+            loop=loop,
+            policy=runtime,
+            deadline=deadline,
+            unit="candidate",
+            observer=observer,
+        )
+    for done in loop.trials_per_candidate:
+        observer.observe("ols-kl.trials_per_candidate", done)
     guarantee = None
     target_trials = None
     if report.degraded:

@@ -24,9 +24,15 @@ from ..graph import (
     degree_priority,
     expected_degree_priority,
 )
+from ..observability import Observer, ensure_observer
+from ..observability.profiling import stopwatch
 from ..sampling import RngLike, ensure_rng
 from ..worlds import WorldSampler
-from .results import MPMBResult, result_from_frequency_loop
+from .results import (
+    MPMBResult,
+    record_sampling_metrics,
+    result_from_frequency_loop,
+)
 from ..runtime.engine import execute_trial_loop
 from ..runtime.frequency import WinnerCountLoop
 from ..runtime.policy import RuntimePolicy
@@ -41,6 +47,7 @@ def mc_vp(
     antithetic: bool = False,
     priority_kind: str = "degree",
     runtime: Optional[RuntimePolicy] = None,
+    observer: Optional[Observer] = None,
 ) -> MPMBResult:
     """Run MC-VP for ``n_trials`` Monte-Carlo rounds.
 
@@ -60,12 +67,16 @@ def mc_vp(
         runtime: Optional :class:`~repro.runtime.policy.RuntimePolicy`
             enabling checkpoint/resume, deadlines, and graceful
             degradation for the trial loop.
+        observer: Optional :class:`~repro.observability.Observer`
+            recording the ``sampling`` span, trial throughput, and the
+            ``mc-vp.*`` counters.
 
     Returns:
         An :class:`~repro.core.results.MPMBResult` with ``method="mc-vp"``
         and stats counters ``angles_processed``, ``angles_stored_peak``
         and ``butterflies_checked``.
     """
+    observer = ensure_observer(observer)
     if priority_kind == "degree":
         priority = degree_priority(graph)
     elif priority_kind == "expected-degree":
@@ -97,17 +108,22 @@ def mc_vp(
     loop = WinnerCountLoop(
         graph, sampler, run_trial, n_trials,
         track=track, checkpoints=checkpoints, stats=stats,
+        observer=observer,
     )
-    report = execute_trial_loop(
-        method="mc-vp",
-        graph_name=graph.name,
-        n_target=n_trials,
-        loop=loop,
-        policy=runtime,
-    )
-    return result_from_frequency_loop(
+    with observer.span("sampling", method="mc-vp"), stopwatch() as timer:
+        report = execute_trial_loop(
+            method="mc-vp",
+            graph_name=graph.name,
+            n_target=n_trials,
+            loop=loop,
+            policy=runtime,
+            observer=observer,
+        )
+    result = result_from_frequency_loop(
         "mc-vp", graph, loop, report, policy=runtime
     )
+    record_sampling_metrics(observer, result, timer.seconds)
+    return result
 
 
 def _max_butterflies_vertex_priority(

@@ -12,6 +12,7 @@ from typing import List, Optional, Tuple
 
 from ..butterfly import Butterfly
 from ..graph import UncertainBipartiteGraph
+from ..observability import Observer, ensure_observer
 from ..sampling import RngLike
 from .exact import exact_mpmb_by_inclusion_exclusion, exact_mpmb_by_worlds
 from .mc_vp import mc_vp
@@ -40,6 +41,7 @@ def find_mpmb(
     n_trials: int = DEFAULT_TRIALS,
     n_prepare: int = DEFAULT_PREPARE_TRIALS,
     rng: RngLike = None,
+    observer: Optional[Observer] = None,
     **kwargs,
 ) -> MPMBResult:
     """Find the most probable maximum weighted butterfly.
@@ -54,6 +56,10 @@ def find_mpmb(
             per-candidate sizing.
         n_prepare: Preparing-phase trials (OLS variants only).
         rng: Seed or generator.
+        observer: Optional :class:`~repro.observability.Observer`
+            recording phase spans and per-method metrics.  Forwarded to
+            the sampling methods; exact solvers run inside a single
+            ``exact-solve`` span.
         **kwargs: Forwarded to the selected method (e.g. ``track=``,
             ``prune=``, ``mu=``).
 
@@ -65,23 +71,27 @@ def find_mpmb(
         ValueError: For an unknown ``method``.
     """
     if method == "mc-vp":
-        return mc_vp(graph, n_trials, rng=rng, **kwargs)
+        return mc_vp(graph, n_trials, rng=rng, observer=observer, **kwargs)
     if method == "os":
-        return ordering_sampling(graph, n_trials, rng=rng, **kwargs)
+        return ordering_sampling(
+            graph, n_trials, rng=rng, observer=observer, **kwargs
+        )
     if method == "ols":
         return ordering_listing_sampling(
             graph, n_trials, n_prepare=n_prepare, estimator="optimized",
-            rng=rng, **kwargs,
+            rng=rng, observer=observer, **kwargs,
         )
     if method == "ols-kl":
         return ordering_listing_sampling(
             graph, n_trials, n_prepare=n_prepare, estimator="karp-luby",
-            rng=rng, **kwargs,
+            rng=rng, observer=observer, **kwargs,
         )
     if method == "exact-worlds":
-        return exact_mpmb_by_worlds(graph, **kwargs)
+        with ensure_observer(observer).span("exact-solve", method=method):
+            return exact_mpmb_by_worlds(graph, **kwargs)
     if method == "exact-inclusion-exclusion":
-        return exact_mpmb_by_inclusion_exclusion(graph, **kwargs)
+        with ensure_observer(observer).span("exact-solve", method=method):
+            return exact_mpmb_by_inclusion_exclusion(graph, **kwargs)
     raise ValueError(
         f"unknown method {method!r}; expected one of {', '.join(METHODS)}"
     )

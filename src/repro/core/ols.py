@@ -22,6 +22,8 @@ from ..butterfly import Butterfly, ButterflyKey, top_weight_butterflies
 from ..butterfly.model import make_butterfly
 from ..errors import CheckpointError
 from ..graph import UncertainBipartiteGraph
+from ..observability import Observer, ensure_observer
+from ..observability.profiling import stopwatch
 from ..sampling import RngLike, ensure_rng
 from ..worlds import WorldSampler
 from ..runtime.checkpoint import read_checkpoint
@@ -30,7 +32,7 @@ from .candidates import CandidateSet
 from .karp_luby_estimator import estimate_probabilities_karp_luby
 from .optimized_estimator import estimate_probabilities_optimized
 from .ordering_sampling import os_trial
-from .results import MPMBResult
+from .results import MPMBResult, record_sampling_metrics
 
 #: Paper default for the preparing phase (Section VIII-B).
 DEFAULT_PREPARE_TRIALS = 100
@@ -43,6 +45,7 @@ def prepare_candidates(
     prune: bool = True,
     pair_side: str = "auto",
     seed_backbone_top: int = 0,
+    observer: Optional[Observer] = None,
 ) -> CandidateSet:
     """The OLS preparing phase: list candidate butterflies via OS trials.
 
@@ -52,6 +55,9 @@ def prepare_candidates(
         rng: Seed or generator.
         prune: Forwarded to the OS trial (Section V-B switch).
         pair_side: Forwarded to the OS trial.
+        observer: Optional :class:`~repro.observability.Observer`
+            recording the ``candidate-generation`` span and the
+            ``prepare.trials`` / ``candidates.listed`` metrics.
         seed_backbone_top: Additionally seed ``C_MB`` with the k heaviest
             *backbone* butterflies (an extension beyond the paper).  The
             Lemma VI.5 overestimation comes from strictly heavier
@@ -68,18 +74,22 @@ def prepare_candidates(
         raise ValueError(
             f"seed_backbone_top must be non-negative, got {seed_backbone_top}"
         )
+    observer = ensure_observer(observer)
     sampler = WorldSampler(graph, ensure_rng(rng))
     collected: Dict[ButterflyKey, Butterfly] = {}
-    if seed_backbone_top:
-        for butterfly in top_weight_butterflies(
-            graph, seed_backbone_top, pair_side=pair_side
-        ):
-            collected.setdefault(butterfly.key, butterfly)
-    for _ in range(n_prepare):
-        for butterfly in os_trial(
-            graph, sampler, prune=prune, pair_side=pair_side
-        ):
-            collected.setdefault(butterfly.key, butterfly)
+    with observer.span("candidate-generation", trials=n_prepare):
+        if seed_backbone_top:
+            for butterfly in top_weight_butterflies(
+                graph, seed_backbone_top, pair_side=pair_side
+            ):
+                collected.setdefault(butterfly.key, butterfly)
+        for _ in range(n_prepare):
+            for butterfly in os_trial(
+                graph, sampler, prune=prune, pair_side=pair_side
+            ):
+                collected.setdefault(butterfly.key, butterfly)
+    observer.inc("prepare.trials", n_prepare)
+    observer.set("candidates.listed", float(len(collected)))
     return CandidateSet(graph, collected.values())
 
 
@@ -139,6 +149,7 @@ def ordering_listing_sampling(
     epsilon: float = 0.1,
     delta: float = 0.1,
     runtime: Optional[RuntimePolicy] = None,
+    observer: Optional[Observer] = None,
 ) -> MPMBResult:
     """Run OLS end to end (Algorithm 3).
 
@@ -166,6 +177,10 @@ def ordering_listing_sampling(
             for the sampling phase.  On resume the candidate set is
             rebuilt from the checkpoint itself (its payload stores the
             candidate keys), so the preparing phase is skipped entirely.
+        observer: Optional :class:`~repro.observability.Observer`
+            recording both phases' spans and the ``ols.*`` /
+            ``ols-kl.*`` metrics (including the lazy-sampling cache hit
+            rate for the optimised estimator).
 
     Returns:
         An :class:`~repro.core.results.MPMBResult` with ``method="ols"``
@@ -177,6 +192,7 @@ def ordering_listing_sampling(
             "estimator must be 'optimized' or 'karp-luby', "
             f"got {estimator!r}"
         )
+    observer = ensure_observer(observer)
     generator = ensure_rng(rng)
     resumed_candidates = False
     if candidates is None and runtime is not None:
@@ -185,39 +201,46 @@ def ordering_listing_sampling(
             "ols" if estimator == "optimized" else "ols-kl",
         )
         resumed_candidates = candidates is not None
-    if candidates is None:
-        candidates = prepare_candidates(
-            graph, n_prepare, generator, prune=prune, pair_side=pair_side
-        )
-    if len(candidates) == 0:
-        return MPMBResult(
-            method="ols" if estimator == "optimized" else "ols-kl",
-            graph=graph,
-            n_trials=0,
-            estimates={},
-            butterflies={},
-            stats={"n_prepare": float(n_prepare), "candidates_listed": 0.0},
-        )
-
-    if estimator == "optimized":
-        if n_trials <= 0:
-            raise ValueError(
-                f"n_trials must be positive for the optimised estimator, "
-                f"got {n_trials}"
+    with stopwatch() as timer:
+        if candidates is None:
+            candidates = prepare_candidates(
+                graph, n_prepare, generator,
+                prune=prune, pair_side=pair_side, observer=observer,
             )
-        outcome = estimate_probabilities_optimized(
-            candidates, n_trials, generator,
-            track=track, checkpoints=checkpoints, runtime=runtime,
-        )
-        method = "ols"
-    else:
-        outcome = estimate_probabilities_karp_luby(
-            candidates, generator,
-            n_trials=n_trials if n_trials > 0 else None,
-            mu=mu, epsilon=epsilon, delta=delta,
-            track=track, checkpoints=checkpoints, runtime=runtime,
-        )
-        method = "ols-kl"
+        if len(candidates) == 0:
+            return MPMBResult(
+                method="ols" if estimator == "optimized" else "ols-kl",
+                graph=graph,
+                n_trials=0,
+                estimates={},
+                butterflies={},
+                stats={
+                    "n_prepare": float(n_prepare),
+                    "candidates_listed": 0.0,
+                },
+            )
+
+        if estimator == "optimized":
+            if n_trials <= 0:
+                raise ValueError(
+                    f"n_trials must be positive for the optimised "
+                    f"estimator, got {n_trials}"
+                )
+            outcome = estimate_probabilities_optimized(
+                candidates, n_trials, generator,
+                track=track, checkpoints=checkpoints, runtime=runtime,
+                observer=observer,
+            )
+            method = "ols"
+        else:
+            outcome = estimate_probabilities_karp_luby(
+                candidates, generator,
+                n_trials=n_trials if n_trials > 0 else None,
+                mu=mu, epsilon=epsilon, delta=delta,
+                track=track, checkpoints=checkpoints, runtime=runtime,
+                observer=observer,
+            )
+            method = "ols-kl"
 
     stats = {
         "n_prepare": float(n_prepare),
@@ -226,7 +249,7 @@ def ordering_listing_sampling(
     if resumed_candidates:
         stats["resumed_candidates"] = 1.0
     stats.update(outcome.stats)
-    return MPMBResult(
+    result = MPMBResult(
         method=method,
         graph=graph,
         n_trials=outcome.total_trials,
@@ -239,6 +262,14 @@ def ordering_listing_sampling(
         target_trials=outcome.target_trials,
         guarantee=outcome.guarantee,
     )
+    record_sampling_metrics(observer, result, timer.seconds)
+    queried = stats.get("edges_queried", 0.0)
+    if observer.enabled and queried > 0:
+        observer.set(
+            f"{method}.lazy_cache.hit_rate",
+            1.0 - stats["edges_sampled"] / queried,
+        )
+    return result
 
 
 def _candidates_from_checkpoint(

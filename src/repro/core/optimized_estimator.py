@@ -24,6 +24,7 @@ from typing import Dict, Iterable, Optional
 
 from ..butterfly import ButterflyKey
 from ..errors import CheckpointError
+from ..observability import Observer, ensure_observer
 from ..sampling import (
     ConvergenceTrace,
     RngLike,
@@ -60,6 +61,7 @@ class _OptimizedLoop:
         self.items = candidates.butterflies
         self.counts = [0] * len(self.items)
         self.edges_sampled = 0
+        self.edges_queried = 0
         tracked = set(track) if track is not None else set()
         self.traces: Dict[ButterflyKey, ConvergenceTrace] = {
             key: ConvergenceTrace(label=str(key)) for key in tracked
@@ -83,6 +85,7 @@ class _OptimizedLoop:
                 self.counts[index] += 1
                 w_max = butterfly.weight
         self.edges_sampled += lazy.n_sampled
+        self.edges_queried += lazy.n_queries
         if self.traces and trial in self._schedule:
             for index in self._tracked_indices:
                 self.traces[self.items[index].key].record(
@@ -94,6 +97,7 @@ class _OptimizedLoop:
             "candidates": [list(b.key) for b in self.items],
             "counts": list(self.counts),
             "edges_sampled": int(self.edges_sampled),
+            "edges_queried": int(self.edges_queried),
             "traces": {
                 "|".join(map(str, key)): [
                     [n, value] for n, value in trace.checkpoints
@@ -114,6 +118,9 @@ class _OptimizedLoop:
             )
         self.counts = [int(count) for count in payload["counts"]]
         self.edges_sampled = int(payload["edges_sampled"])
+        # Checkpoints written before the query counter existed lack the
+        # key; resuming from them keeps the hit rate merely incomplete.
+        self.edges_queried = int(payload.get("edges_queried", 0))
         for key, trace in self.traces.items():
             recorded = payload["traces"].get("|".join(map(str, key)), [])
             trace.checkpoints = [
@@ -137,6 +144,7 @@ def estimate_probabilities_optimized(
     track: Optional[Iterable[ButterflyKey]] = None,
     checkpoints: int = 40,
     runtime: Optional[RuntimePolicy] = None,
+    observer: Optional[Observer] = None,
 ) -> EstimationOutcome:
     """Estimate ``P(B)`` for every candidate with shared trials.
 
@@ -149,6 +157,8 @@ def estimate_probabilities_optimized(
         checkpoints: Number of evenly spaced trace checkpoints.
         runtime: Optional :class:`~repro.runtime.policy.RuntimePolicy`
             enabling checkpoint/resume and deadline degradation.
+        observer: Optional :class:`~repro.observability.Observer`
+            recording the ``sampling`` span and engine counters.
 
     Returns:
         An :class:`~repro.core.estimation.EstimationOutcome` with
@@ -161,18 +171,23 @@ def estimate_probabilities_optimized(
     """
     if n_trials <= 0:
         raise ValueError(f"n_trials must be positive, got {n_trials}")
+    observer = ensure_observer(observer)
     generator = ensure_rng(rng)
     loop = _OptimizedLoop(
         candidates, generator, n_trials,
         track=track, checkpoints=checkpoints,
     )
-    report = execute_trial_loop(
-        method="ols",
-        graph_name=candidates.graph.name,
-        n_target=n_trials,
-        loop=loop,
-        policy=runtime,
-    )
+    with observer.span(
+        "sampling", method="ols", candidates=len(candidates)
+    ):
+        report = execute_trial_loop(
+            method="ols",
+            graph_name=candidates.graph.name,
+            n_target=n_trials,
+            loop=loop,
+            policy=runtime,
+            observer=observer,
+        )
     achieved = report.completed
     guarantee = None
     if report.degraded:
@@ -190,6 +205,7 @@ def estimate_probabilities_optimized(
         stats={
             "total_trials": float(achieved),
             "edges_sampled": float(loop.edges_sampled),
+            "edges_queried": float(loop.edges_queried),
         },
         stop_reason=report.stop_reason,
         target_trials=n_trials if report.degraded else None,

@@ -15,9 +15,15 @@ from typing import Iterable, List, Optional
 
 from ..butterfly import Butterfly, ButterflyKey, max_weight_butterflies
 from ..graph import UncertainBipartiteGraph
+from ..observability import Observer, ensure_observer
+from ..observability.profiling import stopwatch
 from ..sampling import RngLike, ensure_rng
 from ..worlds import WorldSampler
-from .results import MPMBResult, result_from_frequency_loop
+from .results import (
+    MPMBResult,
+    record_sampling_metrics,
+    result_from_frequency_loop,
+)
 from ..runtime.engine import execute_trial_loop
 from ..runtime.frequency import WinnerCountLoop
 from ..runtime.policy import RuntimePolicy
@@ -50,6 +56,7 @@ def ordering_sampling(
     pair_side: str = "auto",
     antithetic: bool = False,
     runtime: Optional[RuntimePolicy] = None,
+    observer: Optional[Observer] = None,
 ) -> MPMBResult:
     """Run Ordering Sampling for ``n_trials`` Monte-Carlo rounds.
 
@@ -68,14 +75,20 @@ def ordering_sampling(
         runtime: Optional :class:`~repro.runtime.policy.RuntimePolicy`
             enabling checkpoint/resume, deadlines, and graceful
             degradation for the trial loop.
+        observer: Optional :class:`~repro.observability.Observer`
+            recording the ``edge-ordering``/``sampling`` spans, trial
+            throughput, and the ``os.*`` counters (including the
+            ``os.prune_rate`` of the Section V-B early exit).
 
     Returns:
         An :class:`~repro.core.results.MPMBResult` with ``method="os"``
         and stats counters ``edges_processed``, ``angles_processed`` and
         ``angles_stored`` aggregated over trials.
     """
+    observer = ensure_observer(observer)
     sampler = WorldSampler(graph, ensure_rng(rng), antithetic=antithetic)
-    order = graph.edges_by_weight_desc
+    with observer.span("edge-ordering"):
+        order = graph.edges_by_weight_desc
     stats = {
         "edges_processed": 0.0,
         "angles_processed": 0.0,
@@ -99,14 +112,19 @@ def ordering_sampling(
     loop = WinnerCountLoop(
         graph, sampler, run_trial, n_trials,
         track=track, checkpoints=checkpoints, stats=stats,
+        observer=observer,
     )
-    report = execute_trial_loop(
-        method="os",
-        graph_name=graph.name,
-        n_target=n_trials,
-        loop=loop,
-        policy=runtime,
-    )
-    return result_from_frequency_loop(
+    with observer.span("sampling", method="os"), stopwatch() as timer:
+        report = execute_trial_loop(
+            method="os",
+            graph_name=graph.name,
+            n_target=n_trials,
+            loop=loop,
+            policy=runtime,
+            observer=observer,
+        )
+    result = result_from_frequency_loop(
         "os", graph, loop, report, policy=runtime
     )
+    record_sampling_metrics(observer, result, timer.seconds)
+    return result

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..butterfly import Butterfly, ButterflyKey
 from ..graph import UncertainBipartiteGraph
+from ..observability import Observer
 from ..runtime.degradation import Guarantee, recompute_guarantee
 from ..sampling import ConvergenceTrace
 
@@ -168,6 +169,42 @@ def result_from_frequency_loop(
         target_trials=report.target if degraded else None,
         guarantee=guarantee,
     )
+
+
+def record_sampling_metrics(
+    observer: Observer, result: MPMBResult, seconds: float
+) -> None:
+    """Record the per-method metrics shared by every sampling estimator.
+
+    Writes the common ``sampling.*`` family (trial throughput, achieved
+    vs. target budget) plus one ``<method>.<stat>`` counter per entry of
+    the result's instrumentation stats, and — when the method counted
+    ``trials_pruned`` (the Section V-B ``w(e_i) + w̄ < w_max`` early
+    exit) — the derived ``<method>.prune_rate`` gauge.
+
+    Counters are *incremented*, not set, so per-worker registries merged
+    by the pool sum to the pooled totals.
+    """
+    if not observer.enabled:
+        return
+    metrics = observer.metrics
+    metrics.inc("sampling.trials", result.n_trials)
+    if seconds > 0:
+        metrics.set(
+            "sampling.trials_per_second", result.n_trials / seconds
+        )
+    target = (
+        result.target_trials
+        if result.target_trials is not None else result.n_trials
+    )
+    metrics.set("sampling.target_trials", float(target))
+    for key, value in sorted(result.stats.items()):
+        metrics.inc(f"{result.method}.{key}", float(value))
+    pruned = result.stats.get("trials_pruned")
+    if pruned is not None and result.n_trials > 0:
+        metrics.set(
+            f"{result.method}.prune_rate", pruned / result.n_trials
+        )
 
 
 def merge_results(first: MPMBResult, second: MPMBResult) -> MPMBResult:

@@ -22,6 +22,7 @@ from ..core import (
 from ..core.results import MPMBResult
 from ..datasets import DATASET_NAMES, load_dataset
 from ..graph import UncertainBipartiteGraph
+from ..observability import Observer
 from ..runtime import RuntimePolicy
 from .instrument import Measurement, measure
 
@@ -107,6 +108,7 @@ def run_method(
     rng_offset: int = 0,
     trace_memory: bool = False,
     n_override: Optional[int] = None,
+    observer: Optional[Observer] = None,
 ) -> Measurement:
     """Run one MPMB method with the config's scaled trial budget.
 
@@ -117,14 +119,25 @@ def run_method(
         rng_offset: Added to the config seed so repeated runs differ.
         trace_memory: Record peak allocations (Figure 13) — slows the run.
         n_override: Replace the method's default measured trial count.
+        observer: Optional :class:`~repro.observability.Observer`.  The
+            method records its spans/metrics into it, and the harness
+            adds ``harness.<method>.seconds`` (plus ``.peak_bytes`` when
+            memory is traced) gauges for the measured call.
 
     Returns:
         A :class:`~repro.experiments.instrument.Measurement` whose value
         is the :class:`~repro.core.results.MPMBResult`.
     """
     seed = config.seed + 1_000_003 * (rng_offset + 1)
-    runner = _method_runner(graph, method, config, seed, n_override)
-    return measure(runner, trace_memory=trace_memory)
+    runner = _method_runner(graph, method, config, seed, n_override,
+                            observer)
+    instrumented = observer is not None and observer.enabled
+    return measure(
+        runner,
+        trace_memory=trace_memory,
+        metrics=observer.metrics if instrumented else None,
+        name=f"harness.{method}" if instrumented else None,
+    )
 
 
 def _method_runner(
@@ -133,21 +146,25 @@ def _method_runner(
     config: ExperimentConfig,
     seed: int,
     n_override: Optional[int],
+    observer: Optional[Observer] = None,
 ) -> Callable[[], MPMBResult]:
     runtime = config.runtime_policy()
     if method == "mc-vp":
         n = n_override or config.n_mcvp
-        return lambda: mc_vp(graph, n, rng=seed, runtime=runtime)
+        return lambda: mc_vp(
+            graph, n, rng=seed, runtime=runtime, observer=observer
+        )
     if method == "os":
         n = n_override or config.n_direct
         return lambda: ordering_sampling(
-            graph, n, rng=seed, runtime=runtime
+            graph, n, rng=seed, runtime=runtime, observer=observer
         )
     if method == "ols":
         n = n_override or config.n_sampling
         return lambda: ordering_listing_sampling(
             graph, n, n_prepare=config.n_prepare,
             estimator="optimized", rng=seed, runtime=runtime,
+            observer=observer,
         )
     if method == "ols-kl":
         n = n_override if n_override is not None else 0  # 0 = dynamic
@@ -155,7 +172,7 @@ def _method_runner(
             graph, n, n_prepare=config.n_prepare,
             estimator="karp-luby", rng=seed,
             mu=config.mu, epsilon=config.epsilon, delta=config.delta,
-            runtime=runtime,
+            runtime=runtime, observer=observer,
         )
     raise ValueError(
         f"unknown method {method!r}; expected one of {METHOD_ORDER}"

@@ -1,19 +1,27 @@
 """Timing and memory instrumentation for the experiment harness.
 
 The paper reports wall-clock execution time (Figures 7-9) and peak memory
-(Figure 13).  :func:`timed` wraps a callable with ``perf_counter``;
-:func:`peak_memory` uses :mod:`tracemalloc` so the measurement reflects
-Python-object allocations of the measured call only (the graph itself is
-allocated outside the window, matching the paper's "extra space beyond
-the network" discussion in Section VIII-E).
+(Figure 13).  Timing delegates to the shared
+:func:`repro.observability.profiling.stopwatch` (one clock idiom for the
+whole codebase); :func:`peak_memory` uses :mod:`tracemalloc` so the
+measurement reflects Python-object allocations of the measured call only
+(the graph itself is allocated outside the window, matching the paper's
+"extra space beyond the network" discussion in Section VIII-E).
+
+Measurements can feed a :class:`~repro.observability.metrics.MetricsRegistry`
+directly: pass ``metrics=`` and ``name=`` to :func:`measure` and the
+duration (and peak bytes, when traced) land as ``<name>.seconds`` /
+``<name>.peak_bytes`` gauges alongside the estimator's own metrics.
 """
 
 from __future__ import annotations
 
-import time
 import tracemalloc
 from dataclasses import dataclass
-from typing import Any, Callable, Tuple
+from typing import Any, Callable, Optional, Tuple
+
+from ..observability.metrics import MetricsRegistry
+from ..observability.profiling import stopwatch
 
 
 @dataclass(frozen=True)
@@ -34,9 +42,9 @@ class Measurement:
 
 def timed(fn: Callable[[], Any]) -> Tuple[Any, float]:
     """Run ``fn`` and return ``(result, wall_seconds)``."""
-    start = time.perf_counter()
-    result = fn()
-    return result, time.perf_counter() - start
+    with stopwatch() as clock:
+        result = fn()
+    return result, clock.seconds
 
 
 def peak_memory(fn: Callable[[], Any]) -> Tuple[Any, int]:
@@ -58,16 +66,36 @@ def peak_memory(fn: Callable[[], Any]) -> Tuple[Any, int]:
     return result, peak
 
 
-def measure(fn: Callable[[], Any], trace_memory: bool = False) -> Measurement:
+def measure(
+    fn: Callable[[], Any],
+    trace_memory: bool = False,
+    metrics: Optional[MetricsRegistry] = None,
+    name: Optional[str] = None,
+) -> Measurement:
     """Run ``fn`` measuring wall time and (optionally) peak allocations.
 
     Note that memory tracing slows the call down noticeably, so timing
     experiments keep it off and the Figure 13 memory experiment runs
     separately.
+
+    Args:
+        fn: Zero-argument callable to measure.
+        trace_memory: Record peak allocations via :func:`peak_memory`.
+        metrics: Optional registry receiving the measurement as gauges.
+        name: Gauge name prefix (required with ``metrics``): the
+            duration lands in ``<name>.seconds`` and, when traced,
+            the allocation peak in ``<name>.peak_bytes``.
     """
-    if trace_memory:
-        start = time.perf_counter()
-        result, peak = peak_memory(fn)
-        return Measurement(result, time.perf_counter() - start, peak)
-    result, seconds = timed(fn)
-    return Measurement(result, seconds, 0)
+    if (metrics is None) != (name is None):
+        raise ValueError("metrics and name must be given together")
+    with stopwatch() as clock:
+        if trace_memory:
+            result, peak = peak_memory(fn)
+        else:
+            result, peak = fn(), 0
+    measurement = Measurement(result, clock.seconds, peak)
+    if metrics is not None and name is not None:
+        metrics.set(f"{name}.seconds", measurement.seconds)
+        if trace_memory:
+            metrics.set(f"{name}.peak_bytes", float(peak))
+    return measurement

@@ -1,0 +1,63 @@
+"""Structured observability for the sampling stack.
+
+The paper's own evaluation (Section VIII) is built on per-phase timing,
+trial-count curves, and per-method work counters; reproducing it per run
+requires the same visibility.  This package provides it as one
+lightweight, dependency-free layer that every estimator routes through:
+
+* :mod:`~repro.observability.metrics` — a metrics registry of counters,
+  gauges, and fixed-bucket histograms, exportable as JSON and as a
+  human-readable summary table.
+* :mod:`~repro.observability.tracing` — nested phase-tracing spans
+  (graph load → edge ordering → candidate generation → sampling →
+  merge, mirroring the structure of Algorithms 1-5), timed with
+  :func:`time.perf_counter_ns`.
+* :mod:`~repro.observability.profiling` — opt-in :mod:`cProfile` and
+  wall-clock helpers for the hot paths.
+* :mod:`~repro.observability.observer` — the :class:`Observer` bundle
+  the rest of the codebase passes around, plus the shared no-op
+  :data:`NULL_OBSERVER` so uninstrumented runs pay (almost) nothing.
+
+The package sits at the very bottom of the layering (it imports nothing
+from :mod:`repro` beyond the standard library), so every other layer —
+runtime engine, worker pool, core estimators, experiments, CLI — can
+depend on it without cycles.  See ``docs/observability.md`` for metric
+names, span semantics, and the export schema.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKET_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .observer import (
+    METRICS_FORMAT,
+    METRICS_KIND,
+    NULL_OBSERVER,
+    NullObserver,
+    Observer,
+    ensure_observer,
+)
+from .profiling import ProfileCapture, maybe_cprofile, stopwatch
+from .tracing import PhaseTracer, Span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKET_EDGES",
+    "PhaseTracer",
+    "Span",
+    "Observer",
+    "NullObserver",
+    "NULL_OBSERVER",
+    "ensure_observer",
+    "METRICS_FORMAT",
+    "METRICS_KIND",
+    "ProfileCapture",
+    "maybe_cprofile",
+    "stopwatch",
+]

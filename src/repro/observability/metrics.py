@@ -1,0 +1,299 @@
+"""A lightweight, dependency-free metrics registry.
+
+Three instrument kinds, matching what the sampling stack actually needs
+to reproduce the paper's Section VIII measurements per run:
+
+* :class:`Counter` — monotone totals (trials completed, edges sampled,
+  checkpoints written).  Counters *sum* when runs merge, which is what
+  makes per-worker metrics consistent with the trial-weighted result
+  merge of :func:`repro.core.results.merge_results`.
+* :class:`Gauge` — last-written point values (trials/sec, prune rate,
+  candidate-set size).  Gauges take the *maximum* when runs merge — a
+  deliberate, documented convention: the merged value answers "what was
+  the largest value any contributing run observed".
+* :class:`Histogram` — fixed-bucket-edge distributions (per-candidate
+  trial counts, winners per trial).  Fixed edges make bucket counts
+  mergeable by element-wise addition across workers.
+
+Everything is JSON-round-trippable (:meth:`MetricsRegistry.to_dict` /
+:meth:`MetricsRegistry.from_dict`) with a stable schema asserted by the
+test suite, and renderable as an aligned text table for humans.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default histogram bucket edges: a geometric ladder wide enough for
+#: trial counts (1 … 10^6) and small enough for per-trial work counts.
+DEFAULT_BUCKET_EDGES: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1_000.0, 2_000.0, 5_000.0, 10_000.0, 20_000.0, 50_000.0,
+    100_000.0, 1_000_000.0,
+)
+
+
+class Counter:
+    """A monotone non-negative total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative — counters never go down)."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = float(value)
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """A fixed-bucket-edge distribution.
+
+    ``edges`` are the inclusive upper bounds of the first
+    ``len(edges)`` buckets; one final overflow bucket catches values
+    above the last edge.  Fixed edges keep histograms mergeable across
+    workers by element-wise bucket addition.
+    """
+
+    __slots__ = ("edges", "counts", "total", "count")
+
+    def __init__(self, edges: Sequence[float] = DEFAULT_BUCKET_EDGES) -> None:
+        ordered = tuple(float(e) for e in edges)
+        if not ordered:
+            raise ValueError("histogram needs at least one bucket edge")
+        if list(ordered) != sorted(set(ordered)):
+            raise ValueError(
+                f"bucket edges must be strictly increasing, got {ordered}"
+            )
+        self.edges = ordered
+        self.counts: List[int] = [0] * (len(ordered) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError("cannot observe NaN")
+        # Edges are inclusive upper bounds: bisect_right moves a value
+        # equal to an edge one bucket too far, so step back in that case.
+        index = bisect_right(self.edges, value)
+        if index > 0 and self.edges[index - 1] == value:
+            index -= 1
+        self.counts[index] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms for one run.
+
+    Instruments are created on first use (``registry.counter("x")``)
+    and addressed by dotted names; the convenience methods
+    (:meth:`inc`, :meth:`set`, :meth:`observe`) combine lookup and
+    update in one call.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- get-or-create accessors ---------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created at 0 on first access."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._ensure_unused(name, self._counters)
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created at 0 on first access."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._ensure_unused(name, self._gauges)
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(
+        self, name: str, edges: Sequence[float] = DEFAULT_BUCKET_EDGES
+    ) -> Histogram:
+        """The histogram called ``name``; ``edges`` apply on creation only.
+
+        Raises:
+            ValueError: If the histogram exists with different edges.
+        """
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._ensure_unused(name, self._histograms)
+            instrument = self._histograms[name] = Histogram(edges)
+        elif instrument.edges != tuple(float(e) for e in edges):
+            raise ValueError(
+                f"histogram {name!r} already exists with different edges"
+            )
+        return instrument
+
+    def _ensure_unused(self, name: str, own: Dict) -> None:
+        for kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if table is not own and name in table:
+                raise ValueError(
+                    f"metric name {name!r} already used by a {kind}"
+                )
+
+    # -- convenience updates -------------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Increment the counter ``name`` by ``amount``."""
+        self.counter(name).inc(amount)
+
+    def set(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to ``value``."""
+        self.gauge(name).set(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        edges: Sequence[float] = DEFAULT_BUCKET_EDGES,
+    ) -> None:
+        """Record ``value`` into the histogram ``name``."""
+        self.histogram(name, edges).observe(value)
+
+    # -- export / merge ------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable snapshot (stable schema, sorted names)."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value
+                for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: {
+                    "edges": list(hist.edges),
+                    "counts": list(hist.counts),
+                    "sum": hist.total,
+                    "count": hist.count,
+                }
+                for name, hist in sorted(self._histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "MetricsRegistry":
+        """Rebuild a registry serialized by :meth:`to_dict`."""
+        registry = cls()
+        for name, value in payload.get("counters", {}).items():
+            registry.counter(name).value = float(value)
+        for name, value in payload.get("gauges", {}).items():
+            registry.gauge(name).set(value)
+        for name, record in payload.get("histograms", {}).items():
+            hist = registry.histogram(name, record["edges"])
+            hist.counts = [int(c) for c in record["counts"]]
+            hist.total = float(record["sum"])
+            hist.count = int(record["count"])
+        return registry
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one, in place.
+
+        Counters add, gauges keep the maximum, histograms add bucket
+        counts (requiring identical edges).  These rules make a merge
+        of per-worker registries consistent with the trial-weighted
+        result merge: summed ``*.trials`` counters equal the pooled
+        result's ``n_trials``, and dropped workers (which never ship a
+        registry) contribute nothing — exactly like their trials.
+
+        Raises:
+            ValueError: When a histogram exists on both sides with
+                different bucket edges.
+        """
+        for name, counter in other._counters.items():
+            self.counter(name).inc(counter.value)
+        for name, gauge in other._gauges.items():
+            mine = self.gauge(name)
+            mine.set(max(mine.value, gauge.value))
+        for name, hist in other._histograms.items():
+            mine = self.histogram(name, hist.edges)
+            if mine.edges != hist.edges:
+                raise ValueError(
+                    f"cannot merge histogram {name!r}: bucket edges differ"
+                )
+            mine.counts = [
+                a + b for a, b in zip(mine.counts, hist.counts)
+            ]
+            mine.total += hist.total
+            mine.count += hist.count
+
+    # -- human-readable summary ----------------------------------------
+
+    def summary_table(self) -> str:
+        """Aligned text table of every instrument (sorted by name)."""
+        rows: List[Tuple[str, str, str]] = []
+        for name in sorted(self._counters):
+            rows.append((name, "counter", f"{self._counters[name].value:g}"))
+        for name in sorted(self._gauges):
+            rows.append((name, "gauge", f"{self._gauges[name].value:g}"))
+        for name, hist in sorted(self._histograms.items()):
+            rows.append((
+                name, "histogram",
+                f"n={hist.count} mean={hist.mean:g} sum={hist.total:g}",
+            ))
+        return render_table(("metric", "kind", "value"), rows)
+
+
+def render_table(
+    header: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: Optional[str] = None,
+) -> str:
+    """Minimal aligned text table (kept local: this package sits below
+    :mod:`repro.experiments` and must not import from it)."""
+    cells = [list(map(str, header))] + [list(map(str, r)) for r in rows]
+    widths = [
+        max(len(row[col]) for row in cells)
+        for col in range(len(header))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(
+        cell.ljust(width) for cell, width in zip(cells[0], widths)
+    ).rstrip())
+    lines.append("  ".join("-" * width for width in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(
+            cell.ljust(width) for cell, width in zip(row, widths)
+        ).rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""The :class:`Observer` bundle threaded through the sampling stack.
+
+Every instrumented layer — the runtime engine, the worker pool, the four
+estimators, the experiments harness, the CLI — accepts an optional
+``observer=``.  An :class:`Observer` carries one
+:class:`~repro.observability.metrics.MetricsRegistry` and one
+:class:`~repro.observability.tracing.PhaseTracer`; passing ``None``
+resolves to the shared :data:`NULL_OBSERVER`, whose instruments are
+no-ops, so uninstrumented runs keep their exact previous behaviour and
+hot loops pay only a dead attribute access.
+
+The export side (:meth:`Observer.export_document`) wraps the registry
+and spans in one JSON document with a versioned, discriminated schema —
+this is what ``--metrics-out`` writes and what the schema-stability
+tests pin down.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Sequence
+
+from .metrics import DEFAULT_BUCKET_EDGES, MetricsRegistry
+from .tracing import PhaseTracer
+
+#: Version of the metrics/trace export document layout.
+METRICS_FORMAT = 1
+
+#: Discriminator so arbitrary JSON files are rejected early.
+METRICS_KIND = "repro-metrics"
+
+
+class Observer:
+    """Metrics registry + phase tracer for one run."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[PhaseTracer] = None,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else PhaseTracer()
+
+    # Convenience pass-throughs so call sites read naturally.
+
+    def span(self, name: str, **meta: object):
+        """Open a nested phase span (see :meth:`PhaseTracer.span`)."""
+        return self.tracer.span(name, **meta)
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name``."""
+        self.metrics.inc(name, amount)
+
+    def set(self, name: str, value: float) -> None:
+        """Set gauge ``name``."""
+        self.metrics.set(name, value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        edges: Sequence[float] = DEFAULT_BUCKET_EDGES,
+    ) -> None:
+        """Record ``value`` into histogram ``name``."""
+        self.metrics.observe(name, value, edges)
+
+    def export_document(
+        self,
+        method: Optional[str] = None,
+        graph_name: Optional[str] = None,
+    ) -> Dict:
+        """The full ``--metrics-out`` JSON document.
+
+        Top-level keys (the schema the tests pin): ``format``, ``kind``,
+        ``method``, ``graph``, ``counters``, ``gauges``, ``histograms``,
+        ``spans``.
+        """
+        snapshot = self.metrics.to_dict()
+        return {
+            "format": METRICS_FORMAT,
+            "kind": METRICS_KIND,
+            "method": method,
+            "graph": graph_name,
+            "counters": snapshot["counters"],
+            "gauges": snapshot["gauges"],
+            "histograms": snapshot["histograms"],
+            "spans": self.tracer.to_list(),
+        }
+
+    def summary(self) -> str:
+        """Phase tree plus metric table, for ``--trace`` terminal output."""
+        return "\n\n".join(
+            part for part in (
+                self.tracer.summary_table() if self.tracer.spans else "",
+                self.metrics.summary_table(),
+            ) if part
+        )
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram stand-in."""
+
+    __slots__ = ()
+    value = 0.0
+    edges: tuple = ()
+    counts: list = []
+    total = 0.0
+    count = 0
+    mean = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class _NullMetrics(MetricsRegistry):
+    """Registry whose instruments discard every update."""
+
+    def counter(self, name):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name, edges=DEFAULT_BUCKET_EDGES):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def merge(self, other) -> None:  # type: ignore[override]
+        pass
+
+
+class _NullTracer(PhaseTracer):
+    """Tracer whose spans cost one generator frame and record nothing."""
+
+    @contextmanager
+    def span(self, name: str, **meta: object) -> Iterator[None]:  # type: ignore[override]
+        yield None
+
+    def merge(self, spans, prefix: str = "") -> None:  # type: ignore[override]
+        pass
+
+
+class NullObserver(Observer):
+    """The do-nothing observer uninstrumented runs resolve to."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(metrics=_NullMetrics(), tracer=_NullTracer())
+
+
+#: Shared no-op observer — safe to reuse across runs (it keeps no state).
+NULL_OBSERVER = NullObserver()
+
+
+def ensure_observer(observer: Optional[Observer]) -> Observer:
+    """``observer`` itself, or the shared :data:`NULL_OBSERVER`."""
+    return observer if observer is not None else NULL_OBSERVER

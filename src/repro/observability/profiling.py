@@ -1,0 +1,111 @@
+"""Opt-in profiling hooks: cProfile capture and wall-clock stopwatches.
+
+Profiling is strictly opt-in because it distorts the numbers it
+measures: :func:`maybe_cprofile` is a context manager that profiles only
+when asked (``--profile-out`` on the CLI), and :func:`stopwatch` wraps
+:func:`time.perf_counter_ns` so callers can time a block and feed the
+duration straight into a :class:`~repro.observability.metrics.Gauge`
+without repeating the two-line timing idiom everywhere (that idiom used
+to live, duplicated, in ``repro.experiments.instrument``).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .metrics import MetricsRegistry
+
+
+@dataclass
+class StopwatchHandle:
+    """Elapsed time of a :func:`stopwatch` block.
+
+    Attributes:
+        elapsed_ns: Nanoseconds from block entry to exit (grows until
+            the block exits; final afterwards).
+    """
+
+    elapsed_ns: int = 0
+
+    @property
+    def seconds(self) -> float:
+        """Elapsed wall-clock seconds."""
+        return self.elapsed_ns / 1e9
+
+
+@contextmanager
+def stopwatch(
+    metrics: Optional[MetricsRegistry] = None,
+    gauge_name: Optional[str] = None,
+) -> Iterator[StopwatchHandle]:
+    """Time a block with :func:`time.perf_counter_ns`.
+
+    Args:
+        metrics: Optional registry receiving the duration on exit.
+        gauge_name: Gauge to set to the elapsed seconds (required when
+            ``metrics`` is given).
+
+    Yields:
+        A :class:`StopwatchHandle` whose ``seconds`` is valid after the
+        block exits (exceptions included).
+    """
+    if (metrics is None) != (gauge_name is None):
+        raise ValueError("metrics and gauge_name must be given together")
+    handle = StopwatchHandle()
+    start = time.perf_counter_ns()
+    try:
+        yield handle
+    finally:
+        handle.elapsed_ns = time.perf_counter_ns() - start
+        if metrics is not None and gauge_name is not None:
+            metrics.set(gauge_name, handle.seconds)
+
+
+@dataclass
+class ProfileCapture:
+    """Output slot of :func:`maybe_cprofile`.
+
+    Attributes:
+        report: The formatted profile (top functions by cumulative
+            time); empty string when profiling was disabled.
+    """
+
+    report: str = ""
+    enabled: bool = False
+    _profiler: Optional[cProfile.Profile] = field(
+        default=None, repr=False, compare=False
+    )
+
+
+@contextmanager
+def maybe_cprofile(
+    enabled: bool, top: int = 30
+) -> Iterator[ProfileCapture]:
+    """Profile the block with :mod:`cProfile` — only when ``enabled``.
+
+    The capture's ``report`` holds the ``pstats`` text (sorted by
+    cumulative time, truncated to ``top`` rows) after the block exits;
+    with ``enabled=False`` the block runs undisturbed and the report
+    stays empty, so call sites need no conditional.
+    """
+    capture = ProfileCapture(enabled=enabled)
+    if not enabled:
+        yield capture
+        return
+    profiler = cProfile.Profile()
+    capture._profiler = profiler
+    profiler.enable()
+    try:
+        yield capture
+    finally:
+        profiler.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(top)
+        capture.report = buffer.getvalue()

@@ -1,0 +1,175 @@
+"""Nested phase-tracing spans for the sampling pipeline.
+
+A run of any MPMB method decomposes into the phases of Algorithms 1-5:
+graph load → edge ordering → candidate generation (OLS preparing phase,
+Alg. 3 lines 2-4) → sampling (the trial loop) → merge (worker pooling).
+:class:`PhaseTracer` records those phases as *spans* — named intervals
+timed with :func:`time.perf_counter_ns`, nested via a context-manager
+stack so each span knows its parent path and depth.
+
+Spans export as a JSON list (stable schema, see ``docs/observability.md``)
+and as an aligned text tree for ``--trace`` terminal output.  The tracer
+is deliberately not thread-safe: one tracer belongs to one run on one
+thread, and worker processes get their own.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from .metrics import render_table
+
+#: Path separator between nested span names.
+PATH_SEPARATOR = "/"
+
+
+@dataclass
+class Span:
+    """One completed (or in-flight) phase interval.
+
+    Attributes:
+        name: Phase name (``"sampling"``, ``"candidate-generation"``...).
+        path: Slash-joined names from the root span to this one.
+        depth: Nesting depth (0 for root spans).
+        start_ns: :func:`time.perf_counter_ns` at entry.  Monotonic and
+            only meaningful relative to other spans of the same process.
+        duration_ns: Nanoseconds from entry to exit; ``None`` while the
+            span is still open.
+        meta: Optional small JSON-serialisable annotations
+            (e.g. ``{"method": "ols"}``).
+    """
+
+    name: str
+    path: str
+    depth: int
+    start_ns: int
+    duration_ns: Optional[int] = None
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        """Duration in seconds (0.0 while the span is open)."""
+        return (self.duration_ns or 0) / 1e9
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable form (stable key set)."""
+        return {
+            "name": self.name,
+            "path": self.path,
+            "depth": self.depth,
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+            "meta": dict(self.meta),
+        }
+
+
+class PhaseTracer:
+    """Collects nested spans for one run.
+
+    Usage::
+
+        tracer = PhaseTracer()
+        with tracer.span("sampling", method="os"):
+            with tracer.span("trial-loop"):
+                ...
+        tracer.to_list()   # JSON-ready, in start order
+    """
+
+    def __init__(self, clock_ns=time.perf_counter_ns) -> None:
+        self._clock_ns = clock_ns
+        self._stack: List[Span] = []
+        self.spans: List[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **meta: object) -> Iterator[Span]:
+        """Open a span named ``name`` nested under the current one.
+
+        The span is appended to :attr:`spans` immediately (in start
+        order) and its duration is filled in on exit — including exits
+        via exceptions, so a deadline abort still yields a closed span.
+        """
+        if PATH_SEPARATOR in name:
+            raise ValueError(
+                f"span names must not contain {PATH_SEPARATOR!r}: {name!r}"
+            )
+        parent = self._stack[-1] if self._stack else None
+        path = (
+            f"{parent.path}{PATH_SEPARATOR}{name}" if parent else name
+        )
+        record = Span(
+            name=name,
+            path=path,
+            depth=len(self._stack),
+            start_ns=self._clock_ns(),
+            meta=dict(meta),
+        )
+        self.spans.append(record)
+        self._stack.append(record)
+        try:
+            yield record
+        finally:
+            record.duration_ns = self._clock_ns() - record.start_ns
+            self._stack.pop()
+
+    def to_list(self) -> List[Dict]:
+        """Every span as a JSON-ready dict, in start order."""
+        return [span.to_dict() for span in self.spans]
+
+    def merge(self, spans: List[Dict], prefix: str = "") -> None:
+        """Append externally recorded spans (e.g. from a worker process).
+
+        ``prefix`` is prepended to each span's path (and depth is
+        shifted under a synthesised ``prefix`` header span, whose
+        duration sums the merged top-level spans) so per-worker phases
+        stay distinguishable after the merge.  Raw ``start_ns`` values
+        are process-local and are kept verbatim — only durations are
+        comparable across processes.
+        """
+        if prefix and spans:
+            top_level = [r for r in spans if int(r["depth"]) == 0]
+            self.spans.append(Span(
+                name=prefix,
+                path=prefix,
+                depth=0,
+                start_ns=min(int(r["start_ns"]) for r in spans),
+                duration_ns=sum(
+                    int(r["duration_ns"]) for r in top_level
+                    if r.get("duration_ns") is not None
+                ),
+                meta={"merged": True},
+            ))
+        for record in spans:
+            path = record["path"]
+            depth = int(record["depth"])
+            if prefix:
+                path = f"{prefix}{PATH_SEPARATOR}{path}"
+                depth += 1
+            self.spans.append(Span(
+                name=record["name"],
+                path=path,
+                depth=depth,
+                start_ns=int(record["start_ns"]),
+                duration_ns=(
+                    None if record.get("duration_ns") is None
+                    else int(record["duration_ns"])
+                ),
+                meta=dict(record.get("meta", {})),
+            ))
+
+    def summary_table(self) -> str:
+        """Aligned text tree of spans with durations, in start order."""
+        rows = []
+        for span in self.spans:
+            label = "  " * span.depth + span.name
+            duration = (
+                f"{span.seconds * 1e3:.3f} ms"
+                if span.duration_ns is not None else "(open)"
+            )
+            annotations = " ".join(
+                f"{key}={value}" for key, value in sorted(span.meta.items())
+            )
+            rows.append((label, duration, annotations))
+        return render_table(("phase", "duration", "meta"), rows)

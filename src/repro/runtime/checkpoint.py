@@ -7,6 +7,14 @@ position, and convergence traces.  Writes go to a temporary sibling file
 that is fsynced and then atomically renamed over the target, so a crash
 mid-write can never corrupt the previous snapshot — at worst the run
 resumes from one checkpoint earlier.
+
+Checkpoints exist because the paper's trial budgets are long: the
+Theorem IV.1 bound ``N ≥ (1/μ)·4·ln(2/δ)/ε²`` reaches ``10^5+`` trials
+for small ``μ``, and Lemma VI.4's per-candidate Karp-Luby budgets
+(Eq. 8) multiply that across ``|C_MB|`` candidates.  Because the
+``state`` payload restores the RNG stream position exactly, a resumed
+run consumes the same random numbers an uninterrupted run would have,
+so resuming never perturbs the ε-δ analysis those bounds certify.
 """
 
 from __future__ import annotations

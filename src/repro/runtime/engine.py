@@ -6,8 +6,16 @@ object that runs one trial (or, for OLS-KL, one candidate), snapshots its
 counters + RNG stream into a JSON payload, and restores itself from such
 a payload — and the engine supplies everything resilience needs around
 it: resume from a snapshot, periodic atomic checkpoints, wall-clock
-deadlines with clean early stop, graceful Ctrl-C handling, and
-deterministic fault injection.
+deadlines with clean early stop, graceful Ctrl-C handling, deterministic
+fault injection, and observability (the ``engine.*`` metrics and the
+``trial-loop`` span).
+
+Paper context: the trial budgets this loop executes are the ones the
+theory sizes — ``N ≥ (1/μ)·4 ln(2/δ)/ε²`` direct Monte-Carlo trials for
+the frequency methods (Theorem IV.1; Lemma V.2 restates it for OS), and
+the per-candidate Karp-Luby budgets of Lemma VI.4 / Eq. (8) when the
+loop unit is a candidate.  A run that stops early therefore certifies a
+*weaker* guarantee, which :mod:`repro.runtime.degradation` re-widens.
 
 The contract that makes checkpoint/resume bit-for-bit deterministic:
 ``restore_state(state_payload())`` must reproduce the loop's counters
@@ -21,6 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Protocol
 
 from ..errors import TrialBudgetExceeded
+from ..observability import Observer, ensure_observer
 from .checkpoint import (
     checkpoint_document,
     read_checkpoint,
@@ -95,6 +104,7 @@ def execute_trial_loop(
     policy: Optional[RuntimePolicy] = None,
     deadline: Optional[Deadline] = None,
     unit: str = "trial",
+    observer: Optional[Observer] = None,
 ) -> LoopReport:
     """Run ``loop`` for up to ``n_target`` trials under ``policy``.
 
@@ -111,6 +121,10 @@ def execute_trial_loop(
             is built from ``policy.timeout_seconds``.
         unit: Human/checkpoint name of one loop iteration (``"trial"``
             or ``"candidate"``).
+        observer: Optional :class:`~repro.observability.Observer`; when
+            given, the loop runs inside a ``trial-loop`` span and keeps
+            the ``engine.trials.completed`` / ``engine.trials.resumed``
+            counters and checkpoint counters up to date.
 
     Returns:
         A :class:`LoopReport`; ``report.degraded`` distinguishes early
@@ -126,6 +140,8 @@ def execute_trial_loop(
         raise ValueError(f"n_trials must be positive, got {n_target}")
     policy = policy or RuntimePolicy()
     faults = policy.faults
+    observer = ensure_observer(observer)
+    trials_completed = observer.metrics.counter("engine.trials.completed")
 
     resumed_from = 0
     if policy.resume_from is not None:
@@ -168,35 +184,46 @@ def execute_trial_loop(
             )
         except Exception:
             report.checkpoint_errors += 1
+            observer.inc("engine.checkpoints.errors")
             if policy.on_checkpoint_error == "raise":
                 raise
         else:
             report.checkpoints_written += 1
+            observer.inc("engine.checkpoints.written")
 
-    try:
-        for trial in range(resumed_from + 1, n_target + 1):
-            if deadline is not None and deadline.expired:
-                report.stop_reason = "deadline"
-                break
-            if faults is not None:
-                if faults.interrupt_before_trial == trial:
-                    raise KeyboardInterrupt
-                if faults.crash_before_trial == trial:
-                    raise InjectedCrash(
-                        f"injected crash before {unit} {trial} of {method}"
-                    )
-            loop.run_trial(trial)
-            report.completed = trial
-            if (
-                policy.checkpoint_path is not None
-                and report.completed < n_target
-                and report.completed % policy.checkpoint_every == 0
-            ):
-                _snapshot()
-    except KeyboardInterrupt:
-        report.stop_reason = "interrupted"
-    except LoopInterrupt as interrupt:
-        report.stop_reason = interrupt.reason
+    if resumed_from:
+        observer.inc("engine.trials.resumed", resumed_from)
+    with observer.span(
+        "trial-loop", method=method, unit=unit, target=n_target
+    ) as loop_span:
+        try:
+            for trial in range(resumed_from + 1, n_target + 1):
+                if deadline is not None and deadline.expired:
+                    report.stop_reason = "deadline"
+                    break
+                if faults is not None:
+                    if faults.interrupt_before_trial == trial:
+                        raise KeyboardInterrupt
+                    if faults.crash_before_trial == trial:
+                        raise InjectedCrash(
+                            f"injected crash before {unit} {trial} "
+                            f"of {method}"
+                        )
+                loop.run_trial(trial)
+                report.completed = trial
+                trials_completed.inc()
+                if (
+                    policy.checkpoint_path is not None
+                    and report.completed < n_target
+                    and report.completed % policy.checkpoint_every == 0
+                ):
+                    _snapshot()
+        except KeyboardInterrupt:
+            report.stop_reason = "interrupted"
+        except LoopInterrupt as interrupt:
+            report.stop_reason = interrupt.reason
+        if loop_span is not None and report.stop_reason is not None:
+            loop_span.meta["stop_reason"] = report.stop_reason
 
     if policy.checkpoint_path is not None and (
         report.completed > resumed_from or report.checkpoints_written == 0

@@ -1,14 +1,18 @@
 """Checkpointable winner-frequency loop shared by MC-VP and OS.
 
-Both direct sampling methods have the same outer-loop state: winner
-counts keyed by canonical butterfly key, the butterflies themselves, the
-method's instrumentation counters, optional convergence traces, and the
-:class:`~repro.worlds.sampler.WorldSampler` whose RNG stream drives the
-trials.  :class:`WinnerCountLoop` packages that state behind the
-engine's checkpointable-loop contract, so both methods inherit
-checkpoint/resume, deadlines, and graceful interruption from
-:func:`~repro.runtime.engine.execute_trial_loop` without duplicating the
-bookkeeping.
+Both direct sampling methods estimate ``P(B)`` as the frequency with
+which ``B`` wins a sampled world's maximum-weight set — the estimator
+whose trial budget Theorem IV.1 sizes (``N ≥ (1/μ)·4 ln(2/δ)/ε²``; the
+unbiasedness argument is Lemma IV.2's expectation identity, restated
+for OS by Lemma V.2).  Both methods therefore share the same outer-loop
+state: winner counts keyed by canonical butterfly key, the butterflies
+themselves, the method's instrumentation counters, optional convergence
+traces, and the :class:`~repro.worlds.sampler.WorldSampler` whose RNG
+stream drives the trials.  :class:`WinnerCountLoop` packages that state
+behind the engine's checkpointable-loop contract, so both methods
+inherit checkpoint/resume, deadlines, and graceful interruption from
+:func:`~repro.runtime.engine.execute_trial_loop` without duplicating
+the bookkeeping.
 
 Butterflies are snapshotted by canonical key only: the graph is part of
 a resumed run's inputs, so each butterfly is rebuilt (with its weight and
@@ -23,10 +27,15 @@ from ..butterfly import Butterfly, ButterflyKey
 from ..butterfly.model import make_butterfly
 from ..errors import CheckpointError
 from ..graph import UncertainBipartiteGraph
+from ..observability import Observer, ensure_observer
 from ..sampling.convergence import ConvergenceTrace, checkpoint_schedule
 
 #: One trial returns the butterflies of this trial's maximum-weight set.
 WinnerTrialFn = Callable[[], Iterable[Butterfly]]
+
+#: Histogram bucket edges for the per-trial winner-set size (``|S_MB|``
+#: is 0 or a small count on real networks; ties inflate it on grids).
+WINNER_BUCKET_EDGES = (0.0, 1.0, 2.0, 3.0, 5.0, 10.0, 20.0, 50.0)
 
 
 class WinnerCountLoop:
@@ -41,6 +50,7 @@ class WinnerCountLoop:
         track: Optional[Iterable[ButterflyKey]] = None,
         checkpoints: int = 40,
         stats: Optional[Dict[str, float]] = None,
+        observer: Optional[Observer] = None,
     ) -> None:
         """
         Args:
@@ -55,6 +65,8 @@ class WinnerCountLoop:
             checkpoints: Number of evenly spaced trace checkpoints.
             stats: Method counters dict, shared *by reference* with the
                 trial function and restored in place on resume.
+            observer: Optional observer; when given, each trial's
+                winner-set size feeds the ``trial.winners`` histogram.
         """
         self.graph = graph
         self.sampler = sampler
@@ -67,15 +79,21 @@ class WinnerCountLoop:
             key: ConvergenceTrace(label=str(key)) for key in self._track
         }
         self._schedule = set(checkpoint_schedule(n_target, checkpoints))
+        self._winner_sizes = ensure_observer(observer).metrics.histogram(
+            "trial.winners", WINNER_BUCKET_EDGES
+        )
 
     # ------------------------------------------------------------------
     # Engine contract
     # ------------------------------------------------------------------
 
     def run_trial(self, trial: int) -> None:
+        n_winners = 0
         for butterfly in self._trial_fn():
+            n_winners += 1
             self.butterflies.setdefault(butterfly.key, butterfly)
             self.counts[butterfly.key] = self.counts.get(butterfly.key, 0) + 1
+        self._winner_sizes.observe(n_winners)
         if self.traces and trial in self._schedule:
             for key, trace in self.traces.items():
                 trace.record(trial, self.counts.get(key, 0) / trial)

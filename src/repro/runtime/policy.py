@@ -2,9 +2,11 @@
 
 A :class:`RuntimePolicy` bundles everything the trial engine needs to
 know beyond the algorithm itself: where to checkpoint and how often,
-where to resume from, the wall-clock budget, the ε-δ targets used when a
-degraded run's guarantee is re-widened, and an optional fault-injection
-plan.  Estimators accept a policy via their ``runtime=`` keyword; with no
+where to resume from, the wall-clock budget, the ε-δ targets
+(``guarantee_mu``, ``guarantee_delta``) used when a degraded run's
+guarantee is re-widened by inverting the Theorem IV.1 bound
+``N ≥ (1/μ)·4·ln(2/δ)/ε²`` for the achieved ``N``, and an optional
+fault-injection plan.  Estimators accept a policy via their ``runtime=`` keyword; with no
 policy they run exactly as before (one uninterruptible in-process loop,
 apart from graceful Ctrl-C handling).
 """

@@ -15,7 +15,18 @@ This module turns that observation into a production worker pool:
   failed attempt;
 * workers that fail permanently are dropped, and the surviving partial
   results merge into a result flagged ``degraded=True`` whose ε-δ
-  guarantee is re-widened to the trials actually pooled.
+  guarantee is re-widened to the trials actually pooled (the
+  Theorem IV.1 bound inverted for the achieved ``N``, as in
+  :mod:`~repro.runtime.degradation`).
+
+Only the frequency-based methods (``mc-vp``, ``os``, ``ols``) are
+poolable: their estimates are trial-weighted averages, so pooled
+streams obey the same Theorem IV.1 / Lemma V.2 analysis as one stream
+of the combined length.  OLS-KL is excluded because Lemma VI.4 sizes
+its trial count *per candidate* from that candidate's existence
+probability (Eq. 8) — per-worker shares of a dynamic budget do not
+average.  Per-worker observability metrics merge under the same policy
+(dropped workers contribute nothing; see ``docs/observability.md``).
 
 Failures are injectable through :class:`~repro.runtime.faults.FaultPlan`
 so every path above is exercised by deterministic tests.
@@ -32,6 +43,11 @@ from typing import Callable, Dict, List, Optional
 import multiprocessing
 
 from ..errors import WorkerFailureError
+from ..observability import (
+    MetricsRegistry,
+    Observer,
+    ensure_observer,
+)
 from ..sampling.rng import RngLike, spawn_rngs
 from .degradation import recompute_guarantee
 from .faults import CRASH_EXIT_CODE, HANG_SECONDS, FaultPlan
@@ -86,12 +102,17 @@ def _worker_main(
     generator,
     method_kwargs: Dict,
     faults: Optional[FaultPlan],
+    instrument: bool,
     queue,
 ) -> None:
     """Subprocess entry point: run one trial share, ship the result back.
 
     An unhandled exception propagates and becomes a non-zero exit code,
-    which the coordinator treats exactly like a crash.
+    which the coordinator treats exactly like a crash.  With
+    ``instrument=True`` the worker records its own metrics and spans and
+    ships them alongside the result, so the coordinator can merge them;
+    crashed or hung attempts ship nothing, which keeps the merged trial
+    counters consistent with the trial-weighted result merge.
     """
     behaviour = (
         faults.worker_behaviour(worker_id, attempt) if faults else "ok"
@@ -103,11 +124,21 @@ def _worker_main(
     from ..core.mpmb import find_mpmb
     from ..core.serialize import result_to_dict
 
+    observer = Observer() if instrument else None
     result = find_mpmb(
         graph, method=method, n_trials=n_trials, rng=generator,
-        **method_kwargs,
+        observer=observer, **method_kwargs,
     )
-    queue.put(result_to_dict(result))
+    payload = {
+        "result": result_to_dict(result),
+        "metrics": (
+            observer.metrics.to_dict() if observer is not None else None
+        ),
+        "spans": (
+            observer.tracer.to_list() if observer is not None else None
+        ),
+    }
+    queue.put(payload)
 
 
 def run_parallel_trials(
@@ -125,6 +156,7 @@ def run_parallel_trials(
     mp_context: Optional[str] = None,
     guarantee_mu: float = 0.05,
     guarantee_delta: float = 0.1,
+    observer: Optional[Observer] = None,
     **method_kwargs,
 ):
     """Run a trial budget across fault-tolerant parallel workers.
@@ -152,6 +184,12 @@ def run_parallel_trials(
         guarantee_mu: ``μ`` for the re-widened guarantee of a degraded
             pool.
         guarantee_delta: ``δ`` for the re-widened guarantee.
+        observer: Optional :class:`~repro.observability.Observer`.  When
+            given, each worker records its own metrics/spans in-process
+            and ships them with its result; the coordinator merges the
+            registries (counters sum, so e.g. ``sampling.trials`` equals
+            the pooled ``n_trials`` even when workers were dropped) and
+            grafts worker spans under ``worker-<id>`` path prefixes.
         **method_kwargs: Forwarded to the method (e.g. ``n_prepare=``).
 
     Returns:
@@ -180,74 +218,87 @@ def run_parallel_trials(
     from ..core.results import merge_results
     from ..core.serialize import result_from_dict
 
+    observer = ensure_observer(observer)
     context = multiprocessing.get_context(mp_context)
     streams = spawn_rngs(rng, n_workers)
     reports: Dict[int, WorkerReport] = {}
     results: Dict[int, object] = {}
+    worker_metrics: Dict[int, Dict] = {}
+    worker_spans: Dict[int, List] = {}
     pending: List[tuple] = [
         (worker_id, 1) for worker_id in range(n_workers)
         if shares[worker_id] > 0
     ]
 
-    while pending:
-        launched = []
-        for worker_id, attempt in pending:
-            queue = context.SimpleQueue()
-            process = context.Process(
-                target=_worker_main,
-                args=(
-                    worker_id, attempt, graph, method, shares[worker_id],
-                    streams[worker_id], method_kwargs, faults, queue,
-                ),
-                daemon=True,
-            )
-            process.start()
-            launched.append((worker_id, attempt, process, queue))
+    with observer.span(
+        "fan-out", method=method, workers=n_workers, trials=n_trials
+    ):
+        while pending:
+            launched = []
+            for worker_id, attempt in pending:
+                queue = context.SimpleQueue()
+                process = context.Process(
+                    target=_worker_main,
+                    args=(
+                        worker_id, attempt, graph, method,
+                        shares[worker_id], streams[worker_id],
+                        method_kwargs, faults, observer.enabled, queue,
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                launched.append((worker_id, attempt, process, queue))
 
-        retry: List[tuple] = []
-        round_backoff = 0.0
-        for worker_id, attempt, process, queue in launched:
-            process.join(straggler_timeout)
-            failure: Optional[str] = None
-            if process.is_alive():
-                process.terminate()
-                process.join()
-                failure = (
-                    f"straggler exceeded {straggler_timeout}s timeout"
-                )
-            elif process.exitcode != 0:
-                failure = f"worker exited with code {process.exitcode}"
-            elif queue.empty():
-                failure = "worker exited without returning a result"
-            else:
-                payload = queue.get()
-                results[worker_id] = result_from_dict(payload, graph)
-                reports[worker_id] = WorkerReport(
-                    worker_id=worker_id,
-                    attempts=attempt,
-                    status="ok",
-                    n_trials=shares[worker_id],
-                )
-            if failure is not None:
-                if attempt >= max_attempts:
+            retry: List[tuple] = []
+            round_backoff = 0.0
+            for worker_id, attempt, process, queue in launched:
+                process.join(straggler_timeout)
+                failure: Optional[str] = None
+                if process.is_alive():
+                    process.terminate()
+                    process.join()
+                    failure = (
+                        f"straggler exceeded {straggler_timeout}s timeout"
+                    )
+                elif process.exitcode != 0:
+                    failure = f"worker exited with code {process.exitcode}"
+                elif queue.empty():
+                    failure = "worker exited without returning a result"
+                else:
+                    payload = queue.get()
+                    results[worker_id] = result_from_dict(
+                        payload["result"], graph
+                    )
+                    if payload["metrics"] is not None:
+                        worker_metrics[worker_id] = payload["metrics"]
+                    if payload["spans"] is not None:
+                        worker_spans[worker_id] = payload["spans"]
                     reports[worker_id] = WorkerReport(
                         worker_id=worker_id,
                         attempts=attempt,
-                        status="dropped",
-                        n_trials=0,
-                        error=failure,
+                        status="ok",
+                        n_trials=shares[worker_id],
                     )
-                else:
-                    retry.append((worker_id, attempt + 1))
-                    round_backoff = max(
-                        round_backoff,
-                        backoff_seconds(
-                            attempt, backoff_base, backoff_cap
-                        ),
-                    )
-        if retry and round_backoff > 0.0:
-            sleep(round_backoff)
-        pending = retry
+                if failure is not None:
+                    if attempt >= max_attempts:
+                        reports[worker_id] = WorkerReport(
+                            worker_id=worker_id,
+                            attempts=attempt,
+                            status="dropped",
+                            n_trials=0,
+                            error=failure,
+                        )
+                    else:
+                        retry.append((worker_id, attempt + 1))
+                        round_backoff = max(
+                            round_backoff,
+                            backoff_seconds(
+                                attempt, backoff_base, backoff_cap
+                            ),
+                        )
+            if retry and round_backoff > 0.0:
+                sleep(round_backoff)
+            pending = retry
 
     dropped = [r for r in reports.values() if r.status == "dropped"]
     if not results:
@@ -260,9 +311,23 @@ def run_parallel_trials(
             f"all {n_workers} workers failed permanently: {detail}"
         )
 
-    merged = reduce(
-        merge_results,
-        [results[worker_id] for worker_id in sorted(results)],
+    with observer.span("merge", workers=len(results)):
+        merged = reduce(
+            merge_results,
+            [results[worker_id] for worker_id in sorted(results)],
+        )
+        for worker_id in sorted(worker_metrics):
+            observer.metrics.merge(
+                MetricsRegistry.from_dict(worker_metrics[worker_id])
+            )
+        for worker_id in sorted(worker_spans):
+            observer.tracer.merge(
+                worker_spans[worker_id], prefix=f"worker-{worker_id}"
+            )
+    observer.inc("pool.workers.total", n_workers)
+    observer.inc("pool.workers.dropped", len(dropped))
+    observer.inc(
+        "pool.worker.attempts", sum(r.attempts for r in reports.values())
     )
     merged.stats["workers_total"] = float(n_workers)
     merged.stats["workers_dropped"] = float(len(dropped))

@@ -103,9 +103,14 @@ class LazyEdgeTrial:
     queried edge exactly once per trial, so the answers within a trial are
     mutually consistent — together they describe one possible world
     restricted to the queried edges.
+
+    Attributes:
+        n_queries: Total :meth:`edge_present` calls this trial (memoised
+            hits included); with :attr:`n_sampled` it yields the lazy
+            cache hit rate ``1 - n_sampled / n_queries``.
     """
 
-    __slots__ = ("_graph", "_rng", "_state")
+    __slots__ = ("_graph", "_rng", "_state", "n_queries")
 
     def __init__(
         self, graph: UncertainBipartiteGraph, rng: np.random.Generator
@@ -113,9 +118,11 @@ class LazyEdgeTrial:
         self._graph = graph
         self._rng = rng
         self._state: Dict[int, bool] = {}
+        self.n_queries = 0
 
     def edge_present(self, edge: int) -> bool:
         """Whether ``edge`` exists in this trial's implicit world."""
+        self.n_queries += 1
         state = self._state.get(edge)
         if state is None:
             state = bool(self._rng.random() < self._graph.probs[edge])

@@ -1,0 +1,115 @@
+"""Documentation consistency: tools/check_docs.py and its guarantees."""
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+checker = _load_checker()
+
+
+class TestRepositoryDocs:
+    def test_docs_are_consistent(self):
+        assert checker.run_checks() == []
+
+    def test_every_docs_page_exists_and_is_covered(self):
+        pages = sorted((REPO_ROOT / "docs").glob("*.md"))
+        assert pages, "docs/ must contain pages"
+        assert checker.check_readme_covers_docs() == []
+
+    def test_main_exit_code_is_zero(self, capsys):
+        assert checker.main() == 0
+        assert "OK" in capsys.readouterr().out
+
+
+class TestCheckerCatchesProblems:
+    def test_broken_link_detected(self, tmp_path, monkeypatch):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "README.md").write_text(
+            "[gone](docs/missing.md)\n", encoding="utf-8"
+        )
+        monkeypatch.setattr(checker, "REPO_ROOT", tmp_path)
+        problems = checker.check_links()
+        assert len(problems) == 1
+        assert "broken link" in problems[0]
+
+    def test_uncovered_docs_page_detected(self, tmp_path, monkeypatch):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "orphan.md").write_text("x\n", encoding="utf-8")
+        (tmp_path / "README.md").write_text("no links\n", encoding="utf-8")
+        monkeypatch.setattr(checker, "REPO_ROOT", tmp_path)
+        problems = checker.check_readme_covers_docs()
+        assert problems == ["README.md does not reference docs/orphan.md"]
+
+    def test_escaping_link_detected(self, tmp_path, monkeypatch):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "README.md").write_text(
+            "[out](../../etc/passwd)\n", encoding="utf-8"
+        )
+        monkeypatch.setattr(checker, "REPO_ROOT", tmp_path)
+        problems = checker.check_links()
+        assert len(problems) == 1
+        assert "escapes" in problems[0]
+
+    def test_external_links_and_anchors_ignored(self, tmp_path,
+                                                monkeypatch):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "README.md").write_text(
+            "[a](https://example.org/x.md) [b](#section)\n",
+            encoding="utf-8",
+        )
+        monkeypatch.setattr(checker, "REPO_ROOT", tmp_path)
+        assert checker.check_links() == []
+
+
+class TestCommandLineExtraction:
+    def test_continuations_joined(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text(
+            "```bash\n"
+            "python -m repro search g.tsv --method os \\\n"
+            "    --trials 100\n"
+            "```\n",
+            encoding="utf-8",
+        )
+        lines = checker.fenced_command_lines(page)
+        assert lines == [
+            "python -m repro search g.tsv --method os --trials 100"
+        ]
+
+    def test_prose_outside_fences_ignored(self, tmp_path):
+        page = tmp_path / "page.md"
+        page.write_text(
+            "use `python -m repro --no-such-flag` casually\n",
+            encoding="utf-8",
+        )
+        assert checker.fenced_command_lines(page) == []
+
+    def test_unknown_documented_flag_detected(self, tmp_path, monkeypatch):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "README.md").write_text(
+            "```bash\npython -m repro search --no-such-flag\n```\n",
+            encoding="utf-8",
+        )
+        monkeypatch.setattr(
+            checker, "doc_files", lambda: [tmp_path / "README.md"]
+        )
+        problems = checker.check_cli_flags()
+        assert len(problems) == 1
+        assert "--no-such-flag" in problems[0]
+
+    def test_known_flags_nonempty(self):
+        cli_flags, bench_flags = checker.known_flags()
+        assert {"--metrics-out", "--trace", "--profile-out",
+                "--workers"} <= cli_flags
+        assert {"--datasets", "--trials", "--out"} <= bench_flags

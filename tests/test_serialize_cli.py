@@ -105,8 +105,20 @@ class TestPackageCli:
         out = capsys.readouterr().out
         assert "|E|" in out and "6" in out
 
-    def test_requires_exactly_one_source(self, capsys):
-        with pytest.raises(SystemExit):
-            main(["search"])
+    def test_rejects_two_sources(self, capsys):
         with pytest.raises(SystemExit):
             main(["search", "path.tsv", "--dataset", "abide"])
+
+    def test_no_source_falls_back_to_default_dataset(self, capsys):
+        code = main([
+            "search", "--method", "os", "--trials", "20", "--seed", "0",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "defaulting to --dataset abide" in captured.err
+        assert "abide-bench" in captured.out
+
+    def test_flag_led_invocation_implies_search(self, capsys):
+        code = main(["--method", "os", "--trials", "20", "--seed", "0"])
+        assert code == 0
+        assert "Top-1 MPMB via os" in capsys.readouterr().out

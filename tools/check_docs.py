@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Documentation consistency checker.
+
+Three guarantees, each enforced by CI through ``tests/test_docs.py``:
+
+1. **Coverage** — ``README.md`` references every page under ``docs/``
+   (a page nobody links is a page nobody reads).
+2. **Link integrity** — every relative Markdown link in ``README.md``,
+   ``DESIGN.md``, and ``docs/*.md`` resolves to a file inside the
+   repository (anchors are stripped; external URLs are ignored).
+3. **CLI flag sync** — every ``--flag`` shown in a fenced code block's
+   ``python -m repro ...`` command exists in the actual argument parser
+   (and likewise for ``python benchmarks/run_bench.py``), so documented
+   invocations cannot rot silently.
+
+Run directly::
+
+    python tools/check_docs.py            # exit 0 = all good
+
+The script has no dependencies beyond the repository itself; it inserts
+``src/`` on ``sys.path`` to import the parsers.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Set, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown link: [text](target) — target captured without closing paren.
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Long-option token inside a documented command line.
+FLAG_PATTERN = re.compile(r"(?<![-\w])--[A-Za-z][A-Za-z0-9-]*")
+
+#: Schemes that mark a link as external (never checked on disk).
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _rel(path: Path) -> str:
+    """``path`` relative to the repo root when possible (for messages)."""
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        return str(path)
+
+
+def doc_files() -> List[Path]:
+    """The Markdown files whose links are checked."""
+    files = [REPO_ROOT / "README.md", REPO_ROOT / "DESIGN.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def check_readme_covers_docs() -> List[str]:
+    """Every ``docs/*.md`` page must be referenced from README.md."""
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    problems = []
+    for page in sorted((REPO_ROOT / "docs").glob("*.md")):
+        reference = f"docs/{page.name}"
+        if reference not in readme:
+            problems.append(
+                f"README.md does not reference {reference}"
+            )
+    return problems
+
+
+def iter_links(path: Path) -> Iterable[str]:
+    """All Markdown link targets in ``path``."""
+    for match in LINK_PATTERN.finditer(path.read_text(encoding="utf-8")):
+        yield match.group(1)
+
+
+def check_links() -> List[str]:
+    """Every relative link must resolve inside the repository."""
+    problems = []
+    for path in doc_files():
+        for target in iter_links(path):
+            if target.startswith(EXTERNAL_PREFIXES):
+                continue
+            # Strip a trailing anchor; a bare anchor targets this file.
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = (path.parent / target).resolve()
+            if REPO_ROOT not in resolved.parents and resolved != REPO_ROOT:
+                problems.append(
+                    f"{_rel(path)}: link {target!r} "
+                    f"escapes the repository"
+                )
+            elif not resolved.exists():
+                problems.append(
+                    f"{_rel(path)}: broken link "
+                    f"{target!r}"
+                )
+    return problems
+
+
+def fenced_command_lines(path: Path) -> List[str]:
+    """Logical command lines inside fenced code blocks.
+
+    Backslash continuations are joined so a wrapped command counts as
+    one line.
+    """
+    lines: List[str] = []
+    in_fence = False
+    pending = ""
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        stripped = raw.strip()
+        if stripped.startswith("```"):
+            in_fence = not in_fence
+            pending = ""
+            continue
+        if not in_fence:
+            continue
+        if pending:
+            stripped = f"{pending} {stripped}"
+            pending = ""
+        if stripped.endswith("\\"):
+            pending = stripped[:-1].strip()
+            continue
+        lines.append(stripped)
+    return lines
+
+
+def parser_flags(parser) -> Set[str]:
+    """All long options of ``parser``, recursing into subparsers."""
+    import argparse
+
+    flags: Set[str] = set()
+    for action in parser._actions:
+        flags.update(
+            opt for opt in action.option_strings if opt.startswith("--")
+        )
+        if isinstance(action, argparse._SubParsersAction):
+            for sub in action.choices.values():
+                flags.update(parser_flags(sub))
+    return flags
+
+
+def known_flags() -> Tuple[Set[str], Set[str]]:
+    """(repro CLI flags, run_bench flags) from the real parsers."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    try:
+        from repro.__main__ import build_parser as build_cli_parser
+        from run_bench import build_parser as build_bench_parser
+    finally:
+        sys.path.pop(0)
+        sys.path.pop(0)
+    return parser_flags(build_cli_parser()), parser_flags(
+        build_bench_parser()
+    )
+
+
+def check_cli_flags() -> List[str]:
+    """Documented ``--flags`` must exist in the matching parser."""
+    cli_flags, bench_flags = known_flags()
+    problems = []
+    for path in doc_files():
+        for line in fenced_command_lines(path):
+            if "python -m repro.experiments" in line:
+                continue  # separate CLI, documented elsewhere
+            if "python -m repro" in line:
+                expected, label = cli_flags, "python -m repro"
+            elif "benchmarks/run_bench.py" in line:
+                expected, label = bench_flags, "run_bench.py"
+            else:
+                continue
+            for flag in FLAG_PATTERN.findall(line):
+                if flag not in expected:
+                    problems.append(
+                        f"{_rel(path)}: {label} has no "
+                        f"{flag} (documented: {line!r})"
+                    )
+    return problems
+
+
+def run_checks() -> List[str]:
+    """All problems found across every check (empty = docs are sound)."""
+    problems: List[str] = []
+    problems.extend(check_readme_covers_docs())
+    problems.extend(check_links())
+    problems.extend(check_cli_flags())
+    return problems
+
+
+def main() -> int:
+    problems = run_checks()
+    for problem in problems:
+        print(f"check_docs: {problem}", file=sys.stderr)
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    checked = len(doc_files())
+    print(f"check_docs: OK ({checked} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
