@@ -1,0 +1,60 @@
+"""AST-based invariant linter for the reproduction's whole-program
+properties.
+
+The test suite cannot see the invariants this package guards:
+checkpoint/resume is bit-identical only if every stochastic call routes
+through the seeded substrate (RNG001), the worker pool only survives
+the spawn start method if module-level callables cross the process
+boundary (MPS001), merged metric series only aggregate if names stay
+canonical (MET001), and so on.  Each is a *whole-program* property —
+one stray call site anywhere re-breaks it — so each is enforced as a
+static-analysis rule that fails CI the moment a PR reintroduces a
+violation.
+
+Run it::
+
+    python -m repro.analysis              # whole repo, all rules
+    python -m repro.analysis --list-rules
+    python tools/lint.py                  # same CLI, no PYTHONPATH
+
+Suppress one finding inline with ``# repro: noqa[RULE]``; grandfather
+existing findings with ``--write-baseline``.  The full rule catalog,
+the suppression/baseline workflow, and the how-to-add-a-rule guide
+live in ``docs/static-analysis.md``.
+"""
+
+from .baseline import load_baseline, split_baselined, write_baseline
+from .findings import Finding
+from .registry import RULES, FileRule, ProjectRule, Rule, register
+from .reporters import AnalysisResult, render_json, render_text
+from .runner import (
+    AnalysisConfig,
+    discover_files,
+    discover_root,
+    run_analysis,
+)
+from .source import SourceFile, parse_source
+
+# Importing the rules module populates the registry.
+from . import rules as _rules  # noqa: F401
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisResult",
+    "Finding",
+    "FileRule",
+    "ProjectRule",
+    "Rule",
+    "RULES",
+    "SourceFile",
+    "discover_files",
+    "discover_root",
+    "load_baseline",
+    "parse_source",
+    "register",
+    "render_json",
+    "render_text",
+    "run_analysis",
+    "split_baselined",
+    "write_baseline",
+]

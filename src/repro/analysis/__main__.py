@@ -1,0 +1,148 @@
+"""Command-line entry point: ``python -m repro.analysis``.
+
+Exit codes: 0 = clean, 1 = findings, 2 = usage error.  Also exposed as
+``python tools/lint.py`` for invocations without ``PYTHONPATH=src``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .baseline import write_baseline
+from .registry import RULES, ProjectRule
+from .reporters import render_json, render_text
+from .runner import AnalysisConfig, discover_root, run_analysis
+
+#: Baseline location used when none is given explicitly.
+DEFAULT_BASELINE = Path("tools") / "lint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "AST-based invariant linter for determinism, worker-safety,"
+            " and metrics discipline (see docs/static-analysis.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files/directories to analyze (default: src/repro; "
+        "explicit paths also skip the repo-level docs rules)",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=None,
+        help="repository root (default: nearest ancestor with a "
+        "pyproject.toml)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="baseline file of grandfathered findings (default: "
+        "tools/lint-baseline.json under the root, when it exists)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="record current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--select", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--no-project", action="store_true",
+        help="skip the repo-level rules (DOC002 docs consistency, "
+        "MET002 catalog sync)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail on warnings as well as errors",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule_id, rule_class in RULES.items():
+        scope = (
+            "project" if issubclass(rule_class, ProjectRule) else "file"
+        )
+        lines.append(
+            f"{rule_id}  [{rule_class.severity}/{scope}]  "
+            f"{rule_class.description}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    root = (
+        args.root.resolve() if args.root is not None
+        else discover_root()
+    )
+    select = (
+        [part.strip() for part in args.select.split(",") if part.strip()]
+        if args.select else None
+    )
+    baseline_path = args.baseline
+    if baseline_path is None:
+        default = root / DEFAULT_BASELINE
+        baseline_path = default if default.exists() else None
+    elif not baseline_path.is_absolute():
+        baseline_path = root / baseline_path
+
+    config = AnalysisConfig(
+        root=root,
+        paths=list(args.paths),
+        select=select,
+        # --write-baseline records everything, including findings the
+        # old baseline already forgave.
+        baseline_path=None if args.write_baseline else baseline_path,
+        project_rules=not args.no_project and not args.paths,
+        strict=args.strict,
+    )
+    try:
+        result = run_analysis(config)
+    except KeyError as error:
+        print(f"repro.analysis: {error.args[0]}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"repro.analysis: {error}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        target = args.baseline or (root / DEFAULT_BASELINE)
+        if not target.is_absolute():
+            target = root / target
+        write_baseline(target, result.findings)
+        print(
+            f"repro.analysis: wrote {len(result.findings)} finding(s) "
+            f"to {target}"
+        )
+        return 0
+
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return result.exit_code(strict=args.strict)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

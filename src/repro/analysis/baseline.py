@@ -1,0 +1,93 @@
+"""The committed baseline of grandfathered findings.
+
+A baseline lets the analyzer land with the codebase still dirty: known
+findings are recorded by fingerprint and stop failing the build, while
+anything *new* still does.  The repo's committed baseline
+(``tools/lint-baseline.json``) is empty — every finding has been fixed
+— and the acceptance tests keep it that way.
+
+Fingerprints hash rule + path + stripped line text (not line numbers),
+so unrelated edits that shift a grandfathered line do not resurrect it.
+Identical lines in one file share a fingerprint; the baseline stores a
+*count* per fingerprint and forgives at most that many occurrences.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from .findings import Finding
+
+#: Schema version of the baseline document.
+BASELINE_FORMAT = 1
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Fingerprint → forgiven-occurrence count from a baseline file.
+
+    A missing file is an empty baseline.  Raises ``ValueError`` on a
+    malformed document so CI fails loudly rather than un-suppressing.
+    """
+    if not path.exists():
+        return {}
+    document = json.loads(path.read_text(encoding="utf-8"))
+    if (
+        not isinstance(document, dict)
+        or document.get("format") != BASELINE_FORMAT
+        or not isinstance(document.get("findings"), list)
+    ):
+        raise ValueError(
+            f"{path}: not a version-{BASELINE_FORMAT} baseline document"
+        )
+    counts: Dict[str, int] = {}
+    for record in document["findings"]:
+        counts[str(record["fingerprint"])] = int(record.get("count", 1))
+    return counts
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, deduplicated)."""
+    counts = Counter(finding.fingerprint() for finding in findings)
+    by_print = {f.fingerprint(): f for f in findings}
+    document = {
+        "format": BASELINE_FORMAT,
+        "findings": [
+            {
+                "fingerprint": fingerprint,
+                "rule": by_print[fingerprint].rule,
+                "path": by_print[fingerprint].path,
+                "count": count,
+            }
+            for fingerprint, count in sorted(counts.items())
+        ],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def split_baselined(
+    findings: List[Finding], baseline: Dict[str, int]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition findings into (fresh, grandfathered).
+
+    Each fingerprint forgives at most its recorded count; findings
+    beyond that count are fresh (a grandfathered pattern that *spread*
+    still fails the build).
+    """
+    remaining = dict(baseline)
+    fresh: List[Finding] = []
+    grandfathered: List[Finding] = []
+    for finding in sorted(findings):
+        fingerprint = finding.fingerprint()
+        if remaining.get(fingerprint, 0) > 0:
+            remaining[fingerprint] -= 1
+            grandfathered.append(finding)
+        else:
+            fresh.append(finding)
+    return fresh, grandfathered

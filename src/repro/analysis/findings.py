@@ -1,0 +1,56 @@
+"""The finding record every analysis rule emits."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict
+
+#: Finding severities, in increasing order of gravity.
+SEVERITIES = ("warning", "error")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        path: Repo-root-relative POSIX path of the offending file.
+        line: 1-based line number (0 for whole-file/project findings).
+        rule: Rule identifier (``"RNG001"``).
+        message: Human-readable description of the violation.
+        severity: ``"error"`` or ``"warning"``.
+        line_text: The stripped source line, used for baseline
+            fingerprinting so findings survive unrelated line drift.
+    """
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    severity: str = "error"
+    line_text: str = ""
+
+    def fingerprint(self) -> str:
+        """Content-addressed identity used by the baseline file.
+
+        Hashes the rule, path, and stripped line *text* (not the line
+        number), so grandfathered findings stay matched when unrelated
+        edits shift them up or down the file.
+        """
+        digest = hashlib.sha256(
+            f"{self.rule}\x00{self.path}\x00{self.line_text.strip()}"
+            .encode("utf-8")
+        ).hexdigest()
+        return f"{self.rule}:{digest[:16]}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (stable key set, pinned by the tests)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }

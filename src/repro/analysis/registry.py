@@ -1,0 +1,103 @@
+"""Rule base classes and the global rule registry.
+
+A rule is either *file-scoped* (``check(source)`` runs once per parsed
+file) or *project-scoped* (``check_project(root)`` runs once per
+invocation against the repository).  Rules self-register via the
+:func:`register` decorator, which is what makes ``--list-rules`` and
+``--select`` work without a hand-maintained table.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Type
+
+from .findings import SEVERITIES, Finding
+
+
+class Rule:
+    """Common surface of every analysis rule.
+
+    Class attributes each concrete rule must define:
+        id: Stable identifier (``"RNG001"``) used in reports, ``noqa``
+            comments, ``--select``, and the baseline file.
+        severity: ``"error"`` or ``"warning"``.
+        description: One-line summary shown by ``--list-rules``.
+    """
+
+    id: str = ""
+    severity: str = "error"
+    description: str = ""
+
+    def finding(
+        self, path: str, line: int, message: str, line_text: str = ""
+    ) -> Finding:
+        """A :class:`Finding` stamped with this rule's id/severity."""
+        return Finding(
+            path=path,
+            line=line,
+            rule=self.id,
+            message=message,
+            severity=self.severity,
+            line_text=line_text,
+        )
+
+
+class FileRule(Rule):
+    """A rule that inspects one parsed source file at a time."""
+
+    def check(self, source) -> Iterator[Finding]:
+        """Yield findings for ``source`` (a :class:`SourceFile`)."""
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule that inspects the repository as a whole."""
+
+    def check_project(self, root: Path) -> Iterator[Finding]:
+        """Yield findings for the repo rooted at ``root``."""
+        raise NotImplementedError
+
+
+#: id → rule class, in registration order.
+RULES: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_class.id:
+        raise ValueError(f"{rule_class.__name__} has no rule id")
+    if rule_class.severity not in SEVERITIES:
+        raise ValueError(
+            f"{rule_class.id}: severity must be one of {SEVERITIES}, "
+            f"got {rule_class.severity!r}"
+        )
+    if rule_class.id in RULES:
+        raise ValueError(f"duplicate rule id {rule_class.id}")
+    RULES[rule_class.id] = rule_class
+    return rule_class
+
+
+def instantiate(
+    select: "List[str] | None" = None,
+    predicate: "Callable[[Type[Rule]], bool] | None" = None,
+) -> List[Rule]:
+    """Fresh instances of the registered rules.
+
+    Args:
+        select: Restrict to these rule ids (unknown ids raise KeyError).
+        predicate: Optional extra filter on the rule class.
+    """
+    if select is not None:
+        missing = [rule_id for rule_id in select if rule_id not in RULES]
+        if missing:
+            raise KeyError(
+                f"unknown rule id(s): {', '.join(sorted(missing))}; "
+                f"known: {', '.join(RULES)}"
+            )
+        chosen = [RULES[rule_id] for rule_id in select]
+    else:
+        chosen = list(RULES.values())
+    if predicate is not None:
+        chosen = [cls for cls in chosen if predicate(cls)]
+    return [cls() for cls in chosen]

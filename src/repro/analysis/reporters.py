@@ -1,0 +1,101 @@
+"""Text and JSON reporters for analysis results."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .findings import Finding
+
+#: Schema version of the JSON report document.
+REPORT_FORMAT = 1
+
+#: Discriminator so arbitrary JSON files are rejected early.
+REPORT_KIND = "repro-analysis"
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analyzer invocation produced.
+
+    Attributes:
+        findings: Fresh findings that count against the exit code.
+        grandfathered: Findings forgiven by the baseline.
+        suppressed: Count of findings silenced by ``repro: noqa``.
+        files_analyzed: Number of Python files parsed.
+        rules_run: Ids of the rules that executed, in order.
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    grandfathered: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_analyzed: int = 0
+    rules_run: List[str] = field(default_factory=list)
+
+    def errors(self) -> List[Finding]:
+        """Fresh findings at error severity."""
+        return [f for f in self.findings if f.severity == "error"]
+
+    def exit_code(self, strict: bool = False) -> int:
+        """0 when clean; 1 when findings fail the run.
+
+        Warnings only fail under ``strict``.
+        """
+        failing = self.findings if strict else self.errors()
+        return 1 if failing else 0
+
+
+def render_text(result: AnalysisResult) -> str:
+    """Human-readable report: one ``path:line rule message`` per line."""
+    lines: List[str] = []
+    for finding in sorted(result.findings):
+        location = (
+            f"{finding.path}:{finding.line}" if finding.line
+            else finding.path
+        )
+        lines.append(
+            f"{location}: {finding.rule} [{finding.severity}] "
+            f"{finding.message}"
+        )
+    fresh = len(result.findings)
+    summary = (
+        f"repro.analysis: {fresh} finding(s) "
+        f"({len(result.errors())} error(s)) in "
+        f"{result.files_analyzed} file(s)"
+    )
+    extras = []
+    if result.suppressed:
+        extras.append(f"{result.suppressed} noqa-suppressed")
+    if result.grandfathered:
+        extras.append(f"{len(result.grandfathered)} baselined")
+    if extras:
+        summary += f" [{', '.join(extras)}]"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    """Machine-readable report with a stable, versioned schema.
+
+    Top-level keys (pinned by ``tests/test_analysis.py``): ``format``,
+    ``kind``, ``findings``, ``grandfathered``, ``counts``,
+    ``suppressed``, ``files_analyzed``, ``rules_run``.
+    """
+    counts: Dict[str, int] = dict(sorted(
+        Counter(f.rule for f in result.findings).items()
+    ))
+    document = {
+        "format": REPORT_FORMAT,
+        "kind": REPORT_KIND,
+        "findings": [f.to_dict() for f in sorted(result.findings)],
+        "grandfathered": [
+            f.to_dict() for f in sorted(result.grandfathered)
+        ],
+        "counts": counts,
+        "suppressed": result.suppressed,
+        "files_analyzed": result.files_analyzed,
+        "rules_run": list(result.rules_run),
+    }
+    return json.dumps(document, indent=2, sort_keys=False)

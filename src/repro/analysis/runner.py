@@ -1,0 +1,147 @@
+"""File discovery and rule orchestration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+from .baseline import load_baseline, split_baselined
+from .findings import Finding
+from .registry import FileRule, ProjectRule, instantiate
+from .reporters import AnalysisResult
+from .source import parse_source
+
+#: Directory names never descended into during discovery.
+SKIP_DIRECTORIES = frozenset({
+    "__pycache__", ".git", ".venv", "venv", "node_modules",
+    "build", "dist",
+})
+
+#: Rule id stamped on files that fail to parse.
+PARSE_RULE = "PARSE001"
+
+
+@dataclass
+class AnalysisConfig:
+    """One analyzer invocation's inputs.
+
+    Attributes:
+        root: Repository root; findings are reported relative to it.
+        paths: Files/directories to analyze (relative paths resolve
+            against ``root``).  Empty means the default ``src/repro``.
+        select: Restrict to these rule ids (None = all).
+        baseline_path: Baseline file (None = no baseline).
+        project_rules: Run the repo-level rules (docs consistency,
+            catalog sync) in addition to the per-file rules.
+        strict: Fail on warnings as well as errors.
+    """
+
+    root: Path
+    paths: List[Path] = field(default_factory=list)
+    select: Optional[List[str]] = None
+    baseline_path: Optional[Path] = None
+    project_rules: bool = True
+    strict: bool = False
+
+
+def discover_root(start: Optional[Path] = None) -> Path:
+    """The nearest ancestor containing ``pyproject.toml`` (else CWD)."""
+    current = (start or Path.cwd()).resolve()
+    for candidate in (current, *current.parents):
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return current
+
+
+def discover_files(root: Path, paths: List[Path]) -> List[Path]:
+    """All ``.py`` files under ``paths`` (sorted, pruned, deduped)."""
+    targets = paths or [root / "src" / "repro"]
+    files: List[Path] = []
+    for target in targets:
+        resolved = (
+            target if target.is_absolute() else root / target
+        ).resolve()
+        if resolved.is_file():
+            files.append(resolved)
+            continue
+        for candidate in sorted(resolved.rglob("*.py")):
+            parts = set(candidate.relative_to(resolved).parts[:-1])
+            if parts & SKIP_DIRECTORIES:
+                continue
+            if any(part.endswith(".egg-info") for part in parts):
+                continue
+            files.append(candidate)
+    unique: List[Path] = []
+    seen = set()
+    for path in files:
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return unique
+
+
+def _relative(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def run_analysis(config: AnalysisConfig) -> AnalysisResult:
+    """Run every selected rule and return the filtered result.
+
+    Findings pass through two filters, in order: inline ``repro: noqa``
+    suppressions (counted, never reported), then the baseline
+    (grandfathered findings are reported separately and do not fail).
+    """
+    rules = instantiate(config.select)
+    file_rules = [r for r in rules if isinstance(r, FileRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+
+    raw: List[Finding] = []
+    suppressed = 0
+    files = discover_files(config.root, config.paths)
+    sources = []
+    for path in files:
+        rel = _relative(path, config.root)
+        try:
+            source = parse_source(
+                rel, path.read_text(encoding="utf-8")
+            )
+        except SyntaxError as error:
+            raw.append(Finding(
+                path=rel,
+                line=error.lineno or 0,
+                rule=PARSE_RULE,
+                message=f"file does not parse: {error.msg}",
+                severity="error",
+            ))
+            continue
+        sources.append(source)
+
+    for source in sources:
+        for rule in file_rules:
+            for finding in rule.check(source):
+                if source.is_suppressed(finding.rule, finding.line):
+                    suppressed += 1
+                else:
+                    raw.append(finding)
+
+    if config.project_rules:
+        for rule in project_rules:
+            raw.extend(rule.check_project(config.root))
+
+    baseline = (
+        load_baseline(config.baseline_path)
+        if config.baseline_path is not None else {}
+    )
+    fresh, grandfathered = split_baselined(raw, baseline)
+
+    return AnalysisResult(
+        findings=fresh,
+        grandfathered=grandfathered,
+        suppressed=suppressed,
+        files_analyzed=len(files),
+        rules_run=[rule.id for rule in rules],
+    )

@@ -1,0 +1,192 @@
+"""Parsed source files and the AST helpers the rules share.
+
+One :class:`SourceFile` is parsed once and handed to every file rule;
+the helpers here centralise the import-alias resolution and scope walk
+that several rules need, so each rule stays a small, testable unit.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+#: Inline suppression: ``# repro: noqa`` or ``# repro: noqa[RNG001,MET001]``.
+NOQA_PATTERN = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9,\s]+)\])?"
+)
+
+
+@dataclass
+class SourceFile:
+    """One parsed Python file under analysis.
+
+    Attributes:
+        path: Repo-root-relative POSIX path.
+        text: Full source text.
+        tree: Parsed module AST.
+        lines: Source split into lines (index 0 = line 1).
+    """
+
+    path: str
+    text: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.text.splitlines()
+
+    def line_text(self, line: int) -> str:
+        """The source text of 1-based ``line`` ('' when out of range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def noqa_rules(self, line: int) -> Optional[Set[str]]:
+        """Suppressions on ``line``: a rule-id set, or empty set for all.
+
+        Returns ``None`` when the line carries no ``repro: noqa``
+        comment; an empty set means the bare form (suppress every rule).
+        """
+        match = NOQA_PATTERN.search(self.line_text(line))
+        if match is None:
+            return None
+        rules = match.group("rules")
+        if rules is None:
+            return set()
+        return {part.strip() for part in rules.split(",") if part.strip()}
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` is noqa-suppressed on ``line``."""
+        rules = self.noqa_rules(line)
+        if rules is None:
+            return False
+        return not rules or rule in rules
+
+
+def parse_source(path: str, text: str) -> SourceFile:
+    """Parse ``text`` into a :class:`SourceFile` (raises SyntaxError)."""
+    return SourceFile(path=path, text=text, tree=ast.parse(text))
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """The textual dotted path of a Name/Attribute chain, if it is one.
+
+    ``np.random.default_rng`` → ``"np.random.default_rng"``; returns
+    ``None`` for chains rooted in calls or subscripts.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def module_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Local name → imported module path, from ``import`` statements.
+
+    ``import numpy as np`` → ``{"np": "numpy"}``;
+    ``import numpy.random`` → ``{"numpy": "numpy"}`` (attribute chains
+    through the root name resolve naturally).
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                if name.asname is not None:
+                    aliases[name.asname] = name.name
+                else:
+                    aliases[name.name.split(".", 1)[0]] = (
+                        name.name.split(".", 1)[0]
+                    )
+    return aliases
+
+
+def from_imports(tree: ast.Module) -> Dict[str, Tuple[str, str]]:
+    """Local name → (source module, original name), from-imports only.
+
+    Relative imports keep their leading dots (``from ..errors import X``
+    → ``{"X": ("..errors", "X")}``) so rules can match on suffixes.
+    """
+    imports: Dict[str, Tuple[str, str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            module = ("." * node.level) + (node.module or "")
+            for name in node.names:
+                imports[name.asname or name.name] = (module, name.name)
+    return imports
+
+
+def resolved_call_path(
+    call: ast.Call,
+    aliases: Dict[str, str],
+    froms: Dict[str, Tuple[str, str]],
+) -> Optional[str]:
+    """The call's dotted path with import aliases normalised.
+
+    ``np.random.default_rng(...)`` with ``import numpy as np`` resolves
+    to ``"numpy.random.default_rng"``; a bare call of a from-imported
+    name resolves to ``"<module>.<name>"``.
+    """
+    path = dotted_name(call.func)
+    if path is None:
+        return None
+    head, _, rest = path.partition(".")
+    if head in froms:
+        module, original = froms[head]
+        base = f"{module.lstrip('.')}.{original}".lstrip(".")
+        return f"{base}.{rest}" if rest else base
+    if head in aliases:
+        return f"{aliases[head]}.{rest}" if rest else aliases[head]
+    return path
+
+
+def nested_function_names(tree: ast.Module) -> Set[str]:
+    """Names of functions defined *inside* other functions (closures)."""
+    nested: Set[str] = set()
+
+    def visit(node: ast.AST, inside_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            is_fn = isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef)
+            )
+            if is_fn and inside_function:
+                nested.add(child.name)  # type: ignore[attr-defined]
+            visit(child, inside_function or is_fn)
+
+    visit(tree, False)
+    return nested
+
+
+def enclosing_public_function(
+    stack: List[ast.AST],
+) -> Optional[str]:
+    """Name of the top-level function/method a node stack sits in.
+
+    Returns ``None`` for module-level code.  The *top-level* def wins:
+    a private helper nested inside a public function still reports the
+    public function.
+    """
+    for node in stack:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return node.name
+    return None
+
+
+def walk_with_stack(tree: ast.Module):
+    """Yield ``(node, ancestors)`` pairs, ancestors outermost-first."""
+    stack: List[ast.AST] = []
+
+    def visit(node: ast.AST):
+        yield node, list(stack)
+        stack.append(node)
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child)
+        stack.pop()
+
+    yield from visit(tree)

@@ -13,6 +13,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from ..errors import ConfigurationError
 from ..sampling.bounds import monte_carlo_trial_bound
 from .candidates import CandidateSet
 
@@ -76,17 +77,17 @@ def karp_luby_trial_ratio(
             ``existence_prob`` (``P(B) ≤ Pr[E(B)]`` always).
     """
     if not 0.0 < mu <= 1.0:
-        raise ValueError(f"mu must be in (0, 1], got {mu}")
+        raise ConfigurationError(f"mu must be in (0, 1], got {mu}")
     if not 0.0 <= existence_prob <= 1.0:
-        raise ValueError(
+        raise ConfigurationError(
             f"existence_prob must be in [0, 1], got {existence_prob}"
         )
     if blocking_mass < 0.0:
-        raise ValueError(
+        raise ConfigurationError(
             f"blocking_mass must be non-negative, got {blocking_mass}"
         )
     if mu > existence_prob > 0.0:
-        raise ValueError(
+        raise ConfigurationError(
             f"mu={mu} exceeds existence_prob={existence_prob}; "
             "P(B) can never exceed Pr[E(B)]"
         )
@@ -128,9 +129,9 @@ def karp_luby_achievable_epsilon(
     candidate) certifies ε = 0: the estimate equals ``Pr[E(B)]`` exactly.
     """
     if n_trials <= 0:
-        raise ValueError(f"n_trials must be positive, got {n_trials}")
+        raise ConfigurationError(f"n_trials must be positive, got {n_trials}")
     if not 0.0 < delta < 1.0:
-        raise ValueError(f"delta must be in (0, 1), got {delta}")
+        raise ConfigurationError(f"delta must be in (0, 1), got {delta}")
     ratio = karp_luby_trial_ratio(existence_prob, blocking_mass, mu)
     if ratio <= 0.0:
         return 0.0
@@ -144,7 +145,7 @@ def balance_ratio(candidate_count: int) -> float:
     estimator wins on total work despite its ``O(|C_MB|)`` per-trial cost.
     """
     if candidate_count <= 0:
-        raise ValueError(
+        raise ConfigurationError(
             f"candidate_count must be positive, got {candidate_count}"
         )
     return 1.0 / candidate_count
@@ -155,9 +156,9 @@ def candidate_hit_probability(probability: float, n_prepare: int) -> float:
     ``C_MB`` within ``n_prepare`` preparing trials, i.e.
     ``1 − (1 − P(B))^N``."""
     if not 0.0 <= probability <= 1.0:
-        raise ValueError(f"probability must be in [0, 1], got {probability}")
+        raise ConfigurationError(f"probability must be in [0, 1], got {probability}")
     if n_prepare < 0:
-        raise ValueError(f"n_prepare must be non-negative, got {n_prepare}")
+        raise ConfigurationError(f"n_prepare must be non-negative, got {n_prepare}")
     return 1.0 - (1.0 - probability) ** n_prepare
 
 
@@ -171,9 +172,9 @@ def preparing_trials_for_recall(
     ``P(B)=0.05`` butterfly below 0.6%.
     """
     if not 0.0 < probability < 1.0:
-        raise ValueError(f"probability must be in (0, 1), got {probability}")
+        raise ConfigurationError(f"probability must be in (0, 1), got {probability}")
     if not 0.0 < target_recall < 1.0:
-        raise ValueError(
+        raise ConfigurationError(
             f"target_recall must be in (0, 1), got {target_recall}"
         )
     return math.ceil(
@@ -253,7 +254,7 @@ def lemma_vi5_error_bound(
     """
     n = len(exact_probabilities)
     if not (len(in_candidate_set) == len(weights) == n):
-        raise ValueError("parallel sequences must have equal length")
+        raise ConfigurationError("parallel sequences must have equal length")
     if not 0 <= index < n:
         raise IndexError(f"index {index} out of range for {n} butterflies")
     threshold = weights[index]

@@ -23,7 +23,7 @@ import math
 from typing import Dict, Iterable, List, Optional
 
 from ..butterfly import ButterflyKey
-from ..errors import CheckpointError
+from ..errors import CheckpointError, ConfigurationError
 from ..observability import Observer, ensure_observer
 from ..sampling import (
     ConvergenceTrace,
@@ -255,7 +255,7 @@ def estimate_probabilities_karp_luby(
         actually received; unprocessed candidates have no estimate.
     """
     if n_trials is not None and n_trials <= 0:
-        raise ValueError(f"n_trials must be positive, got {n_trials}")
+        raise ConfigurationError(f"n_trials must be positive, got {n_trials}")
     observer = ensure_observer(observer)
     generator = ensure_rng(rng)
     base = monte_carlo_trial_bound(mu, epsilon, delta)

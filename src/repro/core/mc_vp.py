@@ -19,6 +19,7 @@ import numpy as np
 
 from ..butterfly import Butterfly, ButterflyKey
 from ..butterfly.bfc_vp import assemble_butterfly
+from ..errors import ConfigurationError
 from ..graph import (
     UncertainBipartiteGraph,
     degree_priority,
@@ -82,7 +83,7 @@ def mc_vp(
     elif priority_kind == "expected-degree":
         priority = expected_degree_priority(graph)
     else:
-        raise ValueError(
+        raise ConfigurationError(
             f"priority_kind must be 'degree' or 'expected-degree', "
             f"got {priority_kind!r}"
         )

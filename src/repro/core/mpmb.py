@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from ..butterfly import Butterfly
+from ..errors import ConfigurationError
 from ..graph import UncertainBipartiteGraph
 from ..observability import Observer, ensure_observer
 from ..sampling import RngLike
@@ -92,7 +93,7 @@ def find_mpmb(
     if method == "exact-inclusion-exclusion":
         with ensure_observer(observer).span("exact-solve", method=method):
             return exact_mpmb_by_inclusion_exclusion(graph, **kwargs)
-    raise ValueError(
+    raise ConfigurationError(
         f"unknown method {method!r}; expected one of {', '.join(METHODS)}"
     )
 

@@ -20,7 +20,7 @@ from typing import Dict, Iterable, Optional
 
 from ..butterfly import Butterfly, ButterflyKey, top_weight_butterflies
 from ..butterfly.model import make_butterfly
-from ..errors import CheckpointError
+from ..errors import CheckpointError, ConfigurationError
 from ..graph import UncertainBipartiteGraph
 from ..observability import Observer, ensure_observer
 from ..observability.profiling import stopwatch
@@ -69,9 +69,9 @@ def prepare_candidates(
         The deduplicated, weight-sorted candidate set ``C_MB``.
     """
     if n_prepare <= 0:
-        raise ValueError(f"n_prepare must be positive, got {n_prepare}")
+        raise ConfigurationError(f"n_prepare must be positive, got {n_prepare}")
     if seed_backbone_top < 0:
-        raise ValueError(
+        raise ConfigurationError(
             f"seed_backbone_top must be non-negative, got {seed_backbone_top}"
         )
     observer = ensure_observer(observer)
@@ -114,9 +114,9 @@ def adaptive_prepare_candidates(
         ``(candidate_set, trials_used)``.
     """
     if patience <= 0:
-        raise ValueError(f"patience must be positive, got {patience}")
+        raise ConfigurationError(f"patience must be positive, got {patience}")
     if max_trials <= 0:
-        raise ValueError(f"max_trials must be positive, got {max_trials}")
+        raise ConfigurationError(f"max_trials must be positive, got {max_trials}")
     sampler = WorldSampler(graph, ensure_rng(rng))
     collected: Dict[ButterflyKey, Butterfly] = {}
     dry = 0
@@ -188,7 +188,7 @@ def ordering_listing_sampling(
         ``candidates_listed`` and the estimator's counters.
     """
     if estimator not in ("optimized", "karp-luby"):
-        raise ValueError(
+        raise ConfigurationError(
             "estimator must be 'optimized' or 'karp-luby', "
             f"got {estimator!r}"
         )
@@ -222,7 +222,7 @@ def ordering_listing_sampling(
 
         if estimator == "optimized":
             if n_trials <= 0:
-                raise ValueError(
+                raise ConfigurationError(
                     f"n_trials must be positive for the optimised "
                     f"estimator, got {n_trials}"
                 )

@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional
 
 from ..butterfly import ButterflyKey
-from ..errors import CheckpointError
+from ..errors import CheckpointError, ConfigurationError
 from ..observability import Observer, ensure_observer
 from ..sampling import (
     ConvergenceTrace,
@@ -170,7 +170,7 @@ def estimate_probabilities_optimized(
         ValueError: If ``n_trials`` is not positive.
     """
     if n_trials <= 0:
-        raise ValueError(f"n_trials must be positive, got {n_trials}")
+        raise ConfigurationError(f"n_trials must be positive, got {n_trials}")
     observer = ensure_observer(observer)
     generator = ensure_rng(rng)
     loop = _OptimizedLoop(

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..butterfly import Butterfly, max_weight_butterflies
+from ..errors import ConfigurationError
 from ..graph import UncertainBipartiteGraph
 from ..sampling import (
     ConvergenceTrace,
@@ -88,10 +89,10 @@ def estimate_probability(
             edges do not belong to ``graph``.
     """
     if n_trials <= 0:
-        raise ValueError(f"n_trials must be positive, got {n_trials}")
+        raise ConfigurationError(f"n_trials must be positive, got {n_trials}")
     for edge in butterfly.edges:
         if not 0 <= edge < graph.n_edges:
-            raise ValueError(
+            raise ConfigurationError(
                 f"butterfly edge index {edge} outside the graph"
             )
     existence = butterfly.existence_probability(graph)

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..butterfly import Butterfly, ButterflyKey
+from ..errors import ConfigurationError
 from ..graph import UncertainBipartiteGraph
 from ..observability import Observer
 from ..runtime.degradation import Guarantee, recompute_guarantee
@@ -103,7 +104,7 @@ class MPMBResult:
     def top_k(self, k: int) -> List[Tuple[Butterfly, float]]:
         """The top-k MPMBs (Section VII)."""
         if k <= 0:
-            raise ValueError(f"k must be positive, got {k}")
+            raise ConfigurationError(f"k must be positive, got {k}")
         return self.ranked()[:k]
 
     def labelled_ranking(
@@ -224,18 +225,18 @@ def merge_results(first: MPMBResult, second: MPMBResult) -> MPMBResult:
     """
     poolable = ("mc-vp", "os", "ols")
     if first.method != second.method:
-        raise ValueError(
+        raise ConfigurationError(
             f"cannot merge {first.method!r} with {second.method!r}"
         )
     if first.method not in poolable:
-        raise ValueError(
+        raise ConfigurationError(
             f"method {first.method!r} is not frequency-based; only "
             f"{poolable} results pool by trial-weighted averaging"
         )
     if first.graph is not second.graph and first.graph != second.graph:
-        raise ValueError("results were computed on different graphs")
+        raise ConfigurationError("results were computed on different graphs")
     if first.n_trials <= 0 or second.n_trials <= 0:
-        raise ValueError("both results need positive trial counts")
+        raise ConfigurationError("both results need positive trial counts")
 
     total = first.n_trials + second.n_trials
     keys = set(first.estimates) | set(second.estimates)

@@ -14,6 +14,7 @@ from pathlib import Path
 from typing import Dict, Union
 
 from ..butterfly import butterfly_from_labels
+from ..errors import ConfigurationError
 from ..graph import UncertainBipartiteGraph
 from ..runtime.degradation import Guarantee
 from ..sampling import ConvergenceTrace
@@ -81,7 +82,7 @@ def result_from_dict(
     """
     version = payload.get("format")
     if version != FORMAT_VERSION:
-        raise ValueError(
+        raise ConfigurationError(
             f"unsupported result format {version!r}; "
             f"expected {FORMAT_VERSION}"
         )
@@ -94,7 +95,7 @@ def result_from_dict(
         except KeyError:
             butterfly = None
         if butterfly is None:
-            raise ValueError(
+            raise ConfigurationError(
                 f"butterfly {record['labels']} does not exist in the "
                 "provided graph"
             )

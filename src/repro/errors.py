@@ -43,6 +43,16 @@ class DatasetError(ReproError, ValueError):
     """A dataset generator or the dataset registry received bad arguments."""
 
 
+class ConfigurationError(ReproError, ValueError):
+    """A public entry point received an invalid or inconsistent argument.
+
+    Raised by the runtime and the core estimators for bad budgets,
+    unknown methods, out-of-range ε/δ targets, and other caller
+    mistakes.  Subclasses :class:`ValueError` so existing callers (and
+    tests) that catch ``ValueError`` keep working.
+    """
+
+
 class TrialBudgetExceeded(ReproError, RuntimeError):
     """A trial loop exhausted its wall-clock or trial budget.
 

@@ -12,13 +12,14 @@ from typing import Callable
 import numpy as np
 
 from ..errors import GraphValidationError
+from ..sampling.rng import RngLike, ensure_rng
 from .bipartite import UncertainBipartiteGraph
 
 
 def sample_vertices(
     graph: UncertainBipartiteGraph,
     fraction: float,
-    rng: np.random.Generator,
+    rng: RngLike = None,
 ) -> UncertainBipartiteGraph:
     """Induced subgraph on a uniform sample of vertices from each side.
 
@@ -26,7 +27,8 @@ def sample_vertices(
         graph: Source graph.
         fraction: Fraction of vertices to keep on each side, in ``(0, 1]``.
             Each side keeps ``max(1, round(fraction * n))`` vertices.
-        rng: Source of randomness (pass a seeded generator for
+        rng: Seed or generator, coerced via
+            :func:`repro.sampling.rng.ensure_rng` (pass a seed for
             reproducibility).
 
     Returns:
@@ -38,6 +40,7 @@ def sample_vertices(
     if fraction == 1.0:
         return graph
 
+    rng = ensure_rng(rng)
     keep_left = _sample_indices(graph.n_left, fraction, rng)
     keep_right = _sample_indices(graph.n_right, fraction, rng)
     left_mask = np.zeros(graph.n_left, dtype=bool)

@@ -13,6 +13,7 @@ from itertools import combinations
 from typing import FrozenSet, Iterable, List, Sequence, Tuple
 
 from ..errors import IntractableError
+from ..sampling.rng import RngLike, ensure_rng
 
 #: A clause (y_a ∨ y_b); a == b encodes the unit clause (y_a).
 Clause = Tuple[int, int]
@@ -104,7 +105,7 @@ class Monotone2SAT:
 def random_formula(
     n_vars: int,
     n_clauses: int,
-    rng,
+    rng: RngLike = None,
     allow_units: bool = True,
 ) -> Monotone2SAT:
     """A random monotone 2-CNF with distinct clauses.
@@ -113,9 +114,11 @@ def random_formula(
         n_vars: Variable count.
         n_clauses: Clause count; capped at the number of distinct clauses
             available.
-        rng: ``numpy.random.Generator``.
+        rng: Seed or generator, coerced via
+            :func:`repro.sampling.rng.ensure_rng`.
         allow_units: Whether unit clauses ``(y_a)`` may appear.
     """
+    rng = ensure_rng(rng)
     pool: List[Clause] = list(combinations(range(1, n_vars + 1), 2))
     if allow_units:
         pool.extend((a, a) for a in range(1, n_vars + 1))

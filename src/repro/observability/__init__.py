@@ -25,6 +25,14 @@ depend on it without cycles.  See ``docs/observability.md`` for metric
 names, span semantics, and the export schema.
 """
 
+from .catalog import (
+    METRICS,
+    SPANS,
+    MetricSpec,
+    SpanSpec,
+    is_canonical_metric,
+    is_canonical_span,
+)
 from .metrics import (
     DEFAULT_BUCKET_EDGES,
     Counter,
@@ -60,4 +68,10 @@ __all__ = [
     "ProfileCapture",
     "maybe_cprofile",
     "stopwatch",
+    "MetricSpec",
+    "SpanSpec",
+    "METRICS",
+    "SPANS",
+    "is_canonical_metric",
+    "is_canonical_span",
 ]

@@ -18,6 +18,12 @@ to reproduce the paper's Section VIII measurements per run:
 Everything is JSON-round-trippable (:meth:`MetricsRegistry.to_dict` /
 :meth:`MetricsRegistry.from_dict`) with a stable schema asserted by the
 test suite, and renderable as an aligned text table for humans.
+
+Metric *names* are governed by :mod:`repro.observability.catalog` — the
+registry itself accepts any name (workers deserialize registries whose
+names it cannot predict), but :meth:`MetricsRegistry.unknown_names`
+reports names that fall outside the catalog, and the MET001 static
+analysis rule rejects call sites recording uncataloged names.
 """
 
 from __future__ import annotations
@@ -255,6 +261,28 @@ class MetricsRegistry:
             ]
             mine.total += hist.total
             mine.count += hist.count
+
+    def unknown_names(self) -> List[str]:
+        """Instrument names outside the canonical catalog, sorted.
+
+        Kind mismatches count as unknown too (e.g. a gauge recorded
+        under a name the catalog declares as a counter).
+        """
+        from .catalog import is_canonical_metric
+
+        unknown = [
+            name for name in self._counters
+            if not is_canonical_metric(name, "counter")
+        ]
+        unknown.extend(
+            name for name in self._gauges
+            if not is_canonical_metric(name, "gauge")
+        )
+        unknown.extend(
+            name for name in self._histograms
+            if not is_canonical_metric(name, "histogram")
+        )
+        return sorted(unknown)
 
     # -- human-readable summary ----------------------------------------
 

@@ -11,6 +11,11 @@ Spans export as a JSON list (stable schema, see ``docs/observability.md``)
 and as an aligned text tree for ``--trace`` terminal output.  The tracer
 is deliberately not thread-safe: one tracer belongs to one run on one
 thread, and worker processes get their own.
+
+Span *names* are governed by :mod:`repro.observability.catalog`:
+:meth:`PhaseTracer.unknown_span_names` reports recorded names outside
+the catalog, and the MET001 static analysis rule rejects call sites
+opening spans under uncataloged names.
 """
 
 from __future__ import annotations
@@ -158,6 +163,12 @@ class PhaseTracer:
                 ),
                 meta=dict(record.get("meta", {})),
             ))
+
+    def unknown_span_names(self) -> List[str]:
+        """Recorded span names outside the canonical catalog, sorted."""
+        from .catalog import unknown_span_names
+
+        return unknown_span_names(span.name for span in self.spans)
 
     def summary_table(self) -> str:
         """Aligned text tree of spans with durations, in start order."""

@@ -17,6 +17,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from ..errors import ConfigurationError
 from ..sampling.bounds import achievable_epsilon
 
 
@@ -89,7 +90,7 @@ def recompute_guarantee(
     (``ε = ∞``).
     """
     if achieved_trials < 0:
-        raise ValueError(
+        raise ConfigurationError(
             f"achieved_trials must be non-negative, got {achieved_trials}"
         )
     if achieved_trials == 0:

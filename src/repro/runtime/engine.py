@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Protocol
 
-from ..errors import TrialBudgetExceeded
+from ..errors import ConfigurationError, TrialBudgetExceeded
 from ..observability import Observer, ensure_observer
 from .checkpoint import (
     checkpoint_document,
@@ -137,7 +137,7 @@ def execute_trial_loop(
         InjectedCrash: When the fault plan schedules a simulated crash.
     """
     if n_target <= 0:
-        raise ValueError(f"n_trials must be positive, got {n_target}")
+        raise ConfigurationError(f"n_trials must be positive, got {n_target}")
     policy = policy or RuntimePolicy()
     faults = policy.faults
     observer = ensure_observer(observer)
@@ -169,7 +169,7 @@ def execute_trial_loop(
         fail_hook = None
         if faults is not None and faults.checkpoint_write_should_fail(index):
             def fail_hook() -> None:
-                raise OSError("injected checkpoint write failure")
+                raise OSError("injected checkpoint write failure")  # repro: noqa[EXC001]
         document = checkpoint_document(
             method=method,
             graph_name=graph_name,

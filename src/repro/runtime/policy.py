@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Optional, Union
 
+from ..errors import ConfigurationError
 from .faults import FaultPlan
 
 
@@ -34,7 +35,7 @@ class Deadline:
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if seconds <= 0.0:
-            raise ValueError(f"seconds must be positive, got {seconds}")
+            raise ConfigurationError(f"seconds must be positive, got {seconds}")
         self.seconds = float(seconds)
         self._clock = clock
         self._started = clock()
@@ -99,17 +100,17 @@ class RuntimePolicy:
 
     def __post_init__(self) -> None:
         if self.checkpoint_every <= 0:
-            raise ValueError(
+            raise ConfigurationError(
                 f"checkpoint_every must be positive, "
                 f"got {self.checkpoint_every}"
             )
         if self.timeout_seconds is not None and self.timeout_seconds <= 0.0:
-            raise ValueError(
+            raise ConfigurationError(
                 f"timeout_seconds must be positive, "
                 f"got {self.timeout_seconds}"
             )
         if self.on_checkpoint_error not in ("raise", "continue"):
-            raise ValueError(
+            raise ConfigurationError(
                 "on_checkpoint_error must be 'raise' or 'continue', "
                 f"got {self.on_checkpoint_error!r}"
             )

@@ -42,7 +42,7 @@ from typing import Callable, Dict, List, Optional
 
 import multiprocessing
 
-from ..errors import WorkerFailureError
+from ..errors import ConfigurationError, WorkerFailureError
 from ..observability import (
     MetricsRegistry,
     Observer,
@@ -79,9 +79,9 @@ class WorkerReport:
 def split_trials(n_trials: int, n_workers: int) -> List[int]:
     """Near-even per-worker trial shares summing to ``n_trials``."""
     if n_trials <= 0:
-        raise ValueError(f"n_trials must be positive, got {n_trials}")
+        raise ConfigurationError(f"n_trials must be positive, got {n_trials}")
     if n_workers <= 0:
-        raise ValueError(f"n_workers must be positive, got {n_workers}")
+        raise ConfigurationError(f"n_workers must be positive, got {n_workers}")
     base, extra = divmod(n_trials, n_workers)
     return [base + (1 if w < extra else 0) for w in range(n_workers)]
 
@@ -204,12 +204,12 @@ def run_parallel_trials(
         WorkerFailureError: If every worker failed permanently.
     """
     if method not in POOLABLE_METHODS:
-        raise ValueError(
+        raise ConfigurationError(
             f"method {method!r} cannot be pooled across workers; "
             f"expected one of {POOLABLE_METHODS}"
         )
     if max_attempts <= 0:
-        raise ValueError(
+        raise ConfigurationError(
             f"max_attempts must be positive, got {max_attempts}"
         )
     shares = split_trials(n_trials, n_workers)

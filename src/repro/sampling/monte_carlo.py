@@ -6,6 +6,10 @@ in ``S_MB`` for that trial's world), and estimate each winner's
 probability as its relative frequency.  :class:`WinnerFrequencyEstimator`
 implements that loop once, with optional convergence tracking for the
 Figure 11/12 experiments.
+
+The relative-frequency estimate is unbiased, and Theorem IV.1 (via the
+Chernoff bound, Eq. 4) gives the trial count ``N ≥ (3/ε²) ln(2/δ)``
+needed for an (ε, δ) guarantee on each winner's probability.
 """
 
 from __future__ import annotations

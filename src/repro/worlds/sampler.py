@@ -15,7 +15,12 @@ from typing import Dict, Iterable, Iterator
 import numpy as np
 
 from ..graph import UncertainBipartiteGraph
-from ..sampling.rng import restore_rng_state, rng_state_payload
+from ..sampling.rng import (
+    RngLike,
+    ensure_rng,
+    restore_rng_state,
+    rng_state_payload,
+)
 from .possible_world import PossibleWorld
 
 
@@ -35,11 +40,11 @@ class WorldSampler:
     def __init__(
         self,
         graph: UncertainBipartiteGraph,
-        rng: np.random.Generator | int | None = None,
+        rng: RngLike = None,
         antithetic: bool = False,
     ) -> None:
         self.graph = graph
-        self.rng = np.random.default_rng(rng)
+        self.rng = ensure_rng(rng)
         self.antithetic = antithetic
         self._pending: np.ndarray | None = None
 

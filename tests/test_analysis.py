@@ -1,0 +1,406 @@
+"""The repro.analysis invariant linter: per-rule fixtures (violation,
+clean, noqa-suppressed, baselined), reporter schemas, the CLI contract,
+and the acceptance gate that the real repository analyzes clean."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    RULES,
+    AnalysisConfig,
+    run_analysis,
+    write_baseline,
+)
+from repro.analysis.__main__ import main
+from repro.analysis.reporters import (
+    REPORT_FORMAT,
+    REPORT_KIND,
+    render_json,
+    render_text,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def analyze(root, rel_path, code, rule=None, baseline=None):
+    """Write ``code`` at ``root/rel_path`` and run the analyzer on it."""
+    path = root / rel_path
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(code, encoding="utf-8")
+    config = AnalysisConfig(
+        root=root,
+        paths=[Path(rel_path)],
+        select=[rule] if rule else None,
+        baseline_path=baseline,
+        project_rules=False,
+    )
+    return run_analysis(config)
+
+
+# One fixture triple per file rule: (rule id, path that puts the file in
+# the rule's scope, violating code, clean code).  The violating snippet
+# has exactly one finding, on the line marked ``# MARK``.
+RULE_FIXTURES = {
+    "RNG001": (
+        "core/freshness.py",
+        (
+            "import numpy as np\n"
+            "def draw():\n"
+            "    return np.random.default_rng().normal()  # MARK\n"
+        ),
+        (
+            "from repro.sampling.rng import ensure_rng\n"
+            "def draw(rng=None):\n"
+            "    return ensure_rng(rng).normal()\n"
+        ),
+    ),
+    "CLK001": (
+        "core/timing.py",
+        (
+            "import time\n"
+            "def elapsed(start):\n"
+            "    return time.time() - start  # MARK\n"
+        ),
+        (
+            "def remaining(deadline):\n"
+            "    return deadline.remaining()\n"
+        ),
+    ),
+    "MPS001": (
+        "runtime/dispatch.py",
+        (
+            "def run(pool, xs):\n"
+            "    return pool.map(lambda x: x + 1, xs)  # MARK\n"
+        ),
+        (
+            "def _work(x):\n"
+            "    return x + 1\n"
+            "def run(pool, xs):\n"
+            "    return pool.map(_work, xs)\n"
+        ),
+    ),
+    "MET001": (
+        "core/recording.py",
+        (
+            "def record(observer):\n"
+            "    observer.inc('bogus.unknown.series')  # MARK\n"
+        ),
+        (
+            "def record(observer):\n"
+            "    observer.inc('sampling.trials')\n"
+            "    observer.set('candidates.listed', 3)\n"
+        ),
+    ),
+    "EXC001": (
+        "core/api.py",
+        (
+            "def compute(x):\n"
+            "    if x < 0:\n"
+            "        raise ValueError('x must be >= 0')  # MARK\n"
+            "    return x\n"
+        ),
+        (
+            "from ..errors import ConfigurationError\n"
+            "def compute(x):\n"
+            "    if x < 0:\n"
+            "        raise ConfigurationError('x must be >= 0')\n"
+            "    return x\n"
+        ),
+    ),
+    "DOC001": (
+        "core/bounds.py",
+        (
+            '"""Trial bounds, sadly uncited."""  # MARK\n'
+            "def bound():\n"
+            "    return 1\n"
+        ),
+        (
+            '"""Trial bounds per Theorem IV.1 (Chernoff, Eq. 4)."""\n'
+            "def bound():\n"
+            "    return 1\n"
+        ),
+    ),
+}
+
+
+def _with_noqa(code, rule):
+    lines = code.splitlines()
+    marked = [i for i, line in enumerate(lines) if "# MARK" in line]
+    assert len(marked) == 1
+    lines[marked[0]] = lines[marked[0]].replace(
+        "# MARK", f"# repro: noqa[{rule}]"
+    )
+    return "\n".join(lines) + "\n"
+
+
+class TestRuleFixtures:
+    @pytest.mark.parametrize("rule", sorted(RULE_FIXTURES))
+    def test_violation_is_found(self, tmp_path, rule):
+        rel, bad, _clean = RULE_FIXTURES[rule]
+        result = analyze(tmp_path, rel, bad, rule=rule)
+        assert [f.rule for f in result.findings] == [rule]
+        assert result.findings[0].path == rel
+        assert result.exit_code() == 1
+
+    @pytest.mark.parametrize("rule", sorted(RULE_FIXTURES))
+    def test_clean_code_passes(self, tmp_path, rule):
+        rel, _bad, clean = RULE_FIXTURES[rule]
+        result = analyze(tmp_path, rel, clean, rule=rule)
+        assert result.findings == []
+        assert result.exit_code() == 0
+
+    @pytest.mark.parametrize("rule", sorted(RULE_FIXTURES))
+    def test_noqa_suppresses(self, tmp_path, rule):
+        rel, bad, _clean = RULE_FIXTURES[rule]
+        result = analyze(tmp_path, rel, _with_noqa(bad, rule), rule=rule)
+        assert result.findings == []
+        assert result.suppressed == 1
+        assert result.exit_code() == 0
+
+    @pytest.mark.parametrize("rule", sorted(RULE_FIXTURES))
+    def test_baseline_grandfathers(self, tmp_path, rule):
+        rel, bad, _clean = RULE_FIXTURES[rule]
+        first = analyze(tmp_path, rel, bad, rule=rule)
+        baseline_path = tmp_path / "tools" / "lint-baseline.json"
+        write_baseline(baseline_path, first.findings)
+        second = analyze(
+            tmp_path, rel, bad, rule=rule, baseline=baseline_path
+        )
+        assert second.findings == []
+        assert [f.rule for f in second.grandfathered] == [rule]
+        assert second.exit_code() == 0
+
+    def test_blanket_noqa_suppresses_all_rules(self, tmp_path):
+        rel, bad, _clean = RULE_FIXTURES["RNG001"]
+        code = bad.replace("# MARK", "# repro: noqa")
+        result = analyze(tmp_path, rel, code, rule="RNG001")
+        assert result.findings == []
+        assert result.suppressed == 1
+
+
+class TestRuleSemantics:
+    def test_rng_substrate_file_is_exempt(self, tmp_path):
+        _rel, bad, _clean = RULE_FIXTURES["RNG001"]
+        result = analyze(tmp_path, "sampling/rng.py", bad, rule="RNG001")
+        assert result.findings == []
+
+    def test_rng_stdlib_random_is_flagged(self, tmp_path):
+        code = (
+            "import random\n"
+            "def pick(xs):\n"
+            "    return random.choice(xs)\n"
+        )
+        result = analyze(tmp_path, "core/pick.py", code, rule="RNG001")
+        assert [f.rule for f in result.findings] == ["RNG001"]
+
+    def test_clock_rule_only_fires_in_scope(self, tmp_path):
+        _rel, bad, _clean = RULE_FIXTURES["CLK001"]
+        result = analyze(
+            tmp_path, "experiments/timing.py", bad, rule="CLK001"
+        )
+        assert result.findings == []
+
+    def test_process_target_closure_is_flagged(self, tmp_path):
+        code = (
+            "def run(context, payload):\n"
+            "    def work():\n"
+            "        return payload\n"
+            "    return context.Process(target=work)\n"
+        )
+        result = analyze(tmp_path, "runtime/p.py", code, rule="MPS001")
+        assert len(result.findings) == 1
+        assert "closure" in result.findings[0].message
+
+    def test_metric_fstring_template_checked(self, tmp_path):
+        good = (
+            "def record(observer, method, seconds):\n"
+            "    observer.set(f'harness.{method}.seconds', seconds)\n"
+        )
+        bad = (
+            "def record(observer, method, rate):\n"
+            "    observer.set(f'nonexistent.{method}.rate', rate)\n"
+        )
+        assert analyze(
+            tmp_path, "core/h.py", good, rule="MET001"
+        ).findings == []
+        assert len(analyze(
+            tmp_path, "core/h.py", bad, rule="MET001"
+        ).findings) == 1
+
+    def test_span_names_checked(self, tmp_path):
+        good = (
+            "def trace(tracer):\n"
+            "    return tracer.span('sampling')\n"
+        )
+        bad = (
+            "def trace(tracer):\n"
+            "    return tracer.span('warp-drive')\n"
+        )
+        assert analyze(
+            tmp_path, "core/t.py", good, rule="MET001"
+        ).findings == []
+        assert len(analyze(
+            tmp_path, "core/t.py", bad, rule="MET001"
+        ).findings) == 1
+
+    def test_bare_except_flagged_everywhere(self, tmp_path):
+        code = (
+            "def safe(fn):\n"
+            "    try:\n"
+            "        return fn()\n"
+            "    except:\n"
+            "        return None\n"
+        )
+        result = analyze(
+            tmp_path, "experiments/s.py", code, rule="EXC001"
+        )
+        assert len(result.findings) == 1
+        assert "bare except" in result.findings[0].message
+
+    def test_private_boundary_function_may_raise_builtin(self, tmp_path):
+        code = (
+            "def _validate(x):\n"
+            "    raise ValueError('internal')\n"
+        )
+        result = analyze(tmp_path, "core/v.py", code, rule="EXC001")
+        assert result.findings == []
+
+    def test_allowed_protocol_builtin_passes(self, tmp_path):
+        code = (
+            "def lookup(table, key):\n"
+            "    raise KeyError(key)\n"
+        )
+        result = analyze(tmp_path, "core/l.py", code, rule="EXC001")
+        assert result.findings == []
+
+    def test_doc_rule_ignores_non_estimator_modules(self, tmp_path):
+        _rel, bad, _clean = RULE_FIXTURES["DOC001"]
+        result = analyze(tmp_path, "core/helpers.py", bad, rule="DOC001")
+        assert result.findings == []
+
+    def test_missing_docstring_flagged(self, tmp_path):
+        code = "def bound():\n    return 1\n"
+        result = analyze(tmp_path, "core/bounds.py", code, rule="DOC001")
+        assert len(result.findings) == 1
+        assert "no module docstring" in result.findings[0].message
+
+    def test_unparsable_file_reports_parse_finding(self, tmp_path):
+        result = analyze(tmp_path, "core/broken.py", "def oops(:\n")
+        assert [f.rule for f in result.findings] == ["PARSE001"]
+        assert result.exit_code() == 1
+
+
+class TestReporters:
+    def _result(self, tmp_path):
+        rel, bad, _clean = RULE_FIXTURES["RNG001"]
+        return analyze(tmp_path, rel, bad, rule="RNG001")
+
+    def test_json_schema_is_pinned(self, tmp_path):
+        document = json.loads(render_json(self._result(tmp_path)))
+        assert list(document) == [
+            "format", "kind", "findings", "grandfathered", "counts",
+            "suppressed", "files_analyzed", "rules_run",
+        ]
+        assert document["format"] == REPORT_FORMAT
+        assert document["kind"] == REPORT_KIND
+        assert document["counts"] == {"RNG001": 1}
+        (finding,) = document["findings"]
+        assert list(finding) == [
+            "rule", "severity", "path", "line", "message", "fingerprint",
+        ]
+        assert finding["rule"] == "RNG001"
+        assert finding["fingerprint"].startswith("RNG001:")
+
+    def test_text_report_lists_location_and_summary(self, tmp_path):
+        text = render_text(self._result(tmp_path))
+        assert "core/freshness.py:3: RNG001 [error]" in text
+        assert "1 finding(s) (1 error(s)) in 1 file(s)" in text
+
+    def test_fingerprint_survives_line_shift(self, tmp_path):
+        rel, bad, _clean = RULE_FIXTURES["RNG001"]
+        original = self._result(tmp_path).findings[0]
+        shifted = analyze(
+            tmp_path, rel, "# a leading comment\n" + bad, rule="RNG001"
+        ).findings[0]
+        assert shifted.line == original.line + 1
+        assert shifted.fingerprint() == original.fingerprint()
+
+
+class TestCli:
+    def _write_bad(self, tmp_path):
+        rel, bad, _clean = RULE_FIXTURES["RNG001"]
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(bad, encoding="utf-8")
+        return rel
+
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        rel, _bad, clean = RULE_FIXTURES["RNG001"]
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(clean, encoding="utf-8")
+        assert main(["--root", str(tmp_path), rel]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        rel = self._write_bad(tmp_path)
+        assert main(["--root", str(tmp_path), rel]) == 1
+        assert "RNG001" in capsys.readouterr().out
+
+    def test_exit_two_on_unknown_rule(self, tmp_path, capsys):
+        rel = self._write_bad(tmp_path)
+        code = main(
+            ["--root", str(tmp_path), "--select", "NOPE999", rel]
+        )
+        assert code == 2
+
+    def test_json_format_flag(self, tmp_path, capsys):
+        rel = self._write_bad(tmp_path)
+        assert main(
+            ["--root", str(tmp_path), "--format", "json", rel]
+        ) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["kind"] == REPORT_KIND
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        rel = self._write_bad(tmp_path)
+        assert main(
+            ["--root", str(tmp_path), "--write-baseline", rel]
+        ) == 0
+        assert (tmp_path / "tools" / "lint-baseline.json").exists()
+        # The default baseline location is picked up automatically.
+        assert main(["--root", str(tmp_path), rel]) == 0
+        assert "baselined" in capsys.readouterr().out
+
+    def test_list_rules_names_every_rule(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULES:
+            assert rule_id in out
+
+
+class TestRepositoryIsClean:
+    def test_registry_has_required_rules(self):
+        assert {
+            "RNG001", "CLK001", "MPS001", "MET001", "EXC001", "DOC001",
+            "DOC002", "MET002",
+        } <= set(RULES)
+
+    def test_real_repo_analyzes_clean(self):
+        result = run_analysis(AnalysisConfig(root=REPO_ROOT))
+        messages = [
+            f"{f.path}:{f.line}: {f.rule} {f.message}"
+            for f in result.findings
+        ]
+        assert messages == []
+        # The committed baseline stays empty: nothing grandfathered.
+        assert result.grandfathered == []
+        assert result.files_analyzed > 50
+
+    def test_committed_baseline_is_empty(self):
+        document = json.loads(
+            (REPO_ROOT / "tools" / "lint-baseline.json").read_text()
+        )
+        assert document == {"format": 1, "findings": []}

@@ -109,7 +109,9 @@ class TestCommandLineExtraction:
         assert "--no-such-flag" in problems[0]
 
     def test_known_flags_nonempty(self):
-        cli_flags, bench_flags = checker.known_flags()
+        cli_flags, bench_flags, lint_flags = checker.known_flags()
         assert {"--metrics-out", "--trace", "--profile-out",
                 "--workers"} <= cli_flags
         assert {"--datasets", "--trials", "--out"} <= bench_flags
+        assert {"--select", "--baseline", "--write-baseline",
+                "--list-rules"} <= lint_flags

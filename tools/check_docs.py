@@ -141,30 +141,40 @@ def parser_flags(parser) -> Set[str]:
     return flags
 
 
-def known_flags() -> Tuple[Set[str], Set[str]]:
-    """(repro CLI flags, run_bench flags) from the real parsers."""
+def known_flags() -> Tuple[Set[str], Set[str], Set[str]]:
+    """(repro CLI, run_bench, repro.analysis) flags from the parsers."""
     sys.path.insert(0, str(REPO_ROOT / "src"))
     sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
     try:
         from repro.__main__ import build_parser as build_cli_parser
+        from repro.analysis.__main__ import (
+            build_parser as build_lint_parser,
+        )
         from run_bench import build_parser as build_bench_parser
     finally:
         sys.path.pop(0)
         sys.path.pop(0)
-    return parser_flags(build_cli_parser()), parser_flags(
-        build_bench_parser()
+    return (
+        parser_flags(build_cli_parser()),
+        parser_flags(build_bench_parser()),
+        parser_flags(build_lint_parser()),
     )
 
 
 def check_cli_flags() -> List[str]:
     """Documented ``--flags`` must exist in the matching parser."""
-    cli_flags, bench_flags = known_flags()
+    cli_flags, bench_flags, lint_flags = known_flags()
     problems = []
     for path in doc_files():
         for line in fenced_command_lines(path):
             if "python -m repro.experiments" in line:
                 continue  # separate CLI, documented elsewhere
-            if "python -m repro" in line:
+            if (
+                "python -m repro.analysis" in line
+                or "tools/lint.py" in line
+            ):
+                expected, label = lint_flags, "python -m repro.analysis"
+            elif "python -m repro" in line:
                 expected, label = cli_flags, "python -m repro"
             elif "benchmarks/run_bench.py" in line:
                 expected, label = bench_flags, "run_bench.py"

@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""Run the repro static analyzer without needing PYTHONPATH=src.
+
+Equivalent to ``PYTHONPATH=src python -m repro.analysis``; see
+``docs/static-analysis.md`` for the rule catalog and workflow.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.analysis.__main__ import main
+
+    raise SystemExit(main())
