@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Benchmark the static analyzer and write ``BENCH_analysis.json``.
+
+Times three configurations of the whole-program analyzer over the
+repository itself: a cold run (no summary cache), a warm run (summaries
+served from ``.repro-analysis-cache.json``), and a diff-aware run
+against a git base.  The headline number the docs promise — ``--diff``
+under 20% of a full cold run — is recorded as ``diff_vs_cold_ratio``
+so the regression policy in ``docs/benchmarks.md`` can watch it.
+
+The output schema matches ``run_bench.py`` (versioned ``format`` +
+``kind`` discriminators, sorted keys) so the same tooling can diff
+both documents.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_analysis.py
+    PYTHONPATH=src python benchmarks/bench_analysis.py \
+        --repeat 5 --base HEAD~1 --out BENCH_analysis.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.analysis import AnalysisConfig, discover_root, run_analysis
+from repro.analysis.diff import DiffError, changed_lines
+
+#: Version of the benchmark document layout.
+BENCH_FORMAT = 1
+
+#: Discriminator so arbitrary JSON files are rejected early.
+BENCH_KIND = "repro-bench"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description=(
+            "Benchmark the static analyzer; write BENCH_analysis.json."
+        )
+    )
+    parser.add_argument(
+        "--out", default="BENCH_analysis.json", metavar="PATH",
+        help="output JSON path (default: BENCH_analysis.json)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3,
+        help="timed repetitions per configuration; the minimum wins "
+             "(default: 3)",
+    )
+    parser.add_argument(
+        "--base", default="HEAD~1", metavar="REV",
+        help="git base for the diff-aware configuration "
+             "(default: HEAD~1)",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=None, metavar="PATH",
+        help="repository root (default: discovered from CWD)",
+    )
+    return parser
+
+
+def _time(config: AnalysisConfig, repeat: int) -> Dict:
+    """Best-of-``repeat`` wall time for one analyzer configuration."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        result = run_analysis(config)
+        best = min(best, time.perf_counter() - start)
+    assert result is not None
+    return {
+        "wall_seconds": best,
+        "files_analyzed": result.files_analyzed,
+        "files_parsed": result.files_parsed,
+        "findings": len(result.findings),
+    }
+
+
+def run_suite(args: argparse.Namespace) -> Dict:
+    """The full benchmark document for ``args``."""
+    root = (args.root or discover_root()).resolve()
+    entries: List[Dict] = []
+
+    with tempfile.TemporaryDirectory() as scratch:
+        cache_path = Path(scratch) / "bench-cache.json"
+
+        print("benchmarking cold full run ...", file=sys.stderr)
+        cold = _time(
+            AnalysisConfig(root=root, use_cache=False), args.repeat
+        )
+        entries.append({"configuration": "full-cold", **cold})
+
+        # Populate the scratch cache once, then time warm runs that
+        # reuse it.  A scratch path keeps the benchmark from clobbering
+        # the developer's real cache.
+        run_analysis(AnalysisConfig(
+            root=root, use_cache=True, cache_path=cache_path,
+        ))
+        print("benchmarking warm full run ...", file=sys.stderr)
+        warm = _time(
+            AnalysisConfig(
+                root=root, use_cache=True, cache_path=cache_path,
+            ),
+            args.repeat,
+        )
+        entries.append({"configuration": "full-warm", **warm})
+
+        diff_entry: Optional[Dict] = None
+        try:
+            changed = changed_lines(root, args.base)
+        except DiffError as error:
+            print(f"skipping diff configuration: {error}",
+                  file=sys.stderr)
+        else:
+            print(f"benchmarking --diff {args.base} "
+                  f"({len(changed)} changed file(s)) ...",
+                  file=sys.stderr)
+            diff_entry = _time(
+                AnalysisConfig(
+                    root=root,
+                    changed=changed,
+                    use_cache=True,
+                    cache_path=cache_path,
+                ),
+                args.repeat,
+            )
+            diff_entry["configuration"] = f"diff-{args.base}"
+            diff_entry["changed_files"] = len(changed)
+            entries.append(diff_entry)
+
+    document = {
+        "format": BENCH_FORMAT,
+        "kind": BENCH_KIND,
+        "suite": "analysis",
+        "config": {
+            "repeat": args.repeat,
+            "base": args.base,
+            "root": str(root),
+        },
+        "entries": entries,
+    }
+    if diff_entry is not None and cold["wall_seconds"] > 0:
+        document["diff_vs_cold_ratio"] = (
+            diff_entry["wall_seconds"] / cold["wall_seconds"]
+        )
+    return document
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    document = run_suite(args)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    ratio = document.get("diff_vs_cold_ratio")
+    summary = f"wrote {len(document['entries'])} entries to {args.out}"
+    if ratio is not None:
+        summary += f" (diff/cold ratio: {ratio:.2f})"
+    print(summary, file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,9 +23,24 @@ the suppression/baseline workflow, and the how-to-add-a-rule guide
 live in ``docs/static-analysis.md``.
 """
 
-from .baseline import load_baseline, split_baselined, write_baseline
+from .baseline import (
+    load_baseline,
+    load_baseline_records,
+    prune_baseline,
+    split_baselined,
+    stale_entries,
+    write_baseline,
+)
 from .findings import Finding
-from .registry import RULES, FileRule, ProjectRule, Rule, register
+from .program import Program
+from .registry import (
+    RULES,
+    FileRule,
+    ProgramRule,
+    ProjectRule,
+    Rule,
+    register,
+)
 from .reporters import AnalysisResult, render_json, render_text
 from .runner import (
     AnalysisConfig,
@@ -33,16 +48,20 @@ from .runner import (
     discover_root,
     run_analysis,
 )
+from .sarif import render_sarif
 from .source import SourceFile, parse_source
 
-# Importing the rules module populates the registry.
+# Importing the rule modules populates the registry.
 from . import rules as _rules  # noqa: F401
+from .program import program_rules as _program_rules  # noqa: F401
 
 __all__ = [
     "AnalysisConfig",
     "AnalysisResult",
     "Finding",
     "FileRule",
+    "Program",
+    "ProgramRule",
     "ProjectRule",
     "Rule",
     "RULES",
@@ -50,11 +69,15 @@ __all__ = [
     "discover_files",
     "discover_root",
     "load_baseline",
+    "load_baseline_records",
     "parse_source",
+    "prune_baseline",
     "register",
     "render_json",
+    "render_sarif",
     "render_text",
     "run_analysis",
     "split_baselined",
+    "stale_entries",
     "write_baseline",
 ]

@@ -1,6 +1,7 @@
 """Command-line entry point: ``python -m repro.analysis``.
 
-Exit codes: 0 = clean, 1 = findings, 2 = usage error.  Also exposed as
+Exit codes: 0 = clean, 1 = findings, 2 = usage error or unanalyzable
+input (unreadable/SyntaxError files).  Also exposed as
 ``python tools/lint.py`` for invocations without ``PYTHONPATH=src``.
 """
 
@@ -11,10 +12,18 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from .baseline import write_baseline
-from .registry import RULES, ProjectRule
+from .autofix import apply_fixes, generate_fixes
+from .baseline import prune_baseline, write_baseline
+from .diff import DiffError, changed_lines, triggers_project_rules
+from .registry import RULES, ProgramRule, ProjectRule
 from .reporters import render_json, render_text
-from .runner import AnalysisConfig, discover_root, run_analysis
+from .runner import (
+    PARSE_RULE,
+    AnalysisConfig,
+    discover_root,
+    run_analysis,
+)
+from .sarif import render_sarif
 
 #: Baseline location used when none is given explicitly.
 DEFAULT_BASELINE = Path("tools") / "lint-baseline.json"
@@ -25,13 +34,15 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.analysis",
         description=(
             "AST-based invariant linter for determinism, worker-safety,"
-            " and metrics discipline (see docs/static-analysis.md)"
+            " and metrics discipline, with whole-program call-graph and"
+            " data-flow rules (see docs/static-analysis.md)"
         ),
     )
     parser.add_argument(
         "paths", nargs="*", type=Path,
         help="files/directories to analyze (default: src/repro; "
-        "explicit paths also skip the repo-level docs rules)",
+        "explicit paths also skip the repo-level docs rules and the "
+        "whole-program rules)",
     )
     parser.add_argument(
         "--root", type=Path, default=None,
@@ -39,8 +50,26 @@ def build_parser() -> argparse.ArgumentParser:
         "pyproject.toml)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--all", action="store_true",
+        help="analyze the whole repository with every rule scope "
+        "(file, project, and whole-program), ignoring positional "
+        "paths",
+    )
+    parser.add_argument(
+        "--diff", metavar="BASE", default=None,
+        help="only report findings on lines changed since the given "
+        "git base (e.g. HEAD~1, origin/main); unchanged files load "
+        "from the summary cache",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--fix", action="store_true",
+        help="apply safe autofixes (bare RNG constructions -> "
+        "ensure_rng; boundary raise ValueError -> "
+        "ConfigurationError), then re-analyze",
     )
     parser.add_argument(
         "--baseline", type=Path, default=None,
@@ -52,6 +81,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="record current findings as the new baseline and exit 0",
     )
     parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="prune baseline entries that no longer match any "
+        "finding and exit 0",
+    )
+    parser.add_argument(
         "--select", default=None,
         help="comma-separated rule ids to run (default: all)",
     )
@@ -59,6 +93,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-project", action="store_true",
         help="skip the repo-level rules (DOC002 docs consistency, "
         "MET002 catalog sync)",
+    )
+    parser.add_argument(
+        "--no-program", action="store_true",
+        help="skip the whole-program rules (SEED001, PKL001, "
+        "EXC001X, DEAD001)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the module-summary cache "
+        "(.repro-analysis-cache.json)",
     )
     parser.add_argument(
         "--strict", action="store_true",
@@ -74,14 +118,25 @@ def build_parser() -> argparse.ArgumentParser:
 def _list_rules() -> str:
     lines = []
     for rule_id, rule_class in RULES.items():
-        scope = (
-            "project" if issubclass(rule_class, ProjectRule) else "file"
-        )
+        if issubclass(rule_class, ProjectRule):
+            scope = "project"
+        elif issubclass(rule_class, ProgramRule):
+            scope = "program"
+        else:
+            scope = "file"
         lines.append(
             f"{rule_id}  [{rule_class.severity}/{scope}]  "
             f"{rule_class.description}"
         )
     return "\n".join(lines)
+
+
+def _render(result, format_name: str) -> str:
+    if format_name == "json":
+        return render_json(result)
+    if format_name == "sarif":
+        return render_sarif(result)
+    return render_text(result)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -107,15 +162,37 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif not baseline_path.is_absolute():
         baseline_path = root / baseline_path
 
+    paths = [] if args.all else list(args.paths)
+    changed = None
+    project_rules = not args.no_project and not paths
+    if args.diff is not None:
+        try:
+            changed = changed_lines(root, args.diff)
+        except DiffError as error:
+            print(f"repro.analysis: {error}", file=sys.stderr)
+            return 2
+        project_rules = (
+            not args.no_project and triggers_project_rules(changed)
+        )
+
     config = AnalysisConfig(
         root=root,
-        paths=list(args.paths),
+        paths=paths,
         select=select,
         # --write-baseline records everything, including findings the
         # old baseline already forgave.
-        baseline_path=None if args.write_baseline else baseline_path,
-        project_rules=not args.no_project and not args.paths,
+        baseline_path=(
+            None if args.write_baseline else baseline_path
+        ),
+        project_rules=project_rules,
         strict=args.strict,
+        program_rules=(
+            False if args.no_program
+            else (True if (args.all or args.diff is not None)
+                  else not paths)
+        ),
+        changed=changed,
+        use_cache=not args.no_cache,
     )
     try:
         result = run_analysis(config)
@@ -125,6 +202,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as error:
         print(f"repro.analysis: {error}", file=sys.stderr)
         return 2
+
+    if args.fix:
+        fixes = generate_fixes(root, result.findings)
+        patched, files = apply_fixes(root, fixes)
+        if patched:
+            print(
+                f"repro.analysis: applied {patched} fix(es) in "
+                f"{files} file(s)"
+            )
+            result = run_analysis(config)
 
     if args.write_baseline:
         target = args.baseline or (root / DEFAULT_BASELINE)
@@ -137,10 +224,37 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 0
 
-    if args.format == "json":
-        print(render_json(result))
-    else:
-        print(render_text(result))
+    if args.update_baseline:
+        target = args.baseline or (root / DEFAULT_BASELINE)
+        if not target.is_absolute():
+            target = root / target
+        kept, pruned = prune_baseline(
+            target, result.findings + result.grandfathered
+        )
+        print(
+            f"repro.analysis: baseline now {kept} entr"
+            f"{'y' if kept == 1 else 'ies'} ({pruned} pruned) at "
+            f"{target}"
+        )
+        return 0
+
+    print(_render(result, args.format))
+
+    unanalyzable = [
+        finding for finding in (
+            *result.findings, *result.grandfathered
+        )
+        if finding.rule == PARSE_RULE
+    ]
+    if unanalyzable:
+        for finding in unanalyzable:
+            print(
+                f"repro.analysis: cannot analyze {finding.path}: "
+                f"{finding.message}",
+                file=sys.stderr,
+            )
+        return 2
+
     return result.exit_code(strict=args.strict)
 
 

@@ -1,0 +1,271 @@
+"""Span-based autofixes for mechanically-correctable findings.
+
+``--fix`` handles the two violation classes whose rewrite is
+provably behavior-preserving:
+
+* RNG001 — a bare generator construction (``np.random.default_rng(x)``,
+  ``numpy.random.RandomState(x)``) becomes ``ensure_rng(x)``, which
+  returns a ``numpy.random.Generator`` for exactly those inputs;
+* EXC001 — a boundary ``raise ValueError(...)`` becomes
+  ``raise ConfigurationError(...)``; ``ConfigurationError`` subclasses
+  ``ValueError``, so existing callers keep catching it.
+
+Fixes are *span replacements* computed from AST extents
+(``end_lineno``/``end_col_offset``), applied in reverse source order so
+earlier spans stay valid, with overlapping spans dropped rather than
+guessed at.  Each fixed file also gets the import it now needs,
+inserted after the last top-level import.  Anything the engine cannot
+prove out stays a finding — ``--fix`` never silences, it only repairs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from .findings import Finding
+from .source import module_aliases, from_imports
+
+#: numpy.random constructors rewritable to the substrate coercion.
+_RNG_REWRITABLE = frozenset({"default_rng", "RandomState"})
+
+#: Import line added when an RNG construction is rewritten.
+_RNG_IMPORT = "from repro.sampling.rng import ensure_rng"
+
+#: Import line added when a boundary raise is rewritten.
+_ERRORS_IMPORT = "from repro.errors import ConfigurationError"
+
+
+@dataclass(frozen=True)
+class Patch:
+    """One span replacement (1-based lines, 0-based columns)."""
+
+    start_line: int
+    start_col: int
+    end_line: int
+    end_col: int
+    replacement: str
+
+
+@dataclass
+class FileFixes:
+    """Every repair planned for one file."""
+
+    path: str
+    patches: List[Patch] = field(default_factory=list)
+    imports: List[str] = field(default_factory=list)
+
+
+def _span(node: ast.expr, replacement: str) -> Optional[Patch]:
+    end_line = getattr(node, "end_lineno", None)
+    end_col = getattr(node, "end_col_offset", None)
+    if end_line is None or end_col is None:
+        return None
+    return Patch(
+        start_line=node.lineno,
+        start_col=node.col_offset,
+        end_line=end_line,
+        end_col=end_col,
+        replacement=replacement,
+    )
+
+
+def _resolved_func(
+    node: ast.Call,
+    aliases: Dict[str, str],
+    froms: Dict[str, Tuple[str, str]],
+) -> Optional[str]:
+    parts: List[str] = []
+    target: ast.expr = node.func
+    while isinstance(target, ast.Attribute):
+        parts.append(target.attr)
+        target = target.value
+    if not isinstance(target, ast.Name):
+        return None
+    head = target.id
+    if head in froms:
+        module, original = froms[head]
+        parts.append(f"{module}.{original}")
+    else:
+        parts.append(aliases.get(head, head))
+    return ".".join(reversed(parts))
+
+
+def _rng_patch(
+    tree: ast.Module,
+    line: int,
+    aliases: Dict[str, str],
+    froms: Dict[str, Tuple[str, str]],
+) -> Optional[Tuple[Patch, str]]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or node.lineno != line:
+            continue
+        resolved = _resolved_func(node, aliases, froms)
+        if resolved is None or not resolved.startswith(
+            "numpy.random."
+        ):
+            continue
+        tail = resolved.rsplit(".", 1)[-1]
+        if tail not in _RNG_REWRITABLE:
+            continue
+        patch = _span(node.func, "ensure_rng")
+        if patch is not None:
+            return patch, _RNG_IMPORT
+    return None
+
+
+def _raise_patch(
+    tree: ast.Module, line: int
+) -> Optional[Tuple[Patch, str]]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Raise) or node.lineno != line:
+            continue
+        exc = node.exc
+        if not isinstance(exc, ast.Call):
+            continue
+        if not (
+            isinstance(exc.func, ast.Name)
+            and exc.func.id == "ValueError"
+        ):
+            continue
+        patch = _span(exc.func, "ConfigurationError")
+        if patch is not None:
+            return patch, _ERRORS_IMPORT
+    return None
+
+
+def generate_fixes(
+    root: Path, findings: List[Finding]
+) -> Dict[str, FileFixes]:
+    """Plan repairs for the fixable subset of ``findings``."""
+    fixes: Dict[str, FileFixes] = {}
+    by_path: Dict[str, List[Finding]] = {}
+    for finding in findings:
+        if finding.rule in ("RNG001", "EXC001"):
+            by_path.setdefault(finding.path, []).append(finding)
+    for path, path_findings in sorted(by_path.items()):
+        target = root / path
+        try:
+            text = target.read_text(encoding="utf-8")
+            tree = ast.parse(text)
+        except (OSError, SyntaxError, UnicodeDecodeError):
+            continue
+        aliases = module_aliases(tree)
+        froms = from_imports(tree)
+        planned = FileFixes(path=path)
+        for finding in path_findings:
+            if finding.rule == "RNG001":
+                repair = _rng_patch(
+                    tree, finding.line, aliases, froms
+                )
+            else:
+                repair = _raise_patch(tree, finding.line)
+            if repair is None:
+                continue
+            patch, import_line = repair
+            planned.patches.append(patch)
+            if import_line not in planned.imports:
+                planned.imports.append(import_line)
+        if planned.patches:
+            fixes[path] = planned
+    return fixes
+
+
+def _offsets(lines: List[str]) -> List[int]:
+    offsets = [0]
+    for line in lines:
+        offsets.append(offsets[-1] + len(line))
+    return offsets
+
+
+def _apply_patches(text: str, patches: List[Patch]) -> str:
+    lines = text.splitlines(keepends=True)
+    offsets = _offsets(lines)
+
+    def absolute(line: int, col: int) -> int:
+        return offsets[min(line, len(lines)) - 1] + col
+
+    ordered = sorted(
+        patches,
+        key=lambda p: (p.start_line, p.start_col),
+        reverse=True,
+    )
+    applied_from = len(text) + 1
+    for patch in ordered:
+        start = absolute(patch.start_line, patch.start_col)
+        end = absolute(patch.end_line, patch.end_col)
+        if end > applied_from or start > end:
+            continue  # overlapping or inverted span: skip, never guess
+        text = text[:start] + patch.replacement + text[end:]
+        applied_from = start
+    return text
+
+
+def _needs_import(tree: ast.Module, import_line: str) -> bool:
+    bound = import_line.rsplit(" ", 1)[-1]
+    for node in tree.body:
+        if isinstance(node, ast.ImportFrom):
+            for name in node.names:
+                if (name.asname or name.name) == bound:
+                    return False
+    return True
+
+
+def _insertion_line(tree: ast.Module) -> int:
+    """1-based line *after* which new imports go."""
+    last = 0
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            last = max(last, getattr(node, "end_lineno", node.lineno))
+    if last:
+        return last
+    if (
+        tree.body
+        and isinstance(tree.body[0], ast.Expr)
+        and isinstance(tree.body[0].value, ast.Constant)
+        and isinstance(tree.body[0].value.value, str)
+    ):
+        return getattr(
+            tree.body[0], "end_lineno", tree.body[0].lineno
+        )
+    return 0
+
+
+def _add_imports(text: str, imports: List[str]) -> str:
+    try:
+        tree = ast.parse(text)
+    except SyntaxError:
+        return text
+    missing = [
+        line for line in imports if _needs_import(tree, line)
+    ]
+    if not missing:
+        return text
+    lines = text.splitlines(keepends=True)
+    at = _insertion_line(tree)
+    insert = "".join(f"{line}\n" for line in missing)
+    return "".join(lines[:at]) + insert + "".join(lines[at:])
+
+
+def apply_fixes(
+    root: Path, fixes: Dict[str, FileFixes]
+) -> Tuple[int, int]:
+    """Apply planned fixes; returns (patches applied, files touched)."""
+    patched = 0
+    files = 0
+    for path, planned in sorted(fixes.items()):
+        target = root / path
+        try:
+            text = target.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            continue
+        updated = _apply_patches(text, planned.patches)
+        if updated == text:
+            continue
+        updated = _add_imports(updated, planned.imports)
+        target.write_text(updated, encoding="utf-8")
+        patched += len(planned.patches)
+        files += 1
+    return patched, files

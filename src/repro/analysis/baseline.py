@@ -48,6 +48,87 @@ def load_baseline(path: Path) -> Dict[str, int]:
     return counts
 
 
+def load_baseline_records(path: Path) -> List[Dict[str, object]]:
+    """The baseline's full finding records (fingerprint, rule, path,
+    count), for staleness reporting and pruning.  Missing file → [].
+    """
+    if not path.exists():
+        return []
+    document = json.loads(path.read_text(encoding="utf-8"))
+    if (
+        not isinstance(document, dict)
+        or document.get("format") != BASELINE_FORMAT
+        or not isinstance(document.get("findings"), list)
+    ):
+        raise ValueError(
+            f"{path}: not a version-{BASELINE_FORMAT} baseline document"
+        )
+    records: List[Dict[str, object]] = []
+    for record in document["findings"]:
+        records.append({
+            "fingerprint": str(record["fingerprint"]),
+            "rule": str(record.get("rule", "")),
+            "path": str(record.get("path", "")),
+            "count": int(record.get("count", 1)),
+        })
+    return records
+
+
+def stale_entries(
+    records: List[Dict[str, object]], findings: List[Finding]
+) -> List[Dict[str, object]]:
+    """Baseline records forgiving more findings than still exist.
+
+    ``findings`` must be the *pre-baseline* finding list (fresh and
+    grandfathered together).  A record is stale when fewer matching
+    findings remain than its recorded count — the violation was fixed
+    (fully or partly) but the baseline still carries the debt.
+    """
+    observed = Counter(finding.fingerprint() for finding in findings)
+    stale: List[Dict[str, object]] = []
+    for record in records:
+        matched = observed.get(str(record["fingerprint"]), 0)
+        count = int(record["count"])  # type: ignore[arg-type]
+        if matched < count:
+            stale.append({**record, "matched": matched})
+    return stale
+
+
+def prune_baseline(
+    path: Path, findings: List[Finding]
+) -> Tuple[int, int]:
+    """Drop stale baseline entries; returns (kept, pruned) counts.
+
+    Each record's count shrinks to the number of findings that still
+    match it; records that no longer match anything are removed.  The
+    (possibly empty) document is rewritten in ``write_baseline``'s
+    format so the two stay byte-compatible.
+    """
+    records = load_baseline_records(path)
+    observed = Counter(finding.fingerprint() for finding in findings)
+    kept: List[Dict[str, object]] = []
+    pruned = 0
+    for record in records:
+        count = int(record["count"])  # type: ignore[arg-type]
+        matched = observed.get(str(record["fingerprint"]), 0)
+        new_count = min(count, matched)
+        pruned += count - new_count
+        if new_count > 0:
+            kept.append({**record, "count": new_count})
+    document = {
+        "format": BASELINE_FORMAT,
+        "findings": sorted(
+            kept, key=lambda record: str(record["fingerprint"])
+        ),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return len(kept), pruned
+
+
 def write_baseline(path: Path, findings: List[Finding]) -> None:
     """Write ``findings`` as the new baseline (sorted, deduplicated)."""
     counts = Counter(finding.fingerprint() for finding in findings)

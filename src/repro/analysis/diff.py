@@ -1,0 +1,104 @@
+"""Diff-aware analysis: changed files and changed lines vs a git base.
+
+``--diff BASE`` restricts the *reporting* surface to lines touched
+since ``BASE`` while still building the whole-program model (from the
+summary cache, so unchanged files cost a JSON load instead of a
+parse).  That combination is what makes pre-commit-time runs fast and
+still interprocedurally correct: a changed line in one module can
+surface a SEED001/EXC001X finding only if the finding lands on a
+changed line, exactly the contract reviewers expect from diff lint.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+from pathlib import Path
+from typing import Dict, List, Set
+
+#: ``+++ b/<path>`` target-file header of a unified diff.
+_TARGET = re.compile(r"^\+\+\+ b/(?P<path>.+)$")
+
+#: ``@@ -a,b +c,d @@`` hunk header (``,b``/``,d`` optional).
+_HUNK = re.compile(
+    r"^@@ -\d+(?:,\d+)? \+(?P<start>\d+)(?:,(?P<count>\d+))? @@"
+)
+
+#: Non-Python paths that, when touched, re-trigger the repo-level docs
+#: rules (DOC002/MET002) in a diff run.
+PROJECT_TRIGGER_SUFFIXES = (".md", ".toml", ".yaml", ".yml")
+
+
+class DiffError(ValueError):
+    """``git diff`` against the requested base failed."""
+
+
+def _git(root: Path, *args: str) -> str:
+    process = subprocess.run(
+        ["git", *args],
+        cwd=root,
+        capture_output=True,
+        text=True,
+    )
+    if process.returncode != 0:
+        detail = process.stderr.strip() or process.stdout.strip()
+        raise DiffError(f"git {' '.join(args)} failed: {detail}")
+    return process.stdout
+
+
+def changed_lines(root: Path, base: str) -> Dict[str, Set[int]]:
+    """Changed (added/edited) line numbers per repo-relative path.
+
+    Compares the working tree against ``base`` with zero context, so
+    every reported line is genuinely touched.  Untracked files count as
+    fully changed.  Deleted files do not appear (nothing to analyze).
+    """
+    output = _git(
+        root, "diff", "--unified=0", "--no-color", base, "--"
+    )
+    changed: Dict[str, Set[int]] = {}
+    current: Set[int] = set()
+    for raw_line in output.splitlines():
+        target = _TARGET.match(raw_line)
+        if target is not None:
+            current = changed.setdefault(target.group("path"), set())
+            continue
+        hunk = _HUNK.match(raw_line)
+        if hunk is not None:
+            start = int(hunk.group("start"))
+            count_text = hunk.group("count")
+            count = 1 if count_text is None else int(count_text)
+            current.update(range(start, start + count))
+    untracked = _git(
+        root, "ls-files", "--others", "--exclude-standard"
+    )
+    for path in untracked.splitlines():
+        path = path.strip()
+        if not path:
+            continue
+        target_file = root / path
+        try:
+            line_count = len(
+                target_file.read_text(encoding="utf-8").splitlines()
+            )
+        except (OSError, UnicodeDecodeError):
+            continue
+        changed[path] = set(range(1, line_count + 1))
+    return changed
+
+
+def triggers_project_rules(changed: Dict[str, Set[int]]) -> bool:
+    """Whether the change set warrants the repo-level docs rules.
+
+    Docs-consistency rules (DOC002/MET002) read markdown and config
+    files the per-file filter never sees; run them whenever any
+    markdown/config file — or anything under ``docs/`` or ``tools/``
+    — is part of the change.
+    """
+    for path in changed:
+        if path.endswith(PROJECT_TRIGGER_SUFFIXES):
+            return True
+        parts = Path(path).parts
+        if parts and parts[0] in ("docs", "tools"):
+            return True
+    return False

@@ -1,0 +1,127 @@
+"""Whole-program analysis: symbol table, call graph, data flow.
+
+This package layers a project-wide model on top of the per-file linter:
+
+* :mod:`~repro.analysis.program.symbols` — module summaries (an
+  AST-free IR with argument provenance), the project symbol table, and
+  re-export-aware name resolution, plus the on-disk summary cache;
+* :mod:`~repro.analysis.program.callgraph` — the call/reference graph
+  (methods, decorators, lambdas, ``functools.partial``);
+* :mod:`~repro.analysis.program.dataflow` — forward taint fixpoints
+  (RNG seed flow, process-seam flow, escaping exceptions);
+* :mod:`~repro.analysis.program.program_rules` — the cross-module
+  rules SEED001, PKL001, EXC001X, and DEAD001.
+
+The :class:`Program` model built here is what
+:class:`~repro.analysis.registry.ProgramRule` instances check.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set
+
+from .callgraph import CallGraph
+from .dataflow import (
+    ExceptionFlow,
+    rng_constructing_params,
+    seam_reaching_params,
+)
+from .symbols import (
+    CACHE_BASENAME,
+    ModuleSummary,
+    ProjectIndex,
+    summarize_module,
+)
+
+
+class Program:
+    """The whole-program model handed to program rules.
+
+    Built from module summaries (freshly extracted or cache-loaded);
+    the data-flow results are computed lazily so a ``--select`` run
+    only pays for the analyses its rules actually use.
+    """
+
+    def __init__(
+        self,
+        summaries: Iterable[ModuleSummary],
+        root: Optional[Path] = None,
+    ) -> None:
+        self.summaries: Dict[str, ModuleSummary] = {}
+        for summary in summaries:
+            self.summaries[summary.path] = summary
+        self.root = root
+        self.index = ProjectIndex(self.summaries.values())
+        self.graph = CallGraph(self.index)
+        self._rng_params: Optional[Dict[str, Set[str]]] = None
+        self._seam_params: Optional[Dict[str, Set[str]]] = None
+        self._exceptions: Optional[ExceptionFlow] = None
+        self._external_text: Optional[str] = None
+
+    @property
+    def rng_params(self) -> Dict[str, Set[str]]:
+        """function fq → params flowing into an RNG construction."""
+        if self._rng_params is None:
+            self._rng_params = rng_constructing_params(
+                self.index, self.graph
+            )
+        return self._rng_params
+
+    @property
+    def seam_params(self) -> Dict[str, Set[str]]:
+        """function fq → params flowing into a process seam."""
+        if self._seam_params is None:
+            self._seam_params = seam_reaching_params(
+                self.index, self.graph
+            )
+        return self._seam_params
+
+    @property
+    def exceptions(self) -> ExceptionFlow:
+        """The interprocedural escaping-exception analysis."""
+        if self._exceptions is None:
+            self._exceptions = ExceptionFlow(self.index, self.graph)
+        return self._exceptions
+
+    def path_of(self, fq: str) -> str:
+        """Repo-relative path of a function/class, '' if unknown."""
+        return self.index.paths.get(fq, "")
+
+    def external_text(self) -> str:
+        """Concatenated text of tests/docs/tools/benchmarks/examples.
+
+        DEAD001 treats a textual mention outside ``src/`` (a test, a
+        documented example, a tool) as a use, so deliberately-public
+        API exercised only by the test suite is not reported dead.
+        """
+        if self._external_text is not None:
+            return self._external_text
+        chunks: List[str] = []
+        if self.root is not None:
+            targets = [
+                *sorted((self.root / "tests").glob("**/*.py")),
+                *sorted((self.root / "benchmarks").glob("**/*.py")),
+                *sorted((self.root / "examples").glob("**/*.py")),
+                *sorted((self.root / "tools").glob("**/*.py")),
+                *sorted((self.root / "docs").glob("*.md")),
+                self.root / "README.md",
+            ]
+            for target in targets:
+                try:
+                    chunks.append(target.read_text(encoding="utf-8"))
+                except OSError:
+                    continue
+        self._external_text = "\n".join(chunks)
+        return self._external_text
+
+
+__all__ = [
+    "CACHE_BASENAME",
+    "CallGraph",
+    "ExceptionFlow",
+    "ModuleSummary",
+    "Program",
+    "ProjectIndex",
+    "summarize_module",
+]

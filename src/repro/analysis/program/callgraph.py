@@ -1,0 +1,159 @@
+"""The project call graph over module summaries.
+
+Nodes are fully qualified function names (``repro.core.ols.ols``,
+``repro.runtime.workers._worker_main``, the synthetic
+``<module>`` node per file for import-time code).  Edges come from
+three places:
+
+* direct calls whose callee resolves to a project function (including
+  through ``__init__`` re-export chains and method calls on
+  ``self``/``cls``);
+* class instantiations, which edge to the class's ``__init__`` when the
+  project defines one;
+* ``functools.partial`` and bare function references passed as call
+  arguments, recorded as *reference* edges — they mark the target as
+  used (for DEAD001) without asserting a call happens (for exception
+  flow).
+
+Mutually recursive modules are handled naturally: extraction is purely
+syntactic, so import cycles cannot occur, and the data-flow fixpoints
+terminate on cyclic graphs by monotonicity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .symbols import CallSite, FunctionSummary, ProjectIndex
+
+
+class CallGraph:
+    """Call and reference edges between project functions."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        #: caller fq → list of (callee fq, call site)
+        self.calls: Dict[str, List[Tuple[str, CallSite]]] = {}
+        #: callee fq → set of caller fqs
+        self.callers: Dict[str, Set[str]] = {}
+        #: referrer fq → referenced fqs (non-call uses)
+        self.references: Dict[str, Set[str]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for fq, function in self.index.functions.items():
+            edges: List[Tuple[str, CallSite]] = []
+            refs: Set[str] = set()
+            for site in function.calls:
+                callee = self.resolve_callee(site)
+                if callee is not None:
+                    edges.append((callee, site))
+                    self.callers.setdefault(callee, set()).add(fq)
+                for tag in (*site.args, *site.kwargs.values()):
+                    target = reference_target(tag)
+                    if target is not None:
+                        resolved = self.index.resolve(target)
+                        refs.add(resolved or target)
+            for ref in function.refs:
+                refs.add(self.index.resolve(ref) or ref)
+            for decorator in function.decorators:
+                refs.add(self.index.resolve(decorator) or decorator)
+            self.calls[fq] = edges
+            self.references[fq] = refs
+
+    def resolve_callee(self, site: CallSite) -> Optional[str]:
+        """The project function a call site lands in, if resolvable.
+
+        A class instantiation resolves to ``Class.__init__`` when the
+        project defines one (else to the class itself, which callers
+        can detect via :attr:`ProjectIndex.classes`).
+        """
+        resolved = self.index.resolve(site.callee)
+        if resolved is None:
+            return None
+        if resolved in self.index.classes:
+            init = f"{resolved}.__init__"
+            if init in self.index.functions:
+                return init
+            return None
+        if resolved in self.index.functions:
+            return resolved
+        return None
+
+    def callees(self, fq: str) -> List[Tuple[str, CallSite]]:
+        """Resolved (callee, site) pairs of ``fq``."""
+        return self.calls.get(fq, [])
+
+    def callers_of(self, fq: str) -> Set[str]:
+        """Functions with a call edge into ``fq``."""
+        return self.callers.get(fq, set())
+
+    def transitive_callees(self, roots: Iterable[str]) -> Set[str]:
+        """Every function reachable from ``roots`` via call edges."""
+        seen: Set[str] = set()
+        stack = list(roots)
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for callee, _site in self.calls.get(current, []):
+                if callee not in seen:
+                    stack.append(callee)
+        return seen
+
+    def reachable(self, roots: Iterable[str]) -> Set[str]:
+        """Reachability over call *and* reference edges.
+
+        This is the liveness relation DEAD001 uses: a referenced
+        function may be called later through a variable, so references
+        keep their targets (and everything those targets call) alive.
+        """
+        seen: Set[str] = set()
+        stack = list(roots)
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            if current in self.index.classes:
+                # A live class keeps its methods live (dynamic
+                # dispatch is invisible to the graph).
+                for method in self.index.classes[current].methods:
+                    stack.append(f"{current}.{method}")
+            for callee, _site in self.calls.get(current, []):
+                stack.append(callee)
+            for ref in self.references.get(current, ()):
+                resolved = self.index.resolve(ref) or ref
+                if (
+                    resolved in self.index.functions
+                    or resolved in self.index.classes
+                ):
+                    stack.append(resolved)
+                elif resolved in self.index.modules:
+                    # A module passed around as a value (e.g. handed to
+                    # a helper that calls its attributes) keeps every
+                    # top-level definition of that module live.
+                    summary = self.index.modules[resolved]
+                    prefix = f"{resolved}." if resolved else ""
+                    for fn in summary.functions:
+                        if "." not in fn.qualname:
+                            stack.append(f"{prefix}{fn.qualname}")
+                    for cls in summary.classes:
+                        stack.append(f"{prefix}{cls.name}")
+        return seen
+
+
+def reference_target(tag: str) -> Optional[str]:
+    """The dotted name a provenance tag refers to, if any.
+
+    ``ref:x.y`` and ``nested:x.y`` point at ``x.y``; ``partial:`` tags
+    unwrap recursively; value tags (literals, params) return ``None``.
+    """
+    while tag.startswith("partial:"):
+        tag = tag[len("partial:"):]
+    if tag.startswith(("ref:", "nested:", "call:")):
+        target = tag.split(":", 1)[1]
+        if target and target != "?" and "." in target:
+            return target
+    return None

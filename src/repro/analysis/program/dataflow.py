@@ -1,0 +1,288 @@
+"""Forward data-flow fixpoints over the call graph.
+
+Three interprocedural analyses, all computed as monotone fixpoints over
+the function summaries (so they terminate on mutually recursive
+modules and cost O(edges × lattice height)):
+
+* **RNG-constructing parameters** — the set of parameters that flow
+  (possibly through several calls) into an RNG construction
+  (``ensure_rng``/``spawn_rngs``/``numpy.random.default_rng``).  SEED001
+  uses it to spot hardcoded seeds and double-seeding across module
+  boundaries.
+* **Seam-reaching parameters** — parameters that flow into the
+  callable slot of a worker-pool submit/``Process(target=…)`` seam.
+  PKL001 uses it to flag lambdas/closures laundered through helpers.
+* **Escaping exceptions** — for every function, the exception types
+  that can propagate out of it, accounting for ``except`` clauses
+  around each call and raise.  EXC001X proves public ``core``/
+  ``runtime`` entry points only propagate ``repro.errors`` types.
+"""
+
+from __future__ import annotations
+
+import builtins
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from .callgraph import CallGraph
+from .symbols import CallSite, FunctionSummary, ProjectIndex
+
+#: Fully qualified names that construct (or coerce into) a generator.
+RNG_CONSTRUCTORS = frozenset({
+    "repro.sampling.rng.ensure_rng",
+    "repro.sampling.rng.spawn_rngs",
+    "repro.sampling.ensure_rng",
+    "repro.sampling.spawn_rngs",
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.RandomState",
+})
+
+#: Keyword names that carry the seed into a constructor or callee.
+SEED_KEYWORDS = ("rng", "seed")
+
+#: Pool-method names whose first argument crosses the process seam.
+SUBMIT_ATTRS = frozenset({
+    "submit", "map", "starmap", "imap", "imap_unordered",
+    "apply_async", "map_async", "starmap_async",
+})
+
+#: Constructors whose ``target=`` crosses the process seam.
+PROCESS_CTORS = frozenset({"Process", "Thread"})
+
+
+def is_rng_constructor(
+    callee: Optional[str], index: ProjectIndex
+) -> bool:
+    """Whether a resolved callee mints or coerces a generator."""
+    if callee is None:
+        return False
+    if callee in RNG_CONSTRUCTORS:
+        return True
+    resolved = index.resolve(callee)
+    return resolved in RNG_CONSTRUCTORS
+
+
+def seed_argument(site: CallSite) -> Optional[str]:
+    """Provenance of the seed argument of a constructor call."""
+    if site.args:
+        return site.args[0]
+    for keyword in SEED_KEYWORDS:
+        if keyword in site.kwargs:
+            return site.kwargs[keyword]
+    return None
+
+
+def submit_slot(site: CallSite) -> Optional[str]:
+    """Provenance of the callable crossing a process seam, if any."""
+    tail = site.raw.rsplit(".", 1)[-1]
+    if tail in SUBMIT_ATTRS and "." in site.raw and site.args:
+        return site.args[0]
+    if tail in PROCESS_CTORS and "target" in site.kwargs:
+        return site.kwargs["target"]
+    return None
+
+
+def _map_argument(
+    site: CallSite, callee: FunctionSummary, skip_self: bool
+) -> List[Tuple[str, str]]:
+    """(callee parameter, provenance) pairs for a call site."""
+    params = callee.params
+    if skip_self and params and params[0] in ("self", "cls"):
+        params = params[1:]
+    pairs: List[Tuple[str, str]] = []
+    for position, tag in enumerate(site.args):
+        if position < len(params):
+            pairs.append((params[position], tag))
+    for name, tag in site.kwargs.items():
+        if name in callee.params:
+            pairs.append((name, tag))
+    return pairs
+
+
+def _param_fixpoint(
+    index: ProjectIndex,
+    graph: CallGraph,
+    base: Dict[str, Set[str]],
+) -> Dict[str, Set[str]]:
+    """Propagate a parameter property backwards through call edges.
+
+    ``base`` maps function → parameters with the property locally;
+    the result adds parameters that flow into a property-carrying
+    parameter of any (transitive) callee.
+    """
+    facts: Dict[str, Set[str]] = {
+        fq: set(params) for fq, params in base.items()
+    }
+    worklist = list(facts)
+    while worklist:
+        changed_fq = worklist.pop()
+        for caller in graph.callers_of(changed_fq):
+            summary = index.functions.get(caller)
+            if summary is None:
+                continue
+            caller_facts = facts.setdefault(caller, set())
+            before = len(caller_facts)
+            for callee_fq, site in graph.callees(caller):
+                if callee_fq != changed_fq:
+                    continue
+                callee = index.functions[callee_fq]
+                target_params = facts.get(callee_fq, set())
+                for param, tag in _map_argument(
+                    site, callee, skip_self=callee.is_method
+                ):
+                    if param in target_params and tag.startswith(
+                        "param:"
+                    ):
+                        caller_facts.add(tag[len("param:"):])
+            if len(caller_facts) != before:
+                worklist.append(caller)
+    return facts
+
+
+def rng_constructing_params(
+    index: ProjectIndex, graph: CallGraph
+) -> Dict[str, Set[str]]:
+    """function fq → parameters that reach an RNG construction."""
+    base: Dict[str, Set[str]] = {}
+    for fq, function in index.functions.items():
+        for site in function.calls:
+            if not is_rng_constructor(site.callee, index):
+                continue
+            tag = seed_argument(site)
+            if tag is not None and tag.startswith("param:"):
+                base.setdefault(fq, set()).add(tag[len("param:"):])
+    return _param_fixpoint(index, graph, base)
+
+
+def seam_reaching_params(
+    index: ProjectIndex, graph: CallGraph
+) -> Dict[str, Set[str]]:
+    """function fq → parameters that reach a process-seam slot."""
+    base: Dict[str, Set[str]] = {}
+    for fq, function in index.functions.items():
+        for site in function.calls:
+            tag = submit_slot(site)
+            if tag is not None and tag.startswith("param:"):
+                base.setdefault(fq, set()).add(tag[len("param:"):])
+    return _param_fixpoint(index, graph, base)
+
+
+# -- exception flow -------------------------------------------------
+
+
+def _builtin_ancestors() -> Dict[str, Set[str]]:
+    """builtin exception name → its ancestor names (inclusive)."""
+    table: Dict[str, Set[str]] = {}
+    for name in dir(builtins):
+        obj = getattr(builtins, name)
+        if isinstance(obj, type) and issubclass(obj, BaseException):
+            table[name] = {
+                ancestor.__name__ for ancestor in obj.__mro__
+                if issubclass(ancestor, BaseException)
+            }
+    return table
+
+
+_BUILTIN_ANCESTORS = _builtin_ancestors()
+
+#: Control-flow exceptions ``except Exception`` does not catch.
+_NON_EXCEPTION = frozenset({
+    "KeyboardInterrupt", "SystemExit", "GeneratorExit",
+})
+
+
+def _tail(name: str) -> str:
+    return name.rsplit(".", 1)[-1]
+
+
+@dataclass(frozen=True)
+class EscapeOrigin:
+    """Where an escaping exception type is actually raised."""
+
+    path: str
+    line: int
+    chain: Tuple[str, ...]
+
+
+class ExceptionFlow:
+    """Interprocedural escaping-exception sets (fixpoint)."""
+
+    def __init__(self, index: ProjectIndex, graph: CallGraph) -> None:
+        self.index = index
+        self.graph = graph
+        self._ancestor_cache: Dict[str, Set[str]] = {}
+        self.escapes: Dict[str, Dict[str, EscapeOrigin]] = {}
+        self._solve()
+
+    def ancestors(self, exc: str) -> Set[str]:
+        """Ancestor type names of ``exc`` (fq and bare forms)."""
+        cached = self._ancestor_cache.get(exc)
+        if cached is not None:
+            return cached
+        result: Set[str] = {exc, _tail(exc)}
+        self._ancestor_cache[exc] = result  # cycle guard
+        resolved = self.index.resolve(exc)
+        if resolved is not None and resolved in self.index.classes:
+            for link in self.index.class_mro_names(resolved):
+                result.add(link)
+                result.add(_tail(link))
+                base_tail = _tail(link)
+                if base_tail in _BUILTIN_ANCESTORS:
+                    result |= _BUILTIN_ANCESTORS[base_tail]
+        elif _tail(exc) in _BUILTIN_ANCESTORS:
+            result |= _BUILTIN_ANCESTORS[_tail(exc)]
+        return result
+
+    def caught_by(self, caught: List[str], exc: str) -> bool:
+        """Whether any enclosing handler catches ``exc``."""
+        ancestry = self.ancestors(exc)
+        for handler in caught:
+            handler_tail = _tail(handler)
+            if handler_tail == "BaseException":
+                return True
+            if handler_tail == "Exception":
+                if _tail(exc) not in _NON_EXCEPTION:
+                    return True
+                continue
+            if handler in ancestry or handler_tail in ancestry:
+                return True
+        return False
+
+    def _solve(self) -> None:
+        for fq, function in self.index.functions.items():
+            local: Dict[str, EscapeOrigin] = {}
+            path = self.index.paths.get(fq, "")
+            for site in function.raises:
+                if site.exc is None:
+                    continue
+                if self.caught_by(site.caught, site.exc):
+                    continue
+                local.setdefault(site.exc, EscapeOrigin(
+                    path=path, line=site.line, chain=(fq,),
+                ))
+            self.escapes[fq] = local
+        worklist = [fq for fq, esc in self.escapes.items() if esc]
+        while worklist:
+            changed = worklist.pop()
+            for caller in self.graph.callers_of(changed):
+                if self._propagate(caller, changed):
+                    worklist.append(caller)
+
+    def _propagate(self, caller: str, callee_fq: str) -> bool:
+        caller_escapes = self.escapes.setdefault(caller, {})
+        grew = False
+        for target, site in self.graph.callees(caller):
+            if target != callee_fq:
+                continue
+            for exc, origin in self.escapes.get(callee_fq, {}).items():
+                if exc in caller_escapes:
+                    continue
+                if self.caught_by(site.caught, exc):
+                    continue
+                chain = (caller, *origin.chain)[:8]
+                caller_escapes[exc] = EscapeOrigin(
+                    path=origin.path, line=origin.line, chain=chain,
+                )
+                grew = True
+        return grew

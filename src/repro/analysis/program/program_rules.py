@@ -1,0 +1,581 @@
+"""The cross-module program rules.
+
+These rules consume the :class:`~repro.analysis.program.Program` model
+(symbol table + call graph + data-flow fixpoints) and check properties
+no single-file rule can see:
+
+* SEED001 — seed provenance: hardcoded seeds at RNG constructions,
+  seed parameters that are accepted but never reach a generator, and
+  one seed value consumed by several generator constructions across
+  module boundaries (correlated streams).
+* PKL001 — transitive pickle-safety at worker-pool seams: lambdas and
+  closures laundered through ``functools.partial`` or helper-function
+  parameters, and seam-crossing functions that (transitively) read
+  module-level locks or open file handles that do not survive spawn.
+* EXC001X — interprocedural exception flow: public ``core``/``runtime``
+  entry points must only propagate ``repro.errors`` types (plus the
+  small allowed builtin set), no matter how deep the raise site is.
+* DEAD001 — unreachable definitions: functions and classes nothing in
+  the project, tests, tools, benchmarks, or docs ever names.
+
+Suppression works like every other rule: ``# repro: noqa[RULE]`` on
+the reported line.  EXC001X reports at the *raise* site (not the entry
+point) precisely so one ``noqa`` can acknowledge one raise.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..findings import Finding
+from ..registry import ProgramRule, register
+from ..rules import _BOUNDARY_BUILTIN_ALLOWED
+from . import Program
+from .dataflow import (
+    _BUILTIN_ANCESTORS,
+    _map_argument,
+    _tail,
+    is_rng_constructor,
+    seed_argument,
+    submit_slot,
+)
+from .symbols import FunctionSummary
+
+#: Algorithm-layer directories where seed discipline is enforced.
+_LIBRARY_DIRS = frozenset({
+    "core", "butterfly", "sampling", "graph", "worlds",
+    "counting", "support", "runtime", "hardness",
+})
+
+#: Script-layer directories excluded from dead-code reporting (their
+#: entry points are invoked from the command line, not from code).
+_SCRIPT_DIRS = frozenset({"experiments", "apps", "datasets"})
+
+#: Constructors whose results are per-process and must not be shared
+#: across a spawn seam through module-level state.
+_UNPICKLABLE_CTOR_TAILS = frozenset({
+    "Lock", "RLock", "Condition", "Event", "Semaphore",
+    "BoundedSemaphore", "Barrier",
+})
+
+#: Decorators that do not imply external registration (a decorated
+#: definition with any *other* decorator is treated as live).
+_NEUTRAL_DECORATOR_TAILS = frozenset({
+    "staticmethod", "classmethod", "property", "wraps", "lru_cache",
+    "cache", "cached_property", "dataclass", "abstractmethod",
+    "overload", "contextmanager", "total_ordering", "final",
+})
+
+
+def _in_library(path: str) -> bool:
+    """Whether a repo-relative path is in the algorithm layers."""
+    return any(part in _LIBRARY_DIRS for part in Path(path).parts[:-1])
+
+
+def _in_scripts(path: str) -> bool:
+    """Whether a repo-relative path is in the script layers."""
+    return any(part in _SCRIPT_DIRS for part in Path(path).parts[:-1])
+
+
+def _exclusive(first: List[str], second: List[str]) -> bool:
+    """Whether two branch contexts are mutually exclusive.
+
+    Contexts are lists of ``"line:col:arm"`` markers, outermost first.
+    Two sites conflict only if they share an ``if`` statement and sit
+    in different arms of it; sites under *different* if statements at
+    the same depth are sequential and can both execute.
+    """
+    for mine, theirs in zip(first, second):
+        if mine == theirs:
+            continue
+        my_if, _, my_arm = mine.rpartition(":")
+        their_if, _, their_arm = theirs.rpartition(":")
+        return my_if == their_if and my_arm != their_arm
+    return False
+
+
+def _unwrap_partial(tag: str) -> Tuple[str, bool]:
+    """Strip ``partial:`` prefixes; returns (inner tag, was wrapped)."""
+    wrapped = False
+    while tag.startswith("partial:"):
+        tag = tag[len("partial:"):]
+        wrapped = True
+    return tag, wrapped
+
+
+@register
+class SeedProvenanceRule(ProgramRule):
+    """SEED001: seeds are threaded, not hardcoded or consumed twice.
+
+    The paper's experiments are only reproducible if every generator
+    traces back to the trial seed exactly once.  A literal seed buried
+    in an algorithm module silently decouples runs from the trial
+    configuration; one seed value consumed by two generator
+    constructions (possibly in different modules) yields *correlated*
+    streams, which biases the sampling estimators without failing any
+    test.
+    """
+
+    id = "SEED001"
+    severity = "error"
+    description = (
+        "seed provenance: no hardcoded seeds in algorithm layers, no "
+        "orphan seed parameters, no seed consumed by two RNG "
+        "constructions (use spawn_rngs to split streams)"
+    )
+
+    #: Parameter names that carry seeding responsibility.
+    seed_params = ("seed", "rng")
+
+    def check_program(self, program: object) -> Iterator[Finding]:
+        assert isinstance(program, Program)
+        for fq, function in program.index.functions.items():
+            path = program.path_of(fq)
+            if not _in_library(path) or path.endswith("sampling/rng.py"):
+                continue
+            yield from self._hardcoded(program, path, function)
+            yield from self._double_seeded(program, fq, path, function)
+            yield from self._orphaned(program, fq, path, function)
+
+    def _hardcoded(
+        self, program: Program, path: str, function: FunctionSummary
+    ) -> Iterator[Finding]:
+        for site in function.calls:
+            if not is_rng_constructor(site.callee, program.index):
+                continue
+            tag = seed_argument(site)
+            if tag is not None and tag.startswith("int:"):
+                yield self.finding(
+                    path, site.line,
+                    f"hardcoded seed {tag[len('int:'):]} at "
+                    f"{site.raw}(); thread the seed through a "
+                    f"parameter so runs are reproducible by "
+                    f"configuration, not by source edits",
+                )
+
+    def _double_seeded(
+        self,
+        program: Program,
+        fq: str,
+        path: str,
+        function: FunctionSummary,
+    ) -> Iterator[Finding]:
+        # Every site where a parameter's value is consumed by an RNG
+        # construction: locally, or forwarded into a callee parameter
+        # the data-flow fixpoint marked as RNG-constructing.
+        events: Dict[str, List[Tuple[int, str, List[str]]]] = {}
+        consumed: Set[int] = set()
+        for site in function.calls:
+            if not is_rng_constructor(site.callee, program.index):
+                continue
+            tag = seed_argument(site)
+            if tag is not None and tag.startswith("param:"):
+                param = tag[len("param:"):]
+                events.setdefault(param, []).append(
+                    (site.line, f"{site.raw}()", site.branch)
+                )
+                consumed.add(id(site))
+        for callee_fq, site in program.graph.callees(fq):
+            if id(site) in consumed:
+                continue
+            rng_params = program.rng_params.get(callee_fq)
+            if not rng_params:
+                continue
+            callee = program.index.functions[callee_fq]
+            for target_param, tag in _map_argument(
+                site, callee, skip_self=callee.is_method
+            ):
+                if target_param in rng_params and tag.startswith(
+                    "param:"
+                ):
+                    param = tag[len("param:"):]
+                    events.setdefault(param, []).append(
+                        (site.line, f"{_tail(callee_fq)}()", site.branch)
+                    )
+        for param, uses in sorted(events.items()):
+            uses.sort()
+            for index in range(1, len(uses)):
+                line, desc, branch = uses[index]
+                first_line, first_desc, first_branch = uses[0]
+                if _exclusive(first_branch, branch):
+                    continue
+                yield self.finding(
+                    path, line,
+                    f"seed parameter {param!r} already seeded a "
+                    f"generator via {first_desc} (line {first_line}) "
+                    f"and is consumed again by {desc}; identical "
+                    f"seeds produce correlated streams — split with "
+                    f"spawn_rngs() or pass the constructed generator",
+                )
+                break
+
+    def _orphaned(
+        self,
+        program: Program,
+        fq: str,
+        path: str,
+        function: FunctionSummary,
+    ) -> Iterator[Finding]:
+        if (
+            function.is_method
+            or function.is_nested
+            or function.name == "<module>"
+        ):
+            return
+        reaching = program.rng_params.get(fq, set())
+        for param in function.params:
+            if param not in self.seed_params or param in reaching:
+                continue
+            if self._is_used(function, param):
+                continue
+            yield self.finding(
+                path, function.line,
+                f"parameter {param!r} of {function.name}() never "
+                f"reaches an RNG construction or any callee; an "
+                f"ignored seed parameter makes callers believe the "
+                f"function is seeded when it is not",
+            )
+
+    @staticmethod
+    def _is_used(function: FunctionSummary, param: str) -> bool:
+        tag = f"param:{param}"
+        prefix = f"{param}."
+        for site in function.calls:
+            if site.raw == param or site.raw.startswith(prefix):
+                return True
+            if tag in site.args or tag in site.kwargs.values():
+                return True
+        return False
+
+
+@register
+class TransitivePickleRule(ProgramRule):
+    """PKL001: pickle-safety holds transitively at process seams.
+
+    MPS001 catches a lambda handed *directly* to ``pool.submit``; this
+    rule follows the call graph to catch what the file-local view
+    cannot — ``functools.partial`` wrappers, callables laundered
+    through a helper whose parameter reaches a seam, and seam-crossing
+    functions that transitively read module-level synchronisation
+    primitives (each spawn worker re-imports the module and gets its
+    own lock, so the "shared" state silently is not).
+    """
+
+    id = "PKL001"
+    severity = "error"
+    description = (
+        "worker seams stay pickle-safe transitively: no partial-"
+        "wrapped or helper-laundered lambdas/closures, no module-"
+        "level locks read across the spawn boundary"
+    )
+
+    def check_program(self, program: object) -> Iterator[Finding]:
+        assert isinstance(program, Program)
+        for fq, function in program.index.functions.items():
+            path = program.path_of(fq)
+            for site in function.calls:
+                slot = submit_slot(site)
+                if slot is not None:
+                    yield from self._at_seam(
+                        program, path, site.line, site.raw, slot
+                    )
+            yield from self._laundered(program, fq, path)
+
+    def _at_seam(
+        self,
+        program: Program,
+        path: str,
+        line: int,
+        raw: str,
+        slot: str,
+    ) -> Iterator[Finding]:
+        inner, wrapped = _unwrap_partial(slot)
+        if wrapped and inner.startswith("lambda:"):
+            yield self.finding(
+                path, line,
+                f"functools.partial over a lambda crosses the process "
+                f"seam {raw}(); the partial pickles, its lambda does "
+                f"not — use a module-level function",
+            )
+            return
+        if wrapped and inner.startswith("nested:"):
+            yield self.finding(
+                path, line,
+                f"functools.partial over nested function "
+                f"{_tail(inner[len('nested:'):])}() crosses the "
+                f"process seam {raw}(); closures cannot be pickled "
+                f"under spawn — hoist the function to module level",
+            )
+            return
+        if inner.startswith("ref:"):
+            yield from self._module_state(
+                program, path, line, raw, inner[len("ref:"):]
+            )
+
+    def _module_state(
+        self,
+        program: Program,
+        path: str,
+        line: int,
+        raw: str,
+        target: str,
+    ) -> Iterator[Finding]:
+        resolved = program.index.resolve(target)
+        if resolved is None or resolved not in program.index.functions:
+            return
+        for reached in sorted(
+            program.graph.transitive_callees([resolved])
+        ):
+            function = program.index.functions.get(reached)
+            if function is None:
+                continue
+            module = program.summaries.get(program.path_of(reached))
+            if module is None:
+                continue
+            for name in function.global_reads:
+                binding = module.bindings.get(name)
+                if binding is None or not binding.startswith("call:"):
+                    continue
+                ctor = binding[len("call:"):]
+                if (
+                    _tail(ctor) not in _UNPICKLABLE_CTOR_TAILS
+                    and ctor != "open"
+                ):
+                    continue
+                via = (
+                    "" if reached == resolved
+                    else f" (transitively via {_tail(reached)}())"
+                )
+                yield self.finding(
+                    path, line,
+                    f"{_tail(resolved)}() crosses the process seam "
+                    f"{raw}() but{via} reads module state {name!r} "
+                    f"built by {ctor}(); each spawn worker re-creates "
+                    f"it, so it is not shared across the seam",
+                )
+                return
+
+    def _laundered(
+        self, program: Program, fq: str, path: str
+    ) -> Iterator[Finding]:
+        for callee_fq, site in program.graph.callees(fq):
+            seam_params = program.seam_params.get(callee_fq)
+            if not seam_params:
+                continue
+            callee = program.index.functions[callee_fq]
+            for param, tag in _map_argument(
+                site, callee, skip_self=callee.is_method
+            ):
+                if param not in seam_params:
+                    continue
+                inner, _wrapped = _unwrap_partial(tag)
+                if inner.startswith("lambda:"):
+                    what = "lambda"
+                elif inner.startswith("nested:"):
+                    what = (
+                        f"nested function "
+                        f"{_tail(inner[len('nested:'):])}()"
+                    )
+                else:
+                    continue
+                yield self.finding(
+                    path, site.line,
+                    f"{what} passed as {param!r} to "
+                    f"{_tail(callee_fq)}() reaches a process seam "
+                    f"inside it; spawn workers cannot unpickle it — "
+                    f"pass a module-level function",
+                )
+
+
+@register
+class ExceptionFlowRule(ProgramRule):
+    """EXC001X: deep raises still honour the error-type contract.
+
+    EXC001 checks the raises *written in* a boundary module; this rule
+    closes the gap it cannot see — a bare ``ValueError`` raised three
+    calls deep in a support module that propagates uncaught out of a
+    public ``core``/``runtime`` entry point.  Callers are entitled to
+    catch ``ReproError`` and know they have handled library failure.
+    """
+
+    id = "EXC001X"
+    severity = "error"
+    description = (
+        "public core/runtime entry points only propagate repro.errors "
+        "types (interprocedural: checked through the call graph)"
+    )
+
+    #: Directories whose public functions are checked entry points.
+    entry_dirs = ("core", "runtime")
+
+    def check_program(self, program: object) -> Iterator[Finding]:
+        assert isinstance(program, Program)
+        reported: Set[Tuple[str, int, str]] = set()
+        for fq, function in sorted(program.index.functions.items()):
+            if (
+                not function.is_public
+                or function.is_nested
+                or function.name == "<module>"
+            ):
+                continue
+            path = program.path_of(fq)
+            if not any(
+                part in self.entry_dirs
+                for part in Path(path).parts[:-1]
+            ):
+                continue
+            escapes = program.exceptions.escapes.get(fq, {})
+            for exc, origin in sorted(escapes.items()):
+                if len(origin.chain) <= 1:
+                    continue  # direct raises are EXC001's domain
+                if self._allowed(program, exc):
+                    continue
+                key = (origin.path, origin.line, _tail(exc))
+                if key in reported:
+                    continue
+                reported.add(key)
+                chain = " -> ".join(
+                    f"{_tail(link)}()" for link in origin.chain
+                )
+                yield self.finding(
+                    origin.path, origin.line,
+                    f"{_tail(exc)} raised here escapes the public "
+                    f"entry point {fq}() ({chain}); wrap it in a "
+                    f"repro.errors type so callers can catch "
+                    f"ReproError at the boundary",
+                )
+
+    @staticmethod
+    def _allowed(program: Program, exc: str) -> bool:
+        ancestors = program.exceptions.ancestors(exc)
+        if any(_tail(link) == "ReproError" for link in ancestors):
+            return True
+        tail = _tail(exc)
+        if tail in _BUILTIN_ANCESTORS:
+            return tail in _BOUNDARY_BUILTIN_ALLOWED
+        resolved = program.index.resolve(exc)
+        if resolved is not None and resolved in program.index.classes:
+            return False
+        # Unknown origin (external library type): benefit of the doubt.
+        return True
+
+
+@register
+class DeadCodeRule(ProgramRule):
+    """DEAD001: every definition is reachable from something real.
+
+    Liveness is reachability over call *and* reference edges from the
+    roots: module import-time code, decorated definitions (decorators
+    imply registration), ``main`` entry points, and any definition the
+    tests, tools, benchmarks, or docs mention by name.  Re-exports are
+    deliberately *not* roots — an ``__init__`` forwarding a function
+    nobody calls does not make it live.
+    """
+
+    id = "DEAD001"
+    severity = "warning"
+    description = (
+        "no unreachable definitions: every function/class is called, "
+        "referenced, decorated, or named in tests/docs"
+    )
+
+    def check_program(self, program: object) -> Iterator[Finding]:
+        assert isinstance(program, Program)
+        words = self._external_words(program)
+        live = program.graph.reachable(self._roots(program, words))
+        for fq, function in sorted(program.index.functions.items()):
+            if (
+                function.is_method
+                or function.is_nested
+                or function.name == "<module>"
+                or fq in live
+                or function.name in words
+            ):
+                continue
+            path = program.path_of(fq)
+            if not self._reportable(path):
+                continue
+            yield self.finding(
+                path, function.line,
+                f"function {function.name}() is never called or "
+                f"referenced in the project, tests, benchmarks, "
+                f"tools, or docs; remove it or exercise it",
+            )
+        for fq, cls in sorted(program.index.classes.items()):
+            if fq in live or cls.name in words:
+                continue
+            if any(
+                _tail(deco) not in _NEUTRAL_DECORATOR_TAILS
+                for deco in cls.decorators
+            ):
+                continue
+            if any(_tail(base) == "Protocol" for base in cls.bases):
+                # Structural types are satisfied, never instantiated;
+                # their use sites are annotations the IR cannot see.
+                continue
+            path = program.path_of(fq)
+            if not self._reportable(path) or "." in _class_qual(
+                fq, program
+            ):
+                continue
+            yield self.finding(
+                path, cls.line,
+                f"class {cls.name} is never instantiated or "
+                f"referenced in the project, tests, benchmarks, "
+                f"tools, or docs; remove it or exercise it",
+            )
+
+    @staticmethod
+    def _reportable(path: str) -> bool:
+        parts = Path(path).parts
+        return bool(parts) and parts[0] == "src" and not _in_scripts(
+            path
+        )
+
+    @staticmethod
+    def _external_words(program: Program) -> Set[str]:
+        return set(
+            re.findall(
+                r"[A-Za-z_][A-Za-z0-9_]*", program.external_text()
+            )
+        )
+
+    def _roots(
+        self, program: Program, words: Set[str]
+    ) -> List[str]:
+        # A definition the outside world names (tests, docs, tools)
+        # is a root, not merely unreportable: its private callees are
+        # live through it.
+        roots: List[str] = []
+        for fq, function in program.index.functions.items():
+            if function.name == "<module>" or function.name == "main":
+                roots.append(fq)
+            elif function.name in words:
+                roots.append(fq)
+            elif function.name.startswith("__") and (
+                function.name.endswith("__")
+            ):
+                roots.append(fq)
+            elif any(
+                _tail(deco) not in _NEUTRAL_DECORATOR_TAILS
+                for deco in function.decorators
+            ):
+                roots.append(fq)
+        for fq, cls in program.index.classes.items():
+            if cls.name in words or any(
+                _tail(deco) not in _NEUTRAL_DECORATOR_TAILS
+                for deco in cls.decorators
+            ):
+                roots.append(fq)
+        return roots
+
+
+def _class_qual(fq: str, program: Program) -> str:
+    """The class's module-level qualname (nested classes are dotted)."""
+    module_summary = program.summaries.get(program.path_of(fq))
+    if module_summary is None or not module_summary.module:
+        return fq
+    prefix = f"{module_summary.module}."
+    return fq[len(prefix):] if fq.startswith(prefix) else fq

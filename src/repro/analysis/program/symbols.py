@@ -1,0 +1,935 @@
+"""Project-wide symbol table: module summaries and name resolution.
+
+This is the front end of the whole-program layer.  Each source file is
+distilled into a :class:`ModuleSummary` — an AST-free intermediate
+representation recording definitions, imports/re-exports, call sites
+with argument *provenance*, raise sites with their enclosing ``except``
+context, and module-level bindings.  The :class:`ProjectIndex` then
+stitches summaries into one symbol table and resolves dotted names
+across module boundaries (following ``__init__`` re-export chains), so
+the call graph and the data-flow engine never need to re-open an AST.
+
+Summaries are JSON-serialisable on purpose: the analyzer caches them
+keyed by file content (``.repro-analysis-cache.json``), which is what
+makes ``--diff`` runs touch only the changed files.
+
+Provenance tags (the data-flow engine's value domain)::
+
+    param:<name>    the value is a parameter of the enclosing function
+    int:<value>     an integer literal (a *hardcoded seed* candidate)
+    none            the literal ``None``
+    literal         any other literal constant
+    call:<fq>       the result of calling ``fq`` (``call:?`` unresolved)
+    ref:<fq>        a reference to a resolved global (function, class,
+                    or module-level binding)
+    nested:<fq>     a reference to a function defined inside a function
+    lambda:<line>   a lambda expression
+    partial:<tag>   ``functools.partial`` over a value with tag ``tag``
+    other           anything the tracker cannot classify
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Version stamp of the on-disk summary cache.
+CACHE_FORMAT = 2
+
+#: Discriminator so arbitrary JSON files are rejected early.
+CACHE_KIND = "repro-analysis-cache"
+
+#: Default cache file name, created under the analysis root.
+CACHE_BASENAME = ".repro-analysis-cache.json"
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function (or at module level).
+
+    Attributes:
+        callee: Resolved dotted path of the callable, or ``None`` when
+            the target is dynamic (e.g. a method on an object).
+        raw: The textual dotted path as written (``pool.map``).
+        line: 1-based source line.
+        args: Provenance tag per positional argument.
+        kwargs: Provenance tag per keyword argument.
+        caught: Exception type names of every ``except`` clause
+            wrapping this call, innermost try first.
+        branch: Branch context (``"<line>:<arm>"`` per enclosing
+            ``if``), used to treat mutually exclusive arms as such.
+    """
+
+    callee: Optional[str]
+    raw: str
+    line: int
+    args: List[str] = field(default_factory=list)
+    kwargs: Dict[str, str] = field(default_factory=dict)
+    caught: List[str] = field(default_factory=list)
+    branch: List[str] = field(default_factory=list)
+
+
+@dataclass
+class RaiseSite:
+    """One ``raise`` statement.
+
+    Attributes:
+        exc: Resolved dotted name of the raised type (``None`` for a
+            bare re-raise).
+        line: 1-based source line.
+        caught: Exception type names of enclosing ``except`` clauses.
+    """
+
+    exc: Optional[str]
+    line: int
+    caught: List[str] = field(default_factory=list)
+
+
+@dataclass
+class FunctionSummary:
+    """One function, method, or nested function.
+
+    ``qualname`` is the module-level qualified name (``Class.method``,
+    ``outer.inner``); the fully qualified name is
+    ``<module>.<qualname>``.
+    """
+
+    name: str
+    qualname: str
+    line: int
+    end_line: int
+    params: List[str] = field(default_factory=list)
+    param_defaults: Dict[str, str] = field(default_factory=dict)
+    decorators: List[str] = field(default_factory=list)
+    calls: List[CallSite] = field(default_factory=list)
+    raises: List[RaiseSite] = field(default_factory=list)
+    refs: List[str] = field(default_factory=list)
+    global_reads: List[str] = field(default_factory=list)
+    is_method: bool = False
+    is_nested: bool = False
+
+    @property
+    def is_public(self) -> bool:
+        """Public by naming convention (dunders count as public)."""
+        return not self.name.startswith("_") or (
+            self.name.startswith("__") and self.name.endswith("__")
+        )
+
+
+@dataclass
+class ClassSummary:
+    """One class definition (methods live in ``functions``)."""
+
+    name: str
+    line: int
+    bases: List[str] = field(default_factory=list)
+    decorators: List[str] = field(default_factory=list)
+    methods: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ModuleSummary:
+    """Everything the program layer keeps about one source file."""
+
+    path: str
+    module: str
+    is_package: bool = False
+    functions: List[FunctionSummary] = field(default_factory=list)
+    classes: List[ClassSummary] = field(default_factory=list)
+    reexports: Dict[str, str] = field(default_factory=dict)
+    star_imports: List[str] = field(default_factory=list)
+    bindings: Dict[str, str] = field(default_factory=dict)
+    all_names: Optional[List[str]] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ModuleSummary":
+        """Rebuild a summary parsed from the cache file."""
+        functions = [
+            FunctionSummary(
+                **{
+                    **f,  # type: ignore[dict-item]
+                    "calls": [CallSite(**c) for c in f["calls"]],
+                    "raises": [RaiseSite(**r) for r in f["raises"]],
+                }
+            )
+            for f in data.get("functions", [])  # type: ignore[union-attr]
+        ]
+        classes = [
+            ClassSummary(**c)
+            for c in data.get("classes", [])  # type: ignore[union-attr]
+        ]
+        return cls(
+            path=str(data["path"]),
+            module=str(data["module"]),
+            is_package=bool(data.get("is_package", False)),
+            functions=functions,
+            classes=classes,
+            reexports=dict(data.get("reexports", {})),  # type: ignore[arg-type]
+            star_imports=list(data.get("star_imports", [])),  # type: ignore[arg-type]
+            bindings=dict(data.get("bindings", {})),  # type: ignore[arg-type]
+            all_names=(
+                list(data["all_names"])  # type: ignore[arg-type]
+                if data.get("all_names") is not None else None
+            ),
+        )
+
+
+def module_name_for(rel_path: str) -> str:
+    """Dotted module name for a repo-relative path.
+
+    ``src/repro/core/ols.py`` → ``repro.core.ols``;
+    ``src/repro/core/__init__.py`` → ``repro.core``.  Trees without a
+    ``src/`` prefix (test fixtures) map the same way from their root.
+    """
+    parts = list(Path(rel_path).parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if not parts:
+        return ""
+    leaf = parts[-1]
+    if leaf == "__init__.py":
+        parts = parts[:-1]
+    elif leaf.endswith(".py"):
+        parts[-1] = leaf[:-3]
+    return ".".join(parts)
+
+
+def _resolve_relative(
+    module: str, is_package: bool, level: int, target: str
+) -> str:
+    """Absolute module path of a ``from ..x import`` source module."""
+    if level == 0:
+        return target
+    parts = module.split(".") if module else []
+    if not is_package and parts:
+        parts = parts[:-1]
+    if level > 1:
+        parts = parts[: max(0, len(parts) - (level - 1))]
+    base = ".".join(parts)
+    if target:
+        return f"{base}.{target}" if base else target
+    return base
+
+
+class _Resolver:
+    """Best-effort dotted-name resolution inside one module."""
+
+    def __init__(
+        self,
+        module: str,
+        is_package: bool,
+        definitions: Dict[str, str],
+    ) -> None:
+        self.module = module
+        self.is_package = is_package
+        #: local name → kind ("func" | "class" | "const")
+        self.definitions = definitions
+        #: local alias → absolute module path (``import x as y``)
+        self.aliases: Dict[str, str] = {}
+        #: local name → absolute dotted source (``from m import n``)
+        self.froms: Dict[str, str] = {}
+
+    def add_import(self, node: ast.Import) -> None:
+        for name in node.names:
+            if name.asname is not None:
+                self.aliases[name.asname] = name.name
+            else:
+                root = name.name.split(".", 1)[0]
+                self.aliases[root] = root
+
+    def add_import_from(self, node: ast.ImportFrom) -> List[str]:
+        """Record a from-import; returns star-imported modules."""
+        source = _resolve_relative(
+            self.module, self.is_package, node.level, node.module or ""
+        )
+        stars: List[str] = []
+        for name in node.names:
+            if name.name == "*":
+                stars.append(source)
+                continue
+            local = name.asname or name.name
+            self.froms[local] = (
+                f"{source}.{name.name}" if source else name.name
+            )
+        return stars
+
+    def child(self) -> "_Resolver":
+        """A function-local resolver layered over this one."""
+        clone = _Resolver(self.module, self.is_package, self.definitions)
+        clone.aliases = dict(self.aliases)
+        clone.froms = dict(self.froms)
+        return clone
+
+    def resolve(self, dotted: Optional[str]) -> Optional[str]:
+        """Absolute dotted path for ``dotted``, or ``None``.
+
+        Unknown bare names resolve to themselves (so builtins like
+        ``open`` or ``ValueError`` keep their textual identity); names
+        rooted in an unknown *local* stay unresolved.
+        """
+        if not dotted:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head in self.froms:
+            base = self.froms[head]
+            return f"{base}.{rest}" if rest else base
+        if head in self.aliases:
+            base = self.aliases[head]
+            return f"{base}.{rest}" if rest else base
+        if head in self.definitions:
+            base = f"{self.module}.{head}" if self.module else head
+            return f"{base}.{rest}" if rest else base
+        if "." not in dotted:
+            return dotted
+        return None
+
+
+def _dotted(node: ast.expr) -> Optional[str]:
+    """Textual dotted path of a Name/Attribute chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _FunctionExtractor:
+    """Walks one function body and fills a :class:`FunctionSummary`."""
+
+    def __init__(
+        self,
+        summary: FunctionSummary,
+        resolver: _Resolver,
+        owner: "_ModuleExtractor",
+        class_name: Optional[str],
+    ) -> None:
+        self.summary = summary
+        self.resolver = resolver
+        self.owner = owner
+        self.class_name = class_name
+        #: local variable → provenance tag
+        self.env: Dict[str, str] = {}
+        self.params = set(summary.params)
+        self.global_reads: Set[str] = set()
+        self.refs: Set[str] = set()
+
+    # -- provenance -------------------------------------------------
+
+    def provenance(self, node: ast.expr) -> str:
+        """The provenance tag of an expression (see module docstring)."""
+        if isinstance(node, ast.Constant):
+            if node.value is None:
+                return "none"
+            if isinstance(node.value, bool):
+                return "literal"
+            if isinstance(node.value, int):
+                return f"int:{node.value}"
+            return "literal"
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return self.env[node.id]
+            if node.id in self.params:
+                return f"param:{node.id}"
+            return self._name_provenance(node.id)
+        if isinstance(node, ast.Lambda):
+            return f"lambda:{node.lineno}"
+        if isinstance(node, ast.Call):
+            callee = self._resolve_expr(node.func)
+            if callee == "functools.partial" and node.args:
+                return f"partial:{self.provenance(node.args[0])}"
+            return f"call:{callee}" if callee else "call:?"
+        if isinstance(node, ast.Attribute):
+            resolved = self._resolve_expr(node)
+            if resolved is not None:
+                return f"ref:{resolved}"
+            return "other"
+        return "other"
+
+    def _name_provenance(self, name: str) -> str:
+        resolved = self.resolver.resolve(name)
+        if resolved == name:
+            # Unknown bare name: a closure-visible nested function, or
+            # a builtin (``open``, ``ValueError``) kept by its text.
+            nested = self.owner.nested_names.get(name)
+            if nested is not None:
+                return f"nested:{nested}"
+            return f"ref:{name}"
+        if resolved is None:
+            return "other"
+        return f"ref:{resolved}"
+
+    def _qualify(self, name: str) -> str:
+        module = self.resolver.module
+        return f"{module}.{name}" if module else name
+
+    def _resolve_expr(self, node: ast.expr) -> Optional[str]:
+        dotted = _dotted(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head in ("self", "cls") and self.class_name and rest:
+            return self._qualify(f"{self.class_name}.{rest}")
+        if head in self.env:
+            tag = self.env[head]
+            if tag.startswith("ref:") and rest:
+                return f"{tag[4:]}.{rest}"
+            if tag.startswith("ref:"):
+                return tag[4:]
+            if tag.startswith("nested:"):
+                inner = tag[len("nested:"):]
+                return f"{inner}.{rest}" if rest else inner
+            return None
+        return self.resolver.resolve(dotted)
+
+    # -- statement walk ---------------------------------------------
+
+    def walk(
+        self,
+        stmts: Sequence[ast.stmt],
+        caught: Tuple[str, ...],
+        branch: Tuple[str, ...],
+    ) -> None:
+        for stmt in stmts:
+            self._statement(stmt, caught, branch)
+
+    def _statement(
+        self,
+        stmt: ast.stmt,
+        caught: Tuple[str, ...],
+        branch: Tuple[str, ...],
+    ) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self.owner.extract_function(
+                stmt,
+                parent_qualname=self.summary.qualname,
+                resolver=self.resolver,
+                class_name=None,
+                is_nested=True,
+            )
+            fq = self.owner.fq(f"{self.summary.qualname}.{stmt.name}")
+            self.env[stmt.name] = f"nested:{fq}"
+            return
+        if isinstance(stmt, ast.ClassDef):
+            # Local classes are rare; record reference traffic only.
+            for expr in ast.walk(stmt):
+                if isinstance(expr, ast.Call):
+                    self._call(expr, caught, branch)
+            return
+        if isinstance(stmt, ast.Import):
+            self.resolver.add_import(stmt)
+            return
+        if isinstance(stmt, ast.ImportFrom):
+            self.resolver.add_import_from(stmt)
+            return
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            value = stmt.value
+            if value is not None:
+                self._expressions(value, caught, branch)
+                tag = self.provenance(value)
+                targets = (
+                    stmt.targets if isinstance(stmt, ast.Assign)
+                    else [stmt.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name) and not isinstance(
+                        stmt, ast.AugAssign
+                    ):
+                        self.env[target.id] = tag
+                    elif isinstance(target, (ast.Tuple, ast.List)):
+                        for element in target.elts:
+                            if isinstance(element, ast.Name):
+                                self.env[element.id] = "other"
+            return
+        if isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._expressions(stmt.exc, caught, branch)
+            name = None
+            if stmt.exc is not None:
+                target = (
+                    stmt.exc.func
+                    if isinstance(stmt.exc, ast.Call) else stmt.exc
+                )
+                name = self._resolve_expr(target)
+            self.summary.raises.append(
+                RaiseSite(exc=name, line=stmt.lineno, caught=list(caught))
+            )
+            return
+        if isinstance(stmt, ast.Try):
+            handler_types = self._handler_types(stmt)
+            self.walk(stmt.body, caught + tuple(handler_types), branch)
+            for handler in stmt.handlers:
+                self.walk(handler.body, caught, branch)
+            self.walk(stmt.orelse, caught, branch)
+            self.walk(stmt.finalbody, caught, branch)
+            return
+        if isinstance(stmt, ast.If):
+            self._expressions(stmt.test, caught, branch)
+            marker = f"{stmt.lineno}:{stmt.col_offset}"
+            self.walk(stmt.body, caught, branch + (f"{marker}:0",))
+            self.walk(stmt.orelse, caught, branch + (f"{marker}:1",))
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._expressions(stmt.iter, caught, branch)
+            if isinstance(stmt.target, ast.Name):
+                self.env[stmt.target.id] = "other"
+            self.walk(stmt.body, caught, branch)
+            self.walk(stmt.orelse, caught, branch)
+            return
+        if isinstance(stmt, ast.While):
+            self._expressions(stmt.test, caught, branch)
+            self.walk(stmt.body, caught, branch)
+            self.walk(stmt.orelse, caught, branch)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._expressions(item.context_expr, caught, branch)
+                if isinstance(item.optional_vars, ast.Name):
+                    self.env[item.optional_vars.id] = self.provenance(
+                        item.context_expr
+                    )
+            self.walk(stmt.body, caught, branch)
+            return
+        if isinstance(stmt, ast.Match):
+            self._expressions(stmt.subject, caught, branch)
+            for case in stmt.cases:
+                self.walk(case.body, caught, branch)
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._expressions(child, caught, branch)
+
+    def _handler_types(self, stmt: ast.Try) -> List[str]:
+        names: List[str] = []
+        for handler in stmt.handlers:
+            if handler.type is None:
+                names.append("BaseException")
+            elif isinstance(handler.type, ast.Tuple):
+                for element in handler.type.elts:
+                    resolved = self._resolve_expr(element)
+                    if resolved is not None:
+                        names.append(resolved)
+            else:
+                resolved = self._resolve_expr(handler.type)
+                if resolved is not None:
+                    names.append(resolved)
+        return names
+
+    def _expressions(
+        self,
+        expr: ast.expr,
+        caught: Tuple[str, ...],
+        branch: Tuple[str, ...],
+    ) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                self._call(node, caught, branch)
+            elif isinstance(node, ast.Name) and isinstance(
+                node.ctx, ast.Load
+            ):
+                self._reference(node.id)
+
+    def _reference(self, name: str) -> None:
+        if name in self.env or name in self.params:
+            return
+        if name in self.resolver.definitions:
+            self.global_reads.add(name)
+        tag = self._name_provenance(name)
+        if tag.startswith(("ref:", "nested:")):
+            target = tag.split(":", 1)[1]
+            if "." in target:
+                self.refs.add(target)
+
+    def _call(
+        self,
+        node: ast.Call,
+        caught: Tuple[str, ...],
+        branch: Tuple[str, ...],
+    ) -> None:
+        raw = _dotted(node.func) or f"<{type(node.func).__name__}>"
+        callee = self._resolve_expr(node.func)
+        site = CallSite(
+            callee=callee,
+            raw=raw,
+            line=node.lineno,
+            args=[
+                self.provenance(arg)
+                for arg in node.args
+                if not isinstance(arg, ast.Starred)
+            ],
+            kwargs={
+                kw.arg: self.provenance(kw.value)
+                for kw in node.keywords
+                if kw.arg is not None
+            },
+            caught=list(caught),
+            branch=list(branch),
+        )
+        self.summary.calls.append(site)
+
+    def finish(self) -> None:
+        self.summary.refs = sorted(self.refs)
+        self.summary.global_reads = sorted(self.global_reads)
+
+
+class _ModuleExtractor:
+    """Distils one parsed module into a :class:`ModuleSummary`."""
+
+    def __init__(self, path: str, tree: ast.Module) -> None:
+        self.summary = ModuleSummary(
+            path=path,
+            module=module_name_for(path),
+            is_package=Path(path).name == "__init__.py",
+        )
+        self.tree = tree
+        definitions: Dict[str, str] = {}
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                definitions[node.name] = "func"
+            elif isinstance(node, ast.ClassDef):
+                definitions[node.name] = "class"
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        definitions[target.id] = "const"
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                definitions[node.target.id] = "const"
+        self.resolver = _Resolver(
+            self.summary.module, self.summary.is_package, definitions
+        )
+        #: nested function local name → fully qualified name (best
+        #: effort; used for closure provenance).
+        self.nested_names: Dict[str, str] = {}
+
+    def fq(self, qualname: str) -> str:
+        module = self.summary.module
+        return f"{module}.{qualname}" if module else qualname
+
+    def extract(self) -> ModuleSummary:
+        # Pass 1: imports (so forward references resolve).
+        for node in self.tree.body:
+            if isinstance(node, ast.Import):
+                self.resolver.add_import(node)
+            elif isinstance(node, ast.ImportFrom):
+                stars = self.resolver.add_import_from(node)
+                self.summary.star_imports.extend(stars)
+        self.summary.reexports = dict(self.resolver.froms)
+
+        # Pass 2: definitions and module-level statements.  Module-level
+        # code is summarised as a synthetic "<module>" function so its
+        # calls/references participate in the graph (it runs at import).
+        last = self.tree.body[-1] if self.tree.body else None
+        module_fn = FunctionSummary(
+            name="<module>", qualname="<module>", line=1,
+            end_line=(
+                getattr(last, "end_lineno", 1) or 1
+            ) if last is not None else 1,
+        )
+        module_walker = _FunctionExtractor(
+            module_fn, self.resolver, self, class_name=None
+        )
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.extract_function(
+                    node, parent_qualname=None,
+                    resolver=self.resolver, class_name=None,
+                )
+            elif isinstance(node, ast.ClassDef):
+                self._extract_class(node)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            else:
+                if isinstance(node, ast.Assign):
+                    self._module_binding(node)
+                module_walker._statement(node, (), ())
+        module_walker.finish()
+        self.summary.functions.append(module_fn)
+        return self.summary
+
+    def _module_binding(self, node: ast.Assign) -> None:
+        prov_source = _FunctionExtractor(
+            FunctionSummary(
+                name="<binding>", qualname="<binding>", line=0, end_line=0
+            ),
+            self.resolver, self, class_name=None,
+        )
+        tag = prov_source.provenance(node.value)
+        for target in node.targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if target.id == "__all__" and isinstance(
+                node.value, (ast.List, ast.Tuple)
+            ):
+                self.summary.all_names = [
+                    element.value
+                    for element in node.value.elts
+                    if isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                ]
+                continue
+            self.summary.bindings[target.id] = tag
+
+    def _extract_class(self, node: ast.ClassDef) -> None:
+        bases = []
+        for base in node.bases:
+            resolved = self.resolver.resolve(_dotted(base))
+            if resolved is not None:
+                bases.append(resolved)
+        decorators = []
+        for decorator in node.decorator_list:
+            target = (
+                decorator.func
+                if isinstance(decorator, ast.Call) else decorator
+            )
+            resolved = self.resolver.resolve(_dotted(target))
+            if resolved is not None:
+                decorators.append(resolved)
+        methods = [
+            child.name for child in node.body
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        self.summary.classes.append(ClassSummary(
+            name=node.name, line=node.lineno, bases=bases,
+            decorators=decorators, methods=methods,
+        ))
+        for child in node.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.extract_function(
+                    child, parent_qualname=node.name,
+                    resolver=self.resolver, class_name=node.name,
+                    is_method=True,
+                )
+
+    def extract_function(
+        self,
+        node: "ast.FunctionDef | ast.AsyncFunctionDef",
+        parent_qualname: Optional[str],
+        resolver: _Resolver,
+        class_name: Optional[str],
+        is_method: bool = False,
+        is_nested: bool = False,
+    ) -> None:
+        qualname = (
+            f"{parent_qualname}.{node.name}"
+            if parent_qualname else node.name
+        )
+        if is_nested:
+            self.nested_names[node.name] = self.fq(qualname)
+        params = [arg.arg for arg in (
+            *node.args.posonlyargs, *node.args.args,
+            *node.args.kwonlyargs,
+        )]
+        if node.args.vararg is not None:
+            params.append(node.args.vararg.arg)
+        if node.args.kwarg is not None:
+            params.append(node.args.kwarg.arg)
+        summary = FunctionSummary(
+            name=node.name,
+            qualname=qualname,
+            line=node.lineno,
+            end_line=getattr(node, "end_lineno", node.lineno)
+            or node.lineno,
+            params=params,
+            is_method=is_method,
+            is_nested=is_nested,
+        )
+        local = resolver.child()
+        walker = _FunctionExtractor(summary, local, self, class_name)
+        positional = [*node.args.posonlyargs, *node.args.args]
+        defaults = node.args.defaults
+        for arg, default in zip(
+            positional[len(positional) - len(defaults):], defaults
+        ):
+            summary.param_defaults[arg.arg] = walker.provenance(default)
+        for arg, kw_default in zip(
+            node.args.kwonlyargs, node.args.kw_defaults
+        ):
+            if kw_default is not None:
+                summary.param_defaults[arg.arg] = walker.provenance(
+                    kw_default
+                )
+        for decorator in node.decorator_list:
+            target = (
+                decorator.func
+                if isinstance(decorator, ast.Call) else decorator
+            )
+            resolved = local.resolve(_dotted(target))
+            if resolved is not None:
+                summary.decorators.append(resolved)
+        walker.walk(node.body, (), ())
+        walker.finish()
+        self.summary.functions.append(summary)
+
+
+def summarize_module(path: str, tree: ast.Module) -> ModuleSummary:
+    """Distil a parsed module into its :class:`ModuleSummary`."""
+    return _ModuleExtractor(path, tree).extract()
+
+
+class ProjectIndex:
+    """The project-wide symbol table over a set of module summaries."""
+
+    def __init__(self, summaries: Iterable[ModuleSummary]) -> None:
+        self.modules: Dict[str, ModuleSummary] = {}
+        self.functions: Dict[str, FunctionSummary] = {}
+        self.classes: Dict[str, ClassSummary] = {}
+        #: fully qualified function name → repo-relative path
+        self.paths: Dict[str, str] = {}
+        for summary in summaries:
+            self.modules[summary.module] = summary
+            for function in summary.functions:
+                fq = (
+                    f"{summary.module}.{function.qualname}"
+                    if summary.module else function.qualname
+                )
+                self.functions[fq] = function
+                self.paths[fq] = summary.path
+            for cls in summary.classes:
+                fq = (
+                    f"{summary.module}.{cls.name}"
+                    if summary.module else cls.name
+                )
+                self.classes[fq] = cls
+                self.paths[fq] = summary.path
+
+    def resolve(self, dotted: Optional[str]) -> Optional[str]:
+        """Canonical definition site of ``dotted``, following
+        re-export chains (``from .estimation import estimate`` in an
+        ``__init__`` makes ``pkg.estimate`` resolve to
+        ``pkg.estimation.estimate``).  Returns ``None`` for names the
+        project does not define.
+        """
+        return self._resolve(dotted, guard=set())
+
+    def _resolve(
+        self, dotted: Optional[str], guard: Set[str]
+    ) -> Optional[str]:
+        if dotted is None or dotted in guard:
+            return None
+        guard.add(dotted)
+        if dotted in self.functions or dotted in self.classes:
+            return dotted
+        parts = dotted.split(".")
+        for split in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:split])
+            summary = self.modules.get(module)
+            if summary is None:
+                continue
+            rest = parts[split:]
+            head, tail = rest[0], rest[1:]
+            if head in summary.reexports:
+                target = summary.reexports[head]
+                chained = ".".join([target, *tail])
+                resolved = self._resolve(chained, guard)
+                if resolved is not None:
+                    return resolved
+            for star in summary.star_imports:
+                chained = ".".join([star, *rest])
+                resolved = self._resolve(chained, guard)
+                if resolved is not None:
+                    return resolved
+            break
+        return None
+
+    def function_at(self, fq: str) -> Optional[FunctionSummary]:
+        """The function summary for a (resolved) qualified name."""
+        resolved = self.resolve(fq)
+        if resolved is None:
+            return None
+        return self.functions.get(resolved)
+
+    def class_mro_names(self, fq: str) -> List[str]:
+        """Base-class chain names for a project class (best effort)."""
+        names: List[str] = []
+        seen: Set[str] = set()
+        queue = [fq]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            names.append(current)
+            cls = self.classes.get(current)
+            if cls is None:
+                resolved = self.resolve(current)
+                cls = (
+                    self.classes.get(resolved)
+                    if resolved is not None else None
+                )
+                if resolved is not None and resolved not in seen:
+                    names.append(resolved)
+            if cls is not None:
+                queue.extend(cls.bases)
+        return names
+
+
+# -- summary cache --------------------------------------------------
+
+
+def file_digest(data: bytes) -> str:
+    """Content digest used to key cached summaries."""
+    return hashlib.sha256(data).hexdigest()[:24]
+
+
+def load_cache(path: Path) -> Dict[str, Dict[str, object]]:
+    """Cached summary entries keyed by repo-relative path.
+
+    A missing, unreadable, or version-mismatched cache is simply an
+    empty one — the cache is a pure accelerator and never an input.
+    """
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    if (
+        not isinstance(document, dict)
+        or document.get("format") != CACHE_FORMAT
+        or document.get("kind") != CACHE_KIND
+        or not isinstance(document.get("files"), dict)
+    ):
+        return {}
+    return document["files"]
+
+
+def save_cache(
+    path: Path, entries: Dict[str, Dict[str, object]]
+) -> None:
+    """Persist summary cache entries (best effort; failures ignored)."""
+    document = {
+        "format": CACHE_FORMAT,
+        "kind": CACHE_KIND,
+        "files": entries,
+    }
+    try:
+        path.write_text(
+            json.dumps(document, sort_keys=True), encoding="utf-8"
+        )
+    except OSError:
+        pass
+
+
+def cache_entry(
+    stat_size: int,
+    stat_mtime_ns: int,
+    digest: str,
+    summary: ModuleSummary,
+) -> Dict[str, object]:
+    """One cache record for :func:`save_cache`."""
+    return {
+        "size": stat_size,
+        "mtime_ns": stat_mtime_ns,
+        "sha": digest,
+        "summary": summary.to_dict(),
+    }

@@ -59,6 +59,21 @@ class ProjectRule(Rule):
         raise NotImplementedError
 
 
+class ProgramRule(Rule):
+    """A rule over the whole-program model (symbol table + call graph).
+
+    Program rules see every analyzed module at once through a
+    :class:`repro.analysis.program.Program`, so they can check
+    cross-module flow properties (seed provenance, transitive
+    pickle-safety, interprocedural exception flow) that file rules can
+    only approximate syntactically.
+    """
+
+    def check_program(self, program: object) -> Iterator[Finding]:
+        """Yield findings for a built :class:`Program` model."""
+        raise NotImplementedError
+
+
 #: id → rule class, in registration order.
 RULES: Dict[str, Type[Rule]] = {}
 

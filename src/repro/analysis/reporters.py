@@ -10,7 +10,7 @@ from typing import Dict, List
 from .findings import Finding
 
 #: Schema version of the JSON report document.
-REPORT_FORMAT = 1
+REPORT_FORMAT = 2
 
 #: Discriminator so arbitrary JSON files are rejected early.
 REPORT_KIND = "repro-analysis"
@@ -24,15 +24,24 @@ class AnalysisResult:
         findings: Fresh findings that count against the exit code.
         grandfathered: Findings forgiven by the baseline.
         suppressed: Count of findings silenced by ``repro: noqa``.
-        files_analyzed: Number of Python files parsed.
+        files_analyzed: Number of Python files in scope.
+        files_parsed: Files actually parsed this run (smaller than
+            ``files_analyzed`` when the summary cache served the rest,
+            e.g. under ``--diff``).
         rules_run: Ids of the rules that executed, in order.
+        stale_baseline: Baseline records forgiving findings that no
+            longer exist (prune with ``--update-baseline``).
     """
 
     findings: List[Finding] = field(default_factory=list)
     grandfathered: List[Finding] = field(default_factory=list)
     suppressed: int = 0
     files_analyzed: int = 0
+    files_parsed: int = 0
     rules_run: List[str] = field(default_factory=list)
+    stale_baseline: List[Dict[str, object]] = field(
+        default_factory=list
+    )
 
     def errors(self) -> List[Finding]:
         """Fresh findings at error severity."""
@@ -73,6 +82,15 @@ def render_text(result: AnalysisResult) -> str:
     if extras:
         summary += f" [{', '.join(extras)}]"
     lines.append(summary)
+    if result.stale_baseline:
+        stale = len(result.stale_baseline)
+        noun, verb = (
+            ("entry", "matches") if stale == 1 else ("entries", "match")
+        )
+        lines.append(
+            f"repro.analysis: {stale} stale baseline {noun} no "
+            f"longer {verb} any finding — prune with --update-baseline"
+        )
     return "\n".join(lines)
 
 
@@ -81,7 +99,8 @@ def render_json(result: AnalysisResult) -> str:
 
     Top-level keys (pinned by ``tests/test_analysis.py``): ``format``,
     ``kind``, ``findings``, ``grandfathered``, ``counts``,
-    ``suppressed``, ``files_analyzed``, ``rules_run``.
+    ``suppressed``, ``files_analyzed``, ``files_parsed``,
+    ``rules_run``, ``stale_baseline``.
     """
     counts: Dict[str, int] = dict(sorted(
         Counter(f.rule for f in result.findings).items()
@@ -96,6 +115,8 @@ def render_json(result: AnalysisResult) -> str:
         "counts": counts,
         "suppressed": result.suppressed,
         "files_analyzed": result.files_analyzed,
+        "files_parsed": result.files_parsed,
         "rules_run": list(result.rules_run),
+        "stale_baseline": list(result.stale_baseline),
     }
     return json.dumps(document, indent=2, sort_keys=False)

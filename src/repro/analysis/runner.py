@@ -2,15 +2,30 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
-from .baseline import load_baseline, split_baselined
+from .baseline import (
+    load_baseline,
+    load_baseline_records,
+    split_baselined,
+    stale_entries,
+)
 from .findings import Finding
-from .registry import FileRule, ProjectRule, instantiate
+from .program import Program
+from .program.symbols import (
+    CACHE_BASENAME,
+    ModuleSummary,
+    cache_entry,
+    file_digest,
+    load_cache,
+    save_cache,
+    summarize_module,
+)
+from .registry import FileRule, ProgramRule, ProjectRule, instantiate
 from .reporters import AnalysisResult
-from .source import parse_source
+from .source import NOQA_PATTERN, SourceFile, parse_source
 
 #: Directory names never descended into during discovery.
 SKIP_DIRECTORIES = frozenset({
@@ -18,7 +33,7 @@ SKIP_DIRECTORIES = frozenset({
     "build", "dist",
 })
 
-#: Rule id stamped on files that fail to parse.
+#: Rule id stamped on files that fail to parse (or to read).
 PARSE_RULE = "PARSE001"
 
 
@@ -35,6 +50,16 @@ class AnalysisConfig:
         project_rules: Run the repo-level rules (docs consistency,
             catalog sync) in addition to the per-file rules.
         strict: Fail on warnings as well as errors.
+        program_rules: Run the whole-program rules (call graph + data
+            flow).  ``None`` follows ``project_rules`` — fixture runs
+            that disable one usually mean both.
+        changed: Diff mode — repo-relative path → changed line
+            numbers.  File rules run only on changed files, findings
+            are filtered to changed lines, and unchanged files load
+            their summaries from the cache instead of being parsed.
+        use_cache: Read/write the module-summary cache
+            (``.repro-analysis-cache.json`` under ``root``).
+        cache_path: Override the cache location (tests).
     """
 
     root: Path
@@ -43,6 +68,10 @@ class AnalysisConfig:
     baseline_path: Optional[Path] = None
     project_rules: bool = True
     strict: bool = False
+    program_rules: Optional[bool] = None
+    changed: Optional[Dict[str, Set[int]]] = None
+    use_cache: bool = False
+    cache_path: Optional[Path] = None
 
 
 def discover_root(start: Optional[Path] = None) -> Path:
@@ -88,39 +117,202 @@ def _relative(path: Path, root: Path) -> str:
         return path.as_posix()
 
 
+def _parse_error(rel: str, message: str, line: int = 0) -> Finding:
+    return Finding(
+        path=rel,
+        line=line,
+        rule=PARSE_RULE,
+        message=message,
+        severity="error",
+    )
+
+
+class _LineOracle:
+    """Lazy access to source lines for noqa checks and fingerprints.
+
+    Program-rule findings can land in files the run never parsed
+    (their summaries came from the cache), so line text is read from
+    disk on demand and memoised per file.
+    """
+
+    def __init__(self, root: Path, sources: Dict[str, SourceFile]):
+        self.root = root
+        self.sources = sources
+        self._lines: Dict[str, List[str]] = {}
+
+    def line_text(self, rel: str, line: int) -> str:
+        source = self.sources.get(rel)
+        if source is not None:
+            return source.line_text(line)
+        lines = self._lines.get(rel)
+        if lines is None:
+            try:
+                lines = (self.root / rel).read_text(
+                    encoding="utf-8"
+                ).splitlines()
+            except (OSError, UnicodeDecodeError):
+                lines = []
+            self._lines[rel] = lines
+        if 1 <= line <= len(lines):
+            return lines[line - 1]
+        return ""
+
+    def is_suppressed(self, rule: str, rel: str, line: int) -> bool:
+        match = NOQA_PATTERN.search(self.line_text(rel, line))
+        if match is None:
+            return False
+        rules = match.group("rules")
+        if rules is None:
+            return True
+        return rule in {
+            part.strip() for part in rules.split(",") if part.strip()
+        }
+
+
+def _load_or_parse(
+    config: AnalysisConfig,
+    files: List[Path],
+) -> Tuple[
+    Dict[str, SourceFile],
+    Dict[str, ModuleSummary],
+    Dict[str, Dict[str, object]],
+    List[Finding],
+    int,
+]:
+    """Parse what must be parsed; serve the rest from the cache.
+
+    Returns (sources by rel path, summaries by rel path, refreshed
+    cache entries, parse findings, files parsed).  In diff mode only
+    changed files are parsed — unchanged files contribute a cached
+    summary (or a freshly computed one on a cold cache) but no
+    :class:`SourceFile`, since no file rule will run on them.
+    """
+    cache_path = config.cache_path or (config.root / CACHE_BASENAME)
+    cache = load_cache(cache_path) if config.use_cache else {}
+    entries: Dict[str, Dict[str, object]] = {}
+    sources: Dict[str, SourceFile] = {}
+    summaries: Dict[str, ModuleSummary] = {}
+    parse_findings: List[Finding] = []
+    parsed = 0
+
+    for path in files:
+        rel = _relative(path, config.root)
+        wants_source = (
+            config.changed is None or rel in config.changed
+        )
+        entry = cache.get(rel)
+        if not wants_source and entry is not None:
+            summary = _cached_summary(path, rel, entry)
+            if summary is not None:
+                summaries[rel] = summary
+                entries[rel] = entry
+                continue
+        try:
+            data = path.read_bytes()
+            text = data.decode("utf-8")
+        except (OSError, UnicodeDecodeError) as error:
+            parse_findings.append(_parse_error(
+                rel, f"file is unreadable: {error}"
+            ))
+            continue
+        try:
+            source = parse_source(rel, text)
+        except SyntaxError as error:
+            parse_findings.append(_parse_error(
+                rel,
+                f"file does not parse: {error.msg}",
+                line=error.lineno or 0,
+            ))
+            continue
+        parsed += 1
+        if wants_source:
+            sources[rel] = source
+        digest = file_digest(data)
+        if (
+            entry is not None
+            and entry.get("sha") == digest
+        ):
+            summary = _entry_summary(entry)
+        else:
+            summary = None
+        if summary is None:
+            summary = summarize_module(rel, source.tree)
+        summaries[rel] = summary
+        try:
+            stat = path.stat()
+            entries[rel] = cache_entry(
+                stat.st_size, stat.st_mtime_ns, digest, summary
+            )
+        except OSError:
+            pass
+
+    if config.use_cache:
+        save_cache(cache_path, entries)
+    return sources, summaries, entries, parse_findings, parsed
+
+
+def _entry_summary(
+    entry: Dict[str, object]
+) -> Optional[ModuleSummary]:
+    summary_data = entry.get("summary")
+    if not isinstance(summary_data, dict):
+        return None
+    try:
+        return ModuleSummary.from_dict(summary_data)
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def _cached_summary(
+    path: Path, rel: str, entry: Dict[str, object]
+) -> Optional[ModuleSummary]:
+    """The cached summary for ``path`` if the entry is still fresh."""
+    try:
+        stat = path.stat()
+    except OSError:
+        return None
+    if (
+        entry.get("size") == stat.st_size
+        and entry.get("mtime_ns") == stat.st_mtime_ns
+    ):
+        return _entry_summary(entry)
+    try:
+        digest = file_digest(path.read_bytes())
+    except OSError:
+        return None
+    if entry.get("sha") != digest:
+        return None
+    return _entry_summary(entry)
+
+
 def run_analysis(config: AnalysisConfig) -> AnalysisResult:
     """Run every selected rule and return the filtered result.
 
-    Findings pass through two filters, in order: inline ``repro: noqa``
-    suppressions (counted, never reported), then the baseline
-    (grandfathered findings are reported separately and do not fail).
+    Findings pass through three filters, in order: inline
+    ``repro: noqa`` suppressions (counted, never reported), the diff
+    filter when ``config.changed`` is set (only findings on changed
+    lines survive), then the baseline (grandfathered findings are
+    reported separately and do not fail).
     """
     rules = instantiate(config.select)
     file_rules = [r for r in rules if isinstance(r, FileRule)]
     project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    program_rules = [r for r in rules if isinstance(r, ProgramRule)]
+    run_program = (
+        config.program_rules
+        if config.program_rules is not None
+        else config.project_rules
+    ) and bool(program_rules)
 
-    raw: List[Finding] = []
-    suppressed = 0
     files = discover_files(config.root, config.paths)
-    sources = []
-    for path in files:
-        rel = _relative(path, config.root)
-        try:
-            source = parse_source(
-                rel, path.read_text(encoding="utf-8")
-            )
-        except SyntaxError as error:
-            raw.append(Finding(
-                path=rel,
-                line=error.lineno or 0,
-                rule=PARSE_RULE,
-                message=f"file does not parse: {error.msg}",
-                severity="error",
-            ))
-            continue
-        sources.append(source)
+    sources, summaries, _entries, raw, parsed = _load_or_parse(
+        config, files
+    )
+    oracle = _LineOracle(config.root, sources)
+    suppressed = 0
 
-    for source in sources:
+    for rel in sorted(sources):
+        source = sources[rel]
         for rule in file_rules:
             for finding in rule.check(source):
                 if source.is_suppressed(finding.rule, finding.line):
@@ -128,9 +320,36 @@ def run_analysis(config: AnalysisConfig) -> AnalysisResult:
                 else:
                     raw.append(finding)
 
+    if run_program:
+        program = Program(summaries.values(), root=config.root)
+        for rule in program_rules:
+            for finding in rule.check_program(program):
+                if oracle.is_suppressed(
+                    finding.rule, finding.path, finding.line
+                ):
+                    suppressed += 1
+                    continue
+                if not finding.line_text:
+                    finding = replace(
+                        finding,
+                        line_text=oracle.line_text(
+                            finding.path, finding.line
+                        ),
+                    )
+                raw.append(finding)
+
     if config.project_rules:
         for rule in project_rules:
             raw.extend(rule.check_project(config.root))
+
+    if config.changed is not None:
+        raw = [
+            finding for finding in raw
+            if finding.path in config.changed and (
+                finding.line == 0
+                or finding.line in config.changed[finding.path]
+            )
+        ]
 
     baseline = (
         load_baseline(config.baseline_path)
@@ -138,10 +357,22 @@ def run_analysis(config: AnalysisConfig) -> AnalysisResult:
     )
     fresh, grandfathered = split_baselined(raw, baseline)
 
+    stale: List[Dict[str, object]] = []
+    if (
+        config.baseline_path is not None
+        and config.changed is None
+        and not config.paths
+    ):
+        stale = stale_entries(
+            load_baseline_records(config.baseline_path), raw
+        )
+
     return AnalysisResult(
         findings=fresh,
         grandfathered=grandfathered,
         suppressed=suppressed,
         files_analyzed=len(files),
+        files_parsed=parsed,
         rules_run=[rule.id for rule in rules],
+        stale_baseline=stale,
     )

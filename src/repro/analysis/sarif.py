@@ -1,0 +1,118 @@
+"""SARIF 2.1.0 reporter.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS
+standard GitHub code scanning ingests.  The document produced here is
+deliberately small and deterministic — stable key order, rules sorted
+by id, results sorted like the text reporter — so the golden file in
+``tests/data/`` pins the byte-level shape and CI can diff uploads.
+
+Fresh findings become ``results``; baseline-grandfathered findings are
+included with ``"baselineState": "unchanged"`` so code-scanning shows
+them without failing the build, mirroring the exit-code contract.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .findings import Finding
+from .registry import RULES
+from .reporters import AnalysisResult
+
+#: SARIF specification version emitted (and pinned by the tests).
+SARIF_VERSION = "2.1.0"
+
+#: Canonical schema URI for SARIF 2.1.0 documents.
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Tool name reported in the SARIF driver block.
+TOOL_NAME = "repro-analysis"
+
+#: partialFingerprints key carrying the baseline fingerprint.
+FINGERPRINT_KEY = "reproAnalysis/v1"
+
+
+def _rule_descriptor(rule_id: str) -> Dict[str, object]:
+    rule_class = RULES.get(rule_id)
+    description = (
+        rule_class.description if rule_class is not None
+        else "finding produced outside the rule registry"
+    )
+    level = (
+        rule_class.severity if rule_class is not None else "error"
+    )
+    return {
+        "id": rule_id,
+        "shortDescription": {"text": description},
+        "defaultConfiguration": {"level": level},
+    }
+
+
+def _result(
+    finding: Finding, rule_index: Dict[str, int], baselined: bool
+) -> Dict[str, object]:
+    record: Dict[str, object] = {
+        "ruleId": finding.rule,
+        "ruleIndex": rule_index[finding.rule],
+        "level": finding.severity,
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {
+            FINGERPRINT_KEY: finding.fingerprint(),
+        },
+    }
+    if baselined:
+        record["baselineState"] = "unchanged"
+    return record
+
+
+def render_sarif(result: AnalysisResult) -> str:
+    """The analysis result as a SARIF 2.1.0 JSON document."""
+    rule_ids = sorted(
+        set(result.rules_run)
+        | {f.rule for f in result.findings}
+        | {f.rule for f in result.grandfathered}
+    )
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    results: List[Dict[str, object]] = [
+        _result(finding, rule_index, baselined=False)
+        for finding in sorted(result.findings)
+    ] + [
+        _result(finding, rule_index, baselined=True)
+        for finding in sorted(result.grandfathered)
+    ]
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "rules": [
+                            _rule_descriptor(rule_id)
+                            for rule_id in rule_ids
+                        ],
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=False)

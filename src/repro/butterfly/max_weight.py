@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from ..errors import ConfigurationError
 from ..graph import UncertainBipartiteGraph
 from .model import Butterfly
 
@@ -275,7 +276,7 @@ def _resolve_side(graph: UncertainBipartiteGraph, pair_side: str) -> str:
     if pair_side in ("left", "right"):
         return pair_side
     if pair_side != "auto":
-        raise ValueError(
+        raise ConfigurationError(
             f"pair_side must be 'left', 'right' or 'auto', got {pair_side!r}"
         )
     # Angles with a middle vertex v cost ~deg^2(v); middles live on the

@@ -20,6 +20,7 @@ from __future__ import annotations
 import heapq
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..errors import ConfigurationError
 from ..graph import UncertainBipartiteGraph
 from .max_weight import _resolve_side
 from .model import Butterfly
@@ -55,7 +56,7 @@ def top_weight_butterflies(
         by canonical key ascending).
     """
     if k <= 0:
-        raise ValueError(f"k must be positive, got {k}")
+        raise ConfigurationError(f"k must be positive, got {k}")
     weights = graph.weights
     if present_edges is None:
         present_edges = graph.edges_by_weight_desc

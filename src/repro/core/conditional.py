@@ -16,7 +16,7 @@ from typing import Hashable, Iterable, Sequence, Tuple
 
 from ..errors import GraphValidationError
 from ..graph import UncertainBipartiteGraph
-from ..sampling import RngLike
+from ..sampling import RngLike, ensure_rng
 from .mpmb import find_mpmb
 from .results import MPMBResult
 
@@ -98,6 +98,10 @@ def edge_influence(
     Returns:
         ``(result_if_present, result_if_absent, probability_swing)``.
     """
+    # Coerce once so the two runs consume disjoint spans of one stream;
+    # forwarding a raw integer seed would give both runs identical,
+    # fully correlated trial sequences.
+    rng = ensure_rng(rng)
     if_present = conditional_mpmb(
         graph, present=[edge], method=method, rng=rng, **kwargs
     )

@@ -73,24 +73,24 @@ def find_mpmb(
     """
     if method == "mc-vp":
         return mc_vp(graph, n_trials, rng=rng, observer=observer, **kwargs)
-    if method == "os":
+    elif method == "os":
         return ordering_sampling(
             graph, n_trials, rng=rng, observer=observer, **kwargs
         )
-    if method == "ols":
+    elif method == "ols":
         return ordering_listing_sampling(
             graph, n_trials, n_prepare=n_prepare, estimator="optimized",
             rng=rng, observer=observer, **kwargs,
         )
-    if method == "ols-kl":
+    elif method == "ols-kl":
         return ordering_listing_sampling(
             graph, n_trials, n_prepare=n_prepare, estimator="karp-luby",
             rng=rng, observer=observer, **kwargs,
         )
-    if method == "exact-worlds":
+    elif method == "exact-worlds":
         with ensure_observer(observer).span("exact-solve", method=method):
             return exact_mpmb_by_worlds(graph, **kwargs)
-    if method == "exact-inclusion-exclusion":
+    elif method == "exact-inclusion-exclusion":
         with ensure_observer(observer).span("exact-solve", method=method):
             return exact_mpmb_by_inclusion_exclusion(graph, **kwargs)
     raise ConfigurationError(

@@ -15,7 +15,12 @@ from .bipartite import UncertainBipartiteGraph
 from .builder import GraphBuilder
 from .edges import EdgeSpec, as_edge_specs
 from .io import dumps_graph, load_graph, loads_graph, save_graph
-from .priority import degree_priority, expected_degree_priority
+from .priority import (
+    degree_priority,
+    expected_degree_priority,
+    global_index_left,
+    global_index_right,
+)
 from .stats import GraphStats, compute_stats
 from .views import backbone, map_edges, sample_vertices
 
@@ -33,6 +38,8 @@ __all__ = [
     "backbone",
     "degree_priority",
     "expected_degree_priority",
+    "global_index_left",
+    "global_index_right",
     "GraphStats",
     "compute_stats",
 ]

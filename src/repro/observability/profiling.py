@@ -19,6 +19,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
+from ..errors import ConfigurationError
 from .metrics import MetricsRegistry
 
 
@@ -56,7 +57,9 @@ def stopwatch(
         block exits (exceptions included).
     """
     if (metrics is None) != (gauge_name is None):
-        raise ValueError("metrics and gauge_name must be given together")
+        raise ConfigurationError(
+            "metrics and gauge_name must be given together"
+        )
     handle = StopwatchHandle()
     start = time.perf_counter_ns()
     try:

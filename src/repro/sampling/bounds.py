@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import math
 
+from ..errors import ConfigurationError
+
 
 def monte_carlo_trial_bound(
     mu: float, epsilon: float = 0.1, delta: float = 0.1
@@ -29,14 +31,14 @@ def monte_carlo_trial_bound(
         The smallest integer ``N`` satisfying the bound.
 
     Raises:
-        ValueError: On out-of-range arguments.
+        ConfigurationError: On out-of-range arguments.
     """
     if not 0.0 < mu <= 1.0:
-        raise ValueError(f"mu must be in (0, 1], got {mu}")
+        raise ConfigurationError(f"mu must be in (0, 1], got {mu}")
     if epsilon <= 0.0:
-        raise ValueError(f"epsilon must be positive, got {epsilon}")
+        raise ConfigurationError(f"epsilon must be positive, got {epsilon}")
     if not 0.0 < delta < 1.0:
-        raise ValueError(f"delta must be in (0, 1), got {delta}")
+        raise ConfigurationError(f"delta must be in (0, 1), got {delta}")
     return math.ceil((1.0 / mu) * 4.0 * math.log(2.0 / delta) / epsilon**2)
 
 
@@ -50,9 +52,9 @@ def achievable_epsilon(
     C++ testbed).
     """
     if not 0.0 < mu <= 1.0:
-        raise ValueError(f"mu must be in (0, 1], got {mu}")
+        raise ConfigurationError(f"mu must be in (0, 1], got {mu}")
     if n_trials <= 0:
-        raise ValueError(f"n_trials must be positive, got {n_trials}")
+        raise ConfigurationError(f"n_trials must be positive, got {n_trials}")
     if not 0.0 < delta < 1.0:
-        raise ValueError(f"delta must be in (0, 1), got {delta}")
+        raise ConfigurationError(f"delta must be in (0, 1), got {delta}")
     return math.sqrt(4.0 * math.log(2.0 / delta) / (mu * n_trials))

@@ -12,6 +12,8 @@ from typing import Dict, List, Union
 
 import numpy as np
 
+from ..errors import CheckpointError
+
 RngLike = Union[np.random.Generator, int, None]
 
 
@@ -44,13 +46,14 @@ def restore_rng_state(
     """Restore a stream position captured by :func:`rng_state_payload`.
 
     Raises:
-        ValueError: If the payload belongs to a different bit-generator
-            kind than ``generator`` uses.
+        CheckpointError: If the payload belongs to a different
+            bit-generator kind than ``generator`` uses (a checkpoint
+            written by an incompatible runtime).
     """
     expected = generator.bit_generator.state.get("bit_generator")
     recorded = payload.get("bit_generator")
     if recorded != expected:
-        raise ValueError(
+        raise CheckpointError(
             f"RNG state was captured from {recorded!r} but the target "
             f"generator uses {expected!r}"
         )

@@ -301,7 +301,8 @@ class TestReporters:
         document = json.loads(render_json(self._result(tmp_path)))
         assert list(document) == [
             "format", "kind", "findings", "grandfathered", "counts",
-            "suppressed", "files_analyzed", "rules_run",
+            "suppressed", "files_analyzed", "files_parsed",
+            "rules_run", "stale_baseline",
         ]
         assert document["format"] == REPORT_FORMAT
         assert document["kind"] == REPORT_KIND
@@ -386,6 +387,7 @@ class TestRepositoryIsClean:
         assert {
             "RNG001", "CLK001", "MPS001", "MET001", "EXC001", "DOC001",
             "DOC002", "MET002",
+            "SEED001", "PKL001", "EXC001X", "DEAD001",
         } <= set(RULES)
 
     def test_real_repo_analyzes_clean(self):

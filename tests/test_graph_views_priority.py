@@ -9,6 +9,8 @@ from repro.graph import (
     compute_stats,
     degree_priority,
     expected_degree_priority,
+    global_index_left,
+    global_index_right,
     map_edges,
 )
 
@@ -99,6 +101,25 @@ class TestPriority:
         priority = degree_priority(figure1)
         # u1 and u2 both have degree 3; u2 has the larger global index.
         assert priority[1] > priority[0]
+
+    def test_global_index_convention_matches_priority_layout(self, figure1):
+        # degree_priority concatenates left degrees then right degrees,
+        # so priority lookups must use exactly this indexing.
+        priority = degree_priority(figure1)
+        degrees_left = figure1.degrees_left()
+        degrees_right = figure1.degrees_right()
+        for u in range(figure1.n_left):
+            assert global_index_left(figure1, u) == u
+        for v in range(figure1.n_right):
+            x = global_index_right(figure1, v)
+            assert x == figure1.n_left + v
+            # A right vertex with strictly larger degree than a left
+            # vertex must outrank it under the global priority.
+            for u in range(figure1.n_left):
+                if degrees_right[v] > degrees_left[u]:
+                    assert priority[x] > priority[
+                        global_index_left(figure1, u)
+                    ]
 
     def test_expected_degree_priority_differs_when_probs_skew(self):
         graph = build_graph([

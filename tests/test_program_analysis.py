@@ -1,0 +1,670 @@
+"""The whole-program analysis layer: call-graph edge cases, the four
+cross-module rules (SEED001, PKL001, EXC001X, DEAD001), the SARIF
+reporter (structure + pinned golden file), diff-aware runs against a
+git base, the autofix round-trip, and baseline staleness maintenance."""
+
+import ast
+import json
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    AnalysisConfig,
+    load_baseline_records,
+    render_sarif,
+    run_analysis,
+    write_baseline,
+)
+from repro.analysis.__main__ import main
+from repro.analysis.autofix import apply_fixes, generate_fixes
+from repro.analysis.program import Program, summarize_module
+
+DATA_DIR = Path(__file__).resolve().parent / "data"
+
+
+def write_tree(root, files):
+    for rel, code in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(code, encoding="utf-8")
+
+
+def analyze_program(root, files, rule):
+    """Run one whole-program rule over a synthetic repo at ``root``."""
+    write_tree(root, files)
+    config = AnalysisConfig(
+        root=root,
+        paths=[],
+        select=[rule],
+        project_rules=False,
+        program_rules=True,
+    )
+    return run_analysis(config)
+
+
+def build_program(files, root=None):
+    """Build a :class:`Program` straight from in-memory sources."""
+    summaries = [
+        summarize_module(rel, ast.parse(code))
+        for rel, code in files.items()
+    ]
+    return Program(summaries, root)
+
+
+class TestCallGraphEdgeCases:
+    def test_reexport_through_init_resolves_to_definition(self):
+        program = build_program({
+            "src/repro/pkg/__init__.py": "from .impl import work\n",
+            "src/repro/pkg/impl.py": "def work():\n    return 1\n",
+            "src/repro/app.py": (
+                "from .pkg import work\n"
+                "def run():\n"
+                "    return work()\n"
+            ),
+        })
+        assert program.index.resolve("repro.pkg.work") == (
+            "repro.pkg.impl.work"
+        )
+        callees = [
+            callee for callee, _site
+            in program.graph.callees("repro.app.run")
+        ]
+        assert "repro.pkg.impl.work" in callees
+
+    def test_decorator_creates_reference_edge(self):
+        program = build_program({
+            "src/repro/core/registry.py": (
+                "REGISTRY = []\n"
+                "def register(fn):\n"
+                "    REGISTRY.append(fn)\n"
+                "    return fn\n"
+            ),
+            "src/repro/core/impl.py": (
+                "from .registry import register\n"
+                "@register\n"
+                "def task():\n"
+                "    return 1\n"
+            ),
+        })
+        refs = program.graph.references["repro.core.impl.task"]
+        assert "repro.core.registry.register" in refs
+
+    def test_partial_argument_keeps_target_reachable(self):
+        program = build_program({
+            "src/repro/core/par.py": (
+                "from functools import partial\n"
+                "def helper(x, y):\n"
+                "    return x + y\n"
+                "def run():\n"
+                "    return partial(helper, 1)(2)\n"
+            ),
+        })
+        live = program.graph.reachable(["repro.core.par.run"])
+        assert "repro.core.par.helper" in live
+
+    def test_call_to_nested_function_edges_through_it(self):
+        program = build_program({
+            "src/repro/runtime/eng.py": (
+                "from ..support.store import save\n"
+                "def run(doc):\n"
+                "    def snap():\n"
+                "        return save(doc)\n"
+                "    return snap()\n"
+            ),
+            "src/repro/support/store.py": (
+                "def save(doc):\n"
+                "    return doc\n"
+            ),
+        })
+        callees = [
+            callee for callee, _site
+            in program.graph.callees("repro.runtime.eng.run")
+        ]
+        assert "repro.runtime.eng.run.snap" in callees
+        live = program.graph.reachable(["repro.runtime.eng.run"])
+        assert "repro.support.store.save" in live
+
+    def test_mutually_recursive_modules_terminate(self):
+        program = build_program({
+            "src/repro/core/alpha.py": (
+                "from .beta import grow\n"
+                "def shrink(x):\n"
+                "    if x <= 0:\n"
+                "        return 0\n"
+                "    return grow(x - 1)\n"
+            ),
+            "src/repro/core/beta.py": (
+                "from .alpha import shrink\n"
+                "def grow(x):\n"
+                "    return shrink(x)\n"
+            ),
+        })
+        live = program.graph.reachable(["repro.core.alpha.shrink"])
+        assert "repro.core.beta.grow" in live
+        assert "repro.core.alpha.shrink" in live
+        # The data-flow fixpoints must converge on the cycle too.
+        assert program.rng_params == {}
+        assert program.exceptions.escapes is not None
+
+    def test_module_passed_as_value_keeps_toplevel_live(self):
+        program = build_program({
+            "src/repro/support/lib.py": (
+                "def tool():\n"
+                "    return 1\n"
+            ),
+            "src/repro/core/use.py": (
+                "from ..support import lib\n"
+                "def run(apply_fn):\n"
+                "    return apply_fn(lib)\n"
+            ),
+        })
+        live = program.graph.reachable(["repro.core.use.run"])
+        assert "repro.support.lib.tool" in live
+
+
+#: A seeded helper the SEED001 fixtures forward seeds into.
+_DRAWS = {
+    "src/repro/sampling/draws.py": (
+        "from .rng import ensure_rng\n"
+        "def trial(rng=None):\n"
+        "    return ensure_rng(rng).random()\n"
+    ),
+}
+
+
+class TestSeedProvenance:
+    def test_hardcoded_seed_flagged(self, tmp_path):
+        result = analyze_program(tmp_path, {
+            "src/repro/core/alg.py": (
+                "import numpy as np\n"
+                "def draw():\n"
+                "    return np.random.default_rng(1234)\n"
+            ),
+        }, rule="SEED001")
+        (finding,) = result.findings
+        assert finding.rule == "SEED001"
+        assert finding.line == 3
+        assert "hardcoded seed 1234" in finding.message
+
+    def test_orphan_seed_parameter_flagged(self, tmp_path):
+        result = analyze_program(tmp_path, {
+            "src/repro/core/orphan.py": (
+                "def sample(values, rng=None):\n"
+                "    return values\n"
+            ),
+        }, rule="SEED001")
+        (finding,) = result.findings
+        assert "'rng'" in finding.message
+        assert "never" in finding.message
+
+    def test_cross_module_double_seed_flagged(self, tmp_path):
+        result = analyze_program(tmp_path, {
+            **_DRAWS,
+            "src/repro/core/study.py": (
+                "from ..sampling.draws import trial\n"
+                "def study(rng=None):\n"
+                "    first = trial(rng)\n"
+                "    second = trial(rng)\n"
+                "    return first + second\n"
+            ),
+        }, rule="SEED001")
+        (finding,) = result.findings
+        assert finding.path == "src/repro/core/study.py"
+        assert finding.line == 4
+        assert "correlated streams" in finding.message
+
+    def test_exclusive_dispatch_arms_not_flagged(self, tmp_path):
+        result = analyze_program(tmp_path, {
+            **_DRAWS,
+            "src/repro/core/dispatch.py": (
+                "from ..sampling.draws import trial\n"
+                "def pick(method, rng=None):\n"
+                "    if method == 'a':\n"
+                "        return trial(rng)\n"
+                "    elif method == 'b':\n"
+                "        return trial(rng)\n"
+                "    raise KeyError(method)\n"
+            ),
+        }, rule="SEED001")
+        assert result.findings == []
+
+    def test_forwarding_constructed_generator_is_clean(self, tmp_path):
+        result = analyze_program(tmp_path, {
+            **_DRAWS,
+            "src/repro/core/threaded.py": (
+                "from ..sampling.rng import ensure_rng\n"
+                "from ..sampling.draws import trial\n"
+                "def study(rng=None):\n"
+                "    generator = ensure_rng(rng)\n"
+                "    first = trial(generator)\n"
+                "    second = trial(generator)\n"
+                "    return first + second\n"
+            ),
+        }, rule="SEED001")
+        assert result.findings == []
+
+
+class TestTransitivePickle:
+    def test_partial_over_lambda_at_seam(self, tmp_path):
+        result = analyze_program(tmp_path, {
+            "src/repro/runtime/pool_use.py": (
+                "from functools import partial\n"
+                "def run(pool, xs):\n"
+                "    return pool.map(partial(lambda x: x, 1), xs)\n"
+            ),
+        }, rule="PKL001")
+        (finding,) = result.findings
+        assert finding.line == 3
+        assert "partial over a lambda" in finding.message
+
+    def test_lambda_laundered_through_helper(self, tmp_path):
+        result = analyze_program(tmp_path, {
+            "src/repro/runtime/helper.py": (
+                "def dispatch(pool, fn, xs):\n"
+                "    return pool.map(fn, xs)\n"
+            ),
+            "src/repro/runtime/launch.py": (
+                "from .helper import dispatch\n"
+                "def run(pool, xs):\n"
+                "    return dispatch(pool, lambda x: x + 1, xs)\n"
+            ),
+        }, rule="PKL001")
+        (finding,) = result.findings
+        assert finding.path == "src/repro/runtime/launch.py"
+        assert "lambda passed as 'fn'" in finding.message
+
+    def test_module_lock_read_across_seam(self, tmp_path):
+        result = analyze_program(tmp_path, {
+            "src/repro/runtime/state.py": (
+                "import threading\n"
+                "_LOCK = threading.Lock()\n"
+                "def work(x):\n"
+                "    with _LOCK:\n"
+                "        return x\n"
+            ),
+            "src/repro/runtime/spawner.py": (
+                "from .state import work\n"
+                "def run(pool, xs):\n"
+                "    return pool.map(work, xs)\n"
+            ),
+        }, rule="PKL001")
+        (finding,) = result.findings
+        assert finding.path == "src/repro/runtime/spawner.py"
+        assert "'_LOCK'" in finding.message
+
+    def test_stateless_module_function_is_clean(self, tmp_path):
+        result = analyze_program(tmp_path, {
+            "src/repro/runtime/clean.py": (
+                "def work(x):\n"
+                "    return x + 1\n"
+                "def run(pool, xs):\n"
+                "    return pool.map(work, xs)\n"
+            ),
+        }, rule="PKL001")
+        assert result.findings == []
+
+
+class TestInterproceduralExceptions:
+    def test_deep_valueerror_escape_flagged(self, tmp_path):
+        result = analyze_program(tmp_path, {
+            "src/repro/support/depths.py": (
+                "def clamp(x):\n"
+                "    if x < 0:\n"
+                "        raise ValueError('x must be >= 0')\n"
+                "    return x\n"
+            ),
+            "src/repro/core/entry.py": (
+                "from ..support.depths import clamp\n"
+                "def evaluate(x):\n"
+                "    return clamp(x)\n"
+            ),
+        }, rule="EXC001X")
+        (finding,) = result.findings
+        # Reported at the raise site, with the escape chain named.
+        assert finding.path == "src/repro/support/depths.py"
+        assert finding.line == 3
+        assert "evaluate()" in finding.message
+
+    def test_repro_error_subclass_allowed(self, tmp_path):
+        result = analyze_program(tmp_path, {
+            "src/repro/errors.py": (
+                "class ReproError(Exception):\n"
+                "    pass\n"
+                "class ConfigurationError(ReproError, ValueError):\n"
+                "    pass\n"
+            ),
+            "src/repro/support/config.py": (
+                "from ..errors import ConfigurationError\n"
+                "def need(x):\n"
+                "    if x is None:\n"
+                "        raise ConfigurationError('missing')\n"
+                "    return x\n"
+            ),
+            "src/repro/core/okentry.py": (
+                "from ..support.config import need\n"
+                "def fetch(x):\n"
+                "    return need(x)\n"
+            ),
+        }, rule="EXC001X")
+        assert result.findings == []
+
+    def test_caught_exception_does_not_escape(self, tmp_path):
+        result = analyze_program(tmp_path, {
+            "src/repro/support/risky.py": (
+                "def parse(x):\n"
+                "    if not x:\n"
+                "        raise ValueError('empty')\n"
+                "    return x\n"
+            ),
+            "src/repro/core/guarded.py": (
+                "from ..support.risky import parse\n"
+                "def load(x):\n"
+                "    try:\n"
+                "        return parse(x)\n"
+                "    except ValueError:\n"
+                "        return None\n"
+            ),
+        }, rule="EXC001X")
+        assert result.findings == []
+
+    def test_allowed_builtin_keyerror_passes(self, tmp_path):
+        result = analyze_program(tmp_path, {
+            "src/repro/support/lookup.py": (
+                "def get(table, key):\n"
+                "    if key not in table:\n"
+                "        raise KeyError(key)\n"
+                "    return table[key]\n"
+            ),
+            "src/repro/core/kentry.py": (
+                "from ..support.lookup import get\n"
+                "def read(table, key):\n"
+                "    return get(table, key)\n"
+            ),
+        }, rule="EXC001X")
+        assert result.findings == []
+
+
+class TestDeadCode:
+    def test_orphan_function_flagged(self, tmp_path):
+        result = analyze_program(tmp_path, {
+            "src/repro/core/util.py": (
+                "def helper():\n"
+                "    return 1\n"
+                "def orphan():\n"
+                "    return 2\n"
+                "VALUE = helper()\n"
+            ),
+        }, rule="DEAD001")
+        (finding,) = result.findings
+        assert finding.line == 3
+        assert "orphan()" in finding.message
+
+    def test_mention_in_tests_keeps_definition_alive(self, tmp_path):
+        write_tree(tmp_path, {
+            "tests/test_names.py": "# exercises orphan somewhere\n",
+        })
+        result = analyze_program(tmp_path, {
+            "src/repro/core/util.py": (
+                "def helper():\n"
+                "    return 1\n"
+                "def orphan():\n"
+                "    return 2\n"
+                "VALUE = helper()\n"
+            ),
+        }, rule="DEAD001")
+        assert result.findings == []
+
+    def test_protocol_class_is_not_dead(self, tmp_path):
+        result = analyze_program(tmp_path, {
+            "src/repro/core/hooks.py": (
+                "from typing import Protocol\n"
+                "class Hook(Protocol):\n"
+                "    def fire(self) -> None:\n"
+                "        ...\n"
+            ),
+        }, rule="DEAD001")
+        assert result.findings == []
+
+    def test_module_reference_keeps_its_functions_alive(self, tmp_path):
+        result = analyze_program(tmp_path, {
+            "src/repro/support/lib.py": (
+                "def tool():\n"
+                "    return 1\n"
+            ),
+            "src/repro/core/use.py": (
+                "from ..support import lib\n"
+                "def run(apply_fn):\n"
+                "    return apply_fn(lib)\n"
+                "VALUE = run(repr)\n"
+            ),
+        }, rule="DEAD001")
+        assert result.findings == []
+
+
+#: Fixture behind the SARIF golden file — do not edit without
+#: regenerating tests/data/program_sarif_golden.json.
+_SARIF_FILES = {
+    "core/golden.py": (
+        "import numpy as np\n"
+        "def draw():\n"
+        "    return np.random.default_rng().normal()\n"
+    ),
+}
+
+
+def _sarif_result(root):
+    write_tree(root, _SARIF_FILES)
+    config = AnalysisConfig(
+        root=root,
+        paths=[Path("core/golden.py")],
+        select=["RNG001"],
+        project_rules=False,
+    )
+    return run_analysis(config)
+
+
+class TestSarif:
+    def test_sarif_structure_is_valid(self, tmp_path):
+        document = json.loads(render_sarif(_sarif_result(tmp_path)))
+        assert document["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in document["$schema"]
+        (run,) = document["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-analysis"
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        assert "RNG001" in rule_ids
+        (result,) = run["results"]
+        assert result["ruleId"] == "RNG001"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "core/golden.py"
+        assert location["region"]["startLine"] == 3
+        assert "reproAnalysis/v1" in result["partialFingerprints"]
+        # ruleIndex must point back into the driver rules array.
+        assert rule_ids[result["ruleIndex"]] == "RNG001"
+
+    def test_sarif_matches_golden_file(self, tmp_path):
+        rendered = json.loads(render_sarif(_sarif_result(tmp_path)))
+        golden = json.loads(
+            (DATA_DIR / "program_sarif_golden.json").read_text(
+                encoding="utf-8"
+            )
+        )
+        assert rendered == golden
+
+
+class TestAutofix:
+    def test_fix_round_trips_to_clean(self, tmp_path):
+        rel = "core/fixme.py"
+        write_tree(tmp_path, {rel: (
+            "import numpy as np\n"
+            "def draw():\n"
+            "    return np.random.default_rng().normal()\n"
+            "def check(x):\n"
+            "    if x < 0:\n"
+            "        raise ValueError('x must be >= 0')\n"
+            "    return x\n"
+        )})
+        config = AnalysisConfig(
+            root=tmp_path,
+            paths=[Path(rel)],
+            select=["RNG001", "EXC001"],
+            project_rules=False,
+        )
+        first = run_analysis(config)
+        assert sorted(f.rule for f in first.findings) == [
+            "EXC001", "RNG001",
+        ]
+        fixes = generate_fixes(tmp_path, first.findings)
+        patched, files = apply_fixes(tmp_path, fixes)
+        assert (patched, files) == (2, 1)
+        text = (tmp_path / rel).read_text(encoding="utf-8")
+        assert "ensure_rng().normal()" in text
+        assert "ConfigurationError('x must be >= 0')" in text
+        assert "from repro.sampling.rng import ensure_rng" in text
+        assert "from repro.errors import ConfigurationError" in text
+        second = run_analysis(config)
+        assert second.findings == []
+
+
+def _git(root, *args):
+    subprocess.run(
+        [
+            "git", "-c", "user.email=ci@local", "-c", "user.name=ci",
+            *args,
+        ],
+        cwd=root,
+        check=True,
+        capture_output=True,
+    )
+
+
+class TestDiffMode:
+    def test_diff_reports_only_changed_lines(self, tmp_path, capsys):
+        write_tree(tmp_path, {
+            "src/repro/core/target.py": (
+                "def quiet():\n"
+                "    return 1\n"
+            ),
+            # Pre-existing violation that must stay invisible because
+            # its lines are untouched by the diff.
+            "src/repro/core/old.py": (
+                "import time\n"
+                "def elapsed(start):\n"
+                "    return time.time() - start\n"
+            ),
+        })
+        _git(tmp_path, "init", "-q")
+        _git(tmp_path, "add", ".")
+        _git(tmp_path, "commit", "-q", "-m", "seed")
+        (tmp_path / "src/repro/core/target.py").write_text(
+            "import time\n"
+            "def quiet():\n"
+            "    return time.time()\n",
+            encoding="utf-8",
+        )
+        code = main(["--root", str(tmp_path), "--diff", "HEAD"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "target.py" in out
+        assert "CLK001" in out
+        assert "old.py" not in out
+
+    def test_diff_bad_base_exits_2(self, tmp_path, capsys):
+        write_tree(tmp_path, {
+            "src/repro/core/noop.py": "def noop():\n    return 0\n",
+        })
+        _git(tmp_path, "init", "-q")
+        code = main([
+            "--root", str(tmp_path), "--diff", "no-such-base",
+        ])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "git diff" in err
+
+
+class TestBaselineMaintenance:
+    _violating = (
+        "import numpy as np\n"
+        "def draw():\n"
+        "    return np.random.default_rng().normal()\n"
+    )
+
+    def _config(self, root, baseline=None):
+        return AnalysisConfig(
+            root=root,
+            paths=[],
+            select=["RNG001"],
+            baseline_path=baseline,
+            project_rules=False,
+            program_rules=False,
+        )
+
+    def test_stale_baseline_entries_reported(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/core/one.py": self._violating,
+            "src/repro/core/two.py": self._violating,
+        })
+        first = run_analysis(self._config(tmp_path))
+        assert len(first.findings) == 2
+        baseline = tmp_path / "tools" / "lint-baseline.json"
+        write_baseline(baseline, first.findings)
+        # Fix one file: its baseline entry goes stale.
+        (tmp_path / "src/repro/core/two.py").write_text(
+            "def draw(rng):\n    return rng.normal()\n",
+            encoding="utf-8",
+        )
+        second = run_analysis(self._config(tmp_path, baseline))
+        assert second.findings == []
+        assert len(second.grandfathered) == 1
+        (stale,) = second.stale_baseline
+        assert stale["path"] == "src/repro/core/two.py"
+
+    def test_update_baseline_prunes_stale_entries(
+        self, tmp_path, capsys
+    ):
+        write_tree(tmp_path, {
+            "src/repro/core/one.py": self._violating,
+            "src/repro/core/two.py": self._violating,
+        })
+        argv = [
+            "--root", str(tmp_path), "--select", "RNG001",
+            "--baseline", "bl.json",
+        ]
+        assert main([*argv, "--write-baseline"]) == 0
+        assert len(load_baseline_records(tmp_path / "bl.json")) == 2
+        (tmp_path / "src/repro/core/two.py").write_text(
+            "def draw(rng):\n    return rng.normal()\n",
+            encoding="utf-8",
+        )
+        assert main([*argv, "--update-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "1 pruned" in out
+        records = load_baseline_records(tmp_path / "bl.json")
+        assert len(records) == 1
+        assert records[0]["path"] == "src/repro/core/one.py"
+
+
+class TestCLIExitCodes:
+    def test_syntax_error_exits_2_with_offending_path(
+        self, tmp_path, capsys
+    ):
+        write_tree(tmp_path, {
+            "src/repro/core/broken.py": "def broken(:\n",
+        })
+        code = main(["--root", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "broken.py" in captured.err
+        assert "cannot analyze" in captured.err
+
+    def test_unreadable_file_exits_2(self, tmp_path, capsys):
+        target = tmp_path / "src/repro/core/binary.py"
+        target.parent.mkdir(parents=True)
+        target.write_bytes(b"\x00\xff\x00\xff")
+        code = main(["--root", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "binary.py" in captured.err
