@@ -27,6 +27,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 from typing import Dict, List, Optional
 
 try:
@@ -82,6 +83,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="OLS preparing-phase trials (default: 50)",
     )
     parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    parser.add_argument(
+        "--methods", nargs="+", default=list(METHOD_ORDER),
+        choices=METHOD_ORDER, metavar="NAME",
+        help="methods to benchmark (default: all four)",
+    )
+    parser.add_argument(
+        "--block-size", type=int, default=None, metavar="N",
+        help="also benchmark each method through the batched kernel "
+             "layer with N trials per block, as a scalar-vs-batched "
+             "comparison entry (method suffixed '-batched'; see "
+             "docs/performance.md)",
+    )
     return parser
 
 
@@ -89,8 +102,14 @@ def bench_entry(
     dataset: str,
     method: str,
     config: ExperimentConfig,
+    label: Optional[str] = None,
 ) -> Dict:
-    """One (dataset, method) measurement as a JSON-ready dict."""
+    """One (dataset, method) measurement as a JSON-ready dict.
+
+    ``label`` overrides the recorded method name — the scalar-vs-batched
+    comparison reruns ``method`` with ``config.block_size`` set and
+    records it as ``"<method>-batched"`` under the same schema.
+    """
     graph = config.load(dataset)
     observer = Observer()
     measurement = run_method(
@@ -105,7 +124,7 @@ def bench_entry(
     return {
         "dataset": dataset,
         "profile": config.profile,
-        "method": method,
+        "method": label or method,
         "n_trials": result.n_trials,
         "wall_seconds": measurement.seconds,
         "trials_per_second": trials_per_second,
@@ -130,12 +149,25 @@ def run_suite(args: argparse.Namespace) -> Dict:
         n_prepare=args.prepare,
         n_sampling=args.trials,
     )
+    batched = (
+        replace(config, block_size=args.block_size)
+        if args.block_size is not None else None
+    )
     entries: List[Dict] = []
     for dataset in args.datasets:
-        for method in METHOD_ORDER:
+        for method in args.methods:
             print(f"benchmarking {method} on {dataset} ...",
                   file=sys.stderr)
             entries.append(bench_entry(dataset, method, config))
+            if batched is not None:
+                print(f"benchmarking {method}-batched on {dataset} ...",
+                      file=sys.stderr)
+                entries.append(
+                    bench_entry(
+                        dataset, method, batched,
+                        label=f"{method}-batched",
+                    )
+                )
     return {
         "format": BENCH_FORMAT,
         "kind": BENCH_KIND,
@@ -147,14 +179,18 @@ def run_suite(args: argparse.Namespace) -> Dict:
             "mcvp_trials": args.mcvp_trials,
             "prepare": args.prepare,
             "datasets": list(args.datasets),
-            "methods": list(METHOD_ORDER),
+            "methods": list(args.methods),
+            "block_size": args.block_size,
         },
         "entries": entries,
     }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.block_size is not None and args.block_size < 1:
+        parser.error("--block-size must be at least 1")
     document = run_suite(args)
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)

@@ -1,0 +1,64 @@
+"""Batched kernel speedup — the acceptance bar for ``repro.kernels``.
+
+The batched optimised estimator replaces a per-trial Python walk over
+the candidate list with one incidence-matrix gather per block, so its
+sampling phase must be at least **5x** faster than the scalar loop on
+the ``abide`` bench config — and, because the blocked path draws full
+masks (partition-invariant RNG consumption), a seed-fixed run must be
+*identical* across block sizes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import prepare_candidates
+from repro.core.optimized_estimator import estimate_probabilities_optimized
+from repro.datasets import load_dataset
+
+#: Sampling-phase trials; large enough that per-call overhead amortises.
+N_TRIALS = 20_000
+
+#: Required batched-over-scalar trials/sec ratio (measured ~10x).
+MIN_SPEEDUP = 5.0
+
+
+def _abide_candidates():
+    graph = load_dataset("abide", "bench", rng=0)
+    return prepare_candidates(graph, 50, rng=123)
+
+
+def _trials_per_second(candidates, **kwargs) -> float:
+    start = time.perf_counter()
+    estimate_probabilities_optimized(
+        candidates, N_TRIALS, np.random.default_rng(7), **kwargs
+    )
+    return N_TRIALS / (time.perf_counter() - start)
+
+
+def test_batched_ols_is_5x_scalar():
+    candidates = _abide_candidates()
+    scalar = _trials_per_second(candidates)
+    batched = _trials_per_second(candidates, block_size=256)
+    assert batched >= MIN_SPEEDUP * scalar, (
+        f"batched OLS {batched:.0f} trials/s is under "
+        f"{MIN_SPEEDUP}x the scalar {scalar:.0f} trials/s"
+    )
+
+
+def test_seed_fixed_equivalence_across_block_sizes():
+    """The speedup must not change the answer: one seed, any block
+    partition, identical estimates and stats."""
+    candidates = _abide_candidates()
+    outcomes = [
+        estimate_probabilities_optimized(
+            candidates, 2_000, np.random.default_rng(7),
+            block_size=block_size,
+        )
+        for block_size in (64, 256, 2_000)
+    ]
+    for outcome in outcomes[1:]:
+        assert outcome.estimates == outcomes[0].estimates
+        assert outcome.stats == outcomes[0].stats

@@ -64,6 +64,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="preparing trials for OLS variants (default: 100)",
     )
     search.add_argument(
+        "--block-size", type=int, default=None, metavar="N",
+        help="evaluate trials through the batched kernel layer, N "
+             "trials per vectorised call (sampling methods only; "
+             "default: scalar per-trial loop; see docs/performance.md)",
+    )
+    search.add_argument(
         "--top", type=int, default=1, help="how many MPMBs to report"
     )
     search.add_argument("--seed", type=int, default=None, help="RNG seed")
@@ -175,6 +181,10 @@ def _validate_search(
         )
     if args.workers <= 0:
         parser.error(f"--workers must be at least 1 (got {args.workers})")
+    if args.block_size is not None and args.block_size <= 0:
+        parser.error(
+            f"--block-size must be at least 1 (got {args.block_size})"
+        )
     if exact and (
         args.checkpoint or args.resume or args.timeout is not None
         or args.workers > 1
@@ -182,6 +192,11 @@ def _validate_search(
         parser.error(
             f"--checkpoint/--resume/--timeout/--workers do not apply to "
             f"the exact method {args.method!r}"
+        )
+    if exact and args.block_size is not None:
+        parser.error(
+            f"--block-size does not apply to the exact method "
+            f"{args.method!r}"
         )
     if args.workers > 1:
         if args.method not in POOLABLE_METHODS:
@@ -230,11 +245,14 @@ def _run_search(args: argparse.Namespace) -> int:
             result = run_parallel_trials(
                 graph, args.trials, args.workers, method=args.method,
                 rng=args.seed, n_prepare=args.prepare,
+                block_size=args.block_size,
                 observer=observer if observer.enabled else None,
             )
         else:
             policy = _search_policy(args)
             kwargs = {} if policy is None else {"runtime": policy}
+            if args.block_size is not None:
+                kwargs["block_size"] = args.block_size
             result = find_mpmb(
                 graph, method=args.method, n_trials=args.trials,
                 n_prepare=args.prepare, rng=args.seed,

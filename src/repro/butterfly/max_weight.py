@@ -33,6 +33,26 @@ from .model import Butterfly
 #: pair the angle belongs to.
 AngleRecord = Tuple[int, int, int]
 
+#: Relative tolerance for weight-class membership.  Angle weights are
+#: sums of two edge weights and butterfly weights sums of four, so two
+#: mathematically equal weights can differ by a few ulps depending on
+#: the order the additions happened in; exact ``==`` would then split
+#: one ``A1`` class into ``A1``/``A2`` and silently drop members of
+#: ``S_MB``.  A few-ulp budget on float64 sums is well below 1e-9
+#: relative, while genuinely distinct input weights are far above it.
+WEIGHT_RTOL = 1e-9
+
+
+def weights_equal(a: float, b: float) -> bool:
+    """Whether two summed weights are equal up to :data:`WEIGHT_RTOL`."""
+    if a == b:
+        return True
+    # The -inf sentinel of an empty A2 class must not swallow finite
+    # weights: rtol * inf == inf would make everything "equal" to it.
+    if not (np.isfinite(a) and np.isfinite(b)):
+        return False
+    return abs(a - b) <= WEIGHT_RTOL * max(abs(a), abs(b))
+
 
 class TopTwoAngleIndex:
     """Per-endpoint-pair store of the two largest angle weight classes.
@@ -64,18 +84,21 @@ class TopTwoAngleIndex:
             self._entries[pair] = [weight, [record], -np.inf, []]
             return -np.inf
         w1, angles1, w2, angles2 = entry
-        if weight > w1:
+        # Tolerant class membership runs before the strict orderings so
+        # float-noise-equal weights join the class they belong to
+        # instead of splitting it (see WEIGHT_RTOL).
+        if weights_equal(weight, w1):
+            angles1.append(record)
+        elif weight > w1:
             entry[0] = weight
             entry[1] = [record]
             entry[2] = w1
             entry[3] = angles1
-        elif weight == w1:
-            angles1.append(record)
+        elif weights_equal(weight, w2):
+            angles2.append(record)
         elif weight > w2:
             entry[2] = weight
             entry[3] = [record]
-        elif weight == w2:
-            angles2.append(record)
         # else: strictly below both classes — ignored (Table II last row).
         return self.best_weight(pair)
 
@@ -226,12 +249,12 @@ def _materialise(
     butterflies: List[Butterfly] = []
     for pair, (w1, angles1, w2, angles2) in index.iter_pairs():
         if len(angles1) >= 2:
-            if 2.0 * w1 == w_max:
+            if weights_equal(2.0 * w1, w_max):
                 for rec_a, rec_b in combinations(angles1, 2):
                     butterflies.append(
                         _build(graph, pair, rec_a, rec_b, side, weights)
                     )
-        elif angles2 and w1 + w2 == w_max:
+        elif angles2 and weights_equal(w1 + w2, w_max):
             rec_a = angles1[0]
             for rec_b in angles2:
                 butterflies.append(

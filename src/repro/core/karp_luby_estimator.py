@@ -22,8 +22,11 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Optional
 
+import numpy as np
+
 from ..butterfly import ButterflyKey
 from ..errors import CheckpointError, ConfigurationError
+from ..kernels import UnionBlockKernel, resolve_block_size
 from ..observability import Observer, ensure_observer
 from ..sampling import (
     ConvergenceTrace,
@@ -69,6 +72,7 @@ class _KarpLubyLoop:
         track: Optional[Iterable[ButterflyKey]] = None,
         checkpoints: int = 40,
         deadline: Optional[Deadline] = None,
+        block_size: Optional[int] = None,
     ) -> None:
         self.candidates = candidates
         self.generator = generator
@@ -80,6 +84,7 @@ class _KarpLubyLoop:
         self.min_trials = min_trials
         self.max_trials = max_trials
         self.deadline = deadline
+        self.block_size = block_size
         self._tracked = set(track) if track is not None else set()
         self._checkpoints = checkpoints
         self.estimates: Dict[ButterflyKey, float] = {}
@@ -124,24 +129,29 @@ class _KarpLubyLoop:
             trace = ConvergenceTrace(label=str(butterfly.key))
             schedule = set(checkpoint_schedule(budget, self._checkpoints))
 
-        done = 0
-        for step in range(1, budget + 1):
-            sampler.trial()
-            done = step
-            if trace is not None and step in schedule:
-                trace.record(
-                    step,
-                    _to_probability(
-                        sampler.estimate().raw_probability, existence
-                    ),
-                )
-            if (
-                self.deadline is not None
-                and step < budget
-                and step % DEADLINE_CHECK_EVERY == 0
-                and self.deadline.expired
-            ):
-                break
+        if self.block_size is not None:
+            done = self._run_blocked(
+                sampler, budget, existence, trace, schedule
+            )
+        else:
+            done = 0
+            for step in range(1, budget + 1):
+                sampler.trial()
+                done = step
+                if trace is not None and step in schedule:
+                    trace.record(
+                        step,
+                        _to_probability(
+                            sampler.estimate().raw_probability, existence
+                        ),
+                    )
+                if (
+                    self.deadline is not None
+                    and step < budget
+                    and step % DEADLINE_CHECK_EVERY == 0
+                    and self.deadline.expired
+                ):
+                    break
 
         self.estimates[butterfly.key] = _to_probability(
             sampler.estimate().raw_probability, existence
@@ -153,6 +163,50 @@ class _KarpLubyLoop:
             # The partial estimate above is kept for the degraded result,
             # but the engine's completed count excludes this candidate.
             raise LoopInterrupt("deadline")
+
+    def _run_blocked(
+        self,
+        sampler: KarpLubyUnionSampler,
+        budget: int,
+        existence: float,
+        trace: Optional[ConvergenceTrace],
+        schedule: set,
+    ) -> int:
+        """This candidate's trials via the vectorised union kernel.
+
+        Deadlines are checked between blocks (the block takes over the
+        scalar path's every-:data:`DEADLINE_CHECK_EVERY` cadence), and
+        scheduled trace points inside a block are reconstructed from the
+        kernel's per-trial acceptance vector.
+        """
+        kernel = UnionBlockKernel(sampler)
+        block = resolve_block_size(budget, self.block_size)
+        done = 0
+        while done < budget:
+            length = min(block, budget - done)
+            accepted = kernel.run_block(length)
+            if trace is not None:
+                points = [
+                    t for t in range(done + 1, done + length + 1)
+                    if t in schedule
+                ]
+                if points:
+                    before = sampler.accepted - int(accepted.sum())
+                    cumulative = np.cumsum(accepted)
+                    for t in points:
+                        raw = (
+                            (before + int(cumulative[t - done - 1])) / t
+                            * sampler.weight_sum
+                        )
+                        trace.record(t, _to_probability(raw, existence))
+            done += length
+            if (
+                self.deadline is not None
+                and done < budget
+                and self.deadline.expired
+            ):
+                break
+        return done
 
     def state_payload(self, completed: int) -> Dict:
         completed_items = self.items[:completed]
@@ -214,6 +268,7 @@ def estimate_probabilities_karp_luby(
     max_trials: int = 200_000,
     track: Optional[Iterable[ButterflyKey]] = None,
     checkpoints: int = 40,
+    block_size: Optional[int] = None,
     runtime: Optional[RuntimePolicy] = None,
     observer: Optional[Observer] = None,
 ) -> EstimationOutcome:
@@ -235,11 +290,16 @@ def estimate_probabilities_karp_luby(
         max_trials: Cap on the per-candidate trial count.
         track: Optional butterfly keys to trace (Figure 11).
         checkpoints: Number of evenly spaced trace checkpoints.
+        block_size: Run each candidate's union trials through the
+            vectorised :class:`~repro.kernels.UnionBlockKernel` in
+            blocks of this size (``None`` keeps the scalar lazy trials).
+            Unbiased either way; deterministic for a fixed block size.
         runtime: Optional :class:`~repro.runtime.policy.RuntimePolicy`
             enabling candidate-granular checkpoint/resume and deadline
             degradation (the deadline is also checked *inside* each
-            candidate's trial run, every
-            :data:`DEADLINE_CHECK_EVERY` trials).
+            candidate's trial run — every
+            :data:`DEADLINE_CHECK_EVERY` trials on the scalar path,
+            between blocks on the batched path).
         observer: Optional :class:`~repro.observability.Observer`
             recording the ``sampling`` span, engine counters, and the
             per-candidate trial-count histogram (the Lemma VI.4 budget
@@ -266,10 +326,17 @@ def estimate_probabilities_karp_luby(
             stats={"total_trials": 0.0, "base_trials": float(base)},
         )
     deadline = runtime.make_deadline() if runtime is not None else None
+    if block_size is not None:
+        if block_size <= 0:
+            raise ConfigurationError(
+                f"block_size must be positive, got {block_size}"
+            )
+        observer.set("kernel.block_size", float(block_size))
     loop = _KarpLubyLoop(
         candidates, generator, n_trials, mu, epsilon, delta,
         min_trials, max_trials,
         track=track, checkpoints=checkpoints, deadline=deadline,
+        block_size=block_size,
     )
     with observer.span(
         "sampling", method="ols-kl", candidates=len(candidates)

@@ -25,6 +25,7 @@ from ..graph import (
     degree_priority,
     expected_degree_priority,
 )
+from ..kernels import BlockedWinnerLoop, resolve_block_size
 from ..observability import Observer, ensure_observer
 from ..observability.profiling import stopwatch
 from ..sampling import RngLike, ensure_rng
@@ -47,6 +48,7 @@ def mc_vp(
     checkpoints: int = 40,
     antithetic: bool = False,
     priority_kind: str = "degree",
+    block_size: Optional[int] = None,
     runtime: Optional[RuntimePolicy] = None,
     observer: Optional[Observer] = None,
 ) -> MPMBResult:
@@ -61,6 +63,11 @@ def mc_vp(
         checkpoints: Number of evenly spaced trace checkpoints.
         antithetic: Sample worlds in antithetic pairs (variance
             reduction extension).
+        block_size: Run through the batched kernel layer, drawing this
+            many worlds per vectorised RNG call (``None`` keeps the
+            scalar per-trial loop).  Mask blocks are stream-equivalent
+            to scalar draws, so results are bit-identical either way;
+            see ``docs/performance.md``.
         priority_kind: Vertex-priority ranking — ``"degree"`` (the
             paper's BFC-VP order) or ``"expected-degree"`` (rank by
             ``d̄(u) = Σ p(e)``, the quantity Lemma IV.1's cost is
@@ -94,8 +101,7 @@ def mc_vp(
         "butterflies_checked": 0.0,
     }
 
-    def run_trial() -> List[Butterfly]:
-        mask = sampler.sample_mask()
+    def mask_trial(mask: np.ndarray) -> List[Butterfly]:
         winners, trial_stats = _max_butterflies_vertex_priority(
             graph, mask, priority
         )
@@ -106,20 +112,40 @@ def mc_vp(
         stats["butterflies_checked"] += trial_stats[1]
         return winners
 
+    def run_trial() -> List[Butterfly]:
+        return mask_trial(sampler.sample_mask())
+
     loop = WinnerCountLoop(
         graph, sampler, run_trial, n_trials,
         track=track, checkpoints=checkpoints, stats=stats,
         observer=observer,
     )
     with observer.span("sampling", method="mc-vp"), stopwatch() as timer:
-        report = execute_trial_loop(
-            method="mc-vp",
-            graph_name=graph.name,
-            n_target=n_trials,
-            loop=loop,
-            policy=runtime,
-            observer=observer,
-        )
+        if block_size is None:
+            report = execute_trial_loop(
+                method="mc-vp",
+                graph_name=graph.name,
+                n_target=n_trials,
+                loop=loop,
+                policy=runtime,
+                observer=observer,
+            )
+        else:
+            block = resolve_block_size(n_trials, block_size)
+            observer.set("kernel.block_size", float(block))
+            blocked = BlockedWinnerLoop(
+                loop, mask_trial, n_trials, block, observer=observer
+            )
+            report = execute_trial_loop(
+                method="mc-vp",
+                graph_name=graph.name,
+                n_target=blocked.n_blocks,
+                loop=blocked,
+                policy=runtime,
+                unit="block",
+                unit_lengths=blocked.lengths,
+                observer=observer,
+            )
     result = result_from_frequency_loop(
         "mc-vp", graph, loop, report, policy=runtime
     )

@@ -16,7 +16,7 @@ OLS splits the work into two phases:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional, Tuple
 
 from ..butterfly import Butterfly, ButterflyKey, top_weight_butterflies
 from ..butterfly.model import make_butterfly
@@ -100,7 +100,9 @@ def adaptive_prepare_candidates(
     rng: RngLike = None,
     prune: bool = True,
     pair_side: str = "auto",
-) -> tuple:
+    seed_backbone_top: int = 0,
+    observer: Optional[Observer] = None,
+) -> Tuple[CandidateSet, int]:
     """Preparing phase that stops when the candidate set stabilises.
 
     Instead of a fixed ``N_os``, keep running OS trials until ``patience``
@@ -110,6 +112,12 @@ def adaptive_prepare_candidates(
     streak certifies that every remaining missing butterfly has small
     ``P(B)`` — which is exactly what the Lemma VI.5 error bound needs.
 
+    Instrumentation matches :func:`prepare_candidates`: the trials run
+    inside a ``candidate-generation`` span and feed the
+    ``prepare.trials`` counter and ``candidates.listed`` gauge, and
+    ``seed_backbone_top`` seeds the heaviest backbone butterflies the
+    same way.
+
     Returns:
         ``(candidate_set, trials_used)``.
     """
@@ -117,20 +125,35 @@ def adaptive_prepare_candidates(
         raise ConfigurationError(f"patience must be positive, got {patience}")
     if max_trials <= 0:
         raise ConfigurationError(f"max_trials must be positive, got {max_trials}")
+    if seed_backbone_top < 0:
+        raise ConfigurationError(
+            f"seed_backbone_top must be non-negative, got {seed_backbone_top}"
+        )
+    observer = ensure_observer(observer)
     sampler = WorldSampler(graph, ensure_rng(rng))
     collected: Dict[ButterflyKey, Butterfly] = {}
     dry = 0
     trials = 0
-    while trials < max_trials and dry < patience:
-        trials += 1
-        new = False
-        for butterfly in os_trial(
-            graph, sampler, prune=prune, pair_side=pair_side
-        ):
-            if butterfly.key not in collected:
-                collected[butterfly.key] = butterfly
-                new = True
-        dry = 0 if new else dry + 1
+    with observer.span(
+        "candidate-generation", patience=patience, max_trials=max_trials
+    ):
+        if seed_backbone_top:
+            for butterfly in top_weight_butterflies(
+                graph, seed_backbone_top, pair_side=pair_side
+            ):
+                collected.setdefault(butterfly.key, butterfly)
+        while trials < max_trials and dry < patience:
+            trials += 1
+            new = False
+            for butterfly in os_trial(
+                graph, sampler, prune=prune, pair_side=pair_side
+            ):
+                if butterfly.key not in collected:
+                    collected[butterfly.key] = butterfly
+                    new = True
+            dry = 0 if new else dry + 1
+    observer.inc("prepare.trials", trials)
+    observer.set("candidates.listed", float(len(collected)))
     return CandidateSet(graph, collected.values()), trials
 
 
@@ -148,6 +171,7 @@ def ordering_listing_sampling(
     mu: float = 0.05,
     epsilon: float = 0.1,
     delta: float = 0.1,
+    block_size: Optional[int] = None,
     runtime: Optional[RuntimePolicy] = None,
     observer: Optional[Observer] = None,
 ) -> MPMBResult:
@@ -173,6 +197,10 @@ def ordering_listing_sampling(
         mu: Dynamic Karp-Luby certification target (ignored otherwise).
         epsilon: ε of the ε-δ guarantee for dynamic sizing.
         delta: δ of the ε-δ guarantee for dynamic sizing.
+        block_size: Route the sampling phase through the batched kernel
+            layer (:mod:`repro.kernels`), evaluating this many trials
+            per vectorised call; ``None`` keeps the scalar loops.  See
+            ``docs/performance.md``.
         runtime: Optional :class:`~repro.runtime.policy.RuntimePolicy`
             for the sampling phase.  On resume the candidate set is
             rebuilt from the checkpoint itself (its payload stores the
@@ -228,7 +256,8 @@ def ordering_listing_sampling(
                 )
             outcome = estimate_probabilities_optimized(
                 candidates, n_trials, generator,
-                track=track, checkpoints=checkpoints, runtime=runtime,
+                track=track, checkpoints=checkpoints,
+                block_size=block_size, runtime=runtime,
                 observer=observer,
             )
             method = "ols"
@@ -237,7 +266,8 @@ def ordering_listing_sampling(
                 candidates, generator,
                 n_trials=n_trials if n_trials > 0 else None,
                 mu=mu, epsilon=epsilon, delta=delta,
-                track=track, checkpoints=checkpoints, runtime=runtime,
+                track=track, checkpoints=checkpoints,
+                block_size=block_size, runtime=runtime,
                 observer=observer,
             )
             method = "ols-kl"
@@ -263,11 +293,16 @@ def ordering_listing_sampling(
         guarantee=outcome.guarantee,
     )
     record_sampling_metrics(observer, result, timer.seconds)
+    # Both counters are read defensively: outcomes that predate the
+    # counters (or never track them, like resumed/degraded Karp-Luby
+    # runs) carry neither or only one of the keys, and a missing counter
+    # must not fail the run after the sampling itself succeeded.
     queried = stats.get("edges_queried", 0.0)
+    sampled = stats.get("edges_sampled", 0.0)
     if observer.enabled and queried > 0:
         observer.set(
             f"{method}.lazy_cache.hit_rate",
-            1.0 - stats["edges_sampled"] / queried,
+            1.0 - sampled / queried,
         )
     return result
 

@@ -31,8 +31,9 @@ from ..sampling import (
     checkpoint_schedule,
     ensure_rng,
 )
+from ..kernels import BlockedOptimizedLoop, resolve_block_size
 from ..sampling.rng import restore_rng_state, rng_state_payload
-from ..worlds.sampler import LazyEdgeTrial
+from ..worlds.sampler import LazyEdgeTrial, WorldSampler
 from ..runtime.degradation import recompute_guarantee
 from ..runtime.engine import execute_trial_loop
 from ..runtime.policy import RuntimePolicy
@@ -143,6 +144,7 @@ def estimate_probabilities_optimized(
     rng: RngLike = None,
     track: Optional[Iterable[ButterflyKey]] = None,
     checkpoints: int = 40,
+    block_size: Optional[int] = None,
     runtime: Optional[RuntimePolicy] = None,
     observer: Optional[Observer] = None,
 ) -> EstimationOutcome:
@@ -155,6 +157,15 @@ def estimate_probabilities_optimized(
         rng: Seed or generator.
         track: Optional butterfly keys to trace (Figure 11).
         checkpoints: Number of evenly spaced trace checkpoints.
+        block_size: Route the trials through the vectorised block kernel
+            (:class:`~repro.kernels.BlockedOptimizedLoop`), evaluating
+            this many trials per kernel call.  ``None`` (default) keeps
+            the scalar lazy-sampling walk.  The two paths agree in
+            distribution but consume randomness differently (the kernel
+            draws full-world masks, the scalar walk samples edges
+            lazily); for a fixed block size the kernel path is exactly
+            reproducible across any checkpoint/resume split — see
+            ``docs/performance.md`` for the equivalence contract.
         runtime: Optional :class:`~repro.runtime.policy.RuntimePolicy`
             enabling checkpoint/resume and deadline degradation.
         observer: Optional :class:`~repro.observability.Observer`
@@ -173,22 +184,43 @@ def estimate_probabilities_optimized(
         raise ConfigurationError(f"n_trials must be positive, got {n_trials}")
     observer = ensure_observer(observer)
     generator = ensure_rng(rng)
-    loop = _OptimizedLoop(
-        candidates, generator, n_trials,
-        track=track, checkpoints=checkpoints,
-    )
+    if block_size is not None:
+        block = resolve_block_size(n_trials, block_size)
+        observer.set("kernel.block_size", float(block))
+        sampler = WorldSampler(candidates.graph, generator)
+        loop = BlockedOptimizedLoop(
+            candidates, sampler, n_trials, block,
+            track=track, checkpoints=checkpoints, observer=observer,
+        )
+    else:
+        loop = _OptimizedLoop(
+            candidates, generator, n_trials,
+            track=track, checkpoints=checkpoints,
+        )
     with observer.span(
         "sampling", method="ols", candidates=len(candidates)
     ):
-        report = execute_trial_loop(
-            method="ols",
-            graph_name=candidates.graph.name,
-            n_target=n_trials,
-            loop=loop,
-            policy=runtime,
-            observer=observer,
-        )
-    achieved = report.completed
+        if block_size is not None:
+            report = execute_trial_loop(
+                method="ols",
+                graph_name=candidates.graph.name,
+                n_target=loop.n_blocks,
+                loop=loop,
+                policy=runtime,
+                unit="block",
+                unit_lengths=loop.lengths,
+                observer=observer,
+            )
+        else:
+            report = execute_trial_loop(
+                method="ols",
+                graph_name=candidates.graph.name,
+                n_target=n_trials,
+                loop=loop,
+                policy=runtime,
+                observer=observer,
+            )
+    achieved = report.n_trials
     guarantee = None
     if report.degraded:
         guarantee = recompute_guarantee(

@@ -13,8 +13,11 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional
 
+import numpy as np
+
 from ..butterfly import Butterfly, ButterflyKey, max_weight_butterflies
 from ..graph import UncertainBipartiteGraph
+from ..kernels import BlockedWinnerLoop, resolve_block_size
 from ..observability import Observer, ensure_observer
 from ..observability.profiling import stopwatch
 from ..sampling import RngLike, ensure_rng
@@ -55,6 +58,7 @@ def ordering_sampling(
     prune: bool = True,
     pair_side: str = "auto",
     antithetic: bool = False,
+    block_size: Optional[int] = None,
     runtime: Optional[RuntimePolicy] = None,
     observer: Optional[Observer] = None,
 ) -> MPMBResult:
@@ -72,6 +76,11 @@ def ordering_sampling(
             (Lemma V.1 cost minimisation), ``"left"`` or ``"right"``.
         antithetic: Sample worlds in antithetic pairs (variance
             reduction; see :class:`~repro.worlds.sampler.WorldSampler`).
+        block_size: Run through the batched kernel layer, drawing this
+            many worlds per vectorised RNG call and reusing one mask
+            matrix per block for the ``order[mask[order]]`` filtering
+            (``None`` keeps the scalar per-trial loop).  Results are
+            bit-identical either way; see ``docs/performance.md``.
         runtime: Optional :class:`~repro.runtime.policy.RuntimePolicy`
             enabling checkpoint/resume, deadlines, and graceful
             degradation for the trial loop.
@@ -96,8 +105,7 @@ def ordering_sampling(
         "trials_pruned": 0.0,
     }
 
-    def run_trial() -> List[Butterfly]:
-        mask = sampler.sample_mask()
+    def mask_trial(mask: np.ndarray) -> List[Butterfly]:
         present_sorted = order[mask[order]]
         search = max_weight_butterflies(
             graph, present_sorted, prune=prune, pair_side=pair_side
@@ -109,20 +117,40 @@ def ordering_sampling(
             stats["trials_pruned"] += 1
         return search.butterflies
 
+    def run_trial() -> List[Butterfly]:
+        return mask_trial(sampler.sample_mask())
+
     loop = WinnerCountLoop(
         graph, sampler, run_trial, n_trials,
         track=track, checkpoints=checkpoints, stats=stats,
         observer=observer,
     )
     with observer.span("sampling", method="os"), stopwatch() as timer:
-        report = execute_trial_loop(
-            method="os",
-            graph_name=graph.name,
-            n_target=n_trials,
-            loop=loop,
-            policy=runtime,
-            observer=observer,
-        )
+        if block_size is None:
+            report = execute_trial_loop(
+                method="os",
+                graph_name=graph.name,
+                n_target=n_trials,
+                loop=loop,
+                policy=runtime,
+                observer=observer,
+            )
+        else:
+            block = resolve_block_size(n_trials, block_size)
+            observer.set("kernel.block_size", float(block))
+            blocked = BlockedWinnerLoop(
+                loop, mask_trial, n_trials, block, observer=observer
+            )
+            report = execute_trial_loop(
+                method="os",
+                graph_name=graph.name,
+                n_target=blocked.n_blocks,
+                loop=blocked,
+                policy=runtime,
+                unit="block",
+                unit_lengths=blocked.lengths,
+                observer=observer,
+            )
     result = result_from_frequency_loop(
         "os", graph, loop, report, policy=runtime
     )

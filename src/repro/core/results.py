@@ -150,24 +150,28 @@ def result_from_frequency_loop(
     """
     degraded = report.degraded
     guarantee = None
+    # Block-granular runs count engine units in blocks; ``n_trials`` /
+    # ``n_trials_target`` resolve them back to Monte-Carlo trials so a
+    # degraded blocked run normalises (and re-widens ε) over completed
+    # blocks × block size + remainder, never over block counts.
     if degraded:
         guarantee = recompute_guarantee(
-            report.completed,
-            report.target,
+            report.n_trials,
+            report.n_trials_target,
             mu=policy.guarantee_mu if policy is not None else 0.05,
             delta=policy.guarantee_delta if policy is not None else 0.1,
         )
     return MPMBResult(
         method=method,
         graph=graph,
-        n_trials=report.completed,
-        estimates=loop.probabilities(report.completed),
+        n_trials=report.n_trials,
+        estimates=loop.probabilities(report.n_trials),
         butterflies=dict(loop.butterflies),
         traces=loop.traces,
         stats=loop.stats,
         degraded=degraded,
         degraded_reason=report.stop_reason,
-        target_trials=report.target if degraded else None,
+        target_trials=report.n_trials_target if degraded else None,
         guarantee=guarantee,
     )
 

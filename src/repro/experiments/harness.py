@@ -50,6 +50,9 @@ class ExperimentConfig:
         timeout_seconds: Optional per-run wall-clock budget; expired
             runs return degraded results with re-widened guarantees
             instead of blocking the whole sweep.
+        block_size: Route the sampling methods through the batched
+            kernel layer with this many trials per vectorised call;
+            ``None`` keeps the scalar loops (see ``docs/performance.md``).
     """
 
     profile: str = "bench"
@@ -64,6 +67,7 @@ class ExperimentConfig:
     epsilon: float = 0.1
     delta: float = 0.1
     timeout_seconds: Optional[float] = None
+    block_size: Optional[int] = None
 
     def runtime_policy(self) -> Optional[RuntimePolicy]:
         """The runtime policy experiment runs execute under, if any."""
@@ -149,22 +153,25 @@ def _method_runner(
     observer: Optional[Observer] = None,
 ) -> Callable[[], MPMBResult]:
     runtime = config.runtime_policy()
+    block_size = config.block_size
     if method == "mc-vp":
         n = n_override or config.n_mcvp
         return lambda: mc_vp(
-            graph, n, rng=seed, runtime=runtime, observer=observer
+            graph, n, rng=seed, block_size=block_size,
+            runtime=runtime, observer=observer,
         )
     if method == "os":
         n = n_override or config.n_direct
         return lambda: ordering_sampling(
-            graph, n, rng=seed, runtime=runtime, observer=observer
+            graph, n, rng=seed, block_size=block_size,
+            runtime=runtime, observer=observer,
         )
     if method == "ols":
         n = n_override or config.n_sampling
         return lambda: ordering_listing_sampling(
             graph, n, n_prepare=config.n_prepare,
-            estimator="optimized", rng=seed, runtime=runtime,
-            observer=observer,
+            estimator="optimized", rng=seed, block_size=block_size,
+            runtime=runtime, observer=observer,
         )
     if method == "ols-kl":
         n = n_override if n_override is not None else 0  # 0 = dynamic
@@ -172,7 +179,7 @@ def _method_runner(
             graph, n, n_prepare=config.n_prepare,
             estimator="karp-luby", rng=seed,
             mu=config.mu, epsilon=config.epsilon, delta=config.delta,
-            runtime=runtime, observer=observer,
+            block_size=block_size, runtime=runtime, observer=observer,
         )
     raise ValueError(
         f"unknown method {method!r}; expected one of {METHOD_ORDER}"

@@ -1,0 +1,40 @@
+"""Batched trial kernels: the vectorised sampling hot path.
+
+This package evaluates Monte-Carlo trials in *blocks* — one NumPy kernel
+call per few hundred trials instead of a Python-level per-trial loop.
+Every estimator routes through it when given a ``block_size``:
+
+- MC-VP / OS: :class:`BlockedWinnerLoop` draws one mask matrix per block
+  and hands rows to the scalar per-world search (bit-identical results).
+- OLS: :class:`BlockedOptimizedLoop` + :class:`CandidateBlockKernel`
+  replace the per-trial candidate walk with gather/reduce/argmax.
+- OLS-KL: :class:`UnionBlockKernel` vectorises the Karp-Luby
+  (event, world) trials of each candidate.
+
+See ``docs/performance.md`` for block-size selection and the
+scalar/batched equivalence contract.
+"""
+
+from .blocks import (
+    DEFAULT_BLOCK_SIZE,
+    block_lengths,
+    block_starts,
+    resolve_block_size,
+    trials_in_blocks,
+)
+from .frequency_block import BlockedWinnerLoop, MaskTrialFn
+from .karp_luby_block import UnionBlockKernel
+from .ols_kernel import BlockedOptimizedLoop, CandidateBlockKernel
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "BlockedOptimizedLoop",
+    "BlockedWinnerLoop",
+    "CandidateBlockKernel",
+    "MaskTrialFn",
+    "UnionBlockKernel",
+    "block_lengths",
+    "block_starts",
+    "resolve_block_size",
+    "trials_in_blocks",
+]

@@ -1,0 +1,98 @@
+"""Block driver for the winner-frequency methods (MC-VP and OS).
+
+MC-VP and OS evaluate one sampled world per trial; their per-world
+search (vertex-priority counting, weight-ordered angle search) stays
+scalar, but the world *sampling* is the part the hardware can batch:
+one :meth:`~repro.worlds.sampler.WorldSampler.sample_mask_block` call
+draws a whole block's Bernoulli matrix at once and each trial reuses
+its row of that shared mask matrix (``os_trial``'s ``order[mask[order]]``
+filtering reads straight from the row).
+
+Because mask blocks are stream-equivalent to repeated scalar draws, the
+world sequence — and therefore every winner count, trace point, and
+estimate — is bit-identical to the scalar path for *any* block size.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+import numpy as np
+
+from ..butterfly import Butterfly
+from ..errors import CheckpointError
+from ..observability import Observer, ensure_observer
+from ..runtime.frequency import WinnerCountLoop
+from .blocks import block_lengths, block_starts, trials_in_blocks
+
+#: One trial evaluated against a pre-drawn edge-presence mask.
+MaskTrialFn = Callable[[np.ndarray], Iterable[Butterfly]]
+
+
+class BlockedWinnerLoop:
+    """Engine loop running a :class:`WinnerCountLoop` block by block.
+
+    One engine "trial" is one block: the wrapped sampler draws the
+    block's mask matrix in a single RNG call, then each row is handed to
+    ``mask_trial_fn`` and folded into the inner loop's counters via
+    :meth:`WinnerCountLoop.record_winners` (so histograms, traces, and
+    checkpoint payloads are byte-compatible with the scalar loop's,
+    apart from the added ``block_size`` guard).
+    """
+
+    def __init__(
+        self,
+        inner: WinnerCountLoop,
+        mask_trial_fn: MaskTrialFn,
+        n_trials: int,
+        block_size: int,
+        observer: Optional[Observer] = None,
+    ) -> None:
+        self.inner = inner
+        self._mask_trial_fn = mask_trial_fn
+        self.block_size = int(block_size)
+        self.lengths = block_lengths(n_trials, block_size)
+        self.starts = block_starts(self.lengths)
+        self._vectorized = ensure_observer(observer).metrics.counter(
+            "kernel.trials_vectorized"
+        )
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.lengths)
+
+    def trials_completed(self, completed_blocks: int) -> int:
+        """Trials contained in the first ``completed_blocks`` blocks."""
+        return trials_in_blocks(self.lengths, completed_blocks)
+
+    # ------------------------------------------------------------------
+    # Engine contract
+    # ------------------------------------------------------------------
+
+    def run_trial(self, block: int) -> None:
+        """Evaluate the 1-based ``block`` against one shared mask matrix."""
+        length = self.lengths[block - 1]
+        start = self.starts[block - 1]
+        masks = self.inner.sampler.sample_mask_block(length)
+        for offset in range(length):
+            self.inner.record_winners(
+                start + offset + 1, self._mask_trial_fn(masks[offset])
+            )
+        self._vectorized.inc(length)
+
+    def state_payload(self, completed: int) -> Dict:
+        payload = self.inner.state_payload(
+            self.trials_completed(completed)
+        )
+        payload["block_size"] = self.block_size
+        return payload
+
+    def restore_state(self, payload: Dict) -> None:
+        snapshot_block = int(payload.get("block_size", self.block_size))
+        if snapshot_block != self.block_size:
+            raise CheckpointError(
+                f"checkpoint was written at block_size={snapshot_block}; "
+                f"this run uses block_size={self.block_size} — resume "
+                "with the block size the checkpoint was written at"
+            )
+        self.inner.restore_state(payload)

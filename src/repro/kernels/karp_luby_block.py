@@ -1,0 +1,90 @@
+"""Vectorised Karp-Luby union trials (Algorithm 4's inner loop).
+
+One scalar Karp-Luby trial picks an event ``j`` from the normalised
+weight distribution, samples a world conditioned on ``A_j`` holding, and
+accepts iff no earlier event also holds.  :class:`UnionBlockKernel` runs
+a whole block of those trials in NumPy:
+
+1. the event→atom membership matrix (``r × n_atoms``) and the atom
+   probability vector are built once per event family;
+2. the block's event picks are one ``searchsorted`` over a ``(block,)``
+   uniform vector, its worlds one ``(block, n_atoms)`` Bernoulli matrix
+   conditioned row-wise on the picked event's atoms;
+3. "first satisfied event" is a matmul (count missing atoms per event)
+   followed by ``argmax``, and acceptance is ``first == picked``.
+
+The kernel draws the same *kind* of randomness as the scalar
+:meth:`~repro.sampling.karp_luby.KarpLubyUnionSampler.trial` (one
+uniform for the event pick, atom-level Bernoullis for the world) but
+materialises every atom instead of lazily sampling earlier events'
+atoms — distributionally identical (the extra atoms are independent of
+the acceptance indicator) and deterministic for a fixed block size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..sampling.karp_luby import Atom, KarpLubyUnionSampler
+
+
+class UnionBlockKernel:
+    """Blocked trial driver for one :class:`KarpLubyUnionSampler`.
+
+    The kernel updates the wrapped sampler's ``n_trials``/``accepted``
+    counters, so :meth:`KarpLubyUnionSampler.estimate` keeps working and
+    scalar and blocked trials may interleave (each consuming its own
+    draws).
+    """
+
+    def __init__(self, sampler: KarpLubyUnionSampler) -> None:
+        self.sampler = sampler
+        atoms: List[Atom] = sorted(
+            {atom for event in sampler.events for atom in event}
+        )
+        index_of: Dict[Atom, int] = {
+            atom: index for index, atom in enumerate(atoms)
+        }
+        self.atom_probs = np.asarray(
+            [float(sampler.prob_of(atom)) for atom in atoms], dtype=float
+        )
+        self.membership = np.zeros(
+            (len(sampler.events), len(atoms)), dtype=bool
+        )
+        for row, event in enumerate(sampler.events):
+            for atom in event:
+                self.membership[row, index_of[atom]] = True
+
+    def run_block(self, count: int) -> np.ndarray:
+        """Run ``count`` trials at once; returns per-trial acceptance.
+
+        The returned ``(count,)`` boolean vector lets callers reconstruct
+        running estimates at any trial index inside the block (for
+        convergence traces); the wrapped sampler's counters are already
+        advanced by the whole block.
+        """
+        sampler = self.sampler
+        sampler.n_trials += count
+        if sampler.is_empty:
+            return np.zeros(count, dtype=bool)
+        if sampler.is_certain:
+            sampler.accepted += count
+            return np.ones(count, dtype=bool)
+        picks = np.searchsorted(
+            sampler._cumulative, sampler.rng.random(count), side="right"
+        )
+        picks = np.minimum(picks, len(sampler.events) - 1)
+        present = (
+            sampler.rng.random((count, self.atom_probs.size))
+            < self.atom_probs
+        )
+        present |= self.membership[picks]
+        # An event is satisfied when it misses zero absent atoms; the
+        # conditioned pick is always satisfied, so argmax is well-defined.
+        missing = (~present).astype(np.int64) @ self.membership.T
+        first = np.argmax(missing == 0, axis=1)
+        accepted = first == picks
+        sampler.accepted += int(accepted.sum())
+        return accepted

@@ -66,6 +66,10 @@ METRICS: Tuple[MetricSpec, ...] = (
                "planned budget (per worker, in pooled runs)"),
     MetricSpec("trial.winners", "histogram",
                "maximum-butterfly set size per trial"),
+    MetricSpec("kernel.block_size", "gauge",
+               "trials per vectorised kernel call (batched runs only)"),
+    MetricSpec("kernel.trials_vectorized", "counter",
+               "trials executed through the batched kernel layer"),
     MetricSpec("prepare.trials", "counter",
                "OLS preparing-phase trials (Alg. 3)"),
     MetricSpec("candidates.listed", "gauge",

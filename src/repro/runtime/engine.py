@@ -26,7 +26,7 @@ same random numbers an uninterrupted run would have.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Protocol
+from typing import Dict, Optional, Protocol, Sequence
 
 from ..errors import ConfigurationError, TrialBudgetExceeded
 from ..observability import Observer, ensure_observer
@@ -80,6 +80,11 @@ class LoopReport:
             final one).
         checkpoint_errors: Failed snapshot writes that were tolerated
             (only with ``on_checkpoint_error="continue"``).
+        trials_completed: Monte-Carlo trials completed, which differs
+            from ``completed`` only for block-granular loops (where one
+            engine unit is a whole block).  Defaults to ``completed``.
+        trials_target: Trial budget behind ``target`` units; defaults
+            to ``target``.
     """
 
     completed: int
@@ -88,6 +93,24 @@ class LoopReport:
     stop_reason: Optional[str] = None
     checkpoints_written: int = 0
     checkpoint_errors: int = 0
+    trials_completed: Optional[int] = None
+    trials_target: Optional[int] = None
+
+    @property
+    def n_trials(self) -> int:
+        """Trials completed, whatever the engine unit was."""
+        return (
+            self.completed
+            if self.trials_completed is None
+            else self.trials_completed
+        )
+
+    @property
+    def n_trials_target(self) -> int:
+        """Trial budget, whatever the engine unit was."""
+        return (
+            self.target if self.trials_target is None else self.trials_target
+        )
 
     @property
     def degraded(self) -> bool:
@@ -104,6 +127,7 @@ def execute_trial_loop(
     policy: Optional[RuntimePolicy] = None,
     deadline: Optional[Deadline] = None,
     unit: str = "trial",
+    unit_lengths: Optional[Sequence[int]] = None,
     observer: Optional[Observer] = None,
 ) -> LoopReport:
     """Run ``loop`` for up to ``n_target`` trials under ``policy``.
@@ -119,8 +143,13 @@ def execute_trial_loop(
         deadline: Pre-built deadline to honour — pass when the loop body
             also needs it (OLS-KL checks mid-candidate); by default one
             is built from ``policy.timeout_seconds``.
-        unit: Human/checkpoint name of one loop iteration (``"trial"``
-            or ``"candidate"``).
+        unit: Human/checkpoint name of one loop iteration (``"trial"``,
+            ``"candidate"`` or ``"block"``).
+        unit_lengths: For block-granular loops: how many Monte-Carlo
+            trials each of the ``n_target`` engine units contains.  The
+            engine then counts real trials in the ``engine.trials.*``
+            metrics and reports ``trials_completed``/``trials_target``
+            so degraded runs normalise over trials, not blocks.
         observer: Optional :class:`~repro.observability.Observer`; when
             given, the loop runs inside a ``trial-loop`` span and keeps
             the ``engine.trials.completed`` / ``engine.trials.resumed``
@@ -138,6 +167,11 @@ def execute_trial_loop(
     """
     if n_target <= 0:
         raise ConfigurationError(f"n_trials must be positive, got {n_target}")
+    if unit_lengths is not None and len(unit_lengths) != n_target:
+        raise ConfigurationError(
+            f"unit_lengths covers {len(unit_lengths)} units but the "
+            f"target is {n_target}"
+        )
     policy = policy or RuntimePolicy()
     faults = policy.faults
     observer = ensure_observer(observer)
@@ -163,6 +197,9 @@ def execute_trial_loop(
     report = LoopReport(
         completed=resumed_from, target=n_target, resumed_from=resumed_from
     )
+    if unit_lengths is not None:
+        report.trials_target = int(sum(unit_lengths))
+        report.trials_completed = int(sum(unit_lengths[:resumed_from]))
 
     def _snapshot() -> None:
         index = report.checkpoints_written + report.checkpoint_errors + 1
@@ -192,7 +229,12 @@ def execute_trial_loop(
             observer.inc("engine.checkpoints.written")
 
     if resumed_from:
-        observer.inc("engine.trials.resumed", resumed_from)
+        observer.inc(
+            "engine.trials.resumed",
+            resumed_from
+            if unit_lengths is None
+            else int(sum(unit_lengths[:resumed_from])),
+        )
     with observer.span(
         "trial-loop", method=method, unit=unit, target=n_target
     ) as loop_span:
@@ -211,7 +253,14 @@ def execute_trial_loop(
                         )
                 loop.run_trial(trial)
                 report.completed = trial
-                trials_completed.inc()
+                if unit_lengths is None:
+                    trials_completed.inc()
+                else:
+                    trials_completed.inc(int(unit_lengths[trial - 1]))
+                    report.trials_completed = (
+                        (report.trials_completed or 0)
+                        + int(unit_lengths[trial - 1])
+                    )
                 if (
                     policy.checkpoint_path is not None
                     and report.completed < n_target

@@ -88,8 +88,20 @@ class WinnerCountLoop:
     # ------------------------------------------------------------------
 
     def run_trial(self, trial: int) -> None:
+        self.record_winners(trial, self._trial_fn())
+
+    def record_winners(
+        self, trial: int, winners: Iterable[Butterfly]
+    ) -> None:
+        """Fold one trial's winner set into the counters and traces.
+
+        Exposed separately from :meth:`run_trial` so the batched block
+        driver (:mod:`repro.kernels.frequency_block`) can feed trials
+        whose worlds came from one shared mask matrix while keeping the
+        counting, histogram, and trace bookkeeping in a single place.
+        """
         n_winners = 0
-        for butterfly in self._trial_fn():
+        for butterfly in winners:
             n_winners += 1
             self.butterflies.setdefault(butterfly.key, butterfly)
             self.counts[butterfly.key] = self.counts.get(butterfly.key, 0) + 1

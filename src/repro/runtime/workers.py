@@ -76,14 +76,40 @@ class WorkerReport:
     error: Optional[str] = None
 
 
-def split_trials(n_trials: int, n_workers: int) -> List[int]:
-    """Near-even per-worker trial shares summing to ``n_trials``."""
+def split_trials(
+    n_trials: int, n_workers: int, block_size: Optional[int] = None
+) -> List[int]:
+    """Near-even per-worker trial shares summing to ``n_trials``.
+
+    With ``block_size`` the pool shards *blocks* rather than single
+    trials: every worker's share is a whole number of blocks (the one
+    remainder block, if any, counts as one), so each worker's batched
+    kernel runs full-size blocks and no block straddles two workers.
+    Workers assigned zero blocks get zero trials.
+    """
     if n_trials <= 0:
         raise ConfigurationError(f"n_trials must be positive, got {n_trials}")
     if n_workers <= 0:
         raise ConfigurationError(f"n_workers must be positive, got {n_workers}")
-    base, extra = divmod(n_trials, n_workers)
-    return [base + (1 if w < extra else 0) for w in range(n_workers)]
+    if block_size is None:
+        base, extra = divmod(n_trials, n_workers)
+        return [base + (1 if w < extra else 0) for w in range(n_workers)]
+    if block_size <= 0:
+        raise ConfigurationError(
+            f"block_size must be positive, got {block_size}"
+        )
+    full_blocks, remainder = divmod(n_trials, block_size)
+    units = full_blocks + (1 if remainder else 0)
+    base, extra = divmod(units, n_workers)
+    unit_shares = [base + (1 if w < extra else 0) for w in range(n_workers)]
+    shares = [units_w * block_size for units_w in unit_shares]
+    if remainder:
+        # The remainder block lives with the last worker that got blocks.
+        for w in range(n_workers - 1, -1, -1):
+            if shares[w] > 0:
+                shares[w] -= block_size - remainder
+                break
+    return shares
 
 
 def backoff_seconds(
@@ -156,6 +182,7 @@ def run_parallel_trials(
     mp_context: Optional[str] = None,
     guarantee_mu: float = 0.05,
     guarantee_delta: float = 0.1,
+    block_size: Optional[int] = None,
     observer: Optional[Observer] = None,
     **method_kwargs,
 ):
@@ -184,6 +211,10 @@ def run_parallel_trials(
         guarantee_mu: ``μ`` for the re-widened guarantee of a degraded
             pool.
         guarantee_delta: ``δ`` for the re-widened guarantee.
+        block_size: Shard whole blocks of this many trials across the
+            workers (no block straddles two workers) and run each worker
+            through the batched kernel layer; ``None`` shards single
+            trials and keeps the scalar loops.
         observer: Optional :class:`~repro.observability.Observer`.  When
             given, each worker records its own metrics/spans in-process
             and ships them with its result; the coordinator merges the
@@ -212,7 +243,9 @@ def run_parallel_trials(
         raise ConfigurationError(
             f"max_attempts must be positive, got {max_attempts}"
         )
-    shares = split_trials(n_trials, n_workers)
+    shares = split_trials(n_trials, n_workers, block_size=block_size)
+    if block_size is not None:
+        method_kwargs = {**method_kwargs, "block_size": block_size}
     # Lazy imports: this module is part of the runtime package, which the
     # core estimators import — importing core eagerly here would cycle.
     from ..core.results import merge_results

@@ -60,6 +60,44 @@ class WorldSampler:
             self._pending = None
         return uniforms < self.graph.probs
 
+    def sample_mask_block(self, count: int) -> np.ndarray:
+        """A ``(count, n_edges)`` block of edge-presence masks.
+
+        Draws every uniform the block needs in one RNG call, which is the
+        batched-kernel fast path (``docs/performance.md``).  The block is
+        *stream-equivalent* to ``count`` successive :meth:`sample_mask`
+        calls: NumPy's ``Generator.random`` consumes doubles sequentially,
+        so one ``(k, n_edges)`` draw reads the exact bits ``k`` separate
+        ``(n_edges,)`` draws would, and antithetic pairing — including a
+        buffered half-pair in :attr:`_pending` from earlier scalar calls
+        or an odd-length block — is carried across the block boundary.
+        Consequently the world sequence is identical for every block
+        partition of the same trial budget.
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        n_edges = self.graph.n_edges
+        probs = self.graph.probs
+        if not self.antithetic:
+            return self.rng.random((count, n_edges)) < probs
+        rows = np.empty((count, n_edges), dtype=float)
+        filled = 0
+        if self._pending is not None:
+            rows[0] = self._pending
+            self._pending = None
+            filled = 1
+        fresh = count - filled
+        n_pairs, odd = divmod(fresh, 2)
+        if fresh:
+            uniforms = self.rng.random((n_pairs + odd, n_edges))
+            for draw in range(n_pairs):
+                rows[filled + 2 * draw] = uniforms[draw]
+                rows[filled + 2 * draw + 1] = 1.0 - uniforms[draw]
+            if odd:
+                rows[count - 1] = uniforms[n_pairs]
+                self._pending = 1.0 - uniforms[n_pairs]
+        return rows < probs
+
     def sample_world(self) -> PossibleWorld:
         """One :class:`PossibleWorld`."""
         return PossibleWorld(self.graph, self.sample_mask())
