@@ -139,6 +139,35 @@ def bench_entry(
     }
 
 
+def safe_bench_entry(
+    dataset: str,
+    method: str,
+    config: ExperimentConfig,
+    label: Optional[str] = None,
+) -> Dict:
+    """A :func:`bench_entry` that survives one method crashing.
+
+    A single failing (dataset, method) pair must not void the whole
+    sweep: the failure is recorded as a schema-compatible entry with an
+    ``"error"`` key (and no timing fields), and every remaining pair
+    still runs.  Downstream consumers skip entries carrying ``error``.
+    """
+    try:
+        return bench_entry(dataset, method, config, label=label)
+    except Exception as error:  # noqa: BLE001 - harness must finish
+        print(
+            f"  FAILED {label or method} on {dataset}: "
+            f"{type(error).__name__}: {error}",
+            file=sys.stderr,
+        )
+        return {
+            "dataset": dataset,
+            "profile": config.profile,
+            "method": label or method,
+            "error": f"{type(error).__name__}: {error}",
+        }
+
+
 def run_suite(args: argparse.Namespace) -> Dict:
     """The full benchmark document for ``args``."""
     config = ExperimentConfig(
@@ -158,12 +187,14 @@ def run_suite(args: argparse.Namespace) -> Dict:
         for method in args.methods:
             print(f"benchmarking {method} on {dataset} ...",
                   file=sys.stderr)
-            entries.append(bench_entry(dataset, method, config))
+            entries.append(
+                safe_bench_entry(dataset, method, config)
+            )
             if batched is not None:
                 print(f"benchmarking {method}-batched on {dataset} ...",
                       file=sys.stderr)
                 entries.append(
-                    bench_entry(
+                    safe_bench_entry(
                         dataset, method, batched,
                         label=f"{method}-batched",
                     )

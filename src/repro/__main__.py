@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 import time
 from typing import List, Optional
@@ -115,6 +116,64 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="print dataset statistics (Table III columns)"
     )
     _add_source_arguments(stats)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the fault-tolerant MPMB query service "
+             "(docs/service.md)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8642,
+        help="bind port (0 = ephemeral; default: 8642)",
+    )
+    serve.add_argument(
+        "--datasets", nargs="+", default=None, metavar="NAME",
+        choices=dataset_names(),
+        help="datasets to load and serve (default: all registered)",
+    )
+    serve.add_argument(
+        "--profile", default="bench", choices=("bench", "paper"),
+        help="dataset profile served by the registry",
+    )
+    serve.add_argument(
+        "--dataset-seed", type=int, default=0,
+        help="generation seed for every served dataset",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=50.0,
+        help="sustained admissions per second (token-bucket refill)",
+    )
+    serve.add_argument(
+        "--burst", type=float, default=10.0,
+        help="instantaneous admission burst capacity",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=4,
+        help="simultaneous requests executing (bounded queue)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=128,
+        help="LRU result-cache capacity (0 disables caching)",
+    )
+    serve.add_argument(
+        "--backbone-k", type=int, default=8,
+        help="top-weight butterflies kept warm per graph",
+    )
+    serve.add_argument(
+        "--breaker-threshold", type=int, default=3,
+        help="consecutive failures that open a dataset's breaker",
+    )
+    serve.add_argument(
+        "--breaker-cooldown", type=float, default=30.0,
+        help="seconds an open breaker waits before half-opening",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true",
+        help="log each HTTP request to stderr",
+    )
     return parser
 
 
@@ -350,6 +409,129 @@ def _run_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Set by the SIGTERM handler so exit codes distinguish a termination
+#: request (143 = 128+SIGTERM) from Ctrl-C (130 = 128+SIGINT).  Both
+#: ride the same KeyboardInterrupt path through the engine, so SIGTERM
+#: gets the exact partial-result + re-widened-guarantee treatment that
+#: SIGINT already has.
+_SIGTERM_RECEIVED = False
+
+
+def _handle_sigterm(signum, frame) -> None:
+    """Module-level SIGTERM handler: reuse the graceful SIGINT path."""
+    global _SIGTERM_RECEIVED
+    _SIGTERM_RECEIVED = True
+    raise KeyboardInterrupt()
+
+
+def _install_sigterm_handler() -> None:
+    global _SIGTERM_RECEIVED
+    _SIGTERM_RECEIVED = False
+    try:
+        signal.signal(signal.SIGTERM, _handle_sigterm)
+    except ValueError:
+        # signal.signal only works on the main thread; embedded callers
+        # (e.g. test runners driving main() from a worker thread) keep
+        # the SIGINT-only behaviour.
+        pass
+
+
+def _exit_code(code: int) -> int:
+    """Remap the interrupt exit code when the interrupt was a SIGTERM."""
+    if code == 130 and _SIGTERM_RECEIVED:
+        return 143
+    return code
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from .service import (
+        AdmissionController,
+        BreakerBoard,
+        GraphRegistry,
+        QueryBroker,
+        ResultCache,
+    )
+    from .service.http import make_server
+
+    observer = Observer()
+    datasets = args.datasets or dataset_names()
+    registry = GraphRegistry(
+        datasets, profile=args.profile, dataset_seed=args.dataset_seed,
+        backbone_k=args.backbone_k, observer=observer,
+    )
+    print(f"loading {len(datasets)} dataset(s)...", file=sys.stderr)
+    registry.load_all()
+    for row in registry.describe():
+        print(
+            f"  {row['dataset']}: {row['status']} "
+            f"(v{row['version']}, {row['n_edges']} edges, "
+            f"{row['load_seconds']:.2f}s)",
+            file=sys.stderr,
+        )
+    broker = QueryBroker(
+        registry,
+        admission=AdmissionController(
+            rate=args.rate, burst=args.burst,
+            max_inflight=args.max_inflight,
+        ),
+        breakers=BreakerBoard(
+            failure_threshold=args.breaker_threshold,
+            cooldown_seconds=args.breaker_cooldown,
+        ),
+        cache=ResultCache(args.cache_size),
+        observer=observer,
+    )
+    server = make_server(
+        broker, host=args.host, port=args.port, verbose=args.verbose
+    )
+    host, port = server.server_address[:2]
+    print(
+        f"serving on http://{host}:{port} "
+        f"(POST /query, GET /healthz /readyz /metrics)",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+    return 0
+
+
+def _validate_serve(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
+    if args.port < 0 or args.port > 65535:
+        parser.error(f"--port must be in [0, 65535] (got {args.port})")
+    if args.rate <= 0:
+        parser.error(f"--rate must be positive (got {args.rate})")
+    if args.burst < 1:
+        parser.error(f"--burst must be at least 1 (got {args.burst})")
+    if args.max_inflight <= 0:
+        parser.error(
+            f"--max-inflight must be at least 1 (got {args.max_inflight})"
+        )
+    if args.cache_size < 0:
+        parser.error(
+            f"--cache-size must be non-negative (got {args.cache_size})"
+        )
+    if args.backbone_k <= 0:
+        parser.error(
+            f"--backbone-k must be at least 1 (got {args.backbone_k})"
+        )
+    if args.breaker_threshold <= 0:
+        parser.error(
+            f"--breaker-threshold must be at least 1 "
+            f"(got {args.breaker_threshold})"
+        )
+    if args.breaker_cooldown <= 0:
+        parser.error(
+            f"--breaker-cooldown must be positive "
+            f"(got {args.breaker_cooldown})"
+        )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     if argv is None:
@@ -360,19 +542,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0].startswith("-") and argv[0] not in ("-h", "--help"):
         argv = ["search", *argv]
     args = parser.parse_args(argv)
+    _install_sigterm_handler()
     try:
         if args.command == "search":
             _validate_search(parser, args)
-            return _run_search(args)
+            return _exit_code(_run_search(args))
         if args.command == "stats":
             return _run_stats(args)
+        if args.command == "serve":
+            _validate_serve(parser, args)
+            return _run_serve(args)
     except KeyboardInterrupt:
         # The engine converts mid-loop Ctrl-C into a degraded result;
         # this guards the phases outside the trial loop (graph loading,
         # preparing, exact solvers) so no traceback reaches the user.
         print("interrupted before a partial result was available",
               file=sys.stderr)
-        return 130
+        return _exit_code(130)
     except CheckpointError as error:
         # A wrong/corrupt --resume or --checkpoint target is a usage
         # problem; the message says what mismatched.

@@ -80,3 +80,40 @@ class WorkerFailureError(ReproError, RuntimeError):
     result is then flagged degraded); this error signals that *no*
     worker survived, so there is no partial result to return.
     """
+
+
+class ServiceError(ReproError, RuntimeError):
+    """Base class for failures raised by the long-lived query service.
+
+    Every subclass corresponds to an *explicit*, well-formed service
+    response: the broker converts these into rejection/failed responses
+    rather than letting them crash a request thread.
+    """
+
+
+class AdmissionRejectedError(ServiceError):
+    """A request was rejected by admission control (backpressure).
+
+    Raised when the token bucket has no capacity and the bounded wait
+    queue is full — the service sheds load explicitly instead of
+    queueing unboundedly.  Retry later, ideally with client-side
+    backoff.
+    """
+
+
+class CircuitOpenError(ServiceError):
+    """A request hit an open per-dataset circuit breaker.
+
+    The breaker opened after repeated estimator/worker failures on this
+    dataset; it half-opens after a cooldown and admits probe requests
+    before closing again.
+    """
+
+
+class GraphUnavailableError(ServiceError):
+    """The requested graph is not servable (unknown, failed, quarantined).
+
+    A corrupt or checksum-mismatched artifact is *quarantined* at load
+    time — the registry records the failure and keeps serving every
+    other graph instead of crashing the process.
+    """

@@ -94,6 +94,41 @@ METRICS: Tuple[MetricSpec, ...] = (
                "experiment-harness wall time of the full call"),
     MetricSpec("harness.<method>.peak_bytes", "gauge",
                "experiment-harness peak allocation of the full call"),
+    MetricSpec("service.requests.total", "counter",
+               "query requests received by the broker"),
+    MetricSpec("service.requests.ok", "counter",
+               "requests answered with a full-budget result"),
+    MetricSpec("service.requests.degraded", "counter",
+               "requests answered with a degraded (re-widened) result"),
+    MetricSpec("service.requests.rejected", "counter",
+               "requests rejected (admission or breaker)"),
+    MetricSpec("service.requests.failed", "counter",
+               "requests that resolved to an explicit failure response"),
+    MetricSpec("service.admission.rejected", "counter",
+               "requests shed by token-bucket admission control"),
+    MetricSpec("service.queue.depth", "gauge",
+               "requests currently admitted and in flight"),
+    MetricSpec("service.breaker.rejected", "counter",
+               "requests refused by an open circuit breaker"),
+    MetricSpec("service.breaker.opened", "counter",
+               "circuit-breaker open transitions"),
+    MetricSpec("service.breaker.state", "gauge",
+               "breaker state of the last routed dataset "
+               "(0 closed / 1 half-open / 2 open)"),
+    MetricSpec("service.deadline.degraded", "counter",
+               "requests degraded by deadline expiry"),
+    MetricSpec("service.retries", "counter",
+               "transient worker-pool failures retried by the broker"),
+    MetricSpec("service.cache.hits", "counter",
+               "result-cache hits"),
+    MetricSpec("service.cache.misses", "counter",
+               "result-cache misses"),
+    MetricSpec("service.cache.hit_rate", "gauge",
+               "hits / (hits + misses) over the service lifetime"),
+    MetricSpec("service.registry.loads", "counter",
+               "graph artifacts loaded (including reloads)"),
+    MetricSpec("service.registry.quarantined", "counter",
+               "graph artifacts quarantined by checksum validation"),
 )
 
 #: Every phase-span name the stack records.
@@ -108,6 +143,8 @@ SPANS: Tuple[SpanSpec, ...] = (
     SpanSpec("fan-out", "worker-pool dispatch"),
     SpanSpec("merge", "worker-pool result/metric merge"),
     SpanSpec("worker-<id>", "synthetic header grafted per worker"),
+    SpanSpec("registry-load", "graph registry artifact load + warmup"),
+    SpanSpec("service-request", "one query request through the broker"),
 )
 
 

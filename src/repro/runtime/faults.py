@@ -74,3 +74,49 @@ class FaultPlan:
         if attempt <= self.worker_hang_attempts.get(worker_id, 0):
             return "hang"
         return "ok"
+
+
+@dataclass(frozen=True)
+class ServiceFaultPlan:
+    """A deterministic failure schedule for the query-service layer.
+
+    Extends the in-process :class:`FaultPlan` (which stays the engine's
+    and worker pool's vocabulary) with the failure modes only a
+    long-lived service sees: slow or failing graph loads, artifacts that
+    arrive corrupted, and engine/worker faults injected into every
+    admitted request.  The scripted chaos scenarios in
+    :mod:`repro.service.chaos` are built from these plans, so
+    ``tests/test_service_chaos.py`` can assert on the service's exact
+    reaction without real crashes, disks, or clocks.
+
+    Attributes:
+        load_delay_seconds: Dataset name -> artificial delay (via the
+            registry's injectable ``sleep``) before the graph builds —
+            simulates a slow store or cold cache.
+        load_failures: Dataset name -> number of leading load attempts
+            that raise (the attempt after that succeeds); simulates
+            transient storage faults.
+        corrupt_artifacts: Dataset names whose loaded artifact fails
+            checksum validation — the registry must *quarantine* the
+            entry (serve an explicit error for it) rather than crash.
+        request_faults: An engine/worker :class:`FaultPlan` applied to
+            every admitted request's execution (worker crashes, hangs,
+            checkpoint write failures, in-process crashes).
+    """
+
+    load_delay_seconds: Mapping[str, float] = field(default_factory=dict)
+    load_failures: Mapping[str, int] = field(default_factory=dict)
+    corrupt_artifacts: Tuple[str, ...] = ()
+    request_faults: Optional[FaultPlan] = None
+
+    def load_delay(self, dataset: str) -> float:
+        """Seconds of injected delay before ``dataset`` loads."""
+        return float(self.load_delay_seconds.get(dataset, 0.0))
+
+    def load_should_fail(self, dataset: str, attempt: int) -> bool:
+        """Whether the 1-based load ``attempt`` for ``dataset`` fails."""
+        return attempt <= int(self.load_failures.get(dataset, 0))
+
+    def artifact_is_corrupt(self, dataset: str) -> bool:
+        """Whether ``dataset``'s artifact must fail checksum validation."""
+        return dataset in self.corrupt_artifacts

@@ -9,8 +9,10 @@ This module turns that observation into a production worker pool:
 * each worker is a ``multiprocessing`` process running its share of the
   trial budget on an independent spawned RNG stream;
 * a crashed worker (non-zero exit, missing result) is retried with
-  exponential backoff up to a capped attempt count, with the *same*
-  stream, so retries are deterministic;
+  exponential backoff — deterministically jittered from a stream
+  spawned off the run RNG, so retry bursts decorrelate while replays
+  stay bit-identical — up to a capped attempt count, with the *same*
+  trial stream, so retries are deterministic;
 * a straggler that exceeds the timeout is terminated and treated as a
   failed attempt;
 * workers that fail permanently are dropped, and the surviving partial
@@ -48,7 +50,7 @@ from ..observability import (
     Observer,
     ensure_observer,
 )
-from ..sampling.rng import RngLike, spawn_rngs
+from ..sampling.rng import RngLike, ensure_rng, spawn_rngs
 from .degradation import recompute_guarantee
 from .faults import CRASH_EXIT_CODE, HANG_SECONDS, FaultPlan
 
@@ -113,10 +115,25 @@ def split_trials(
 
 
 def backoff_seconds(
-    attempt: int, base: float = 0.05, cap: float = 2.0
+    attempt: int,
+    base: float = 0.05,
+    cap: float = 2.0,
+    jitter: Optional[RngLike] = None,
 ) -> float:
-    """Exponential backoff before retry ``attempt + 1`` (capped)."""
-    return min(cap, base * (2.0 ** (attempt - 1)))
+    """Exponential backoff before retry ``attempt + 1`` (capped).
+
+    With ``jitter`` (a generator or seed) the capped delay is scaled by
+    a uniform draw from ``[0.5, 1.0]`` — "equal jitter".  A fixed
+    backoff synchronises every retrying worker after a straggler kill
+    into one thundering-herd burst; jitter decorrelates the bursts.
+    Drawing from a generator spawned off the run RNG keeps replays
+    bit-identical: the same seed produces the same backoff schedule.
+    """
+    delay = min(cap, base * (2.0 ** (attempt - 1)))
+    if jitter is None:
+        return delay
+    fraction = float(ensure_rng(jitter).uniform(0.5, 1.0))
+    return delay * fraction
 
 
 def _worker_main(
@@ -199,8 +216,12 @@ def run_parallel_trials(
             stream, so retries reproduce the same trials.
         max_attempts: Attempts per worker before it is dropped.
         backoff_base: First retry waits this many seconds; subsequent
-            retries double it.
-        backoff_cap: Upper bound on any single backoff sleep.
+            retries double it.  Every sleep is scaled by a deterministic
+            jitter factor in ``[0.5, 1.0]`` drawn from a stream spawned
+            off ``rng``, so simultaneous retries do not synchronise into
+            bursts and the same seed replays the same schedule.
+        backoff_cap: Upper bound on any single backoff sleep (before
+            jitter scaling).
         straggler_timeout: Seconds to wait for a worker before
             terminating it as a straggler; ``None`` waits indefinitely.
         faults: Optional deterministic fault-injection plan.
@@ -253,7 +274,12 @@ def run_parallel_trials(
 
     observer = ensure_observer(observer)
     context = multiprocessing.get_context(mp_context)
-    streams = spawn_rngs(rng, n_workers)
+    # One extra child stream seeds the retry-backoff jitter.  Spawned
+    # children are keyed by index, so workers 0..n-1 receive exactly the
+    # streams they always did — adding the jitter stream at the end
+    # changes no worker's trials.
+    streams = spawn_rngs(rng, n_workers + 1)
+    jitter_rng = streams[n_workers]
     reports: Dict[int, WorkerReport] = {}
     results: Dict[int, object] = {}
     worker_metrics: Dict[int, Dict] = {}
@@ -326,7 +352,8 @@ def run_parallel_trials(
                         round_backoff = max(
                             round_backoff,
                             backoff_seconds(
-                                attempt, backoff_base, backoff_cap
+                                attempt, backoff_base, backoff_cap,
+                                jitter=jitter_rng,
                             ),
                         )
             if retry and round_backoff > 0.0:

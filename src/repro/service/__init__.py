@@ -1,0 +1,49 @@
+"""Fault-tolerant MPMB query service.
+
+Turns the batch reproduction stack into a long-lived, failure-contained
+query service (see ``docs/service.md``):
+
+* :class:`~repro.service.registry.GraphRegistry` — load-once, versioned
+  graph store with checksum validation, warm derived artifacts, and
+  quarantine-don't-crash handling of corrupt datasets.
+* :class:`~repro.service.schemas.QueryRequest` /
+  :class:`~repro.service.schemas.QueryResponse` — the validated
+  admission and exit contracts.
+* :class:`~repro.service.admission.AdmissionController` — token-bucket
+  rate limiting plus a bounded in-flight cap (explicit backpressure,
+  never unbounded queues).
+* :class:`~repro.service.breaker.CircuitBreaker` — per-dataset
+  closed/open/half-open failure isolation.
+* :class:`~repro.service.cache.ResultCache` — versioned LRU result
+  cache, invalidated by registry reloads.
+* :class:`~repro.service.broker.QueryBroker` — the single choke point
+  multiplexing requests onto the runtime engine and worker pool, with
+  deadline propagation into the engine's degradation path and
+  deterministic retry jitter.
+* :mod:`~repro.service.chaos` — scripted, deterministic chaos
+  scenarios asserting that no injected fault crashes the service.
+* :mod:`~repro.service.http` — stdlib JSON-over-HTTP front-end
+  (``python -m repro serve``).
+"""
+
+from .admission import AdmissionController, TokenBucket
+from .breaker import BreakerBoard, CircuitBreaker
+from .broker import QueryBroker
+from .cache import ResultCache
+from .registry import GraphRegistry, RegistryEntry, graph_checksum
+from .schemas import STATUSES, QueryRequest, QueryResponse
+
+__all__ = [
+    "AdmissionController",
+    "TokenBucket",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "QueryBroker",
+    "ResultCache",
+    "GraphRegistry",
+    "RegistryEntry",
+    "graph_checksum",
+    "STATUSES",
+    "QueryRequest",
+    "QueryResponse",
+]

@@ -1,0 +1,146 @@
+"""Token-bucket admission control with bounded in-flight capacity.
+
+The service sheds load *explicitly*: a request is either admitted, or
+rejected immediately with :class:`~repro.errors.AdmissionRejectedError`
+(HTTP 429).  Nothing waits in an unbounded queue — the only "queue" is
+the bounded in-flight slot count, so memory use is capped regardless of
+offered load.
+
+Two independent limits compose:
+
+* a **token bucket** (sustained rate + burst capacity) smooths spikes —
+  a burst up to ``burst`` requests is admitted instantly, after which
+  admissions are paced at ``rate`` per second;
+* a **concurrency cap** (``max_inflight``) bounds simultaneous engine
+  executions regardless of token availability.
+
+The clock is injectable, so load-spike chaos tests drive refill
+deterministically instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from ..errors import AdmissionRejectedError, ConfigurationError
+
+
+class TokenBucket:
+    """A classic token bucket over an injectable monotonic clock.
+
+    Args:
+        rate: Sustained admissions per second (tokens refilled
+            continuously at this rate).
+        burst: Bucket capacity — the largest instantaneous burst.
+        clock: Monotonic clock (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0.0:
+            raise ConfigurationError(f"rate must be positive, got {rate}")
+        if burst < 1.0:
+            raise ConfigurationError(
+                f"burst must be at least 1, got {burst}"
+            )
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; never blocks."""
+        with self._lock:
+            now = self._clock()
+            elapsed = max(0.0, now - self._stamp)
+            self._stamp = now
+            self._tokens = min(
+                self.burst, self._tokens + elapsed * self.rate
+            )
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    @property
+    def available(self) -> float:
+        """Tokens currently in the bucket (refill not applied)."""
+        with self._lock:
+            return self._tokens
+
+
+class AdmissionController:
+    """Bounded admission: token bucket + in-flight concurrency cap.
+
+    Usage::
+
+        ticket = controller.admit()   # raises AdmissionRejectedError
+        try:
+            ...                        # execute the request
+        finally:
+            controller.release()
+
+    Args:
+        rate: Sustained admissions per second.
+        burst: Instantaneous burst capacity.
+        max_inflight: Simultaneous admitted requests; the bounded
+            "queue" that caps service memory.
+        clock: Injectable monotonic clock.
+    """
+
+    def __init__(
+        self,
+        rate: float = 50.0,
+        burst: float = 10.0,
+        max_inflight: int = 4,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_inflight <= 0:
+            raise ConfigurationError(
+                f"max_inflight must be positive, got {max_inflight}"
+            )
+        self.bucket = TokenBucket(rate, burst, clock=clock)
+        self.max_inflight = int(max_inflight)
+        self._inflight = 0
+        self._lock = threading.Lock()
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently admitted and executing."""
+        with self._lock:
+            return self._inflight
+
+    def admit(self) -> None:
+        """Admit one request or reject it immediately.
+
+        Raises:
+            AdmissionRejectedError: No in-flight slot or no token —
+                the caller must answer with an explicit backpressure
+                rejection, not queue the request.
+        """
+        with self._lock:
+            if self._inflight >= self.max_inflight:
+                raise AdmissionRejectedError(
+                    f"at capacity: {self._inflight}/{self.max_inflight} "
+                    "requests in flight; retry later"
+                )
+            if not self.bucket.try_acquire():
+                raise AdmissionRejectedError(
+                    "rate limit exceeded (token bucket empty); "
+                    "retry later"
+                )
+            self._inflight += 1
+
+    def release(self) -> None:
+        """Return the in-flight slot taken by :meth:`admit`."""
+        with self._lock:
+            if self._inflight > 0:
+                self._inflight -= 1

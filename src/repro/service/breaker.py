@@ -1,0 +1,182 @@
+"""Per-dataset circuit breakers (closed → open → half-open → closed).
+
+A dataset whose requests keep failing (estimator errors, permanent
+worker-pool failures) stops being routed: its breaker **opens** after
+``failure_threshold`` consecutive failures and rejects requests
+instantly with :class:`~repro.errors.CircuitOpenError` — protecting
+both the service (no capacity burned on a known-bad target) and the
+failing backend (no retry storm).  After ``cooldown_seconds`` the
+breaker **half-opens** and admits a limited number of probe requests;
+one probe success closes it again, one probe failure re-opens it and
+restarts the cooldown.
+
+Breakers are per dataset, so one poisoned dataset cannot darken the
+others.  The clock is injectable: chaos tests step time to drive the
+open → half-open transition deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict
+
+from ..errors import CircuitOpenError, ConfigurationError
+
+#: Gauge encoding of breaker states (``service.breaker.state``).
+STATE_VALUES = {"closed": 0.0, "half-open": 1.0, "open": 2.0}
+
+
+class CircuitBreaker:
+    """One dataset's failure-isolation state machine.
+
+    Args:
+        failure_threshold: Consecutive failures that open the breaker.
+        cooldown_seconds: Open time before probes are admitted.
+        half_open_probes: Probe requests admitted while half-open.
+        clock: Injectable monotonic clock.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 30.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold <= 0:
+            raise ConfigurationError(
+                f"failure_threshold must be positive, "
+                f"got {failure_threshold}"
+            )
+        if cooldown_seconds <= 0.0:
+            raise ConfigurationError(
+                f"cooldown_seconds must be positive, "
+                f"got {cooldown_seconds}"
+            )
+        if half_open_probes <= 0:
+            raise ConfigurationError(
+                f"half_open_probes must be positive, "
+                f"got {half_open_probes}"
+            )
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_seconds = float(cooldown_seconds)
+        self.half_open_probes = int(half_open_probes)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probes_out = 0
+        self._open_transitions = 0
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half-open"`` (cooldown-aware)."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    @property
+    def open_transitions(self) -> int:
+        """How many times this breaker has opened (monotone)."""
+        with self._lock:
+            return self._open_transitions
+
+    def allow(self) -> None:
+        """Gate one request through the breaker.
+
+        Raises:
+            CircuitOpenError: The breaker is open (cooldown running) or
+                half-open with all probe slots taken.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == "closed":
+                return
+            if self._state == "half-open":
+                if self._probes_out < self.half_open_probes:
+                    self._probes_out += 1
+                    return
+                raise CircuitOpenError(
+                    "breaker half-open: probe slots exhausted; "
+                    "retry later"
+                )
+            remaining = (
+                self.cooldown_seconds - (self._clock() - self._opened_at)
+            )
+            raise CircuitOpenError(
+                f"breaker open after {self._failures} consecutive "
+                f"failures; half-opens in {max(0.0, remaining):.1f}s"
+            )
+
+    def record_success(self) -> None:
+        """Note a completed request; closes a half-open breaker."""
+        with self._lock:
+            self._failures = 0
+            self._probes_out = 0
+            self._state = "closed"
+
+    def record_failure(self) -> None:
+        """Note a failed request; may open (or re-open) the breaker."""
+        with self._lock:
+            self._maybe_half_open()
+            self._failures += 1
+            if self._state == "half-open":
+                self._trip()  # failed probe: back to open, new cooldown
+            elif (
+                self._state == "closed"
+                and self._failures >= self.failure_threshold
+            ):
+                self._trip()
+
+    def _maybe_half_open(self) -> None:
+        """Open → half-open once the cooldown has elapsed (lock held)."""
+        if (
+            self._state == "open"
+            and self._clock() - self._opened_at >= self.cooldown_seconds
+        ):
+            self._state = "half-open"
+            self._probes_out = 0
+
+    def _trip(self) -> None:
+        """Transition to open and restart the cooldown (lock held)."""
+        self._state = "open"
+        self._opened_at = self._clock()
+        self._probes_out = 0
+        self._open_transitions += 1
+
+
+class BreakerBoard:
+    """Lazy per-dataset collection of identically-configured breakers."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 30.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._config = dict(
+            failure_threshold=failure_threshold,
+            cooldown_seconds=cooldown_seconds,
+            half_open_probes=half_open_probes,
+        )
+        self._clock = clock
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._lock = threading.Lock()
+
+    def get(self, dataset: str) -> CircuitBreaker:
+        """The breaker guarding ``dataset`` (created on first use)."""
+        with self._lock:
+            breaker = self._breakers.get(dataset)
+            if breaker is None:
+                breaker = CircuitBreaker(clock=self._clock, **self._config)
+                self._breakers[dataset] = breaker
+            return breaker
+
+    def states(self) -> Dict[str, str]:
+        """Dataset -> current breaker state (for health probes)."""
+        with self._lock:
+            breakers = dict(self._breakers)
+        return {name: b.state for name, b in breakers.items()}

@@ -1,0 +1,82 @@
+"""Versioned LRU result cache for the query broker.
+
+Keys are ``(graph_version, canonical request params)``: a registry
+reload bumps the version, so every stale answer becomes unreachable
+without an explicit flush protocol (the LRU then evicts it naturally).
+Degraded results are never cached — a deadline-shortened answer must
+not shadow the full-budget answer a later, unhurried request would get.
+
+The cache stores the broker's *full* ranked payload; ``top_k`` slicing
+happens per request, so requests differing only in ``top_k`` share one
+entry (see ``QueryRequest.canonical_params``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from ..errors import ConfigurationError
+
+CacheKey = Tuple[int, Tuple[Hashable, ...]]
+
+
+class ResultCache:
+    """A bounded, thread-safe LRU mapping cache keys to result payloads.
+
+    Args:
+        max_entries: Hard capacity; the least recently *used* entry is
+            evicted on overflow.  Zero disables caching entirely (every
+            ``get`` misses, every ``put`` is dropped).
+    """
+
+    def __init__(self, max_entries: int = 128) -> None:
+        if max_entries < 0:
+            raise ConfigurationError(
+                f"max_entries must be non-negative, got {max_entries}"
+            )
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[CacheKey, Dict[str, Any]]" = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """``hits / (hits + misses)`` over the cache lifetime (0.0 cold)."""
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
+
+    def get(self, key: CacheKey) -> Optional[Dict[str, Any]]:
+        """The cached payload for ``key``, refreshing its recency."""
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return payload
+
+    def put(self, key: CacheKey, payload: Dict[str, Any]) -> None:
+        """Store ``payload`` under ``key``, evicting LRU on overflow."""
+        if self.max_entries == 0:
+            return
+        with self._lock:
+            self._entries[key] = payload
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (hit/miss counters survive)."""
+        with self._lock:
+            self._entries.clear()

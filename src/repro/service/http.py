@@ -1,0 +1,134 @@
+"""Stdlib HTTP front-end for the query broker.
+
+A thin JSON-over-HTTP adapter — all policy (admission, breakers,
+deadlines, caching) lives in :class:`~repro.service.broker.QueryBroker`;
+this module only maps transport:
+
+* ``POST /query``    — body: a :class:`QueryRequest` JSON object;
+  response: a :class:`QueryResponse` JSON object.  Status codes:
+  200 ``ok``/``degraded``, 400 malformed request, 429 ``rejected``
+  (backpressure or open breaker), 500 ``failed``.
+* ``GET /healthz``   — liveness: 200 while the process can answer.
+* ``GET /readyz``    — readiness: 200 when every graph is loaded and
+  servable, 503 otherwise (body lists per-dataset health).
+* ``GET /metrics``   — the observer's metrics document as JSON.
+
+Built on :class:`http.server.ThreadingHTTPServer` (one thread per
+connection; the broker's locks make the shared state safe) so the
+service has **zero third-party dependencies**.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ConfigurationError, ReproError
+from .broker import QueryBroker
+from .schemas import QueryRequest
+
+#: Cap on accepted request bodies (a query is a small JSON object;
+#: anything bigger is shed before it is even parsed).
+MAX_BODY_BYTES = 64 * 1024
+
+#: HTTP status per response status.
+_HTTP_STATUS = {"ok": 200, "degraded": 200, "rejected": 429, "failed": 500}
+
+
+class QueryRequestHandler(BaseHTTPRequestHandler):
+    """Routes the four service endpoints onto the broker."""
+
+    #: Injected by :func:`make_server`.
+    broker: QueryBroker = None  # type: ignore[assignment]
+    #: Silence per-request stderr logging unless enabled.
+    verbose = False
+
+    server_version = "repro-mpmb-service/1"
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.verbose:
+            super().log_message(format, *args)
+
+    # -- GET ----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        if self.path == "/healthz":
+            self._send(200, self.broker.health())
+        elif self.path == "/readyz":
+            payload = self.broker.readiness()
+            self._send(200 if payload["ready"] else 503, payload)
+        elif self.path == "/metrics":
+            document = self.broker.observer.export_document(
+                method="service", graph_name="service"
+            )
+            self._send(200, document)
+        else:
+            self._send(404, {"error": f"unknown path {self.path!r}"})
+
+    # -- POST ---------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        if self.path != "/query":
+            self._send(404, {"error": f"unknown path {self.path!r}"})
+            return
+        request, problem = self._read_request()
+        if request is None:
+            self._send(400, {"error": problem})
+            return
+        response = self.broker.handle(request)
+        self._send(
+            _HTTP_STATUS.get(response.status, 500), response.to_dict()
+        )
+
+    def _read_request(
+        self,
+    ) -> Tuple[Optional[QueryRequest], Optional[str]]:
+        """Parse and validate the body; (None, reason) on any problem."""
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length <= 0:
+            return None, "empty request body"
+        if length > MAX_BODY_BYTES:
+            return None, (
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            return None, f"request body is not valid JSON: {error}"
+        try:
+            return QueryRequest.from_dict(payload), None
+        except (ConfigurationError, ReproError) as error:
+            return None, str(error)
+
+    # -- plumbing -----------------------------------------------------
+
+    def _send(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+def make_server(
+    broker: QueryBroker,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """A ready-to-serve HTTP server bound to ``host:port``.
+
+    Port 0 binds an ephemeral port (useful in tests); read the bound
+    address from ``server.server_address``.  Call ``serve_forever()``
+    to run and ``shutdown()`` from another thread to stop.
+    """
+    handler = type(
+        "BoundQueryRequestHandler",
+        (QueryRequestHandler,),
+        {"broker": broker, "verbose": verbose},
+    )
+    return ThreadingHTTPServer((host, port), handler)

@@ -1,0 +1,70 @@
+"""The benchmark harness survives individual method crashes."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_BENCH_PATH = (
+    Path(__file__).resolve().parent.parent
+    / "benchmarks" / "run_bench.py"
+)
+
+
+@pytest.fixture(scope="module")
+def run_bench():
+    spec = importlib.util.spec_from_file_location(
+        "run_bench_under_test", _BENCH_PATH
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    yield module
+    sys.modules.pop(spec.name, None)
+
+
+def _args(run_bench, **overrides):
+    parser = run_bench.build_parser()
+    argv = [
+        "--datasets", "abide", "--trials", "30", "--mcvp-trials", "2",
+        "--prepare", "10", "--methods", "os", "ols",
+    ]
+    args = parser.parse_args(argv)
+    for key, value in overrides.items():
+        setattr(args, key, value)
+    return args
+
+
+class TestCrashIsolation:
+    def test_one_crashing_method_does_not_void_the_sweep(
+        self, run_bench, monkeypatch
+    ):
+        real = run_bench.bench_entry
+
+        def exploding(dataset, method, config, label=None):
+            if method == "os":
+                raise RuntimeError("simulated estimator crash")
+            return real(dataset, method, config, label=label)
+
+        monkeypatch.setattr(run_bench, "bench_entry", exploding)
+        document = run_bench.run_suite(_args(run_bench))
+        entries = {e["method"]: e for e in document["entries"]}
+        assert set(entries) == {"os", "ols"}
+        failed = entries["os"]
+        assert failed["error"].startswith("RuntimeError:")
+        assert failed["dataset"] == "abide"
+        assert "wall_seconds" not in failed
+        # The surviving method carries the full measurement schema.
+        assert entries["ols"]["n_trials"] == 30
+        assert "error" not in entries["ols"]
+
+    def test_clean_sweep_has_no_error_entries(self, run_bench):
+        document = run_bench.run_suite(
+            _args(run_bench, methods=["os"])
+        )
+        (entry,) = document["entries"]
+        assert "error" not in entry
+        assert entry["wall_seconds"] > 0

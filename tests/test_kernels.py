@@ -18,8 +18,13 @@ hit-rate reads, the tolerant ``A1``/``A2`` weight classes, and
 
 from __future__ import annotations
 
+import tempfile
+from pathlib import Path
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import CheckpointError, FaultPlan, Observer, RuntimePolicy
 from repro.butterfly import top_weight_butterflies
@@ -355,6 +360,41 @@ class TestBlockedCheckpointResume:
                 graph, 60, n_prepare=20, estimator="optimized", rng=11,
                 block_size=15, runtime=_resume_policy(path),
             )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    block_size=st.sampled_from((1, 3, 7, 8, 16)),
+    crash_at=st.integers(2, 6),
+    seed=st.integers(0, 10_000),
+)
+def test_property_crash_resume_bit_identical(block_size, crash_at, seed):
+    """Crash-resume equivalence as a property over batched kernels.
+
+    For any block size, any injected crash point, and any seed: an OS
+    run killed mid-run by a :class:`FaultPlan` fault and resumed from
+    its checkpoint is bit-identical to the uninterrupted run.
+    """
+    graph = build_graph(FIGURE_1_EDGES, name="figure-1")
+    baseline = result_to_dict(
+        ordering_sampling(graph, 24, rng=seed, block_size=block_size)
+    )
+    # The engine counts blocked runs in block units: clamp the crash
+    # point into the run so the injected fault always fires.
+    n_blocks = len(block_lengths(24, block_size))
+    crash_unit = min(crash_at, n_blocks)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = str(Path(tmp) / "snap.json")
+        with pytest.raises(InjectedCrash):
+            ordering_sampling(
+                graph, 24, rng=seed, block_size=block_size,
+                runtime=_crash_policy(path, crash_unit),
+            )
+        resumed = ordering_sampling(
+            graph, 24, rng=seed, block_size=block_size,
+            runtime=_resume_policy(path),
+        )
+    assert result_to_dict(resumed) == baseline
 
 
 class TestCandidateBlockKernel:

@@ -140,6 +140,83 @@ class TestInterrupt:
         assert "Top-1 MPMB" in captured.out
 
 
+class TestSigterm:
+    """SIGTERM gets the same graceful degradation as SIGINT (exit 143)."""
+
+    def test_sigterm_mid_loop_reports_partial_and_exits_143(
+        self, graph_file, capsys, monkeypatch
+    ):
+        """The SIGTERM handler rides the KeyboardInterrupt path, so a
+        terminated run still prints the partial ranking and re-widened
+        guarantee — only the exit code differs (143 = 128+SIGTERM)."""
+        from repro.runtime import RuntimePolicy
+
+        calls = {"n": 0}
+
+        def terminating_clock():
+            calls["n"] += 1
+            if calls["n"] >= 25:
+                # What the real signal handler does, minus the signal.
+                cli._handle_sigterm(None, None)
+            return 0.0
+
+        monkeypatch.setattr(
+            cli, "_search_policy",
+            lambda args: RuntimePolicy(
+                timeout_seconds=3600.0, clock=terminating_clock
+            ),
+        )
+        code = cli.main([
+            "search", graph_file, "--method", "os",
+            "--trials", "500", "--seed", "3",
+        ])
+        captured = capsys.readouterr()
+        assert code == 143
+        assert "DEGRADED result: the run was interrupted" in captured.out
+        assert "Re-widened guarantee" in captured.out
+        assert "Top-1 MPMB" in captured.out
+
+    def test_sigterm_outside_loop_exits_143(
+        self, graph_file, capsys, monkeypatch
+    ):
+        def boom(*args, **kwargs):
+            cli._handle_sigterm(None, None)
+        monkeypatch.setattr(cli, "find_mpmb", boom)
+        code = cli.main(["search", graph_file, "--seed", "3"])
+        captured = capsys.readouterr()
+        assert code == 143
+        assert "Traceback" not in captured.err
+
+    def test_plain_sigint_still_exits_130(
+        self, graph_file, capsys, monkeypatch
+    ):
+        """A fresh main() resets the SIGTERM flag: Ctrl-C stays 130."""
+        def boom(*args, **kwargs):
+            raise KeyboardInterrupt
+        monkeypatch.setattr(cli, "find_mpmb", boom)
+        assert cli.main(["search", graph_file, "--seed", "3"]) == 130
+        capsys.readouterr()
+
+
+class TestServeValidation:
+    """The serve subcommand rejects bad knobs upfront (exit 2)."""
+
+    @pytest.mark.parametrize("argv", [
+        ["serve", "--port", "-1"],
+        ["serve", "--rate", "0"],
+        ["serve", "--burst", "0.5"],
+        ["serve", "--max-inflight", "0"],
+        ["serve", "--cache-size", "-1"],
+        ["serve", "--backbone-k", "0"],
+        ["serve", "--breaker-threshold", "0"],
+        ["serve", "--breaker-cooldown", "0"],
+        ["serve", "--datasets", "nope"],
+    ])
+    def test_invalid_serve_flags_exit_2(self, argv, capsys):
+        assert _exit_code(argv) == 2
+        capsys.readouterr()
+
+
 class TestRuntimeFlags:
     def test_timeout_expiry_prints_degraded_notice(
         self, graph_file, capsys

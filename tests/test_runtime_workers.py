@@ -35,6 +35,20 @@ class TestSplitAndBackoff:
         assert backoff_seconds(3) == pytest.approx(0.20)
         assert backoff_seconds(10) == 2.0
 
+    def test_jittered_backoff_is_bounded_and_deterministic(self):
+        """Jitter scales into [0.5, 1.0]x and replays per seed."""
+        first = [backoff_seconds(2, jitter=7) for _ in range(5)]
+        again = [backoff_seconds(2, jitter=7) for _ in range(5)]
+        assert first == again  # seed -> identical schedule
+        for delay in first:
+            assert 0.5 * 0.10 <= delay <= 0.10
+        # A shared generator decorrelates consecutive draws.
+        from repro.sampling.rng import ensure_rng
+
+        stream = ensure_rng(3)
+        draws = {backoff_seconds(2, jitter=stream) for _ in range(8)}
+        assert len(draws) > 1
+
 
 class TestHappyPath:
     def test_merged_result_pools_all_trials(self, graph):
@@ -62,7 +76,17 @@ class TestRetries:
             faults=FaultPlan(worker_crash_attempts={0: 1}),
             sleep=slept.append,
         )
-        assert slept == [pytest.approx(backoff_seconds(1))]
+        assert len(slept) == 1
+        assert 0.5 * backoff_seconds(1) <= slept[0] <= backoff_seconds(1)
+        # The jitter stream is seeded from the run RNG, so a replay of
+        # the same faulty run sleeps for exactly the same durations.
+        replay = []
+        run_parallel_trials(
+            graph, 60, 3, method="os", rng=5,
+            faults=FaultPlan(worker_crash_attempts={0: 1}),
+            sleep=replay.append,
+        )
+        assert replay == slept
         assert faulty.stats["worker_attempts"] == 4.0
         assert not faulty.degraded
         # The retried worker replays its original RNG stream, so the
@@ -80,10 +104,10 @@ class TestRetries:
             faults=FaultPlan(worker_crash_attempts={1: 2}),
             sleep=slept.append,
         )
-        assert slept == [
-            pytest.approx(backoff_seconds(1)),
-            pytest.approx(backoff_seconds(2)),
-        ]
+        assert len(slept) == 2
+        assert 0.5 * backoff_seconds(1) <= slept[0] <= backoff_seconds(1)
+        assert 0.5 * backoff_seconds(2) <= slept[1] <= backoff_seconds(2)
+        assert slept[1] > slept[0]  # escalation survives the jitter
 
 
 class TestPermanentFailures:

@@ -1,0 +1,113 @@
+"""Scripted chaos scenarios: no injected fault crashes the service.
+
+The acceptance invariant (see ``docs/service.md``): under each scripted
+:class:`~repro.runtime.faults.ServiceFaultPlan`, every well-formed
+request resolves to success, an explicit backpressure/breaker
+rejection, or a degraded result with re-widened guarantees — and
+scalar results served through the broker stay bit-identical to the
+CLI execution path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import find_mpmb
+from repro.core.serialize import result_to_dict
+from repro.datasets import load_dataset
+from repro.errors import ConfigurationError
+from repro.service import GraphRegistry, QueryBroker, QueryRequest
+from repro.service.chaos import (
+    SCENARIOS,
+    FakeClock,
+    main,
+    run_scenario,
+)
+
+
+class TestScriptedScenarios:
+    @pytest.mark.parametrize(
+        "name", [scenario.name for scenario in SCENARIOS]
+    )
+    def test_scenario_passes(self, name):
+        report = run_scenario(name)
+        assert report.passed, report.failures
+        assert report.checks  # the scenario actually asserted things
+
+    def test_unknown_scenario_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            run_scenario("nope")
+
+    def test_main_runs_all_scenarios(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        for scenario in SCENARIOS:
+            assert f"[PASS] {scenario.name}" in out
+
+    def test_fake_clock_steps_manually(self):
+        clock = FakeClock(5.0)
+        assert clock() == 5.0
+        clock.advance(2.5)
+        assert clock() == 7.5
+
+
+class TestServiceCliEquivalence:
+    """Scalar service answers are bit-identical to the CLI path."""
+
+    @pytest.mark.parametrize("method", ["mc-vp", "os", "ols", "ols-kl"])
+    def test_scalar_results_match_direct_execution(self, method):
+        trials = 4 if method == "mc-vp" else 60
+        graph = load_dataset("abide", "bench", rng=0)
+        direct = find_mpmb(
+            graph, method=method, n_trials=trials, n_prepare=30, rng=13
+        )
+        registry = GraphRegistry(["abide"])
+        registry.load_all()
+        broker = QueryBroker(registry, sleep=lambda _: None)
+        response = broker.handle(QueryRequest(
+            dataset="abide", method=method, trials=trials, prepare=30,
+            seed=13, top_k=10_000, use_cache=False,
+        ))
+        assert response.status == "ok"
+        assert response.n_trials == direct.n_trials
+        expected = [
+            {
+                "labels": list(labels),
+                "weight": float(weight),
+                "probability": float(probability),
+            }
+            for labels, weight, probability
+            in direct.labelled_ranking(10_000)
+        ]
+        assert response.ranking == expected
+        # The registry's own graph reproduces the direct run exactly.
+        entry = registry.get("abide")
+        replay = find_mpmb(
+            entry.graph, method=method, n_trials=trials, n_prepare=30,
+            rng=13,
+        )
+        assert result_to_dict(replay) == result_to_dict(direct)
+
+    def test_batched_results_match_direct_batched_execution(self):
+        graph = load_dataset("abide", "bench", rng=0)
+        direct = find_mpmb(
+            graph, method="os", n_trials=64, rng=5, block_size=16
+        )
+        registry = GraphRegistry(["abide"])
+        registry.load_all()
+        broker = QueryBroker(registry, sleep=lambda _: None)
+        response = broker.handle(QueryRequest(
+            dataset="abide", method="os", trials=64, seed=5,
+            block_size=16, top_k=10_000, use_cache=False,
+        ))
+        assert response.status == "ok"
+        expected = [
+            {
+                "labels": list(labels),
+                "weight": float(weight),
+                "probability": float(probability),
+            }
+            for labels, weight, probability
+            in direct.labelled_ranking(10_000)
+        ]
+        assert response.ranking == expected
