@@ -110,6 +110,20 @@ class CircuitBreaker:
                 f"failures; half-opens in {max(0.0, remaining):.1f}s"
             )
 
+    def cancel_probe(self) -> None:
+        """Return a probe slot whose request never actually executed.
+
+        A half-open :meth:`allow` consumes a probe slot expecting a
+        later ``record_success``/``record_failure``; when the request
+        is shed before execution (admission rejection, graph gone,
+        deadline already expired) neither runs, and without this the
+        slot would leak — wedging the breaker half-open forever.
+        No-op unless half-open with outstanding probes.
+        """
+        with self._lock:
+            if self._state == "half-open" and self._probes_out > 0:
+                self._probes_out -= 1
+
     def record_success(self) -> None:
         """Note a completed request; closes a half-open breaker."""
         with self._lock:

@@ -135,6 +135,25 @@ class QueryBroker:
     def _dispatch(self, request: QueryRequest) -> QueryResponse:
         """The lifecycle: route → cache → breaker → admit → execute."""
         observer = self.observer
+        registry = self.registry
+        if (
+            request.profile != registry.profile
+            or request.dataset_seed != registry.dataset_seed
+        ):
+            # The registry holds one graph per dataset, built with the
+            # server's profile/seed.  Serving a mismatched identity from
+            # it would label results for a graph that was never built —
+            # breaking bit-identity with `python -m repro search`.
+            return self._respond(
+                request, status="failed", reason="graph-unavailable",
+                detail=(
+                    f"this service serves profile "
+                    f"{registry.profile!r} with dataset_seed "
+                    f"{registry.dataset_seed}; requested profile "
+                    f"{request.profile!r} with dataset_seed "
+                    f"{request.dataset_seed}"
+                ),
+            )
         try:
             entry = self.registry.get(request.dataset)
         except GraphUnavailableError as error:
@@ -168,6 +187,7 @@ class QueryBroker:
         try:
             self.admission.admit()
         except AdmissionRejectedError as error:
+            breaker.cancel_probe()  # the probe never executed
             observer.inc("service.admission.rejected")
             return self._respond(
                 request, status="rejected", reason="admission-rejected",
@@ -195,6 +215,7 @@ class QueryBroker:
         observer = self.observer
         graph = entry.graph
         if graph is None:  # reloaded-to-quarantine race
+            breaker.cancel_probe()  # the probe never executed
             return self._respond(
                 request, status="failed", reason="graph-unavailable",
                 detail=f"dataset {request.dataset!r} became unavailable",
@@ -213,7 +234,10 @@ class QueryBroker:
                 if remaining <= 0.0:
                     # Expired before (or between) executions: a
                     # degraded zero-trial answer with an honestly
-                    # vacuous guarantee, not an error.
+                    # vacuous guarantee, not an error.  No breaker
+                    # outcome will be recorded, so hand back any
+                    # half-open probe slot this request holds.
+                    breaker.cancel_probe()
                     observer.inc("service.deadline.degraded")
                     return self._respond(
                         request, status="degraded",
@@ -272,6 +296,18 @@ class QueryBroker:
         """One engine execution with the request's exact CLI shape."""
         request_faults = self.faults.request_faults
         if request.workers > 1:
+            pool_kwargs: Dict[str, Any] = {}
+            if remaining_seconds is not None:
+                # Deadline propagation for pooled runs: workers still
+                # running at the remaining budget are terminated as
+                # stragglers and not retried in-pool (a retry could
+                # only finish past the deadline); whatever completed
+                # merges into a degraded result with a re-widened
+                # guarantee.  If every worker is cut down, the pool's
+                # WorkerFailureError sends us back around the retry
+                # loop, whose deadline check degrades explicitly.
+                pool_kwargs["straggler_timeout"] = remaining_seconds
+                pool_kwargs["max_attempts"] = 1
             return run_parallel_trials(
                 graph, trials, request.workers, method=request.method,
                 rng=request.seed, n_prepare=request.prepare,
@@ -281,6 +317,7 @@ class QueryBroker:
                 observer=(
                     self.observer if self.observer.enabled else None
                 ),
+                **pool_kwargs,
             )
         kwargs: Dict[str, Any] = {}
         if remaining_seconds is not None or request_faults is not None:

@@ -85,7 +85,11 @@ class QueryRequestHandler(BaseHTTPRequestHandler):
         self,
     ) -> Tuple[Optional[QueryRequest], Optional[str]]:
         """Parse and validate the body; (None, reason) on any problem."""
-        length = int(self.headers.get("Content-Length", 0) or 0)
+        header = self.headers.get("Content-Length", 0) or 0
+        try:
+            length = int(header)
+        except (TypeError, ValueError):
+            return None, f"invalid Content-Length header: {header!r}"
         if length <= 0:
             return None, "empty request body"
         if length > MAX_BODY_BYTES:

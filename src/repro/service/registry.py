@@ -184,7 +184,7 @@ class GraphRegistry:
         """
         entry = self._require_known(dataset)
         if entry.version == 0:
-            entry = self._load(dataset)
+            entry = self._load(dataset, only_if_unloaded=True)
         if entry.status != "ready" or entry.graph is None:
             raise GraphUnavailableError(
                 f"dataset {dataset!r} is {entry.status}: {entry.error}"
@@ -210,14 +210,23 @@ class GraphRegistry:
             )
         return entry
 
-    def _load(self, dataset: str) -> RegistryEntry:
+    def _load(
+        self, dataset: str, only_if_unloaded: bool = False
+    ) -> RegistryEntry:
         """(Re)load one dataset under the registry lock.
 
         All failure modes — injected or real — end in a quarantined or
-        failed entry, never an exception.
+        failed entry, never an exception.  ``only_if_unloaded`` makes
+        the call idempotent for lazy first loads: :meth:`get` checks
+        ``version == 0`` outside the lock, so two concurrent first
+        requests can both reach here — the loser of that race must
+        reuse the winner's load instead of redoing it (and bumping the
+        version, which would orphan version-keyed cache entries).
         """
         with self._lock:
             entry = self._entries[dataset]
+            if only_if_unloaded and entry.version > 0:
+                return entry
             started = self._clock()
             with self.observer.span("registry-load", dataset=dataset):
                 delay = self.faults.load_delay(dataset)

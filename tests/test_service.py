@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import socket
 import threading
 import urllib.error
 import urllib.request
@@ -168,6 +169,34 @@ class TestRegistry:
         with pytest.raises(GraphUnavailableError, match="failed"):
             registry.get("abide")
 
+    def test_concurrent_first_gets_load_once(self):
+        registry = GraphRegistry(
+            ["abide"],
+            faults=ServiceFaultPlan(
+                load_delay_seconds={"abide": 0.05}
+            ),
+        )
+        barrier = threading.Barrier(2)
+        errors = []
+
+        def racer():
+            barrier.wait()
+            try:
+                registry.get("abide")
+            except Exception as error:  # pragma: no cover - fail loud
+                errors.append(error)
+
+        threads = [threading.Thread(target=racer) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # The loser of the lazy-load race reuses the winner's load:
+        # exactly one version bump, so version-keyed cache entries
+        # written in between stay reachable.
+        assert registry.get("abide").version == 1
+
     def test_describe_rows_are_probe_stable(self):
         registry = GraphRegistry(["abide"])
         registry.load_all()
@@ -254,6 +283,21 @@ class TestBreaker:
         with pytest.raises(CircuitOpenError):
             breaker.allow()
 
+    def test_cancel_probe_returns_slot(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_seconds=5.0, clock=clock
+        )
+        breaker.cancel_probe()  # closed: a no-op
+        breaker.record_failure()
+        clock.advance(5.0)
+        breaker.allow()  # takes the single probe slot
+        with pytest.raises(CircuitOpenError, match="probe"):
+            breaker.allow()
+        breaker.cancel_probe()
+        breaker.allow()  # the slot is available again, not leaked
+        assert breaker.state == "half-open"
+
     def test_board_isolates_datasets(self):
         clock = FakeClock()
         board = BreakerBoard(failure_threshold=1, clock=clock)
@@ -332,6 +376,95 @@ class TestBroker:
         response = broker.handle(_request(dataset="movielens"))
         assert response.status == "failed"
         assert response.reason == "graph-unavailable"
+
+    @pytest.mark.parametrize("overrides", [
+        dict(profile="paper"),
+        dict(dataset_seed=3),
+    ])
+    def test_graph_identity_mismatch_fails_explicitly(
+        self, broker, overrides
+    ):
+        # The registry's single graph per dataset was built with the
+        # server's --profile/--dataset-seed; a request for a different
+        # identity must not be served that graph's results.
+        response = broker.handle(_request(use_cache=False, **overrides))
+        assert response.status == "failed"
+        assert response.reason == "graph-unavailable"
+        assert "dataset_seed" in response.detail
+
+    def test_admission_rejection_returns_half_open_probe_slot(self):
+        registry = GraphRegistry(["abide"])
+        registry.load_all()
+        clock = FakeClock()
+        admission = AdmissionController(
+            rate=1.0, burst=1.0, max_inflight=4, clock=clock
+        )
+        breakers = BreakerBoard(
+            failure_threshold=1, cooldown_seconds=5.0, clock=clock
+        )
+        broker = QueryBroker(
+            registry, admission=admission, breakers=breakers,
+            sleep=lambda _: None, clock=clock,
+        )
+        breaker = breakers.get("abide")
+        breaker.record_failure()  # open
+        clock.advance(5.0)        # half-open: one probe slot
+        admission.admit()         # drain the token bucket
+        response = broker.handle(_request(use_cache=False))
+        assert (response.status, response.reason) == (
+            "rejected", "admission-rejected"
+        )
+        # The shed request handed its probe slot back; the breaker is
+        # not wedged half-open — a later probe can still get through.
+        breaker.allow()
+
+    def test_parallel_deadline_is_propagated_to_pool(
+        self, monkeypatch, abide_graph
+    ):
+        registry = GraphRegistry(["abide"])
+        registry.load_all()
+        clock = FakeClock()
+        broker = QueryBroker(registry, sleep=lambda _: None, clock=clock)
+        result = find_mpmb(abide_graph, method="os", n_trials=40, rng=7)
+        captured = {}
+
+        def fake_pool(graph, trials, workers, **kwargs):
+            captured.update(kwargs)
+            return result
+
+        monkeypatch.setattr(
+            "repro.service.broker.run_parallel_trials", fake_pool
+        )
+        response = broker.handle(
+            _request(workers=2, deadline_seconds=2.5, use_cache=False)
+        )
+        assert response.status == "ok"
+        # The remaining budget reaches the pool as a straggler cut-off,
+        # and in-pool retries are disabled (they could only finish past
+        # the deadline).
+        assert captured["straggler_timeout"] == pytest.approx(2.5)
+        assert captured["max_attempts"] == 1
+
+    def test_parallel_without_deadline_keeps_pool_retries(
+        self, monkeypatch, abide_graph
+    ):
+        registry = GraphRegistry(["abide"])
+        registry.load_all()
+        broker = QueryBroker(registry, sleep=lambda _: None)
+        result = find_mpmb(abide_graph, method="os", n_trials=40, rng=7)
+        captured = {}
+
+        def fake_pool(graph, trials, workers, **kwargs):
+            captured.update(kwargs)
+            return result
+
+        monkeypatch.setattr(
+            "repro.service.broker.run_parallel_trials", fake_pool
+        )
+        response = broker.handle(_request(workers=2, use_cache=False))
+        assert response.status == "ok"
+        assert "straggler_timeout" not in captured
+        assert "max_attempts" not in captured
 
     def test_transient_worker_failure_is_retried(self):
         registry = GraphRegistry(["abide"])
@@ -432,3 +565,16 @@ class TestHttpFrontend:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(self._url(server, "/nope"))
         assert excinfo.value.code == 404
+
+    def test_malformed_content_length_is_400(self, server):
+        host, port = server.server_address[:2]
+        with socket.create_connection((host, port), timeout=5) as sock:
+            sock.sendall(
+                b"POST /query HTTP/1.1\r\n"
+                b"Host: test\r\n"
+                b"Content-Length: nope\r\n"
+                b"\r\n"
+            )
+            reply = sock.recv(4096)
+        status_line = reply.split(b"\r\n", 1)[0]
+        assert b"400" in status_line
