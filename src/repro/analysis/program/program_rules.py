@@ -60,6 +60,13 @@ _UNPICKLABLE_CTOR_TAILS = frozenset({
     "BoundedSemaphore", "Barrier",
 })
 
+#: Constructors whose results are raw buffers over process memory.
+#: Module-level buffer state read by a seam-crossing function does not
+#: pickle (and re-creating it per worker defeats the sharing); the
+#: shared-memory seam contract is handle-only — ship the segment name
+#: and shapes/dtypes, attach inside the worker.
+_BUFFER_CTOR_TAILS = frozenset({"SharedMemory", "memoryview", "mmap"})
+
 #: Decorators that do not imply external registration (a decorated
 #: definition with any *other* decorator is treated as live).
 _NEUTRAL_DECORATOR_TAILS = frozenset({
@@ -339,15 +346,26 @@ class TransitivePickleRule(ProgramRule):
                 if binding is None or not binding.startswith("call:"):
                     continue
                 ctor = binding[len("call:"):]
+                via = (
+                    "" if reached == resolved
+                    else f" (transitively via {_tail(reached)}())"
+                )
+                if _tail(ctor) in _BUFFER_CTOR_TAILS:
+                    yield self.finding(
+                        path, line,
+                        f"{_tail(resolved)}() crosses the process seam "
+                        f"{raw}() but{via} reads module state {name!r} "
+                        f"holding a {ctor}() buffer; buffers do not "
+                        f"pickle — pass the picklable handle (segment "
+                        f"name + shapes/dtypes) and attach inside the "
+                        f"worker",
+                    )
+                    return
                 if (
                     _tail(ctor) not in _UNPICKLABLE_CTOR_TAILS
                     and ctor != "open"
                 ):
                     continue
-                via = (
-                    "" if reached == resolved
-                    else f" (transitively via {_tail(reached)}())"
-                )
                 yield self.finding(
                     path, line,
                     f"{_tail(resolved)}() crosses the process seam "

@@ -172,8 +172,9 @@ class ProcessSeamRule(FileRule):
     id = "MPS001"
     severity = "error"
     description = (
-        "worker-pool submit/map seams take module-level callables only "
-        "(no lambdas or closures across the process boundary)"
+        "worker-pool submit/map seams take module-level callables and "
+        "picklable payloads only (no lambdas, closures, or raw "
+        "shared-memory buffers across the process boundary)"
     )
 
     #: Attribute-call names treated as pool submission seams; the first
@@ -184,9 +185,16 @@ class ProcessSeamRule(FileRule):
     })
     #: Constructors whose ``target=`` crosses the process boundary.
     process_ctors = frozenset({"Process", "Thread"})
+    #: Constructors whose results are raw buffers/views over process
+    #: memory.  A buffer shipped as a worker argument either fails to
+    #: pickle or silently copies the backing pages; the shared-memory
+    #: seam contract is to pass the *handle* (segment name + per-array
+    #: shapes/dtypes) and attach inside the worker.
+    buffer_ctors = frozenset({"SharedMemory", "memoryview", "frombuffer"})
 
     def check(self, source: SourceFile) -> Iterator[Finding]:
         nested = nested_function_names(source.tree)
+        buffers = self._buffer_names(source.tree)
         for node in ast.walk(source.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -199,6 +207,18 @@ class ProcessSeamRule(FileRule):
                         f"{problem} passed to {seam}; spawn-method "
                         f"multiprocessing requires a module-level "
                         f"callable",
+                        text,
+                    )
+            for seam, value in self._payload_arguments(node):
+                buffer = self._buffer_problem(value, buffers)
+                if buffer is not None:
+                    line, text = _call_line(source, node)
+                    yield self.finding(
+                        source.path, line,
+                        f"{buffer} crosses the {seam} process seam; "
+                        f"pass the picklable shared-memory handle "
+                        f"(segment name + shapes/dtypes) and attach "
+                        f"inside the worker",
                         text,
                     )
 
@@ -216,6 +236,71 @@ class ProcessSeamRule(FileRule):
             for keyword in node.keywords:
                 if keyword.arg == "target":
                     yield f"{tail}(target=...)", keyword.value
+
+    def _payload_arguments(self, node: ast.Call):
+        """Yield (seam description, payload expression) pairs.
+
+        Payloads are the worker *arguments*: everything after the
+        callable in a pool submit call, and the ``args=`` tuple of a
+        ``Process``/``Thread`` constructor.
+        """
+        path = dotted_name(node.func)
+        tail = path.rsplit(".", 1)[-1] if path else None
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in self.submit_attrs
+        ):
+            for arg in node.args[1:]:
+                yield f"pool {node.func.attr}()", arg
+        if tail in self.process_ctors:
+            for keyword in node.keywords:
+                if keyword.arg == "args":
+                    values = (
+                        keyword.value.elts
+                        if isinstance(
+                            keyword.value, (ast.Tuple, ast.List)
+                        )
+                        else [keyword.value]
+                    )
+                    for value in values:
+                        yield f"{tail}(args=...)", value
+
+    def _buffer_names(self, tree: ast.AST) -> Set[str]:
+        """Names bound by simple assignment to a buffer constructor."""
+        names: Set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            if not isinstance(value, ast.Call):
+                continue
+            path = dotted_name(value.func)
+            tail = path.rsplit(".", 1)[-1] if path else None
+            if tail not in self.buffer_ctors:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        return names
+
+    def _buffer_problem(
+        self, value: ast.expr, buffers: Set[str]
+    ) -> Optional[str]:
+        """Describe ``value`` if it is a raw buffer expression."""
+        for node in ast.walk(value):
+            if isinstance(node, ast.Attribute) and node.attr == "buf":
+                return f"raw buffer {dotted_name(node) or 'expression'}"
+            if isinstance(node, ast.Name) and node.id in buffers:
+                return (
+                    f"shared-memory buffer {node.id!r} "
+                    f"(bound to a buffer constructor)"
+                )
+            if isinstance(node, ast.Call):
+                path = dotted_name(node.func)
+                tail = path.rsplit(".", 1)[-1] if path else None
+                if tail in self.buffer_ctors:
+                    return f"raw buffer from {tail}()"
+        return None
 
     @staticmethod
     def _problem(value: ast.expr, nested: Set[str]) -> Optional[str]:

@@ -25,7 +25,14 @@ from ..graph import (
     degree_priority,
     expected_degree_priority,
 )
-from ..kernels import BlockedWinnerLoop, resolve_block_size
+from ..kernels import (
+    BlockedWinnerLoop,
+    WedgeBlockKernel,
+    WedgeIndex,
+    build_wedge_index,
+    resolve_block_budget,
+    resolve_block_size,
+)
 from ..observability import Observer, ensure_observer
 from ..observability.profiling import stopwatch
 from ..sampling import RngLike, ensure_rng
@@ -49,6 +56,8 @@ def mc_vp(
     antithetic: bool = False,
     priority_kind: str = "degree",
     block_size: Optional[int] = None,
+    bytes_budget: Optional[int] = None,
+    wedge_index: Optional[WedgeIndex] = None,
     runtime: Optional[RuntimePolicy] = None,
     observer: Optional[Observer] = None,
 ) -> MPMBResult:
@@ -64,10 +73,22 @@ def mc_vp(
         antithetic: Sample worlds in antithetic pairs (variance
             reduction extension).
         block_size: Run through the batched kernel layer, drawing this
-            many worlds per vectorised RNG call (``None`` keeps the
-            scalar per-trial loop).  Mask blocks are stream-equivalent
-            to scalar draws, so results are bit-identical either way;
-            see ``docs/performance.md``.
+            many worlds per vectorised RNG call and evaluating the
+            whole block through the vectorised wedge kernel
+            (:class:`~repro.kernels.wedge_block.WedgeBlockKernel`);
+            ``None`` keeps the scalar per-trial loop.  Mask blocks are
+            stream-equivalent to scalar draws and the kernel reproduces
+            the scalar search's exact winner semantics, so results are
+            bit-identical either way; see ``docs/kernels.md``.
+        bytes_budget: Peak working-set bytes one kernel block may use
+            (``None`` uses the 64 MiB default); the effective block
+            size is shrunk to fit, which is semantically free.  Only
+            meaningful with ``block_size``.
+        wedge_index: Optional prebuilt
+            :class:`~repro.kernels.wedge_block.WedgeIndex` (e.g. one
+            attached from shared memory by the worker pool); reused
+            only when its ``priority_kind`` matches, rebuilt otherwise.
+            Only meaningful with ``block_size``.
         priority_kind: Vertex-priority ranking — ``"degree"`` (the
             paper's BFC-VP order) or ``"expected-degree"`` (rank by
             ``d̄(u) = Σ p(e)``, the quantity Lemma IV.1's cost is
@@ -132,9 +153,40 @@ def mc_vp(
             )
         else:
             block = resolve_block_size(n_trials, block_size)
+            with observer.span("wedge-index"):
+                if (
+                    wedge_index is None
+                    or wedge_index.priority_kind != priority_kind
+                ):
+                    wedge_index = build_wedge_index(
+                        graph, priority, priority_kind=priority_kind
+                    )
+            kernel = WedgeBlockKernel(graph, wedge_index, tie_mode="exact")
+            budget = resolve_block_budget(
+                block, graph.n_edges, wedge_index.n_wedges,
+                wedge_index.n_groups, budget_bytes=bytes_budget,
+            )
+            block = budget.block_size
             observer.set("kernel.block_size", float(block))
+            observer.set("kernel.bytes_budget", float(budget.budget_bytes))
+            observer.set("kernel.block_bytes", float(budget.block_bytes))
+            observer.set("kernel.wedges", float(wedge_index.n_wedges))
+
+            def block_fn(masks: np.ndarray) -> List[List[Butterfly]]:
+                outcome = kernel.evaluate_block(masks)
+                stats["angles_processed"] += outcome.wedges_present
+                stats["angles_stored_peak"] = max(
+                    stats["angles_stored_peak"],
+                    outcome.wedges_present_peak,
+                )
+                stats["butterflies_checked"] += (
+                    outcome.butterflies_present
+                )
+                return outcome.winners
+
             blocked = BlockedWinnerLoop(
-                loop, mask_trial, n_trials, block, observer=observer
+                loop, mask_trial, n_trials, block,
+                observer=observer, block_fn=block_fn,
             )
             report = execute_trial_loop(
                 method="mc-vp",

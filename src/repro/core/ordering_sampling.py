@@ -17,7 +17,14 @@ import numpy as np
 
 from ..butterfly import Butterfly, ButterflyKey, max_weight_butterflies
 from ..graph import UncertainBipartiteGraph
-from ..kernels import BlockedWinnerLoop, resolve_block_size
+from ..kernels import (
+    BlockedWinnerLoop,
+    WedgeBlockKernel,
+    WedgeIndex,
+    build_wedge_index,
+    resolve_block_budget,
+    resolve_block_size,
+)
 from ..observability import Observer, ensure_observer
 from ..observability.profiling import stopwatch
 from ..sampling import RngLike, ensure_rng
@@ -59,6 +66,8 @@ def ordering_sampling(
     pair_side: str = "auto",
     antithetic: bool = False,
     block_size: Optional[int] = None,
+    bytes_budget: Optional[int] = None,
+    wedge_index: Optional[WedgeIndex] = None,
     runtime: Optional[RuntimePolicy] = None,
     observer: Optional[Observer] = None,
 ) -> MPMBResult:
@@ -77,10 +86,25 @@ def ordering_sampling(
         antithetic: Sample worlds in antithetic pairs (variance
             reduction; see :class:`~repro.worlds.sampler.WorldSampler`).
         block_size: Run through the batched kernel layer, drawing this
-            many worlds per vectorised RNG call and reusing one mask
-            matrix per block for the ``order[mask[order]]`` filtering
-            (``None`` keeps the scalar per-trial loop).  Results are
-            bit-identical either way; see ``docs/performance.md``.
+            many worlds per vectorised RNG call and evaluating the
+            whole block through the vectorised wedge kernel in ``rtol``
+            tie mode, which reproduces the weight-ordered search's
+            :func:`~repro.butterfly.max_weight.weights_equal` winner
+            classes (``None`` keeps the scalar per-trial loop).  Winner
+            sets, traces, and estimates are bit-identical either way;
+            the batched path reports the kernel scan's own work
+            counters — ``wedges_scanned`` presence evaluations and
+            ``trials_pruned`` early-exited worlds — instead of the
+            scalar scan's per-edge counters, which have no vectorised
+            equivalent — see ``docs/kernels.md``.
+        bytes_budget: Peak working-set bytes one kernel block may use
+            (``None`` uses the 64 MiB default); the effective block
+            size is shrunk to fit.  Only meaningful with ``block_size``.
+        wedge_index: Optional prebuilt
+            :class:`~repro.kernels.wedge_block.WedgeIndex` (e.g. one
+            attached from shared memory by the worker pool); reused
+            only when built with degree priorities, rebuilt otherwise.
+            Only meaningful with ``block_size``.
         runtime: Optional :class:`~repro.runtime.policy.RuntimePolicy`
             enabling checkpoint/resume, deadlines, and graceful
             degradation for the trial loop.
@@ -98,12 +122,21 @@ def ordering_sampling(
     sampler = WorldSampler(graph, ensure_rng(rng), antithetic=antithetic)
     with observer.span("edge-ordering"):
         order = graph.edges_by_weight_desc
-    stats = {
-        "edges_processed": 0.0,
-        "angles_processed": 0.0,
-        "angles_stored": 0.0,
-        "trials_pruned": 0.0,
-    }
+    if block_size is None:
+        stats = {
+            "edges_processed": 0.0,
+            "angles_processed": 0.0,
+            "angles_stored": 0.0,
+            "trials_pruned": 0.0,
+        }
+    else:
+        # The scalar scan's per-edge counters have no vectorised
+        # equivalent; the batched path reports the kernel scan's own
+        # pruned work (same spirit: how much the bound order saved).
+        stats = {
+            "wedges_scanned": 0.0,
+            "trials_pruned": 0.0,
+        }
 
     def mask_trial(mask: np.ndarray) -> List[Butterfly]:
         present_sorted = order[mask[order]]
@@ -137,9 +170,32 @@ def ordering_sampling(
             )
         else:
             block = resolve_block_size(n_trials, block_size)
+            with observer.span("wedge-index"):
+                if (
+                    wedge_index is None
+                    or wedge_index.priority_kind != "degree"
+                ):
+                    wedge_index = build_wedge_index(graph)
+            kernel = WedgeBlockKernel(graph, wedge_index, tie_mode="rtol")
+            budget = resolve_block_budget(
+                block, graph.n_edges, wedge_index.n_wedges,
+                wedge_index.n_groups, budget_bytes=bytes_budget,
+            )
+            block = budget.block_size
             observer.set("kernel.block_size", float(block))
+            observer.set("kernel.bytes_budget", float(budget.budget_bytes))
+            observer.set("kernel.block_bytes", float(budget.block_bytes))
+            observer.set("kernel.wedges", float(wedge_index.n_wedges))
+
+            def block_fn(masks: np.ndarray) -> List[List[Butterfly]]:
+                outcome = kernel.evaluate_block(masks, with_stats=False)
+                stats["wedges_scanned"] += outcome.wedges_scanned
+                stats["trials_pruned"] += outcome.rows_pruned
+                return outcome.winners
+
             blocked = BlockedWinnerLoop(
-                loop, mask_trial, n_trials, block, observer=observer
+                loop, mask_trial, n_trials, block,
+                observer=observer, block_fn=block_fn,
             )
             report = execute_trial_loop(
                 method="os",

@@ -1,21 +1,27 @@
 """Block driver for the winner-frequency methods (MC-VP and OS).
 
-MC-VP and OS evaluate one sampled world per trial; their per-world
-search (vertex-priority counting, weight-ordered angle search) stays
-scalar, but the world *sampling* is the part the hardware can batch:
-one :meth:`~repro.worlds.sampler.WorldSampler.sample_mask_block` call
-draws a whole block's Bernoulli matrix at once and each trial reuses
-its row of that shared mask matrix (``os_trial``'s ``order[mask[order]]``
-filtering reads straight from the row).
+MC-VP and OS evaluate one sampled world per trial; the world *sampling*
+is batched here: one
+:meth:`~repro.worlds.sampler.WorldSampler.sample_mask_block` call draws
+a whole block's Bernoulli matrix at once.  The per-world winner search
+runs in one of two modes:
+
+* row mode (``mask_trial_fn``): each trial reuses its row of the shared
+  mask matrix and the per-world search stays scalar;
+* block mode (``block_fn``): the whole mask matrix is handed to the
+  vectorised wedge kernel
+  (:class:`~repro.kernels.wedge_block.WedgeBlockKernel`), which returns
+  every row's winner set in one shot.
 
 Because mask blocks are stream-equivalent to repeated scalar draws, the
 world sequence — and therefore every winner count, trace point, and
-estimate — is bit-identical to the scalar path for *any* block size.
+estimate — is bit-identical to the scalar path for *any* block size, in
+either mode (see the equivalence contract in ``docs/kernels.md``).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -27,6 +33,9 @@ from .blocks import block_lengths, block_starts, trials_in_blocks
 
 #: One trial evaluated against a pre-drawn edge-presence mask.
 MaskTrialFn = Callable[[np.ndarray], Iterable[Butterfly]]
+
+#: A whole block evaluated at once: per-row winner sets.
+BlockFn = Callable[[np.ndarray], List[List[Butterfly]]]
 
 
 class BlockedWinnerLoop:
@@ -47,9 +56,11 @@ class BlockedWinnerLoop:
         n_trials: int,
         block_size: int,
         observer: Optional[Observer] = None,
+        block_fn: Optional[BlockFn] = None,
     ) -> None:
         self.inner = inner
         self._mask_trial_fn = mask_trial_fn
+        self._block_fn = block_fn
         self.block_size = int(block_size)
         self.lengths = block_lengths(n_trials, block_size)
         self.starts = block_starts(self.lengths)
@@ -74,10 +85,14 @@ class BlockedWinnerLoop:
         length = self.lengths[block - 1]
         start = self.starts[block - 1]
         masks = self.inner.sampler.sample_mask_block(length)
-        for offset in range(length):
-            self.inner.record_winners(
-                start + offset + 1, self._mask_trial_fn(masks[offset])
-            )
+        if self._block_fn is not None:
+            for offset, winners in enumerate(self._block_fn(masks)):
+                self.inner.record_winners(start + offset + 1, winners)
+        else:
+            for offset in range(length):
+                self.inner.record_winners(
+                    start + offset + 1, self._mask_trial_fn(masks[offset])
+                )
         self._vectorized.inc(length)
 
     def state_payload(self, completed: int) -> Dict:

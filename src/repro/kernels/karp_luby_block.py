@@ -10,8 +10,14 @@ a whole block of those trials in NumPy:
 2. the block's event picks are one ``searchsorted`` over a ``(block,)``
    uniform vector, its worlds one ``(block, n_atoms)`` Bernoulli matrix
    conditioned row-wise on the picked event's atoms;
-3. "first satisfied event" is a matmul (count missing atoms per event)
-   followed by ``argmax``, and acceptance is ``first == picked``.
+3. "first satisfied event" routes through the wedge kernel's shared CSR
+   presence primitive
+   (:func:`~repro.kernels.wedge_block.first_all_present`): a masked
+   gather over the flattened event-member array and a per-event
+   missing-count segment reduction, then ``argmax``; acceptance is
+   ``first == picked``.  The CSR form only touches each event's own
+   atoms — the dense matmul it replaced multiplied every world against
+   every (event, atom) cell.
 
 The kernel draws the same *kind* of randomness as the scalar
 :meth:`~repro.sampling.karp_luby.KarpLubyUnionSampler.trial` (one
@@ -28,6 +34,7 @@ from typing import Dict, List
 import numpy as np
 
 from ..sampling.karp_luby import Atom, KarpLubyUnionSampler
+from .wedge_block import first_all_present
 
 
 class UnionBlockKernel:
@@ -56,6 +63,16 @@ class UnionBlockKernel:
         for row, event in enumerate(sampler.events):
             for atom in event:
                 self.membership[row, index_of[atom]] = True
+        # CSR view of the same membership for the world-check primitive
+        # (events are butterfly edge sets, so never empty unless the
+        # sampler is degenerate — run_block shortcuts those cases).
+        members: List[int] = []
+        indptr: List[int] = [0]
+        for event in sampler.events:
+            members.extend(sorted(index_of[atom] for atom in event))
+            indptr.append(len(members))
+        self._event_members = np.asarray(members, dtype=np.int64)
+        self._event_indptr = np.asarray(indptr, dtype=np.int64)
 
     def run_block(self, count: int) -> np.ndarray:
         """Run ``count`` trials at once; returns per-trial acceptance.
@@ -83,8 +100,9 @@ class UnionBlockKernel:
         present |= self.membership[picks]
         # An event is satisfied when it misses zero absent atoms; the
         # conditioned pick is always satisfied, so argmax is well-defined.
-        missing = (~present).astype(np.int64) @ self.membership.T
-        first = np.argmax(missing == 0, axis=1)
+        first = first_all_present(
+            present, self._event_indptr, self._event_members
+        )
         accepted = first == picks
         sampler.accepted += int(accepted.sum())
         return accepted

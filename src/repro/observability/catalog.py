@@ -70,6 +70,12 @@ METRICS: Tuple[MetricSpec, ...] = (
                "trials per vectorised kernel call (batched runs only)"),
     MetricSpec("kernel.trials_vectorized", "counter",
                "trials executed through the batched kernel layer"),
+    MetricSpec("kernel.bytes_budget", "gauge",
+               "peak working-set bytes one kernel block may use"),
+    MetricSpec("kernel.block_bytes", "gauge",
+               "estimated working-set bytes of the resolved block"),
+    MetricSpec("kernel.wedges", "gauge",
+               "backbone wedges in the vectorised kernel's index"),
     MetricSpec("prepare.trials", "counter",
                "OLS preparing-phase trials (Alg. 3)"),
     MetricSpec("candidates.listed", "gauge",
@@ -90,6 +96,14 @@ METRICS: Tuple[MetricSpec, ...] = (
                "workers dropped permanently"),
     MetricSpec("pool.worker.attempts", "counter",
                "total worker attempts including retries"),
+    MetricSpec("worker.shm.published", "counter",
+               "shared-memory graph/index segments created"),
+    MetricSpec("worker.shm.attached", "counter",
+               "worker attachments to a shared-memory segment"),
+    MetricSpec("worker.shm.reused", "counter",
+               "pooled runs that reused an already-published segment"),
+    MetricSpec("worker.shm.bytes", "gauge",
+               "size of the published shared-memory segment"),
     MetricSpec("harness.<method>.seconds", "gauge",
                "experiment-harness wall time of the full call"),
     MetricSpec("harness.<method>.peak_bytes", "gauge",
@@ -135,6 +149,8 @@ METRICS: Tuple[MetricSpec, ...] = (
 SPANS: Tuple[SpanSpec, ...] = (
     SpanSpec("graph-load", "dataset/graph construction"),
     SpanSpec("edge-ordering", "Alg. 2 weight-ordered edge index build"),
+    SpanSpec("wedge-index",
+             "vectorised kernel wedge-CSR build (or shared reuse)"),
     SpanSpec("candidate-generation",
              "OLS preparing phase (Alg. 3 lines 2-4)"),
     SpanSpec("sampling", "the Monte-Carlo trial phase"),

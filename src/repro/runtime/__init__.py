@@ -15,9 +15,11 @@ sampling estimators:
   :class:`~repro.runtime.policy.Deadline` — execution knobs.
 * :mod:`~repro.runtime.degradation` — re-widened ε-δ guarantees for
   partial runs.
-* :func:`~repro.runtime.workers.run_parallel_trials` — fault-tolerant
+* :func:`~repro.runtime.workers.run_parallel_trials` /
+  :class:`~repro.runtime.workers.WorkerPool` — fault-tolerant
   multiprocessing trial pool with retry, backoff, and straggler
-  handling.
+  handling, built on persistent workers attached to a shared-memory
+  graph segment (:mod:`~repro.runtime.shm`).
 * :mod:`~repro.runtime.faults` — deterministic fault injection, so all
   of the above is testable.
 """
@@ -41,8 +43,15 @@ from .engine import (
 from .faults import CRASH_EXIT_CODE, FaultPlan, InjectedCrash
 from .frequency import WinnerCountLoop
 from .policy import Deadline, RuntimePolicy
+from .shm import (
+    SharedGraphHandle,
+    attach_shared_graph,
+    graph_checksum,
+    publish_graph,
+)
 from .workers import (
     POOLABLE_METHODS,
+    WorkerPool,
     WorkerReport,
     backoff_seconds,
     run_parallel_trials,
@@ -69,7 +78,12 @@ __all__ = [
     "WinnerCountLoop",
     "Deadline",
     "RuntimePolicy",
+    "SharedGraphHandle",
+    "attach_shared_graph",
+    "graph_checksum",
+    "publish_graph",
     "POOLABLE_METHODS",
+    "WorkerPool",
     "WorkerReport",
     "backoff_seconds",
     "run_parallel_trials",

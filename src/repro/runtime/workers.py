@@ -6,13 +6,18 @@ the frequency-based methods pool across independent trial streams by
 trial-weighted averaging (:func:`~repro.core.results.merge_results`).
 This module turns that observation into a production worker pool:
 
-* each worker is a ``multiprocessing`` process running its share of the
-  trial budget on an independent spawned RNG stream;
-* a crashed worker (non-zero exit, missing result) is retried with
-  exponential backoff — deterministically jittered from a stream
-  spawned off the run RNG, so retry bursts decorrelate while replays
-  stay bit-identical — up to a capped attempt count, with the *same*
-  trial stream, so retries are deterministic;
+* the graph — and, for batched runs, the wedge-CSR index — is published
+  **once** into a ``multiprocessing.shared_memory`` segment
+  (:mod:`~repro.runtime.shm`); workers are **persistent** processes that
+  attach to it at startup and then serve task descriptors over pipes,
+  so no task ever pickles a graph and retries re-use warm processes;
+* each worker runs its share of the trial budget on an independent
+  spawned RNG stream;
+* a crashed worker (non-zero exit, missing result) is respawned and
+  retried with exponential backoff — deterministically jittered from a
+  stream spawned off the run RNG, so retry bursts decorrelate while
+  replays stay bit-identical — up to a capped attempt count, with the
+  *same* trial stream, so retries are deterministic;
 * a straggler that exceeds the timeout is terminated and treated as a
   failed attempt;
 * workers that fail permanently are dropped, and the surviving partial
@@ -20,6 +25,11 @@ This module turns that observation into a production worker pool:
   guarantee is re-widened to the trials actually pooled (the
   Theorem IV.1 bound inverted for the achieved ``N``, as in
   :mod:`~repro.runtime.degradation`).
+
+A :class:`WorkerPool` can outlive one :func:`run_parallel_trials` call:
+``repro.service`` caches pools keyed on the registry's graph checksum,
+so consecutive requests against the same dataset reuse both the shared
+segment and the attached worker processes (``worker.shm.reused``).
 
 Only the frequency-based methods (``mc-vp``, ``os``, ``ols``) are
 poolable: their estimates are trial-weighted averages, so pooled
@@ -40,9 +50,10 @@ import os
 import time
 from dataclasses import dataclass
 from functools import reduce
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import multiprocessing
+from multiprocessing import connection as mp_connection
 
 from ..errors import ConfigurationError, WorkerFailureError
 from ..observability import (
@@ -53,9 +64,17 @@ from ..observability import (
 from ..sampling.rng import RngLike, ensure_rng, spawn_rngs
 from .degradation import recompute_guarantee
 from .faults import CRASH_EXIT_CODE, HANG_SECONDS, FaultPlan
+from .shm import SharedGraphHandle, publish_graph
 
 #: Methods whose results pool by trial-weighted averaging.
 POOLABLE_METHODS = ("mc-vp", "os", "ols")
+
+#: Methods whose batched kernels consume the shared wedge index.
+_INDEXED_METHODS = ("mc-vp", "os")
+
+#: Seconds :meth:`WorkerPool.close` waits for a worker to exit cleanly
+#: after the shutdown sentinel before terminating it.
+_SHUTDOWN_GRACE = 5.0
 
 
 @dataclass
@@ -136,52 +155,196 @@ def backoff_seconds(
     return delay * fraction
 
 
-def _worker_main(
-    worker_id: int,
-    attempt: int,
-    graph,
-    method: str,
-    n_trials: int,
-    generator,
-    method_kwargs: Dict,
-    faults: Optional[FaultPlan],
-    instrument: bool,
-    queue,
-) -> None:
-    """Subprocess entry point: run one trial share, ship the result back.
+def _wants_shared_index(method: str, method_kwargs: Dict) -> bool:
+    """Whether a task would consume the pool's shared wedge index.
 
-    An unhandled exception propagates and becomes a non-zero exit code,
-    which the coordinator treats exactly like a crash.  With
-    ``instrument=True`` the worker records its own metrics and spans and
-    ships them alongside the result, so the coordinator can merge them;
-    crashed or hung attempts ship nothing, which keeps the merged trial
-    counters consistent with the trial-weighted result merge.
+    The index is built with the default ``"degree"`` priority; a caller
+    overriding ``priority_kind`` gets a worker-local rebuild instead of
+    a silently mismatched shared index.
     """
-    behaviour = (
-        faults.worker_behaviour(worker_id, attempt) if faults else "ok"
+    return (
+        method in _INDEXED_METHODS
+        and method_kwargs.get("block_size") is not None
+        and method_kwargs.get("priority_kind", "degree") == "degree"
     )
-    if behaviour == "crash":
-        os._exit(CRASH_EXIT_CODE)
-    if behaviour == "hang":
-        time.sleep(HANG_SECONDS)
+
+
+def _persistent_worker_main(
+    worker_id: int, conn, handle: SharedGraphHandle
+) -> None:
+    """Persistent subprocess entry point: attach once, serve tasks.
+
+    Attaches to the shared graph segment, then loops on task
+    descriptors from ``conn`` until the ``None`` shutdown sentinel (or
+    pipe closure).  Each task runs one trial share and ships the result
+    payload back over the same pipe.  An unhandled exception propagates
+    and becomes a non-zero exit code, which the coordinator treats
+    exactly like a crash; crashed or hung attempts ship nothing, which
+    keeps the merged trial counters consistent with the trial-weighted
+    result merge.
+    """
     from ..core.mpmb import find_mpmb
     from ..core.serialize import result_to_dict
+    from .shm import attach_shared_graph
 
-    observer = Observer() if instrument else None
-    result = find_mpmb(
-        graph, method=method, n_trials=n_trials, rng=generator,
-        observer=observer, **method_kwargs,
-    )
-    payload = {
-        "result": result_to_dict(result),
-        "metrics": (
-            observer.metrics.to_dict() if observer is not None else None
-        ),
-        "spans": (
-            observer.tracer.to_list() if observer is not None else None
-        ),
-    }
-    queue.put(payload)
+    attachment = attach_shared_graph(handle)
+    try:
+        while True:
+            try:
+                task = conn.recv()
+            except (EOFError, OSError):
+                break
+            if task is None:
+                break
+            faults: Optional[FaultPlan] = task["faults"]
+            behaviour = (
+                faults.worker_behaviour(worker_id, task["attempt"])
+                if faults else "ok"
+            )
+            if behaviour == "crash":
+                os._exit(CRASH_EXIT_CODE)
+            if behaviour == "hang":
+                time.sleep(HANG_SECONDS)
+            method_kwargs = dict(task["method_kwargs"])
+            if attachment.index is not None and _wants_shared_index(
+                task["method"], method_kwargs
+            ):
+                method_kwargs["wedge_index"] = attachment.index
+            observer = Observer() if task["instrument"] else None
+            result = find_mpmb(
+                attachment.graph, method=task["method"],
+                n_trials=task["n_trials"], rng=task["rng"],
+                observer=observer, **method_kwargs,
+            )
+            payload = {
+                "result": result_to_dict(result),
+                "metrics": (
+                    observer.metrics.to_dict()
+                    if observer is not None else None
+                ),
+                "spans": (
+                    observer.tracer.to_list()
+                    if observer is not None else None
+                ),
+            }
+            conn.send(payload)
+    finally:
+        attachment.close()
+
+
+@dataclass
+class _PoolWorker:
+    """One live worker process and the coordinator end of its pipe."""
+
+    process: Any
+    conn: Any
+
+
+class WorkerPool:
+    """Persistent worker processes over one shared-memory graph segment.
+
+    Publishing happens at construction: the graph (and optional wedge
+    index) lands in one shared segment, and every worker process
+    spawned by :meth:`worker` attaches to it once, then serves task
+    descriptors over its pipe until :meth:`close`.  The pool may serve
+    many :func:`run_parallel_trials` calls — ``repro.service`` caches
+    pools keyed on :attr:`checksum` and tears them down on registry
+    reload.
+
+    Args:
+        graph: The uncertain bipartite network to publish.
+        mp_context: ``multiprocessing`` start method (``None`` =
+            platform default).
+        wedge_index: Optional prebuilt
+            :class:`~repro.kernels.wedge_block.WedgeIndex` to publish
+            alongside the graph for batched kernels.
+        checksum: Version key recorded on the handle (defaults to
+            :func:`~repro.runtime.shm.graph_checksum`).
+        observer: Metric sink for the publication counters.
+    """
+
+    def __init__(
+        self,
+        graph,
+        mp_context: Optional[str] = None,
+        wedge_index: Optional[Any] = None,
+        checksum: Optional[str] = None,
+        observer: Optional[Observer] = None,
+    ) -> None:
+        self._context = multiprocessing.get_context(mp_context)
+        self._publication = publish_graph(
+            graph, index=wedge_index, checksum=checksum, observer=observer
+        )
+        self._workers: Dict[int, _PoolWorker] = {}
+        self._closed = False
+
+    @property
+    def handle(self) -> SharedGraphHandle:
+        """The picklable handle workers attach by."""
+        return self._publication.handle
+
+    @property
+    def checksum(self) -> str:
+        """The published graph's version key."""
+        return self._publication.handle.checksum
+
+    def worker(
+        self, worker_id: int, observer: Optional[Observer] = None
+    ) -> _PoolWorker:
+        """A live worker for ``worker_id``, spawning one if needed.
+
+        Workers persist across calls; a worker discarded after a
+        failure (or found dead) is respawned here, re-attaching to the
+        shared segment (``worker.shm.attached``).
+        """
+        if self._closed:
+            raise ConfigurationError("worker pool is closed")
+        entry = self._workers.get(worker_id)
+        if entry is not None and entry.process.is_alive():
+            return entry
+        if entry is not None:
+            self.discard(worker_id)
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_persistent_worker_main,
+            args=(worker_id, child_conn, self._publication.handle),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        ensure_observer(observer).inc("worker.shm.attached")
+        entry = _PoolWorker(process=process, conn=parent_conn)
+        self._workers[worker_id] = entry
+        return entry
+
+    def discard(self, worker_id: int) -> None:
+        """Terminate and forget one worker (respawned on next use)."""
+        entry = self._workers.pop(worker_id, None)
+        if entry is None:
+            return
+        if entry.process.is_alive():
+            entry.process.terminate()
+        entry.process.join()
+        entry.conn.close()
+
+    def close(self) -> None:
+        """Shut workers down and unlink the shared segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for entry in self._workers.values():
+            try:
+                entry.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for entry in self._workers.values():
+            entry.process.join(_SHUTDOWN_GRACE)
+            if entry.process.is_alive():
+                entry.process.terminate()
+                entry.process.join()
+            entry.conn.close()
+        self._workers.clear()
+        self._publication.close()
 
 
 def run_parallel_trials(
@@ -201,6 +364,7 @@ def run_parallel_trials(
     guarantee_delta: float = 0.1,
     block_size: Optional[int] = None,
     observer: Optional[Observer] = None,
+    pool: Optional[WorkerPool] = None,
     **method_kwargs,
 ):
     """Run a trial budget across fault-tolerant parallel workers.
@@ -228,20 +392,27 @@ def run_parallel_trials(
         sleep: Sleep function (injectable so tests assert backoff
             without waiting).
         mp_context: ``multiprocessing`` start method (``None`` = platform
-            default).
+            default; ignored when ``pool`` is given).
         guarantee_mu: ``μ`` for the re-widened guarantee of a degraded
             pool.
         guarantee_delta: ``δ`` for the re-widened guarantee.
         block_size: Shard whole blocks of this many trials across the
             workers (no block straddles two workers) and run each worker
             through the batched kernel layer; ``None`` shards single
-            trials and keeps the scalar loops.
+            trials and keeps the scalar loops.  Batched runs build the
+            wedge-CSR index once on the coordinator and publish it into
+            the shared segment, so workers skip the per-process build.
         observer: Optional :class:`~repro.observability.Observer`.  When
             given, each worker records its own metrics/spans in-process
             and ships them with its result; the coordinator merges the
             registries (counters sum, so e.g. ``sampling.trials`` equals
             the pooled ``n_trials`` even when workers were dropped) and
             grafts worker spans under ``worker-<id>`` path prefixes.
+        pool: Optional pre-built :class:`WorkerPool` over the same
+            graph.  The call reuses its shared segment and live worker
+            processes (``worker.shm.reused``) and leaves it open for
+            the owner to close; without one, a pool is created for this
+            call and torn down afterwards.
         **method_kwargs: Forwarded to the method (e.g. ``n_prepare=``).
 
     Returns:
@@ -273,7 +444,23 @@ def run_parallel_trials(
     from ..core.serialize import result_from_dict
 
     observer = ensure_observer(observer)
-    context = multiprocessing.get_context(mp_context)
+    owns_pool = pool is None
+    if pool is None:
+        wedge_index = None
+        if _wants_shared_index(method, method_kwargs):
+            from ..kernels.wedge_block import build_wedge_index
+
+            with observer.span("wedge-index", shared=True):
+                wedge_index = build_wedge_index(graph)
+        pool = WorkerPool(
+            graph, mp_context=mp_context, wedge_index=wedge_index,
+            observer=observer,
+        )
+    else:
+        observer.inc("worker.shm.reused")
+        observer.set(
+            "worker.shm.bytes", float(pool.handle.total_bytes)
+        )
     # One extra child stream seeds the retry-backoff jitter.  Spawned
     # children are keyed by index, so workers 0..n-1 receive exactly the
     # streams they always did — adding the jitter stream at the end
@@ -284,81 +471,108 @@ def run_parallel_trials(
     results: Dict[int, object] = {}
     worker_metrics: Dict[int, Dict] = {}
     worker_spans: Dict[int, List] = {}
-    pending: List[tuple] = [
+    pending: List[Tuple[int, int]] = [
         (worker_id, 1) for worker_id in range(n_workers)
         if shares[worker_id] > 0
     ]
 
-    with observer.span(
-        "fan-out", method=method, workers=n_workers, trials=n_trials
-    ):
-        while pending:
-            launched = []
-            for worker_id, attempt in pending:
-                queue = context.SimpleQueue()
-                process = context.Process(
-                    target=_worker_main,
-                    args=(
-                        worker_id, attempt, graph, method,
-                        shares[worker_id], streams[worker_id],
-                        method_kwargs, faults, observer.enabled, queue,
-                    ),
-                    daemon=True,
-                )
-                process.start()
-                launched.append((worker_id, attempt, process, queue))
+    try:
+        with observer.span(
+            "fan-out", method=method, workers=n_workers, trials=n_trials
+        ):
+            while pending:
+                launched = []
+                for worker_id, attempt in pending:
+                    entry = pool.worker(worker_id, observer=observer)
+                    task = {
+                        "attempt": attempt,
+                        "method": method,
+                        "n_trials": shares[worker_id],
+                        "rng": streams[worker_id],
+                        "method_kwargs": method_kwargs,
+                        "faults": faults,
+                        "instrument": observer.enabled,
+                    }
+                    try:
+                        entry.conn.send(task)
+                    except (BrokenPipeError, OSError):
+                        # Dead pipe: the sentinel wait below sees the
+                        # exit and classifies it as a crash.
+                        pass
+                    launched.append((worker_id, attempt, entry))
 
-            retry: List[tuple] = []
-            round_backoff = 0.0
-            for worker_id, attempt, process, queue in launched:
-                process.join(straggler_timeout)
-                failure: Optional[str] = None
-                if process.is_alive():
-                    process.terminate()
-                    process.join()
-                    failure = (
-                        f"straggler exceeded {straggler_timeout}s timeout"
+                retry: List[Tuple[int, int]] = []
+                round_backoff = 0.0
+                for worker_id, attempt, entry in launched:
+                    failure: Optional[str] = None
+                    payload = None
+                    ready = mp_connection.wait(
+                        [entry.conn, entry.process.sentinel],
+                        timeout=straggler_timeout,
                     )
-                elif process.exitcode != 0:
-                    failure = f"worker exited with code {process.exitcode}"
-                elif queue.empty():
-                    failure = "worker exited without returning a result"
-                else:
-                    payload = queue.get()
-                    results[worker_id] = result_from_dict(
-                        payload["result"], graph
-                    )
-                    if payload["metrics"] is not None:
-                        worker_metrics[worker_id] = payload["metrics"]
-                    if payload["spans"] is not None:
-                        worker_spans[worker_id] = payload["spans"]
-                    reports[worker_id] = WorkerReport(
-                        worker_id=worker_id,
-                        attempts=attempt,
-                        status="ok",
-                        n_trials=shares[worker_id],
-                    )
-                if failure is not None:
-                    if attempt >= max_attempts:
+                    if not ready:
+                        pool.discard(worker_id)
+                        failure = (
+                            f"straggler exceeded "
+                            f"{straggler_timeout}s timeout"
+                        )
+                    else:
+                        if entry.conn in ready:
+                            try:
+                                payload = entry.conn.recv()
+                            except (EOFError, OSError):
+                                payload = None
+                        if payload is None:
+                            entry.process.join()
+                            exitcode = entry.process.exitcode
+                            pool.discard(worker_id)
+                            if exitcode not in (0, None):
+                                failure = (
+                                    f"worker exited with code {exitcode}"
+                                )
+                            else:
+                                failure = (
+                                    "worker exited without returning "
+                                    "a result"
+                                )
+                    if payload is not None:
+                        results[worker_id] = result_from_dict(
+                            payload["result"], graph
+                        )
+                        if payload["metrics"] is not None:
+                            worker_metrics[worker_id] = payload["metrics"]
+                        if payload["spans"] is not None:
+                            worker_spans[worker_id] = payload["spans"]
                         reports[worker_id] = WorkerReport(
                             worker_id=worker_id,
                             attempts=attempt,
-                            status="dropped",
-                            n_trials=0,
-                            error=failure,
+                            status="ok",
+                            n_trials=shares[worker_id],
                         )
-                    else:
-                        retry.append((worker_id, attempt + 1))
-                        round_backoff = max(
-                            round_backoff,
-                            backoff_seconds(
-                                attempt, backoff_base, backoff_cap,
-                                jitter=jitter_rng,
-                            ),
-                        )
-            if retry and round_backoff > 0.0:
-                sleep(round_backoff)
-            pending = retry
+                    if failure is not None:
+                        if attempt >= max_attempts:
+                            reports[worker_id] = WorkerReport(
+                                worker_id=worker_id,
+                                attempts=attempt,
+                                status="dropped",
+                                n_trials=0,
+                                error=failure,
+                            )
+                        else:
+                            retry.append((worker_id, attempt + 1))
+                            round_backoff = max(
+                                round_backoff,
+                                backoff_seconds(
+                                    attempt, backoff_base, backoff_cap,
+                                    jitter=jitter_rng,
+                                ),
+                            )
+                if retry and round_backoff > 0.0:
+                    sleep(round_backoff)
+                pending = retry
+    finally:
+        if owns_pool:
+            pool.close()
 
     dropped = [r for r in reports.values() if r.status == "dropped"]
     if not results:

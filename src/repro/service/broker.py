@@ -28,7 +28,7 @@ CLI's argument shape, so service answers are bit-identical to
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core import find_mpmb
 from ..core.results import MPMBResult
@@ -42,6 +42,7 @@ from ..errors import (
 from ..observability import Observer, ensure_observer
 from ..runtime import (
     RuntimePolicy,
+    WorkerPool,
     backoff_seconds,
     recompute_guarantee,
     run_parallel_trials,
@@ -114,6 +115,10 @@ class QueryBroker:
         self._retry_rng = ensure_rng(retry_rng)
         self._sleep = sleep
         self._clock = clock
+        # Per-dataset persistent worker pools, keyed on the registry
+        # checksum so a reload (new graph bytes) republishes rather
+        # than serving stale shared memory.
+        self._pools: Dict[str, Tuple[Optional[str], WorkerPool]] = {}
 
     # ------------------------------------------------------------------
     # Request lifecycle
@@ -251,7 +256,9 @@ class QueryBroker:
             else:
                 remaining = None
             try:
-                result = self._run(request, graph, trials, remaining)
+                result = self._run(
+                    request, entry, graph, trials, remaining
+                )
             except WorkerFailureError as error:
                 if attempt < self.retry_attempts:
                     observer.inc("service.retries")
@@ -286,9 +293,50 @@ class QueryBroker:
             "service.breaker.state", STATE_VALUES[breaker.state]
         )
 
+    def _pool_for(
+        self, request: QueryRequest, entry: RegistryEntry
+    ) -> WorkerPool:
+        """The dataset's persistent worker pool, (re)built as needed.
+
+        Pools are cached per dataset and keyed on the registry
+        checksum: consecutive pooled requests against the same graph
+        bytes reuse the shared-memory segment and the attached worker
+        processes (``worker.shm.reused``).  A checksum change (reload)
+        or a batched request against an index-less pool tears the pool
+        down and republishes.
+        """
+        needs_index = (
+            request.block_size is not None
+            and request.method in ("mc-vp", "os")
+        )
+        cached = self._pools.pop(request.dataset, None)
+        if cached is not None:
+            checksum, pool = cached
+            if checksum == entry.checksum and (
+                not needs_index or pool.handle.has_index
+            ):
+                self._pools[request.dataset] = cached
+                return pool
+            pool.close()
+        wedge_index = None
+        if needs_index:
+            from ..kernels.wedge_block import build_wedge_index
+
+            with self.observer.span("wedge-index", shared=True):
+                wedge_index = build_wedge_index(entry.graph)
+        pool = WorkerPool(
+            entry.graph,
+            wedge_index=wedge_index,
+            checksum=entry.checksum,
+            observer=self.observer if self.observer.enabled else None,
+        )
+        self._pools[request.dataset] = (entry.checksum, pool)
+        return pool
+
     def _run(
         self,
         request: QueryRequest,
+        entry: RegistryEntry,
         graph,
         trials: int,
         remaining_seconds: Optional[float],
@@ -296,7 +344,9 @@ class QueryBroker:
         """One engine execution with the request's exact CLI shape."""
         request_faults = self.faults.request_faults
         if request.workers > 1:
-            pool_kwargs: Dict[str, Any] = {}
+            pool_kwargs: Dict[str, Any] = {
+                "pool": self._pool_for(request, entry),
+            }
             if remaining_seconds is not None:
                 # Deadline propagation for pooled runs: workers still
                 # running at the remaining budget are terminated as
@@ -418,9 +468,27 @@ class QueryBroker:
     # ------------------------------------------------------------------
 
     def reload(self, dataset: Optional[str] = None) -> None:
-        """Reload graph(s) and drop the (now unreachable) cached answers."""
+        """Reload graph(s) and drop the (now unreachable) cached answers.
+
+        Cached worker pools for the reloaded dataset(s) are closed —
+        their shared-memory segments hold the *old* graph bytes, and
+        the checksum key would force a republish anyway.
+        """
         self.registry.reload(dataset)
         self.cache.clear()
+        names = (
+            list(self._pools) if dataset is None
+            else [dataset] if dataset in self._pools else []
+        )
+        for name in names:
+            _, pool = self._pools.pop(name)
+            pool.close()
+
+    def close(self) -> None:
+        """Release every cached worker pool and its shared segment."""
+        for _, pool in self._pools.values():
+            pool.close()
+        self._pools.clear()
 
     def health(self) -> Dict[str, Any]:
         """Liveness payload: the process is up and answering."""

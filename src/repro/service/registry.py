@@ -23,7 +23,6 @@ deterministic in tests.
 
 from __future__ import annotations
 
-import hashlib
 import threading
 import time
 from dataclasses import dataclass
@@ -35,29 +34,21 @@ from ..errors import GraphUnavailableError, ReproError
 from ..graph import UncertainBipartiteGraph
 from ..observability import Observer, ensure_observer
 from ..runtime.faults import ServiceFaultPlan
+from ..runtime.shm import graph_checksum
+
+__all__ = [
+    "DEFAULT_BACKBONE_K",
+    "DEFAULT_LOAD_ATTEMPTS",
+    "GraphRegistry",
+    "RegistryEntry",
+    "graph_checksum",
+]
 
 #: How many top-weight butterflies the warm backbone keeps per graph.
 DEFAULT_BACKBONE_K = 8
 
 #: Load attempts per dataset before the entry is marked failed.
 DEFAULT_LOAD_ATTEMPTS = 3
-
-
-def graph_checksum(graph: UncertainBipartiteGraph) -> str:
-    """SHA-256 over the graph's edge arrays and vertex labels.
-
-    A stable content hash of everything the estimators consume: edge
-    endpoints, weights, probabilities, and both label tuples.  Used to
-    detect artifacts corrupted between build and serve.
-    """
-    digest = hashlib.sha256()
-    for array in (
-        graph.edge_left, graph.edge_right, graph.weights, graph.probs
-    ):
-        digest.update(array.tobytes())
-    for labels in (graph.left_labels, graph.right_labels):
-        digest.update(repr(labels).encode("utf-8"))
-    return digest.hexdigest()
 
 
 @dataclass

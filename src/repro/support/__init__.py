@@ -4,12 +4,16 @@ uncertain graphs, and the peeling-based bitruss hierarchy."""
 
 from .bitruss import BitrussResult, bitruss_decomposition
 from .support import (
+    SupportProfile,
+    butterfly_support_profile,
     edge_butterfly_support,
     expected_edge_support,
     vertex_butterfly_counts,
 )
 
 __all__ = [
+    "SupportProfile",
+    "butterfly_support_profile",
     "edge_butterfly_support",
     "expected_edge_support",
     "vertex_butterfly_counts",

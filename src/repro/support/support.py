@@ -9,12 +9,50 @@ other three edges exist (conditioning on ``e`` itself being present).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..butterfly import Butterfly, enumerate_butterflies
 from ..graph import UncertainBipartiteGraph
+
+
+@dataclass(frozen=True)
+class SupportProfile:
+    """Every support quantity of one graph, from one enumeration.
+
+    Attributes:
+        edge_support: Backbone butterfly count per edge
+            (:func:`edge_butterfly_support`).
+        expected_support: Conditional expected support per edge
+            (:func:`expected_edge_support`).
+        vertex_counts: Per-vertex participation counts
+            (:func:`vertex_butterfly_counts`).
+    """
+
+    edge_support: np.ndarray
+    expected_support: np.ndarray
+    vertex_counts: Dict[str, np.ndarray]
+
+
+def butterfly_support_profile(
+    graph: UncertainBipartiteGraph,
+) -> SupportProfile:
+    """All three support quantities from a single enumeration pass.
+
+    Calling :func:`edge_butterfly_support`,
+    :func:`expected_edge_support` and :func:`vertex_butterfly_counts`
+    separately materialises the full butterfly list three times —
+    enumeration is the dominant cost on dense graphs.  This profile
+    enumerates once and feeds the shared list to all three.
+    """
+    butterflies = list(enumerate_butterflies(graph))
+    return SupportProfile(
+        edge_support=edge_butterfly_support(graph, butterflies),
+        expected_support=expected_edge_support(graph, butterflies),
+        vertex_counts=vertex_butterfly_counts(graph, butterflies),
+    )
 
 
 def edge_butterfly_support(

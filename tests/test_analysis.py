@@ -292,6 +292,55 @@ class TestRuleSemantics:
         assert result.exit_code() == 1
 
 
+class TestSharedMemorySeam:
+    """MPS001's buffer arm: raw shared-memory buffers must not cross
+    the worker seam — only picklable handles (names + shapes) may."""
+
+    def test_buf_attribute_in_process_args_flagged(self, tmp_path):
+        code = (
+            "from multiprocessing import shared_memory\n"
+            "def launch(context, target):\n"
+            "    shm = shared_memory.SharedMemory(create=True, size=64)\n"
+            "    return context.Process(target=target, args=(shm.buf,))\n"
+        )
+        result = analyze(tmp_path, "runtime/seg.py", code, rule="MPS001")
+        assert len(result.findings) == 1
+        message = result.findings[0].message
+        assert "raw buffer" in message
+        assert "handle" in message
+
+    def test_buffer_bound_name_in_submit_flagged(self, tmp_path):
+        code = (
+            "def send(pool, work, data):\n"
+            "    view = memoryview(data)\n"
+            "    return pool.map(work, view)\n"
+        )
+        result = analyze(tmp_path, "runtime/send.py", code, rule="MPS001")
+        assert len(result.findings) == 1
+        assert "shared-memory buffer 'view'" in result.findings[0].message
+
+    def test_direct_buffer_ctor_in_payload_flagged(self, tmp_path):
+        code = (
+            "def send(pool, work, data):\n"
+            "    return pool.apply_async(work, memoryview(data))\n"
+        )
+        result = analyze(tmp_path, "runtime/raw.py", code, rule="MPS001")
+        assert len(result.findings) == 1
+        assert "memoryview()" in result.findings[0].message
+
+    def test_handle_payload_is_clean(self, tmp_path):
+        code = (
+            "def attach_worker(worker_id, handle):\n"
+            "    return worker_id\n"
+            "def launch(context, handle):\n"
+            "    return context.Process(\n"
+            "        target=attach_worker, args=(0, handle)\n"
+            "    )\n"
+        )
+        result = analyze(tmp_path, "runtime/ok.py", code, rule="MPS001")
+        assert result.findings == []
+
+
 class TestReporters:
     def _result(self, tmp_path):
         rel, bad, _clean = RULE_FIXTURES["RNG001"]

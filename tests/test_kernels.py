@@ -194,10 +194,17 @@ class TestScalarBatchedEquivalence:
 
     @pytest.mark.parametrize("block_size", [1, 7, 30])
     def test_os_bit_identical(self, graph, block_size):
+        """Everything except ``stats`` is bit-identical; the batched path
+        reports the wedge kernel scan's own work counters because the
+        scalar scan's per-edge counters have no vectorised equivalent."""
         scalar = result_to_dict(ordering_sampling(graph, 30, rng=3))
         blocked = result_to_dict(
             ordering_sampling(graph, 30, rng=3, block_size=block_size)
         )
+        assert sorted(blocked["stats"]) == [
+            "trials_pruned", "wedges_scanned"
+        ]
+        del scalar["stats"], blocked["stats"]
         assert blocked == scalar
 
     def test_os_antithetic_bit_identical(self, graph):
@@ -209,6 +216,7 @@ class TestScalarBatchedEquivalence:
                 graph, 30, rng=9, antithetic=True, block_size=7
             )
         )
+        del scalar["stats"], blocked["stats"]
         assert blocked == scalar
 
     def test_ols_partition_invariant(self, graph):
@@ -586,3 +594,74 @@ class TestAdaptivePrepareParity:
     def test_seed_validation(self, graph):
         with pytest.raises(ConfigurationError):
             adaptive_prepare_candidates(graph, seed_backbone_top=-1)
+
+
+class TestWedgeKernelProperty:
+    """Satellite: property-based bit-identity of the vectorised wedge
+    kernel against the scalar per-world search — random graphs, random
+    block sizes, antithetic streams, and resume at random block
+    boundaries."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        block_size=st.integers(1, 12),
+        antithetic=st.booleans(),
+        crash_block=st.integers(1, 6),
+    )
+    def test_mc_vp_bit_identical_with_resume(
+        self, seed, block_size, antithetic, crash_block
+    ):
+        graph = random_bipartite(6, 7, 18, rng=seed)
+        scalar = result_to_dict(
+            mc_vp(graph, 24, rng=seed, antithetic=antithetic)
+        )
+        blocked = result_to_dict(
+            mc_vp(
+                graph, 24, rng=seed, antithetic=antithetic,
+                block_size=block_size,
+            )
+        )
+        assert blocked == scalar
+        # Crash before a random block boundary, resume, and the stitched
+        # run must still equal the scalar baseline bit for bit.
+        n_blocks = -(-24 // block_size)
+        crash_at = min(crash_block, n_blocks - 1)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "mc.json"
+            with pytest.raises(InjectedCrash):
+                mc_vp(
+                    graph, 24, rng=seed, antithetic=antithetic,
+                    block_size=block_size,
+                    runtime=_crash_policy(path, crash_at),
+                )
+            resumed = result_to_dict(
+                mc_vp(
+                    graph, 24, rng=seed, antithetic=antithetic,
+                    block_size=block_size,
+                    runtime=_resume_policy(path),
+                )
+            )
+        assert resumed == scalar
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        block_size=st.integers(1, 12),
+        antithetic=st.booleans(),
+    )
+    def test_os_winners_bit_identical(self, seed, block_size, antithetic):
+        """OS shares the kernel with ``tie_mode="rtol"``; everything but
+        the (documented) stats carve-out matches the scalar search."""
+        graph = random_bipartite(7, 6, 18, rng=seed + 1)
+        scalar = result_to_dict(
+            ordering_sampling(graph, 24, rng=seed, antithetic=antithetic)
+        )
+        blocked = result_to_dict(
+            ordering_sampling(
+                graph, 24, rng=seed, antithetic=antithetic,
+                block_size=block_size,
+            )
+        )
+        del scalar["stats"], blocked["stats"]
+        assert blocked == scalar

@@ -294,6 +294,47 @@ class TestTransitivePickle:
         assert finding.path == "src/repro/runtime/spawner.py"
         assert "'_LOCK'" in finding.message
 
+    def test_module_shared_memory_buffer_across_seam(self, tmp_path):
+        result = analyze_program(tmp_path, {
+            "src/repro/runtime/segment.py": (
+                "from multiprocessing.shared_memory import "
+                "SharedMemory\n"
+                "_SEG = SharedMemory(name='graph')\n"
+                "def work(x):\n"
+                "    return _SEG.buf[x]\n"
+            ),
+            "src/repro/runtime/spawn_seg.py": (
+                "from .segment import work\n"
+                "def run(pool, xs):\n"
+                "    return pool.map(work, xs)\n"
+            ),
+        }, rule="PKL001")
+        (finding,) = result.findings
+        assert finding.path == "src/repro/runtime/spawn_seg.py"
+        assert "'_SEG'" in finding.message
+        assert "buffer" in finding.message
+        assert "attach inside the worker" in finding.message
+
+    def test_handle_only_seam_is_clean(self, tmp_path):
+        result = analyze_program(tmp_path, {
+            "src/repro/runtime/attach.py": (
+                "from multiprocessing.shared_memory import "
+                "SharedMemory\n"
+                "def work(handle):\n"
+                "    segment = SharedMemory(name=handle)\n"
+                "    try:\n"
+                "        return bytes(segment.buf[:1])\n"
+                "    finally:\n"
+                "        segment.close()\n"
+            ),
+            "src/repro/runtime/spawn_ok.py": (
+                "from .attach import work\n"
+                "def run(pool, handles):\n"
+                "    return pool.map(work, handles)\n"
+            ),
+        }, rule="PKL001")
+        assert result.findings == []
+
     def test_stateless_module_function_is_clean(self, tmp_path):
         result = analyze_program(tmp_path, {
             "src/repro/runtime/clean.py": (

@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 from repro.butterfly import enumerate_butterflies
 from repro.support import (
     bitruss_decomposition,
+    butterfly_support_profile,
     edge_butterfly_support,
     expected_edge_support,
     vertex_butterfly_counts,
@@ -72,6 +73,50 @@ class TestEdgeSupport:
         assert counts["left"].tolist() == [3, 3]
         # Each right vertex appears in 2 butterflies.
         assert counts["right"].tolist() == [2, 2, 2]
+
+
+class TestSupportProfile:
+    def test_matches_individual_functions(self, figure1):
+        profile = butterfly_support_profile(figure1)
+        assert profile.edge_support.tolist() == (
+            edge_butterfly_support(figure1).tolist()
+        )
+        assert profile.expected_support == pytest.approx(
+            expected_edge_support(figure1)
+        )
+        individual = vertex_butterfly_counts(figure1)
+        assert profile.vertex_counts["left"].tolist() == (
+            individual["left"].tolist()
+        )
+        assert profile.vertex_counts["right"].tolist() == (
+            individual["right"].tolist()
+        )
+
+    def test_enumerates_exactly_once(self, figure1, monkeypatch):
+        import repro.support.support as support_module
+
+        calls = []
+        real = support_module.enumerate_butterflies
+
+        def counting(graph):
+            calls.append(graph)
+            return real(graph)
+
+        monkeypatch.setattr(
+            support_module, "enumerate_butterflies", counting
+        )
+        butterfly_support_profile(figure1)
+        assert len(calls) == 1, (
+            "profile must materialise the butterfly list once, "
+            f"saw {len(calls)} enumerations"
+        )
+        # The separate calls pay one enumeration *each* — the cost the
+        # profile exists to amortise.
+        calls.clear()
+        edge_butterfly_support(figure1)
+        expected_edge_support(figure1)
+        vertex_butterfly_counts(figure1)
+        assert len(calls) == 3
 
 
 class TestBitruss:

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Documentation consistency checker.
 
-Three guarantees, each enforced by CI through ``tests/test_docs.py``:
+Four guarantees, each enforced by CI through ``tests/test_docs.py``:
 
 1. **Coverage** — ``README.md`` references every page under ``docs/``
    (a page nobody links is a page nobody reads).
@@ -12,6 +12,10 @@ Three guarantees, each enforced by CI through ``tests/test_docs.py``:
    ``python -m repro ...`` command exists in the actual argument parser
    (and likewise for ``python benchmarks/run_bench.py``), so documented
    invocations cannot rot silently.
+4. **Kernel docs sync** — ``docs/kernels.md`` exists, is indexed from
+   README.md, and names every ``kernel.*`` / ``worker.shm.*`` metric of
+   the observability catalog, so the performance-model page cannot
+   silently fall behind the instrumented kernel layer.
 
 Run directly::
 
@@ -189,12 +193,45 @@ def check_cli_flags() -> List[str]:
     return problems
 
 
+def check_kernel_docs() -> List[str]:
+    """``docs/kernels.md`` must exist and name every kernel-layer metric.
+
+    The kernel layer is documented in one place; this check keeps that
+    page in the README index and in sync with the ``kernel.*`` and
+    ``worker.shm.*`` families of the observability catalog — a new
+    kernel instrument without a matching mention here is a doc rot bug.
+    """
+    page = REPO_ROOT / "docs" / "kernels.md"
+    if not page.exists():
+        return ["docs/kernels.md is missing (the kernel layer's page)"]
+    problems = []
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    if "docs/kernels.md" not in readme:
+        problems.append("README.md does not index docs/kernels.md")
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.observability.catalog import METRICS
+    finally:
+        sys.path.pop(0)
+    text = page.read_text(encoding="utf-8")
+    for spec in METRICS:
+        if not spec.name.startswith(("kernel.", "worker.shm.")):
+            continue
+        if spec.name not in text:
+            problems.append(
+                f"docs/kernels.md does not mention the cataloged "
+                f"kernel-layer metric {spec.name!r}"
+            )
+    return problems
+
+
 def run_checks() -> List[str]:
     """All problems found across every check (empty = docs are sound)."""
     problems: List[str] = []
     problems.extend(check_readme_covers_docs())
     problems.extend(check_links())
     problems.extend(check_cli_flags())
+    problems.extend(check_kernel_docs())
     return problems
 
 
