@@ -1,12 +1,18 @@
 #!/usr/bin/env python
 """Benchmark the static analyzer and write ``BENCH_analysis.json``.
 
-Times three configurations of the whole-program analyzer over the
+Times four configurations of the whole-program analyzer over the
 repository itself: a cold run (no summary cache), a warm run (summaries
-served from ``.repro-analysis-cache.json``), and a diff-aware run
-against a git base.  The headline number the docs promise — ``--diff``
-under 20% of a full cold run — is recorded as ``diff_vs_cold_ratio``
-so the regression policy in ``docs/benchmarks.md`` can watch it.
+served from ``.repro-analysis-cache.json``), a warm run with the
+typestate/protocol rules ignored (the pre-typestate rule set), and a
+diff-aware run against a git base.  All full configurations exercise
+the typestate rules (SHM001, RES001, CLK002, DTY001, SHP001) because
+they are registered like any other rule.  Two headline ratios are
+recorded: ``diff_vs_cold_ratio`` (the docs promise ``--diff`` under
+20% of a full cold run) and ``typestate_warm_overhead_ratio`` (warm
+run with the typestate rules over warm run without them), which must
+stay under 2x — the benchmark exits non-zero when it does not, so the
+protocol verification layer cannot silently double lint latency.
 
 The output schema matches ``run_bench.py`` (versioned ``format`` +
 ``kind`` discriminators, sorted keys) so the same tooling can diff
@@ -37,6 +43,13 @@ BENCH_FORMAT = 1
 
 #: Discriminator so arbitrary JSON files are rejected early.
 BENCH_KIND = "repro-bench"
+
+#: The typestate/protocol rules whose warm overhead is gated.
+TYPESTATE_RULES = ("SHM001", "RES001", "CLK002", "DTY001", "SHP001")
+
+#: Warm runs including the typestate rules must stay under this
+#: multiple of the warm run without them.
+TYPESTATE_OVERHEAD_LIMIT = 2.0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -112,6 +125,19 @@ def run_suite(args: argparse.Namespace) -> Dict:
         )
         entries.append({"configuration": "full-warm", **warm})
 
+        print("benchmarking warm run without typestate rules ...",
+              file=sys.stderr)
+        warm_base = _time(
+            AnalysisConfig(
+                root=root, use_cache=True, cache_path=cache_path,
+                ignore=list(TYPESTATE_RULES),
+            ),
+            args.repeat,
+        )
+        entries.append({
+            "configuration": "full-warm-no-typestate", **warm_base,
+        })
+
         diff_entry: Optional[Dict] = None
         try:
             changed = changed_lines(root, args.base)
@@ -150,6 +176,10 @@ def run_suite(args: argparse.Namespace) -> Dict:
         document["diff_vs_cold_ratio"] = (
             diff_entry["wall_seconds"] / cold["wall_seconds"]
         )
+    if warm_base["wall_seconds"] > 0:
+        document["typestate_warm_overhead_ratio"] = (
+            warm["wall_seconds"] / warm_base["wall_seconds"]
+        )
     return document
 
 
@@ -163,7 +193,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     summary = f"wrote {len(document['entries'])} entries to {args.out}"
     if ratio is not None:
         summary += f" (diff/cold ratio: {ratio:.2f})"
+    overhead = document.get("typestate_warm_overhead_ratio")
+    if overhead is not None:
+        summary += f" (typestate warm overhead: {overhead:.2f}x)"
     print(summary, file=sys.stderr)
+    if overhead is not None and overhead >= TYPESTATE_OVERHEAD_LIMIT:
+        print(
+            f"bench_analysis: typestate warm overhead {overhead:.2f}x "
+            f"breaches the {TYPESTATE_OVERHEAD_LIMIT:.0f}x budget",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

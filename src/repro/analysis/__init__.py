@@ -54,6 +54,7 @@ from .source import SourceFile, parse_source
 # Importing the rule modules populates the registry.
 from . import rules as _rules  # noqa: F401
 from .program import program_rules as _program_rules  # noqa: F401
+from .program import protocol_rules as _protocol_rules  # noqa: F401
 
 __all__ = [
     "AnalysisConfig",

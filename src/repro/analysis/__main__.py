@@ -90,6 +90,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
+        "--ignore", default=None,
+        help="comma-separated rule ids to skip (applied after "
+        "--select; unknown ids are a usage error)",
+    )
+    parser.add_argument(
         "--no-project", action="store_true",
         help="skip the repo-level rules (DOC002 docs consistency, "
         "MET002 catalog sync)",
@@ -155,6 +160,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         [part.strip() for part in args.select.split(",") if part.strip()]
         if args.select else None
     )
+    ignore = (
+        [part.strip() for part in args.ignore.split(",") if part.strip()]
+        if args.ignore else None
+    )
     baseline_path = args.baseline
     if baseline_path is None:
         default = root / DEFAULT_BASELINE
@@ -179,6 +188,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         root=root,
         paths=paths,
         select=select,
+        ignore=ignore,
         # --write-baseline records everything, including findings the
         # old baseline already forgave.
         baseline_path=(

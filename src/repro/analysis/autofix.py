@@ -246,7 +246,13 @@ def _add_imports(text: str, imports: List[str]) -> str:
     lines = text.splitlines(keepends=True)
     at = _insertion_line(tree)
     insert = "".join(f"{line}\n" for line in missing)
-    return "".join(lines[:at]) + insert + "".join(lines[at:])
+    prefix = "".join(lines[:at])
+    if prefix and not prefix.endswith("\n"):
+        # The insertion point is the file's unterminated last line
+        # (e.g. a docstring-only module): splice a newline first, or
+        # the import concatenates onto it and the file stops parsing.
+        prefix += "\n"
+    return prefix + insert + "".join(lines[at:])
 
 
 def apply_fixes(

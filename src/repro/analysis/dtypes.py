@@ -1,0 +1,153 @@
+"""A tiny numpy dtype / contiguity lattice for the kernel rules.
+
+The wedge/butterfly kernels pin a scalar bit-identity contract: CSR
+indptr/indices are ``int64`` and weights/probabilities are ``float64``
+end to end (``docs/kernels.md``).  DTY001 and SHP001 check the two
+ways that contract silently erodes:
+
+* a *narrow* dtype (``int32``/``float32``-class) slipped into an
+  accumulating primitive — ``cumsum``, ``ufunc.reduceat``,
+  ``searchsorted`` — truncates or rounds differently from the pinned
+  reference exactly when inputs grow past the narrow range;
+* a *non-contiguous* view (transpose, step slice) handed across a
+  buffer seam (``np.frombuffer`` reconstructions, ``tobytes``,
+  shared-memory publication) either copies silently or reinterprets
+  strides, so the worker-side reconstruction no longer aliases the
+  published bytes.
+
+The lattice here is deliberately coarse — syntactic dtype names and
+obviously-strided expressions — because the rules only need to
+classify what crosses a handful of known-dangerous call seams.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+#: Narrow dtypes whose use in accumulators breaks bit identity.
+NARROW_INTS = frozenset({"int8", "int16", "int32"})
+NARROW_FLOATS = frozenset({"float16", "float32"})
+NARROW = NARROW_INTS | NARROW_FLOATS
+
+#: The pinned wide dtypes of the kernel contract.
+WIDE = frozenset({"int64", "float64"})
+
+#: Narrow dtype → the pinned wide dtype the autofix widens it to.
+WIDEN = {
+    "int8": "int64", "int16": "int64", "int32": "int64",
+    "float16": "float64", "float32": "float64",
+}
+
+#: Call tails that accumulate/scan and therefore honour ``dtype=`` or
+#: the operand dtype in a bit-identity-relevant way.
+ACCUMULATOR_TAILS = frozenset({
+    "cumsum", "cumprod", "reduceat", "searchsorted", "accumulate",
+})
+
+
+def dtype_name(node: ast.expr) -> Optional[str]:
+    """The dtype a syntactic dtype expression names, if recognisable.
+
+    Handles ``np.int32`` / ``numpy.int32`` attribute chains, bare
+    ``"int32"`` string constants, and ``np.dtype("int32")`` wrappers.
+    Returns ``None`` for anything dynamic.
+    """
+    if isinstance(node, ast.Attribute):
+        return node.attr if node.attr in (NARROW | WIDE) else None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        name = node.value
+        return name if name in (NARROW | WIDE) else None
+    if isinstance(node, ast.Call):
+        func = node.func
+        tail = (
+            func.attr if isinstance(func, ast.Attribute)
+            else func.id if isinstance(func, ast.Name) else None
+        )
+        if tail == "dtype" and node.args:
+            return dtype_name(node.args[0])
+    if isinstance(node, ast.Name):
+        return node.id if node.id in (NARROW | WIDE) else None
+    return None
+
+
+def narrow_dtype_of_call(call: ast.Call) -> Optional[ast.expr]:
+    """The ``dtype=`` keyword value of ``call`` when it names a narrow
+    dtype; ``None`` otherwise."""
+    for keyword in call.keywords:
+        if keyword.arg == "dtype":
+            name = dtype_name(keyword.value)
+            if name in NARROW:
+                return keyword.value
+    return None
+
+
+def astype_narrow(node: ast.expr) -> Optional[str]:
+    """The narrow dtype of an ``x.astype(<narrow>)`` expression."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "astype"):
+        return None
+    candidates = list(node.args[:1]) + [
+        kw.value for kw in node.keywords if kw.arg == "dtype"
+    ]
+    for candidate in candidates:
+        name = dtype_name(candidate)
+        if name in NARROW:
+            return name
+    return None
+
+
+def is_strided(node: ast.expr) -> bool:
+    """Whether an expression is an obviously non-contiguous view.
+
+    Recognises ``x.T``, ``x.transpose(...)`` / ``np.transpose(x)``,
+    ``x.swapaxes(...)``, and step slices (``x[::2]``, ``x[a:b:c]``
+    with a non-unit step).  Conservative: anything else is assumed
+    contiguous.
+    """
+    if isinstance(node, ast.Attribute):
+        if node.attr in ("T", "mT"):
+            return True
+        return is_strided(node.value)
+    if isinstance(node, ast.Call):
+        func = node.func
+        tail = (
+            func.attr if isinstance(func, ast.Attribute)
+            else func.id if isinstance(func, ast.Name) else None
+        )
+        if tail in ("transpose", "swapaxes", "moveaxis", "rollaxis"):
+            return True
+        if tail == "ascontiguousarray":
+            return False
+        return False
+    if isinstance(node, ast.Subscript):
+        return _has_step_slice(node.slice) or is_strided(node.value)
+    return False
+
+
+def _has_step_slice(node: ast.expr) -> bool:
+    if isinstance(node, ast.Slice):
+        step = node.step
+        if step is None:
+            return False
+        if isinstance(step, ast.Constant) and step.value in (1, None):
+            return False
+        return True
+    if isinstance(node, ast.Tuple):
+        return any(_has_step_slice(element) for element in node.elts)
+    return False
+
+
+def is_contiguity_fixed(node: ast.expr) -> bool:
+    """Whether the expression is wrapped in ``ascontiguousarray`` (or
+    ``copy()``), which restores contiguity."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    tail = (
+        func.attr if isinstance(func, ast.Attribute)
+        else func.id if isinstance(func, ast.Name) else None
+    )
+    return tail in ("ascontiguousarray", "copy", "asarray")

@@ -58,6 +58,7 @@ class Program:
         self._seam_params: Optional[Dict[str, Set[str]]] = None
         self._exceptions: Optional[ExceptionFlow] = None
         self._external_text: Optional[str] = None
+        self._typestate: Dict[str, object] = {}
 
     @property
     def rng_params(self) -> Dict[str, Set[str]]:
@@ -83,6 +84,23 @@ class Program:
         if self._exceptions is None:
             self._exceptions = ExceptionFlow(self.index, self.graph)
         return self._exceptions
+
+    def typestate(self, spec):
+        """The (memoized) typestate analysis for one protocol spec.
+
+        Memoization keeps the per-protocol effects fixpoint shared
+        between the rules of one run, so ``--select SHM001,RES001``
+        pays for each protocol once.
+        """
+        from .typestate import TypestateAnalysis
+
+        cached = self._typestate.get(spec.name)
+        if cached is None:
+            cached = TypestateAnalysis(
+                self.index, self.graph, spec, self.summaries
+            )
+            self._typestate[spec.name] = cached
+        return cached
 
     def path_of(self, fq: str) -> str:
         """Repo-relative path of a function/class, '' if unknown."""

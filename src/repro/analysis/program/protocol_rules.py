@@ -1,0 +1,149 @@
+"""Resource-protocol program rules (typestate over the call graph).
+
+These rules evaluate the declarative protocol specs in
+:mod:`~repro.analysis.program.typestate` over the whole program:
+
+* SHM001 — shared-memory segment lifecycle: every ``SharedMemory``
+  mapping is closed on every path (including exception edges), no use
+  after close, no double unlink, and segments stored on ``self`` are
+  retired by a sibling method or a registered ``weakref.finalize``.
+* RES001 — acquire/release pairing for circuit-breaker probe slots
+  and admission inflight tokens: every path out of a function that
+  takes a slot returns it (releases may live in a different module —
+  the engine follows the call graph), plus the broker-specific
+  teardown-before-republish check for cached worker pools.
+
+Findings embed the typestate trace (state after each step) so a SARIF
+consumer can replay how the resource reached the violating state.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, Set, Tuple
+
+from ..findings import Finding
+from ..registry import ProgramRule, register
+from . import Program
+from .typestate import ProtocolSpec, protocols_for
+from .dataflow import _tail
+
+
+def _in_scope(path: str, spec: ProtocolSpec) -> bool:
+    if not spec.scope_dirs:
+        return True
+    return any(
+        part in spec.scope_dirs for part in Path(path).parts[:-1]
+    )
+
+
+def _protocol_findings(
+    rule: ProgramRule, program: Program, rule_id: str
+) -> Iterator[Finding]:
+    seen: Set[Tuple[str, int, str]] = set()
+    for spec in protocols_for(rule_id):
+        analysis = program.typestate(spec)
+        for fq, function in sorted(program.index.functions.items()):
+            path = program.path_of(fq)
+            if not path or not _in_scope(path, spec):
+                continue
+            for violation in analysis.violations(fq, function, path):
+                key = (violation.path, violation.line, violation.message)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield rule.finding(
+                    violation.path, violation.line, violation.message
+                )
+
+
+@register
+class SharedMemoryLifecycleRule(ProgramRule):
+    """SHM001: shared-memory segments follow the published lifecycle.
+
+    The shm seam contract (``docs/runtime.md``) is publish → attach →
+    close → unlink, with exactly one owner unlinking.  A mapping
+    leaked on an exception edge survives as an open file descriptor
+    and a ``/dev/shm`` segment until the resource tracker complains;
+    a use after close is a segfault-in-waiting on CPython builds that
+    release the buffer eagerly.
+    """
+
+    id = "SHM001"
+    severity = "error"
+    description = (
+        "shared-memory lifecycle: close on every path (exception "
+        "edges included), no use-after-close or double unlink, "
+        "self-stored segments retired by a method or weakref.finalize"
+    )
+
+    def check_program(self, program: object) -> Iterator[Finding]:
+        assert isinstance(program, Program)
+        yield from _protocol_findings(self, program, self.id)
+
+
+@register
+class ResourcePairingRule(ProgramRule):
+    """RES001: every taken slot is returned on every path.
+
+    Circuit-breaker probe slots (``allow()`` → ``cancel_probe()`` /
+    ``record_*``) and admission inflight tokens (``admit()`` →
+    ``release()``) are counting resources: one dropped slot under a
+    rare exception permanently shrinks capacity — the PR 6 review
+    caught exactly one of these by hand.  The typestate engine follows
+    releases through the call graph, so handing the breaker to a
+    helper that records the outcome satisfies the pairing.
+    """
+
+    id = "RES001"
+    severity = "error"
+    description = (
+        "breaker probe slots and admission tokens are released on "
+        "every path out of the service layer (interprocedural), and "
+        "cached worker pools are closed before republish"
+    )
+
+    #: Method tails that construct a worker pool in the service layer.
+    pool_ctor_tails = frozenset({"WorkerPool"})
+
+    def check_program(self, program: object) -> Iterator[Finding]:
+        assert isinstance(program, Program)
+        yield from _protocol_findings(self, program, self.id)
+        yield from self._pool_republish(program)
+
+    def _pool_republish(self, program: Program) -> Iterator[Finding]:
+        """Evicting a cached pool without closing it leaks workers.
+
+        Shape check: a service function that both pops an entry out of
+        a pool cache and constructs a fresh pool must close the stale
+        pool somewhere — otherwise the evicted pool's worker processes
+        survive the republish.
+        """
+        for fq, function in sorted(program.index.functions.items()):
+            path = program.path_of(fq)
+            if not any(
+                part in ("service",) for part in Path(path).parts[:-1]
+            ):
+                continue
+            pops_cache = False
+            ctor_line = None
+            closes = False
+            for site in function.calls:
+                receiver, _, tail = site.raw.rpartition(".")
+                if tail == "pop" and "pool" in receiver.lower():
+                    pops_cache = True
+                if tail == "close":
+                    closes = True
+                ctor_tail = _tail(site.callee or site.raw)
+                if ctor_tail in self.pool_ctor_tails and (
+                    ctor_line is None
+                ):
+                    ctor_line = site.line
+            if pops_cache and ctor_line is not None and not closes:
+                yield self.finding(
+                    path, ctor_line,
+                    f"{function.name}() republishes a worker pool "
+                    f"after evicting a cached entry but never calls "
+                    f"close() on the stale pool; its worker processes "
+                    f"and shm attachments outlive the republish",
+                )

@@ -38,7 +38,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 #: Version stamp of the on-disk summary cache.
-CACHE_FORMAT = 2
+CACHE_FORMAT = 3
 
 #: Discriminator so arbitrary JSON files are rejected early.
 CACHE_KIND = "repro-analysis-cache"
@@ -62,6 +62,15 @@ class CallSite:
             wrapping this call, innermost try first.
         branch: Branch context (``"<line>:<arm>"`` per enclosing
             ``if``), used to treat mutually exclusive arms as such.
+        target: Dotted name the call result is bound to (``shm``,
+            ``self._shm``, a ``with ... as`` variable), when the call
+            is the whole right-hand side of a simple assignment.  The
+            typestate engine keys tracked resources on it.
+        cleanup: Whether the call sits on an exception edge — inside
+            a ``finally`` body or an ``except`` handler — and so runs
+            even when the guarded region raises.
+        guarded: Whether an enclosing ``try`` has a ``finally`` body,
+            so cleanup code runs no matter how this call exits.
     """
 
     callee: Optional[str]
@@ -71,6 +80,9 @@ class CallSite:
     kwargs: Dict[str, str] = field(default_factory=dict)
     caught: List[str] = field(default_factory=list)
     branch: List[str] = field(default_factory=list)
+    target: Optional[str] = None
+    cleanup: bool = False
+    guarded: bool = False
 
 
 @dataclass
@@ -82,11 +94,35 @@ class RaiseSite:
             bare re-raise).
         line: 1-based source line.
         caught: Exception type names of enclosing ``except`` clauses.
+        branch: Branch context markers (see :class:`CallSite.branch`).
     """
 
     exc: Optional[str]
     line: int
     caught: List[str] = field(default_factory=list)
+    branch: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ReturnSite:
+    """One ``return`` statement (the typestate early-exit points).
+
+    Attributes:
+        tag: Provenance tag of the returned expression (``none`` for a
+            bare ``return``).
+        line: 1-based source line.
+        branch: Branch context markers (see :class:`CallSite.branch`).
+        cleanup: Whether the return sits inside a ``finally`` body or
+            an ``except`` handler (an exception-edge exit).
+        guarded: Whether an enclosing ``try`` has a ``finally`` body
+            that still runs on the way out through this return.
+    """
+
+    tag: str
+    line: int
+    branch: List[str] = field(default_factory=list)
+    cleanup: bool = False
+    guarded: bool = False
 
 
 @dataclass
@@ -107,6 +143,7 @@ class FunctionSummary:
     decorators: List[str] = field(default_factory=list)
     calls: List[CallSite] = field(default_factory=list)
     raises: List[RaiseSite] = field(default_factory=list)
+    returns: List[ReturnSite] = field(default_factory=list)
     refs: List[str] = field(default_factory=list)
     global_reads: List[str] = field(default_factory=list)
     is_method: bool = False
@@ -158,6 +195,9 @@ class ModuleSummary:
                     **f,  # type: ignore[dict-item]
                     "calls": [CallSite(**c) for c in f["calls"]],
                     "raises": [RaiseSite(**r) for r in f["raises"]],
+                    "returns": [
+                        ReturnSite(**r) for r in f.get("returns", [])
+                    ],
                 }
             )
             for f in data.get("functions", [])  # type: ignore[union-attr]
@@ -399,15 +439,19 @@ class _FunctionExtractor:
         stmts: Sequence[ast.stmt],
         caught: Tuple[str, ...],
         branch: Tuple[str, ...],
+        cleanup: bool = False,
+        guarded: bool = False,
     ) -> None:
         for stmt in stmts:
-            self._statement(stmt, caught, branch)
+            self._statement(stmt, caught, branch, cleanup, guarded)
 
     def _statement(
         self,
         stmt: ast.stmt,
         caught: Tuple[str, ...],
         branch: Tuple[str, ...],
+        cleanup: bool = False,
+        guarded: bool = False,
     ) -> None:
         if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
             self.owner.extract_function(
@@ -424,7 +468,7 @@ class _FunctionExtractor:
             # Local classes are rare; record reference traffic only.
             for expr in ast.walk(stmt):
                 if isinstance(expr, ast.Call):
-                    self._call(expr, caught, branch)
+                    self._call(expr, caught, branch, cleanup, guarded)
             return
         if isinstance(stmt, ast.Import):
             self.resolver.add_import(stmt)
@@ -435,12 +479,25 @@ class _FunctionExtractor:
         if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
             value = stmt.value
             if value is not None:
-                self._expressions(value, caught, branch)
+                first = len(self.summary.calls)
+                self._expressions(value, caught, branch, cleanup,
+                                  guarded)
                 tag = self.provenance(value)
                 targets = (
                     stmt.targets if isinstance(stmt, ast.Assign)
                     else [stmt.target]
                 )
+                if (
+                    isinstance(value, ast.Call)
+                    and not isinstance(stmt, ast.AugAssign)
+                    and first < len(self.summary.calls)
+                    and targets
+                ):
+                    # ast.walk visits the outer node first, so the
+                    # site at ``first`` is the whole right-hand side.
+                    bound = _dotted(targets[0])
+                    if bound is not None:
+                        self.summary.calls[first].target = bound
                 for target in targets:
                     if isinstance(target, ast.Name) and not isinstance(
                         stmt, ast.AugAssign
@@ -453,7 +510,8 @@ class _FunctionExtractor:
             return
         if isinstance(stmt, ast.Raise):
             if stmt.exc is not None:
-                self._expressions(stmt.exc, caught, branch)
+                self._expressions(stmt.exc, caught, branch, cleanup,
+                                  guarded)
             name = None
             if stmt.exc is not None:
                 target = (
@@ -462,52 +520,92 @@ class _FunctionExtractor:
                 )
                 name = self._resolve_expr(target)
             self.summary.raises.append(
-                RaiseSite(exc=name, line=stmt.lineno, caught=list(caught))
+                RaiseSite(
+                    exc=name, line=stmt.lineno,
+                    caught=list(caught), branch=list(branch),
+                )
+            )
+            return
+        if isinstance(stmt, ast.Return):
+            tag = "none"
+            if stmt.value is not None:
+                self._expressions(stmt.value, caught, branch, cleanup,
+                                  guarded)
+                tag = self.provenance(stmt.value)
+            self.summary.returns.append(
+                ReturnSite(
+                    tag=tag, line=stmt.lineno,
+                    branch=list(branch), cleanup=cleanup,
+                    guarded=guarded,
+                )
             )
             return
         if isinstance(stmt, ast.Try):
             handler_types = self._handler_types(stmt)
-            self.walk(stmt.body, caught + tuple(handler_types), branch)
+            shielded = guarded or bool(stmt.finalbody)
+            self.walk(
+                stmt.body, caught + tuple(handler_types), branch,
+                cleanup, shielded,
+            )
             for handler in stmt.handlers:
-                self.walk(handler.body, caught, branch)
-            self.walk(stmt.orelse, caught, branch)
-            self.walk(stmt.finalbody, caught, branch)
+                self.walk(handler.body, caught, branch, True, shielded)
+            self.walk(stmt.orelse, caught, branch, cleanup, shielded)
+            self.walk(stmt.finalbody, caught, branch, True, guarded)
             return
         if isinstance(stmt, ast.If):
-            self._expressions(stmt.test, caught, branch)
+            self._expressions(stmt.test, caught, branch, cleanup,
+                              guarded)
             marker = f"{stmt.lineno}:{stmt.col_offset}"
-            self.walk(stmt.body, caught, branch + (f"{marker}:0",))
-            self.walk(stmt.orelse, caught, branch + (f"{marker}:1",))
+            self.walk(
+                stmt.body, caught, branch + (f"{marker}:0",),
+                cleanup, guarded,
+            )
+            self.walk(
+                stmt.orelse, caught, branch + (f"{marker}:1",),
+                cleanup, guarded,
+            )
             return
         if isinstance(stmt, (ast.For, ast.AsyncFor)):
-            self._expressions(stmt.iter, caught, branch)
+            self._expressions(stmt.iter, caught, branch, cleanup,
+                              guarded)
             if isinstance(stmt.target, ast.Name):
                 self.env[stmt.target.id] = "other"
-            self.walk(stmt.body, caught, branch)
-            self.walk(stmt.orelse, caught, branch)
+            self.walk(stmt.body, caught, branch, cleanup, guarded)
+            self.walk(stmt.orelse, caught, branch, cleanup, guarded)
             return
         if isinstance(stmt, ast.While):
-            self._expressions(stmt.test, caught, branch)
-            self.walk(stmt.body, caught, branch)
-            self.walk(stmt.orelse, caught, branch)
+            self._expressions(stmt.test, caught, branch, cleanup,
+                              guarded)
+            self.walk(stmt.body, caught, branch, cleanup, guarded)
+            self.walk(stmt.orelse, caught, branch, cleanup, guarded)
             return
         if isinstance(stmt, (ast.With, ast.AsyncWith)):
             for item in stmt.items:
-                self._expressions(item.context_expr, caught, branch)
+                first = len(self.summary.calls)
+                self._expressions(item.context_expr, caught, branch,
+                                  cleanup, guarded)
+                if item.optional_vars is not None and isinstance(
+                    item.context_expr, ast.Call
+                ) and first < len(self.summary.calls):
+                    bound = _dotted(item.optional_vars)
+                    if bound is not None:
+                        self.summary.calls[first].target = bound
                 if isinstance(item.optional_vars, ast.Name):
                     self.env[item.optional_vars.id] = self.provenance(
                         item.context_expr
                     )
-            self.walk(stmt.body, caught, branch)
+            self.walk(stmt.body, caught, branch, cleanup, guarded)
             return
         if isinstance(stmt, ast.Match):
-            self._expressions(stmt.subject, caught, branch)
+            self._expressions(stmt.subject, caught, branch, cleanup,
+                              guarded)
             for case in stmt.cases:
-                self.walk(case.body, caught, branch)
+                self.walk(case.body, caught, branch, cleanup, guarded)
             return
         for child in ast.iter_child_nodes(stmt):
             if isinstance(child, ast.expr):
-                self._expressions(child, caught, branch)
+                self._expressions(child, caught, branch, cleanup,
+                                  guarded)
 
     def _handler_types(self, stmt: ast.Try) -> List[str]:
         names: List[str] = []
@@ -530,10 +628,12 @@ class _FunctionExtractor:
         expr: ast.expr,
         caught: Tuple[str, ...],
         branch: Tuple[str, ...],
+        cleanup: bool = False,
+        guarded: bool = False,
     ) -> None:
         for node in ast.walk(expr):
             if isinstance(node, ast.Call):
-                self._call(node, caught, branch)
+                self._call(node, caught, branch, cleanup, guarded)
             elif isinstance(node, ast.Name) and isinstance(
                 node.ctx, ast.Load
             ):
@@ -555,6 +655,8 @@ class _FunctionExtractor:
         node: ast.Call,
         caught: Tuple[str, ...],
         branch: Tuple[str, ...],
+        cleanup: bool = False,
+        guarded: bool = False,
     ) -> None:
         raw = _dotted(node.func) or f"<{type(node.func).__name__}>"
         callee = self._resolve_expr(node.func)
@@ -574,6 +676,8 @@ class _FunctionExtractor:
             },
             caught=list(caught),
             branch=list(branch),
+            cleanup=cleanup,
+            guarded=guarded,
         )
         self.summary.calls.append(site)
 

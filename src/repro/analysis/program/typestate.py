@@ -1,0 +1,801 @@
+"""Declarative typestate and resource-lifetime analysis.
+
+A :class:`ProtocolSpec` describes a resource protocol as a small state
+machine: how a resource is acquired (a constructor call or a
+slot-taking method on a receiver), the *events* that move it between
+states (method tails like ``close``/``unlink``/``release``), which
+transitions are legal, which states are acceptable at function exit,
+and which (state, event) pairs are protocol violations.  Specs live in
+the :data:`PROTOCOLS` registry so new protocols (streaming handles,
+future breaker variants) are added declaratively, without touching the
+engine.
+
+The engine evaluates each protocol over the existing
+:class:`~repro.analysis.program.symbols.ModuleSummary` IR:
+
+* **locally** — per function, the calls/raises/returns are replayed in
+  program order as a timeline per tracked resource, branch-aware (two
+  arms of one ``if`` never see each other's events) and
+  exception-aware (``except``/``finally`` releases only count on the
+  paths they actually run on);
+* **interprocedurally** — a monotone fixpoint (the same worklist shape
+  as :func:`~repro.analysis.program.dataflow._param_fixpoint`) computes
+  which *parameters* of which functions have protocol events applied to
+  them, so ``_cleanup_segment(shm)`` counts as close+unlink at the call
+  site and a release living in a different module than its acquire is
+  still paired.  Passing a resource to ``weakref.finalize`` (or any
+  spec-listed finalizer) delegates its lifetime.
+
+Violations carry a human-readable *typestate trace* — the state after
+each step that led to the violation — which the rules embed in the
+finding message (and therefore in SARIF result messages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .callgraph import CallGraph
+from .dataflow import _map_argument, _tail
+from .symbols import (
+    CallSite,
+    FunctionSummary,
+    ModuleSummary,
+    ProjectIndex,
+)
+
+#: Calls that cannot raise in practice and therefore do not threaten a
+#: held resource on an exception edge.
+_SAFE_CALL_TAILS = frozenset({
+    "len", "bool", "id", "repr", "isinstance", "issubclass",
+    "hasattr", "type", "print", "format",
+})
+
+#: Synthetic state for a resource whose lifetime was handed to a
+#: finalizer or an unknown consumer; accepting for every protocol.
+DELEGATED = "delegated"
+
+#: Synthetic event for a non-event method call on a tracked receiver.
+USE = "use"
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """One declarative resource protocol.
+
+    Attributes:
+        name: Registry key (``"shm-segment"``).
+        rule_id: The analysis rule that reports this protocol's
+            violations (several protocols may share one rule).
+        resource: Human-readable resource name used in messages.
+        initial: State a resource is in immediately after acquire.
+        acquire_calls: Callee/raw name *tails* whose call result is the
+            resource (constructor-style acquire; the resource identity
+            is the assignment target).
+        acquire_methods: Method-name tails that take a slot on their
+            receiver (``breaker.allow()``); the receiver is the
+            resource identity.
+        events: event name → method-name tails that trigger it on the
+            resource receiver.
+        transitions: (state, event) → next state; pairs absent from
+            both ``transitions`` and ``errors`` are ignored no-ops.
+        errors: (state, event) → violation message template
+            (``{resource}`` is substituted).
+        releasing: Events that return/retire the resource (used by the
+            leak checks).
+        accepting: States that are fine at function exit.
+        finalizers: Callee tails/suffixes that take over the resource's
+            lifetime when it is passed to them as an argument.
+        scope_dirs: When set, findings are only reported for files
+            whose directory path intersects these names.
+        use_check: Whether non-event method calls on the receiver are
+            checked as the synthetic ``use`` event (use-after-close).
+        track_self_storage: Whether resources stored on ``self`` must
+            be retired by a sibling method or a registered finalizer.
+    """
+
+    name: str
+    rule_id: str
+    resource: str
+    initial: str
+    acquire_calls: Tuple[str, ...] = ()
+    acquire_methods: Tuple[str, ...] = ()
+    events: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    transitions: Dict[Tuple[str, str], str] = field(default_factory=dict)
+    errors: Dict[Tuple[str, str], str] = field(default_factory=dict)
+    releasing: Tuple[str, ...] = ()
+    accepting: Tuple[str, ...] = ()
+    finalizers: Tuple[str, ...] = ("weakref.finalize",)
+    scope_dirs: Tuple[str, ...] = ()
+    use_check: bool = True
+    track_self_storage: bool = False
+
+    def event_for(self, tail: str) -> Optional[str]:
+        """The event a method tail triggers, if any."""
+        for event, tails in self.events.items():
+            if tail in tails:
+                return event
+        return None
+
+    def is_accepting(self, state: str) -> bool:
+        return state == DELEGATED or state in self.accepting
+
+
+#: Protocol registry: name → spec.  Rules iterate specs by rule id;
+#: future protocols register here and are picked up automatically.
+PROTOCOLS: Dict[str, ProtocolSpec] = {}
+
+
+def register_protocol(spec: ProtocolSpec) -> ProtocolSpec:
+    """Add a protocol spec to the global registry."""
+    if spec.name in PROTOCOLS:
+        raise ValueError(f"duplicate protocol {spec.name!r}")
+    PROTOCOLS[spec.name] = spec
+    return spec
+
+
+def protocols_for(rule_id: str) -> List[ProtocolSpec]:
+    """All registered protocols reported under ``rule_id``."""
+    return [
+        spec for spec in PROTOCOLS.values() if spec.rule_id == rule_id
+    ]
+
+
+register_protocol(ProtocolSpec(
+    name="shm-segment",
+    rule_id="SHM001",
+    resource="shared-memory segment",
+    initial="attached",
+    acquire_calls=("SharedMemory",),
+    events={
+        "close": ("close",),
+        "unlink": ("unlink",),
+    },
+    transitions={
+        ("attached", "close"): "closed",
+        ("attached", "unlink"): "unlinked",
+        ("closed", "close"): "closed",
+        ("closed", "unlink"): "unlinked",
+        ("unlinked", "close"): "unlinked",
+    },
+    errors={
+        ("unlinked", "unlink"):
+            "double unlink of the {resource}",
+        ("closed", USE):
+            "{resource} used after close()",
+        ("unlinked", USE):
+            "{resource} used after unlink()",
+    },
+    releasing=("close", "unlink"),
+    accepting=("closed", "unlinked"),
+    track_self_storage=True,
+))
+
+register_protocol(ProtocolSpec(
+    name="breaker-probe",
+    rule_id="RES001",
+    resource="circuit-breaker probe slot",
+    initial="held",
+    acquire_methods=("allow",),
+    events={
+        "return": ("cancel_probe", "record_success", "record_failure"),
+    },
+    transitions={
+        ("held", "return"): "returned",
+        ("returned", "return"): "returned",
+    },
+    releasing=("return",),
+    accepting=("returned",),
+    scope_dirs=("service", "runtime"),
+    use_check=False,
+))
+
+register_protocol(ProtocolSpec(
+    name="admission-token",
+    rule_id="RES001",
+    resource="admission inflight slot",
+    initial="held",
+    acquire_methods=("admit",),
+    events={
+        "return": ("release",),
+    },
+    transitions={
+        ("held", "return"): "returned",
+        ("returned", "return"): "returned",
+    },
+    releasing=("return",),
+    accepting=("returned",),
+    scope_dirs=("service", "runtime"),
+    use_check=False,
+))
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One protocol violation, ready to become a finding."""
+
+    path: str
+    line: int
+    message: str
+
+
+@dataclass
+class _Action:
+    """One timeline entry for a tracked resource."""
+
+    kind: str  # "acquire" | "event" | "use" | "risky" | "return"
+    line: int
+    branch: List[str]
+    cleanup: bool
+    guarded: bool
+    caught: List[str]
+    event: Optional[str] = None  # for kind == "event"
+    desc: str = ""
+
+
+@dataclass
+class _Resource:
+    """One tracked resource inside one function."""
+
+    name: str
+    tag: Optional[str]
+    acquire_line: int
+    acquire_desc: str
+    actions: List[_Action] = field(default_factory=list)
+    delegated: bool = False
+    escaped: bool = False
+    returned: bool = False
+
+    @property
+    def self_stored(self) -> bool:
+        return self.name.startswith(("self.", "cls."))
+
+
+def _exclusive(first: List[str], second: List[str]) -> bool:
+    """Whether two branch contexts are mutually exclusive arms."""
+    for mine, theirs in zip(first, second):
+        if mine == theirs:
+            continue
+        my_if, _, my_arm = mine.rpartition(":")
+        their_if, _, their_arm = theirs.rpartition(":")
+        return my_if == their_if and my_arm != their_arm
+    return False
+
+
+def _broadly_caught(caught: List[str]) -> bool:
+    return any(
+        _tail(name) in ("BaseException", "Exception") for name in caught
+    )
+
+
+def _matches_tail(site_name: Optional[str], tails: Tuple[str, ...]) -> bool:
+    if site_name is None:
+        return False
+    return _tail(site_name) in tails
+
+
+def _receiver_and_tail(raw: str) -> Tuple[Optional[str], str]:
+    """Split ``a.b.close`` into receiver ``a.b`` and tail ``close``."""
+    if "." not in raw:
+        return None, raw
+    receiver, _, tail = raw.rpartition(".")
+    return receiver, tail
+
+
+class TypestateAnalysis:
+    """Evaluate one protocol over the whole program.
+
+    Builds the interprocedural *effects* fixpoint once, then walks
+    every function's timeline.  Use :meth:`violations` to iterate the
+    protocol violations with their typestate traces.
+    """
+
+    def __init__(
+        self,
+        index: ProjectIndex,
+        graph: CallGraph,
+        spec: ProtocolSpec,
+        summaries: Optional[Dict[str, ModuleSummary]] = None,
+    ) -> None:
+        self.index = index
+        self.graph = graph
+        self.spec = spec
+        self.summaries = summaries or {}
+        #: fq → param name → events applied to that param (including
+        #: the synthetic ``DELEGATED`` pseudo-event).
+        self.effects: Dict[str, Dict[str, Set[str]]] = (
+            self._effects_fixpoint()
+        )
+
+    # -- interprocedural effects ------------------------------------
+
+    def _local_effects(
+        self, function: FunctionSummary
+    ) -> Dict[str, Set[str]]:
+        """Events a function applies directly to its parameters."""
+        effects: Dict[str, Set[str]] = {}
+        params = set(function.params)
+        for site in function.calls:
+            receiver, tail = _receiver_and_tail(site.raw)
+            if receiver in params:
+                event = self.spec.event_for(tail)
+                if event is not None:
+                    effects.setdefault(receiver, set()).add(event)
+            if self._is_finalizer(site):
+                for tag in (*site.args, *site.kwargs.values()):
+                    if tag.startswith("param:"):
+                        param = tag[len("param:"):]
+                        if param not in ("self", "cls"):
+                            effects.setdefault(param, set()).add(
+                                DELEGATED
+                            )
+        return effects
+
+    def _is_finalizer(self, site: CallSite) -> bool:
+        for pattern in self.spec.finalizers:
+            for name in (site.callee, site.raw):
+                if name is None:
+                    continue
+                if name == pattern or name.endswith("." + pattern):
+                    return True
+        return False
+
+    def _effects_fixpoint(self) -> Dict[str, Dict[str, Set[str]]]:
+        facts: Dict[str, Dict[str, Set[str]]] = {}
+        for fq, function in self.index.functions.items():
+            local = self._local_effects(function)
+            if local:
+                facts[fq] = local
+        worklist = list(facts)
+        while worklist:
+            changed_fq = worklist.pop()
+            for caller in self.graph.callers_of(changed_fq):
+                summary = self.index.functions.get(caller)
+                if summary is None:
+                    continue
+                caller_facts = facts.setdefault(caller, {})
+                before = sum(
+                    len(events) for events in caller_facts.values()
+                )
+                for callee_fq, site in self.graph.callees(caller):
+                    if callee_fq != changed_fq:
+                        continue
+                    callee = self.index.functions[callee_fq]
+                    callee_facts = facts.get(callee_fq, {})
+                    for param, tag in _map_argument(
+                        site, callee, skip_self=callee.is_method
+                    ):
+                        events = callee_facts.get(param)
+                        if events and tag.startswith("param:"):
+                            source = tag[len("param:"):]
+                            caller_facts.setdefault(
+                                source, set()
+                            ).update(events)
+                after = sum(
+                    len(events) for events in caller_facts.values()
+                )
+                if after != before:
+                    worklist.append(caller)
+                elif not caller_facts:
+                    facts.pop(caller, None)
+        return facts
+
+    # -- per-function evaluation ------------------------------------
+
+    def violations(
+        self, fq: str, function: FunctionSummary, path: str
+    ) -> Iterator[Violation]:
+        """Protocol violations inside one function."""
+        for resource in self._resources(fq, function):
+            yield from self._check_resource(fq, function, path, resource)
+
+    def _resource_tag(
+        self, fq: str, function: FunctionSummary, name: str
+    ) -> Optional[str]:
+        """Provenance tag other call sites use for this resource."""
+        if name.startswith(("self.", "cls.")):
+            attr = name.split(".", 1)[1]
+            if function.is_method and "." in fq:
+                class_fq = fq.rsplit(".", 1)[0]
+                return f"ref:{class_fq}.{attr}"
+            return None
+        if name in function.params:
+            return f"param:{name}"
+        for site in function.calls:
+            if site.target == name:
+                return f"call:{site.callee}" if site.callee else "call:?"
+        return None
+
+    def _resources(
+        self, fq: str, function: FunctionSummary
+    ) -> List[_Resource]:
+        resources: Dict[str, _Resource] = {}
+        spec = self.spec
+        for site in function.calls:
+            if spec.acquire_calls and (
+                _matches_tail(site.callee, spec.acquire_calls)
+                or _matches_tail(site.raw, spec.acquire_calls)
+            ):
+                name = site.target or f"@{site.line}"
+                if name not in resources:
+                    resources[name] = _Resource(
+                        name=name,
+                        tag=self._resource_tag(fq, function, name)
+                        if site.target else (
+                            f"call:{site.callee}"
+                            if site.callee else "call:?"
+                        ),
+                        acquire_line=site.line,
+                        acquire_desc=f"{site.raw}()",
+                    )
+            if spec.acquire_methods:
+                receiver, tail = _receiver_and_tail(site.raw)
+                if receiver is not None and tail in spec.acquire_methods:
+                    if receiver not in resources:
+                        resources[receiver] = _Resource(
+                            name=receiver,
+                            tag=self._resource_tag(
+                                fq, function, receiver
+                            ),
+                            acquire_line=site.line,
+                            acquire_desc=f"{site.raw}()",
+                        )
+        for resource in resources.values():
+            self._build_timeline(fq, function, resource)
+        return list(resources.values())
+
+    def _build_timeline(
+        self, fq: str, function: FunctionSummary, resource: _Resource
+    ) -> None:
+        entries: List[Tuple[int, int, _Action]] = []
+        order = 0
+        seen_acquire = False
+        for site in function.calls:
+            order += 1
+            action = self._classify(site, resource, seen_acquire)
+            if action is None:
+                continue
+            if action.kind == "acquire":
+                seen_acquire = True
+            entries.append((site.line, order, action))
+        for ret in function.returns:
+            order += 1
+            returned = (
+                resource.tag is not None and ret.tag == resource.tag
+            )
+            if returned:
+                resource.returned = True
+            entries.append((ret.line, order, _Action(
+                kind="return", line=ret.line, branch=ret.branch,
+                cleanup=ret.cleanup, guarded=ret.guarded, caught=[],
+                desc="return" + (
+                    f" {resource.name}" if returned else ""
+                ),
+                event=DELEGATED if returned else None,
+            )))
+        entries.sort(key=lambda entry: (entry[0], entry[1]))
+        resource.actions = [action for _, _, action in entries]
+
+    def _classify(
+        self, site: CallSite, resource: _Resource, seen_acquire: bool
+    ) -> Optional[_Action]:
+        spec = self.spec
+        receiver, tail = _receiver_and_tail(site.raw)
+        base = dict(
+            line=site.line, branch=site.branch, cleanup=site.cleanup,
+            guarded=site.guarded, caught=site.caught,
+        )
+        # The acquire site itself.
+        is_ctor_acquire = spec.acquire_calls and (
+            _matches_tail(site.callee, spec.acquire_calls)
+            or _matches_tail(site.raw, spec.acquire_calls)
+        ) and (site.target or f"@{site.line}") == resource.name
+        is_method_acquire = (
+            spec.acquire_methods
+            and receiver == resource.name
+            and tail in spec.acquire_methods
+        )
+        if is_ctor_acquire or is_method_acquire:
+            return _Action(
+                kind="acquire", desc=f"{site.raw}()", **base
+            )
+        # Method events / uses on the resource receiver.
+        if receiver is not None and (
+            receiver == resource.name
+            or receiver.startswith(resource.name + ".")
+        ):
+            event = (
+                spec.event_for(tail) if receiver == resource.name
+                else None
+            )
+            if event is not None:
+                return _Action(
+                    kind="event", event=event,
+                    desc=f"{site.raw}()", **base,
+                )
+            if spec.use_check:
+                return _Action(kind="use", desc=f"{site.raw}()", **base)
+            return _Action(kind="risky", desc=f"{site.raw}()", **base)
+        # Passing the resource to another function.
+        if resource.tag is not None and (
+            resource.tag in site.args
+            or resource.tag in site.kwargs.values()
+        ):
+            if self._is_finalizer(site):
+                resource.delegated = True
+                return _Action(
+                    kind="event", event=DELEGATED,
+                    desc=f"{site.raw}()", **base,
+                )
+            events = self._callee_events(site, resource.tag)
+            if events:
+                if DELEGATED in events:
+                    resource.delegated = True
+                # Apply the releasing events a callee performs on the
+                # passed-in resource, in a stable order.
+                applied = sorted(events)
+                return _Action(
+                    kind="event", event=applied[0],
+                    desc=f"{site.raw}()", **base,
+                ) if len(applied) == 1 else _Action(
+                    kind="multi-event", event="+".join(applied),
+                    desc=f"{site.raw}()", **base,
+                )
+            resource.escaped = True
+            return _Action(
+                kind="risky", desc=f"{site.raw}()", **base
+            )
+        # Any other call while the resource may be held is a risk on
+        # the exception edge.
+        if not seen_acquire:
+            return None
+        if _tail(site.raw) in _SAFE_CALL_TAILS:
+            return None
+        return _Action(kind="risky", desc=f"{site.raw}()", **base)
+
+    def _callee_events(
+        self, site: CallSite, resource_tag: Optional[str]
+    ) -> Set[str]:
+        """Events a resolved callee applies to the passed resource."""
+        if site.callee is None or resource_tag is None:
+            return set()
+        callee_fq = self.graph.resolve_callee(site)
+        if callee_fq is None:
+            return set()
+        callee = self.index.functions.get(callee_fq)
+        callee_effects = self.effects.get(callee_fq)
+        if callee is None or not callee_effects:
+            return set()
+        events: Set[str] = set()
+        for param, tag in _map_argument(
+            site, callee, skip_self=callee.is_method
+        ):
+            if tag == resource_tag and param in callee_effects:
+                events.update(callee_effects[param])
+        return events
+
+    # -- checks -----------------------------------------------------
+
+    def _events_of(self, action: _Action) -> List[str]:
+        if action.event is None:
+            return []
+        if action.kind == "multi-event":
+            return action.event.split("+")
+        return [action.event]
+
+    def _state_at(
+        self,
+        resource: _Resource,
+        upto: int,
+        view: _Action,
+        include_cleanup: bool,
+    ) -> str:
+        """Replay events before index ``upto`` as seen from ``view``."""
+        state = "unacquired"
+        for action in resource.actions[:upto]:
+            if _exclusive(action.branch, view.branch):
+                continue
+            if action.cleanup and not include_cleanup and (
+                not view.cleanup
+            ):
+                continue
+            state = self._apply(state, action)
+        return state
+
+    def _apply(self, state: str, action: _Action) -> str:
+        if action.kind == "acquire":
+            return self.spec.initial
+        for event in self._events_of(action):
+            if event == DELEGATED:
+                state = DELEGATED
+                continue
+            state = self.spec.transitions.get((state, event), state)
+        return state
+
+    def _trace(
+        self, resource: _Resource, upto: int, view: _Action
+    ) -> str:
+        """Human-readable state-at-each-step trace for a finding."""
+        steps: List[str] = []
+        state = "unacquired"
+        for action in resource.actions[:upto]:
+            if _exclusive(action.branch, view.branch):
+                continue
+            if action.kind in ("risky", "use", "return") and (
+                action.event is None
+            ):
+                continue
+            if action.cleanup and not view.cleanup:
+                continue
+            state = self._apply(state, action)
+            steps.append(f"L{action.line} {action.desc} [{state}]")
+        return " -> ".join(steps) if steps else "(no prior steps)"
+
+    def _has_cleanup_release(self, resource: _Resource) -> bool:
+        for action in resource.actions:
+            if not action.cleanup:
+                continue
+            events = self._events_of(action)
+            if any(
+                event in self.spec.releasing or event == DELEGATED
+                for event in events
+            ):
+                return True
+        return False
+
+    def _check_resource(
+        self,
+        fq: str,
+        function: FunctionSummary,
+        path: str,
+        resource: _Resource,
+    ) -> Iterator[Violation]:
+        spec = self.spec
+        cleanup_release = self._has_cleanup_release(resource)
+        reported_leak = False
+        for position, action in enumerate(resource.actions):
+            if action.kind in ("event", "multi-event", "use"):
+                state = self._state_at(
+                    resource, position, action, include_cleanup=False
+                )
+                events = self._events_of(action) or [USE]
+                for event in events:
+                    if event == DELEGATED:
+                        continue
+                    if (state, event) in spec.transitions:
+                        state = spec.transitions[(state, event)]
+                        continue
+                    template = spec.errors.get((state, event))
+                    if template is None:
+                        continue
+                    trace = self._trace(resource, position, action)
+                    yield Violation(
+                        path=path, line=action.line,
+                        message=(
+                            template.format(resource=spec.resource)
+                            + f" at {action.desc}; trace: {trace}"
+                        ),
+                    )
+            elif action.kind == "risky" and not action.cleanup:
+                if reported_leak:
+                    continue
+                state = self._state_at(
+                    resource, position, action, include_cleanup=False
+                )
+                if spec.is_accepting(state) or state == "unacquired":
+                    continue
+                protected = (
+                    action.guarded or _broadly_caught(action.caught)
+                ) and cleanup_release
+                if protected:
+                    continue
+                trace = self._trace(resource, position, action)
+                reported_leak = True
+                yield Violation(
+                    path=path, line=action.line,
+                    message=(
+                        f"{spec.resource} {resource.name!r} (acquired "
+                        f"line {resource.acquire_line} via "
+                        f"{resource.acquire_desc}) leaks if "
+                        f"{action.desc} raises: no except/finally "
+                        f"path releases it; trace: {trace}"
+                    ),
+                )
+            elif action.kind == "return":
+                if action.cleanup or action.event == DELEGATED:
+                    continue
+                if action.guarded and cleanup_release:
+                    continue
+                state = self._state_at(
+                    resource, position, action, include_cleanup=False
+                )
+                if spec.is_accepting(state) or state == "unacquired":
+                    continue
+                if resource.self_stored or resource.escaped:
+                    continue
+                trace = self._trace(resource, position, action)
+                yield Violation(
+                    path=path, line=action.line,
+                    message=(
+                        f"early return while the {spec.resource} "
+                        f"{resource.name!r} (acquired line "
+                        f"{resource.acquire_line} via "
+                        f"{resource.acquire_desc}) is still "
+                        f"{state}; trace: {trace}"
+                    ),
+                )
+        yield from self._check_exit(fq, function, path, resource)
+
+    def _exit_state(self, resource: _Resource) -> str:
+        """Optimistic end-of-function state (all events applied)."""
+        state = "unacquired"
+        for action in resource.actions:
+            state = self._apply(state, action)
+        return state
+
+    def _check_exit(
+        self,
+        fq: str,
+        function: FunctionSummary,
+        path: str,
+        resource: _Resource,
+    ) -> Iterator[Violation]:
+        spec = self.spec
+        state = self._exit_state(resource)
+        if spec.is_accepting(state) or state == "unacquired":
+            return
+        if resource.escaped or resource.returned or resource.delegated:
+            return
+        if resource.self_stored:
+            if not spec.track_self_storage:
+                return
+            if self._class_releases(fq, function, resource):
+                return
+            yield Violation(
+                path=path, line=resource.acquire_line,
+                message=(
+                    f"{spec.resource} stored as {resource.name!r} is "
+                    f"never released: no sibling method closes it and "
+                    f"no weakref.finalize is registered — the segment "
+                    f"outlives the object"
+                ),
+            )
+            return
+        yield Violation(
+            path=path, line=resource.acquire_line,
+            message=(
+                f"{spec.resource} {resource.name!r} acquired via "
+                f"{resource.acquire_desc} is never released on any "
+                f"path out of {function.name}()"
+            ),
+        )
+
+    def _class_releases(
+        self, fq: str, function: FunctionSummary, resource: _Resource
+    ) -> bool:
+        """Whether any sibling method retires a self-stored resource."""
+        if not function.is_method or "." not in fq:
+            return False
+        class_fq = fq.rsplit(".", 1)[0]
+        attr = resource.name.split(".", 1)[1]
+        ref_tag = f"ref:{class_fq}.{attr}"
+        receiver = f"self.{attr}"
+        prefix = f"{class_fq}."
+        for sibling_fq, sibling in self.index.functions.items():
+            if not sibling_fq.startswith(prefix):
+                continue
+            for site in sibling.calls:
+                site_receiver, tail = _receiver_and_tail(site.raw)
+                if site_receiver == receiver and (
+                    self.spec.event_for(tail) is not None
+                ):
+                    return True
+                if ref_tag in site.args or ref_tag in (
+                    site.kwargs.values()
+                ):
+                    if self._is_finalizer(site) or self._callee_events(
+                        site, ref_tag
+                    ):
+                        return True
+        return False

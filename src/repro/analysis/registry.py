@@ -93,26 +93,38 @@ def register(rule_class: Type[Rule]) -> Type[Rule]:
     return rule_class
 
 
+def _validate_ids(ids: "List[str]", kind: str) -> None:
+    missing = [rule_id for rule_id in ids if rule_id not in RULES]
+    if missing:
+        raise KeyError(
+            f"unknown {kind} rule id(s): {', '.join(sorted(missing))}; "
+            f"known: {', '.join(RULES)}"
+        )
+
+
 def instantiate(
     select: "List[str] | None" = None,
     predicate: "Callable[[Type[Rule]], bool] | None" = None,
+    ignore: "List[str] | None" = None,
 ) -> List[Rule]:
     """Fresh instances of the registered rules.
 
     Args:
         select: Restrict to these rule ids (unknown ids raise KeyError).
         predicate: Optional extra filter on the rule class.
+        ignore: Drop these rule ids after selection (unknown ids raise
+            KeyError — a typo'd ``--ignore`` silently running the rule
+            it meant to mute would be worse than failing loudly).
     """
     if select is not None:
-        missing = [rule_id for rule_id in select if rule_id not in RULES]
-        if missing:
-            raise KeyError(
-                f"unknown rule id(s): {', '.join(sorted(missing))}; "
-                f"known: {', '.join(RULES)}"
-            )
+        _validate_ids(select, "selected")
         chosen = [RULES[rule_id] for rule_id in select]
     else:
         chosen = list(RULES.values())
+    if ignore:
+        _validate_ids(ignore, "ignored")
+        dropped = set(ignore)
+        chosen = [cls for cls in chosen if cls.id not in dropped]
     if predicate is not None:
         chosen = [cls for cls in chosen if predicate(cls)]
     return [cls() for cls in chosen]

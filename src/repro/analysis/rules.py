@@ -139,6 +139,13 @@ class ClockDisciplineRule(FileRule):
         "datetime.datetime.today", "datetime.date.today",
     })
 
+    #: Message fragments subclasses override to match their layer.
+    context = "in an algorithm layer"
+    advice = (
+        "route timing through the runtime Deadline policy or the "
+        "observability stopwatch"
+    )
+
     def check(self, source: SourceFile) -> Iterator[Finding]:
         if not _in_directory(source.path, self.scope_directories):
             return
@@ -150,13 +157,50 @@ class ClockDisciplineRule(FileRule):
             resolved = _resolved(node, aliases, froms)
             if resolved in self.forbidden:
                 line, text = _call_line(source, node)
+                verb = (
+                    "sleep" if resolved == "time.sleep"
+                    else "clock read"
+                )
                 yield self.finding(
                     source.path, line,
-                    f"direct clock read {resolved}() in an algorithm "
-                    f"layer; route timing through the runtime Deadline "
-                    f"policy or the observability stopwatch",
+                    f"direct {verb} {resolved}() {self.context}; "
+                    f"{self.advice}",
                     text,
                 )
+
+
+@register
+class ServiceClockDisciplineRule(ClockDisciplineRule):
+    """CLK002: service/runtime code takes injected clocks and sleeps.
+
+    The chaos harness replays failure schedules against a virtual
+    clock; a stray ``time.monotonic()`` or ``time.sleep()`` in the
+    broker, breaker, or worker plumbing re-couples those scenarios to
+    wall time and makes them flaky.  Accepting a clock/sleep callable
+    with a ``time.monotonic`` *default* is the sanctioned pattern —
+    the default is a reference, not a call, so it does not trip this
+    rule.
+    """
+
+    id = "CLK002"
+    severity = "error"
+    description = (
+        "service/runtime layers use injected clock()/sleep() "
+        "callables — no direct time.* calls, so chaos scenarios stay "
+        "deterministic (CLK001 extended beyond core/butterfly)"
+    )
+
+    scope_directories = ("service", "runtime")
+
+    forbidden = ClockDisciplineRule.forbidden | frozenset({
+        "time.sleep",
+    })
+
+    context = "in the service/runtime layer"
+    advice = (
+        "accept an injectable clock/sleep callable (default "
+        "time.monotonic) so the chaos harness can control time"
+    )
 
 
 @register
@@ -678,4 +722,144 @@ class CatalogDocsSyncRule(ProjectRule):
                     f"cataloged span {span.name!r} is not documented "
                     f"in {doc_rel}",
                     span.name,
+                )
+
+
+@register
+class KernelDtypeRule(FileRule):
+    """DTY001: no narrow dtypes in the kernels' accumulating primitives.
+
+    The kernel contract pins CSR structure to ``int64`` and weights to
+    ``float64`` so CPU runs are bit-identical across chunk sizes and
+    block orders (``docs/kernels.md``).  A ``dtype=np.int32`` on a
+    ``cumsum``, an ``.astype(np.int32)`` feeding ``ufunc.reduceat`` or
+    ``searchsorted``, silently truncates exactly when offsets outgrow
+    the narrow range — on the large graphs where nobody is looking.
+    Deliberately chunk-bounded narrow scratches stay allowed via
+    ``# repro: noqa[DTY001]`` with a justifying comment.
+    """
+
+    id = "DTY001"
+    severity = "error"
+    description = (
+        "kernel accumulators (cumsum/reduceat/searchsorted) keep the "
+        "pinned wide dtypes — no int32/float32 narrowing that breaks "
+        "scalar bit identity"
+    )
+
+    scope_directories = ("kernels",)
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        from . import dtypes
+
+        if not _in_directory(source.path, self.scope_directories):
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            tail = None
+            if isinstance(node.func, ast.Attribute):
+                tail = node.func.attr
+            elif isinstance(node.func, ast.Name):
+                tail = node.func.id
+            if tail not in dtypes.ACCUMULATOR_TAILS:
+                continue
+            narrow = dtypes.narrow_dtype_of_call(node)
+            if narrow is not None:
+                name = dtypes.dtype_name(narrow)
+                line, text = _call_line(source, node)
+                yield self.finding(
+                    source.path, line,
+                    f"narrow dtype {name} on {tail}() truncates the "
+                    f"accumulator; the kernel bit-identity contract "
+                    f"pins {dtypes.WIDEN[name]} — widen it or noqa "
+                    f"with a bound justification",
+                    text,
+                )
+            for arg in node.args:
+                name = dtypes.astype_narrow(arg)
+                if name is None:
+                    continue
+                line, text = _call_line(source, node)
+                yield self.finding(
+                    source.path, line,
+                    f"operand narrowed to {name} via astype() feeds "
+                    f"{tail}(); the accumulation inherits the narrow "
+                    f"dtype and overflows past the {name} range — "
+                    f"keep the pinned {dtypes.WIDEN[name]}",
+                    text,
+                )
+
+
+@register
+class SeamContiguityRule(FileRule):
+    """SHP001: contiguous buffers only across the shm/bytes seams.
+
+    ``np.frombuffer`` reconstructions and shared-memory publication
+    assume the source bytes are one C-contiguous block.  A transpose
+    or step slice handed across those seams either raises later (shm
+    fill) or silently copies (``tobytes``), so the worker-side view no
+    longer aliases the published segment.  ``np.frombuffer`` calls
+    must also pin ``dtype=`` explicitly — the float64 default is a
+    trap once a uint8 metadata strip shares the segment.
+    """
+
+    id = "SHP001"
+    severity = "error"
+    description = (
+        "no non-contiguous views across shm/frombuffer seams, and "
+        "frombuffer reconstructions pin an explicit dtype"
+    )
+
+    scope_directories = ("kernels", "runtime")
+
+    #: Call tails whose array operands must be C-contiguous.
+    seam_tails = frozenset({
+        "frombuffer", "tobytes", "publish_graph",
+    })
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        from . import dtypes
+
+        if not _in_directory(source.path, self.scope_directories):
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            tail = None
+            if isinstance(node.func, ast.Attribute):
+                tail = node.func.attr
+            elif isinstance(node.func, ast.Name):
+                tail = node.func.id
+            if tail not in self.seam_tails:
+                continue
+            if tail == "frombuffer" and not any(
+                keyword.arg == "dtype" for keyword in node.keywords
+            ) and len(node.args) < 2:
+                line, text = _call_line(source, node)
+                yield self.finding(
+                    source.path, line,
+                    "frombuffer() without an explicit dtype= defaults "
+                    "to float64; reconstructions across the shm seam "
+                    "must pin the dtype they were published with",
+                    text,
+                )
+            operands: List[ast.expr] = list(node.args)
+            if tail == "tobytes" and isinstance(
+                node.func, ast.Attribute
+            ):
+                operands.append(node.func.value)
+            for operand in operands:
+                if dtypes.is_contiguity_fixed(operand):
+                    continue
+                if not dtypes.is_strided(operand):
+                    continue
+                line, text = _call_line(source, node)
+                yield self.finding(
+                    source.path, line,
+                    f"non-contiguous view crosses the {tail}() seam; "
+                    f"transposes/step slices copy or re-stride "
+                    f"silently — wrap in np.ascontiguousarray() "
+                    f"before the seam",
+                    text,
                 )

@@ -46,6 +46,9 @@ class AnalysisConfig:
         paths: Files/directories to analyze (relative paths resolve
             against ``root``).  Empty means the default ``src/repro``.
         select: Restrict to these rule ids (None = all).
+        ignore: Drop these rule ids after selection (None = none);
+            exit-code semantics are unchanged — an ignored rule simply
+            never runs.
         baseline_path: Baseline file (None = no baseline).
         project_rules: Run the repo-level rules (docs consistency,
             catalog sync) in addition to the per-file rules.
@@ -65,6 +68,7 @@ class AnalysisConfig:
     root: Path
     paths: List[Path] = field(default_factory=list)
     select: Optional[List[str]] = None
+    ignore: Optional[List[str]] = None
     baseline_path: Optional[Path] = None
     project_rules: bool = True
     strict: bool = False
@@ -294,7 +298,7 @@ def run_analysis(config: AnalysisConfig) -> AnalysisResult:
     lines survive), then the baseline (grandfathered findings are
     reported separately and do not fail).
     """
-    rules = instantiate(config.select)
+    rules = instantiate(config.select, ignore=config.ignore)
     file_rules = [r for r in rules if isinstance(r, FileRule)]
     project_rules = [r for r in rules if isinstance(r, ProjectRule)]
     program_rules = [r for r in rules if isinstance(r, ProgramRule)]

@@ -433,7 +433,10 @@ class WedgeBlockKernel:
         # Chunk the int32 count scratch so memory stays within the
         # budget's row model (whole groups per chunk).
         for (g_lo, g_hi), (w_lo, w_hi) in self._stat_chunks():
-            prefix = np.cumsum(
+            # int32 is deliberate: the cumsum runs over one chunk of
+            # 0/1 presence flags, bounded by the chunker's row budget
+            # (far below 2**31); the stat itself accumulates in int64.
+            prefix = np.cumsum(  # repro: noqa[DTY001]
                 presence[:, w_lo:w_hi], axis=1, dtype=np.int32
             )
             ends = (starts[g_lo + 1:g_hi + 1] - w_lo - 1).astype(np.intp)
@@ -499,7 +502,10 @@ class WedgeBlockKernel:
             top1 = np.maximum.reduceat(values, seg_starts, axis=1)
             spread = np.repeat(top1, sizes, axis=1)
             is_top = values == spread
-            ties = np.add.reduceat(
+            # int32 tie counts are chunk-bounded (a segment never has
+            # more wedges than the chunk width) and only compared
+            # against the constant 2 — never folded into the scores.
+            ties = np.add.reduceat(  # repro: noqa[DTY001]
                 is_top.astype(np.int32), seg_starts, axis=1
             )
             runner = np.maximum.reduceat(
@@ -651,7 +657,9 @@ def first_all_present(
             "first_all_present requires non-empty CSR sets"
         )
     gathered = ~present[:, members]
-    missing = np.add.reduceat(
+    # int32 missing-member counts are bounded by the largest CSR set
+    # size and only tested against zero, so narrowing cannot alias.
+    missing = np.add.reduceat(  # repro: noqa[DTY001]
         gathered.astype(np.int32), indptr[:-1], axis=1
     )
     return np.argmax(missing == 0, axis=1)

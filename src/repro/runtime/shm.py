@@ -199,19 +199,19 @@ def publish_graph(
             )
             view[...] = array
             del view
+        handle = SharedGraphHandle(
+            segment=shm.name,
+            specs=tuple(specs),
+            checksum=checksum or graph_checksum(graph),
+            total_bytes=total_bytes,
+            has_index=index is not None,
+        )
+        observer.inc("worker.shm.published")
+        observer.set("worker.shm.bytes", float(total_bytes))
+        return SharedGraphPublication(shm, handle)
     except BaseException:
         _cleanup_segment(shm)
         raise
-    handle = SharedGraphHandle(
-        segment=shm.name,
-        specs=tuple(specs),
-        checksum=checksum or graph_checksum(graph),
-        total_bytes=total_bytes,
-        has_index=index is not None,
-    )
-    observer.inc("worker.shm.published")
-    observer.set("worker.shm.bytes", float(total_bytes))
-    return SharedGraphPublication(shm, handle)
 
 
 class SharedGraphAttachment:
@@ -226,43 +226,54 @@ class SharedGraphAttachment:
 
     def __init__(self, handle: SharedGraphHandle) -> None:
         self._shm = shared_memory.SharedMemory(name=handle.segment)
-        views: Dict[str, np.ndarray] = {}
-        for name, shape, dtype, offset in handle.specs:
-            view = np.ndarray(
-                shape, dtype=dtype, buffer=self._shm.buf, offset=offset
+        try:
+            views: Dict[str, np.ndarray] = {}
+            for name, shape, dtype, offset in handle.specs:
+                view = np.ndarray(
+                    shape, dtype=dtype,
+                    buffer=self._shm.buf, offset=offset,
+                )
+                view.flags.writeable = False
+                views[name] = view
+            meta = pickle.loads(views[_META].tobytes())
+            self.graph = UncertainBipartiteGraph(
+                meta["left_labels"],
+                meta["right_labels"],
+                views["edge_left"],
+                views["edge_right"],
+                views["weights"],
+                views["probs"],
+                name=meta["name"],
             )
-            view.flags.writeable = False
-            views[name] = view
-        meta = pickle.loads(views[_META].tobytes())
-        self.graph = UncertainBipartiteGraph(
-            meta["left_labels"],
-            meta["right_labels"],
-            views["edge_left"],
-            views["edge_right"],
-            views["weights"],
-            views["probs"],
-            name=meta["name"],
-        )
-        self.index: Optional[Any] = None
-        if handle.has_index:
-            # Imported here: repro.kernels pulls in the runtime package
-            # (the blocked loops ride the runtime engine), so a module
-            # level import would cycle during package initialisation.
-            from ..kernels.wedge_block import WedgeIndex
+            self.index: Optional[Any] = None
+            if handle.has_index:
+                # Imported here: repro.kernels pulls in the runtime
+                # package (the blocked loops ride the runtime engine),
+                # so a module level import would cycle during package
+                # initialisation.
+                from ..kernels.wedge_block import WedgeIndex
 
-            index_meta = meta["index"]
-            self.index = WedgeIndex(
-                priority_kind=index_meta["priority_kind"],
-                chunks=tuple(
-                    (int(lo), int(hi)) for lo, hi in index_meta["chunks"]
-                ),
-                **{
-                    name: views[f"index.{name}"]
-                    for name in INDEX_ARRAYS
-                    if name != "priority"
-                },
-                priority=views["index.priority"],
-            )
+                index_meta = meta["index"]
+                self.index = WedgeIndex(
+                    priority_kind=index_meta["priority_kind"],
+                    chunks=tuple(
+                        (int(lo), int(hi))
+                        for lo, hi in index_meta["chunks"]
+                    ),
+                    **{
+                        name: views[f"index.{name}"]
+                        for name in INDEX_ARRAYS
+                        if name != "priority"
+                    },
+                    priority=views["index.priority"],
+                )
+        except BaseException:
+            # A stale handle (wrong specs, truncated segment, garbled
+            # metadata) must not leak this worker's mapping: views are
+            # droppable, the attachment never existed.
+            del views
+            self._shm.close()
+            raise
 
     def close(self) -> None:
         """Release this worker's mapping of the segment."""

@@ -204,7 +204,10 @@ def _persistent_worker_main(
             if behaviour == "crash":
                 os._exit(CRASH_EXIT_CODE)
             if behaviour == "hang":
-                time.sleep(HANG_SECONDS)
+                # A real wall-clock stall is the point of the injected
+                # "hang" fault; routing it through an injectable clock
+                # would defeat the chaos harness.
+                time.sleep(HANG_SECONDS)  # repro: noqa[CLK002]
             method_kwargs = dict(task["method_kwargs"])
             if attachment.index is not None and _wants_shared_index(
                 task["method"], method_kwargs

@@ -198,11 +198,24 @@ class QueryBroker:
                 request, status="rejected", reason="admission-rejected",
                 detail=str(error), entry=entry,
             )
-        observer.set(
-            "service.queue.depth", float(self.admission.inflight)
-        )
+        except BaseException:
+            # admit() raising anything unexpected must still hand the
+            # half-open probe slot back, or the breaker leaks capacity.
+            breaker.cancel_probe()
+            raise
         try:
+            observer.set(
+                "service.queue.depth", float(self.admission.inflight)
+            )
             return self._execute(request, entry, breaker, cache_key)
+        except BaseException:
+            # _execute() records the breaker outcome on every normal
+            # path; anything escaping it (observer faults, injected
+            # chaos, interpreter shutdown) never did, so return the
+            # probe slot.  cancel_probe() is a no-op once an outcome
+            # was recorded, making this safe to run unconditionally.
+            breaker.cancel_probe()
+            raise
         finally:
             self.admission.release()
             observer.set(

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Documentation consistency checker.
 
-Four guarantees, each enforced by CI through ``tests/test_docs.py``:
+Five guarantees, each enforced by CI through ``tests/test_docs.py``:
 
 1. **Coverage** — ``README.md`` references every page under ``docs/``
    (a page nobody links is a page nobody reads).
@@ -16,6 +16,10 @@ Four guarantees, each enforced by CI through ``tests/test_docs.py``:
    README.md, and names every ``kernel.*`` / ``worker.shm.*`` metric of
    the observability catalog, so the performance-model page cannot
    silently fall behind the instrumented kernel layer.
+5. **Protocol docs sync** — ``docs/static-analysis.md`` catalogs every
+   registered analyzer rule, keeps its *Protocol verification* section,
+   and names every registered typestate protocol spec, so the rule
+   table cannot fall behind the live registry.
 
 Run directly::
 
@@ -225,6 +229,48 @@ def check_kernel_docs() -> List[str]:
     return problems
 
 
+def check_protocol_docs() -> List[str]:
+    """``docs/static-analysis.md`` must cover every registered rule.
+
+    The rule catalog is documented in one place; this check keeps the
+    table in sync with the live rule registry (a new rule without a
+    catalog row is invisible to anyone triaging its findings) and pins
+    the *Protocol verification* section that explains the typestate
+    rules' specs and traces.
+    """
+    page = REPO_ROOT / "docs" / "static-analysis.md"
+    if not page.exists():
+        return [
+            "docs/static-analysis.md is missing (the analyzer's page)"
+        ]
+    problems = []
+    text = page.read_text(encoding="utf-8")
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.analysis import RULES
+        from repro.analysis.program.typestate import PROTOCOLS
+    finally:
+        sys.path.pop(0)
+    for rule_id in RULES:
+        if f"`{rule_id}`" not in text:
+            problems.append(
+                f"docs/static-analysis.md has no rule-catalog row "
+                f"for registered rule {rule_id!r}"
+            )
+    if "## Protocol verification" not in text:
+        problems.append(
+            "docs/static-analysis.md is missing the "
+            "'Protocol verification' section for the typestate rules"
+        )
+    for spec in PROTOCOLS.values():
+        if f"`{spec.name}`" not in text:
+            problems.append(
+                f"docs/static-analysis.md does not name the "
+                f"registered protocol spec {spec.name!r}"
+            )
+    return problems
+
+
 def run_checks() -> List[str]:
     """All problems found across every check (empty = docs are sound)."""
     problems: List[str] = []
@@ -232,6 +278,7 @@ def run_checks() -> List[str]:
     problems.extend(check_links())
     problems.extend(check_cli_flags())
     problems.extend(check_kernel_docs())
+    problems.extend(check_protocol_docs())
     return problems
 
 
