@@ -1,18 +1,22 @@
 #!/usr/bin/env python
 """Benchmark the static analyzer and write ``BENCH_analysis.json``.
 
-Times four configurations of the whole-program analyzer over the
+Times five configurations of the whole-program analyzer over the
 repository itself: a cold run (no summary cache), a warm run (summaries
 served from ``.repro-analysis-cache.json``), a warm run with the
-typestate/protocol rules ignored (the pre-typestate rule set), and a
-diff-aware run against a git base.  All full configurations exercise
-the typestate rules (SHM001, RES001, CLK002, DTY001, SHP001) because
-they are registered like any other rule.  Two headline ratios are
+typestate/protocol rules ignored (the pre-typestate rule set), a warm
+run with the concurrency rules ignored (the pre-concurrency rule set),
+and a diff-aware run against a git base.  All full configurations
+exercise the typestate rules (SHM001, RES001, CLK002, DTY001, SHP001)
+and the concurrency rules (LCK001, LCK002, LCK003, ATM001) because
+they are registered like any other rule.  Three headline ratios are
 recorded: ``diff_vs_cold_ratio`` (the docs promise ``--diff`` under
-20% of a full cold run) and ``typestate_warm_overhead_ratio`` (warm
-run with the typestate rules over warm run without them), which must
-stay under 2x — the benchmark exits non-zero when it does not, so the
-protocol verification layer cannot silently double lint latency.
+20% of a full cold run), ``typestate_warm_overhead_ratio`` (warm run
+with the typestate rules over warm run without them), and
+``concurrency_warm_overhead_ratio`` (warm run with the concurrency
+rules over warm run without them).  Both overhead ratios must stay
+under 2x — the benchmark exits non-zero when either does not, so
+neither verification layer can silently double lint latency.
 
 The output schema matches ``run_bench.py`` (versioned ``format`` +
 ``kind`` discriminators, sorted keys) so the same tooling can diff
@@ -50,6 +54,13 @@ TYPESTATE_RULES = ("SHM001", "RES001", "CLK002", "DTY001", "SHP001")
 #: Warm runs including the typestate rules must stay under this
 #: multiple of the warm run without them.
 TYPESTATE_OVERHEAD_LIMIT = 2.0
+
+#: The concurrency rules whose warm overhead is gated.
+CONCURRENCY_RULES = ("LCK001", "LCK002", "LCK003", "ATM001")
+
+#: Warm runs including the concurrency rules must stay under this
+#: multiple of the warm run without them.
+CONCURRENCY_OVERHEAD_LIMIT = 2.0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -138,6 +149,19 @@ def run_suite(args: argparse.Namespace) -> Dict:
             "configuration": "full-warm-no-typestate", **warm_base,
         })
 
+        print("benchmarking warm run without concurrency rules ...",
+              file=sys.stderr)
+        warm_no_conc = _time(
+            AnalysisConfig(
+                root=root, use_cache=True, cache_path=cache_path,
+                ignore=list(CONCURRENCY_RULES),
+            ),
+            args.repeat,
+        )
+        entries.append({
+            "configuration": "full-warm-no-concurrency", **warm_no_conc,
+        })
+
         diff_entry: Optional[Dict] = None
         try:
             changed = changed_lines(root, args.base)
@@ -180,6 +204,10 @@ def run_suite(args: argparse.Namespace) -> Dict:
         document["typestate_warm_overhead_ratio"] = (
             warm["wall_seconds"] / warm_base["wall_seconds"]
         )
+    if warm_no_conc["wall_seconds"] > 0:
+        document["concurrency_warm_overhead_ratio"] = (
+            warm["wall_seconds"] / warm_no_conc["wall_seconds"]
+        )
     return document
 
 
@@ -196,15 +224,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     overhead = document.get("typestate_warm_overhead_ratio")
     if overhead is not None:
         summary += f" (typestate warm overhead: {overhead:.2f}x)"
+    conc_overhead = document.get("concurrency_warm_overhead_ratio")
+    if conc_overhead is not None:
+        summary += f" (concurrency warm overhead: {conc_overhead:.2f}x)"
     print(summary, file=sys.stderr)
+    status = 0
     if overhead is not None and overhead >= TYPESTATE_OVERHEAD_LIMIT:
         print(
             f"bench_analysis: typestate warm overhead {overhead:.2f}x "
             f"breaches the {TYPESTATE_OVERHEAD_LIMIT:.0f}x budget",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        status = 1
+    if (
+        conc_overhead is not None
+        and conc_overhead >= CONCURRENCY_OVERHEAD_LIMIT
+    ):
+        print(
+            f"bench_analysis: concurrency warm overhead "
+            f"{conc_overhead:.2f}x breaches the "
+            f"{CONCURRENCY_OVERHEAD_LIMIT:.0f}x budget",
+            file=sys.stderr,
+        )
+        status = 1
+    return status
 
 
 if __name__ == "__main__":

@@ -55,6 +55,7 @@ from .source import SourceFile, parse_source
 from . import rules as _rules  # noqa: F401
 from .program import program_rules as _program_rules  # noqa: F401
 from .program import protocol_rules as _protocol_rules  # noqa: F401
+from .program import concurrency as _concurrency_rules  # noqa: F401
 
 __all__ = [
     "AnalysisConfig",

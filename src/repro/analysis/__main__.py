@@ -102,7 +102,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-program", action="store_true",
         help="skip the whole-program rules (SEED001, PKL001, "
-        "EXC001X, DEAD001)",
+        "EXC001X, DEAD001, the typestate rules SHM001/RES001, and "
+        "the concurrency rules LCK001/LCK002/LCK003/ATM001)",
     )
     parser.add_argument(
         "--no-cache", action="store_true",

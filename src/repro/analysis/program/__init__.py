@@ -59,6 +59,7 @@ class Program:
         self._exceptions: Optional[ExceptionFlow] = None
         self._external_text: Optional[str] = None
         self._typestate: Dict[str, object] = {}
+        self._concurrency: Optional[object] = None
 
     @property
     def rng_params(self) -> Dict[str, Set[str]]:
@@ -101,6 +102,20 @@ class Program:
             )
             self._typestate[spec.name] = cached
         return cached
+
+    def concurrency(self):
+        """The (memoized) concurrency-safety analysis.
+
+        Shared between LCK001/LCK002/LCK003/ATM001 so one run pays for
+        the lock model and the acquisition fixpoint once.
+        """
+        from .concurrency import ConcurrencyAnalysis
+
+        if self._concurrency is None:
+            self._concurrency = ConcurrencyAnalysis(
+                self.index, self.graph, self.summaries
+            )
+        return self._concurrency
 
     def path_of(self, fq: str) -> str:
         """Repo-relative path of a function/class, '' if unknown."""

@@ -1,0 +1,868 @@
+"""Concurrency-safety analysis over the module-summary IR.
+
+The service layer (PRs 6–7) made the hot path genuinely concurrent:
+``threading.Lock``-protected state machines in ``repro.service`` plus a
+cross-process shared-memory seam.  This pass machine-checks the lock
+discipline that keeps them correct under contention, from the lock
+contexts (``CallSite.locks``/``AccessSite.locks``) and attribute access
+footprints the extractor records:
+
+* **LCK001** guarded-by inference — a field *written* while a lock of
+  its own class is held is inferred guarded by that lock; every other
+  read or write of it (public methods, private helpers called without
+  the lock, nested callbacks) is a torn-state hazard.
+* **LCK002** lock-order cycles — the may-hold-while-acquiring graph
+  across classes and modules (interprocedural: acquisition effects
+  propagate over the call graph, with ``self.<attr>.<method>()``
+  receivers resolved through constructor assignments).  A cycle means
+  two threads can deadlock by taking the same locks in opposite
+  orders; findings carry a witness trace naming each edge's site.
+* **LCK003** blocking while holding — sleeps (including injected
+  ``self._sleep`` clocks), worker-pool submits, subprocess spawns,
+  file I/O, and shared-memory/worker-pool publication reached while a
+  lock is held, directly or through resolvable callees.  A blocking
+  call under a lock stalls every thread contending for it.
+* **ATM001** check-then-act atomicity — a guarded read whose lock is
+  released before a later critical section over the *same* lock writes
+  the same field, without re-reading it first.  The check is stale by
+  the time the write lands unless the second section re-checks.
+
+Scope and honesty: lock identity is tracked for ``with`` blocks over
+plain attribute or module-level names (``with self._lock:``,
+``with _LOCK:``) — locks fetched from containers or passed as values
+are invisible, as are fields accessed through any receiver other than
+``self``/``cls``.  The rules therefore protect the discipline the
+service layer actually uses; ``docs/static-analysis.md`` documents the
+limits.
+
+Findings embed a lock-trace (acquire sites → access site) in the
+message, mirroring the typestate trace format, so a SARIF consumer can
+replay how the lock state was reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..findings import Finding
+from ..registry import ProgramRule, register
+from . import Program
+from .callgraph import CallGraph
+from .dataflow import SUBMIT_ATTRS, _tail
+from .symbols import (
+    AccessSite,
+    CallSite,
+    FunctionSummary,
+    ModuleSummary,
+    ProjectIndex,
+)
+from .typestate import _exclusive
+
+#: Callables that construct a lock when assigned to an attribute.
+LOCK_CTOR_TAILS = frozenset({"Lock", "RLock"})
+
+#: Call tails that block the calling thread outright.
+_SLEEP_TAILS = frozenset({"sleep", "_sleep"})
+_SUBPROCESS_TAILS = frozenset(
+    {"run", "call", "check_call", "check_output", "Popen"}
+)
+_FILE_IO_TAILS = frozenset(
+    {"open", "read_text", "write_text", "read_bytes", "write_bytes"}
+)
+_PUBLISH_TAILS = frozenset(
+    {"SharedMemory", "publish_graph", "WorkerPool"}
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One concurrency violation, ready to become a finding."""
+
+    path: str
+    line: int
+    message: str
+
+
+@dataclass(frozen=True)
+class LockHold:
+    """One lock held at a site: canonical id + acquisition point."""
+
+    lock: str  # canonical id, e.g. "repro.service.cache.ResultCache._lock"
+    attr: str  # as written at the acquisition, e.g. "self._lock"
+    line: int  # line of the acquiring ``with`` statement
+
+
+def _short(lock: str) -> str:
+    """Human name of a lock id (``ResultCache._lock``)."""
+    return ".".join(lock.rsplit(".", 2)[-2:])
+
+
+class ConcurrencyAnalysis:
+    """Shared substrate for the four concurrency rules.
+
+    Built once per :class:`~repro.analysis.program.Program` (memoized
+    by :meth:`Program.concurrency`), so ``--select LCK001,LCK002`` pays
+    for the lock model and the acquisition fixpoint once.
+    """
+
+    def __init__(
+        self,
+        index: ProjectIndex,
+        graph: CallGraph,
+        summaries: Dict[str, ModuleSummary],
+    ) -> None:
+        self.index = index
+        self.graph = graph
+        self.summaries = summaries
+        #: class fq → lock-typed attribute names
+        self.lock_fields: Dict[str, Set[str]] = {}
+        #: module → module-level lock binding names
+        self.module_locks: Dict[str, Set[str]] = {}
+        #: (class fq, attribute) → class fq of the constructed value
+        self.attr_types: Dict[Tuple[str, str], str] = {}
+        #: function fq → owning class fq (methods and their nested fns)
+        self.owner_class: Dict[str, str] = {}
+        self._build_lock_model()
+        self._escaping = self._escaping_methods()
+        #: guarded-helper fixpoint: method fq → the lock its callers
+        #: always hold (its body runs lock-held without acquiring).
+        self.helper_lock = self._infer_helpers()
+        self._acquires: Optional[Dict[str, Set[str]]] = None
+        self._blocking: Optional[Dict[str, Tuple[int, str]]] = None
+
+    # -- model construction -----------------------------------------
+
+    def _build_lock_model(self) -> None:
+        for summary in self.summaries.values():
+            module = summary.module
+            class_names = {cls.name for cls in summary.classes}
+            for function in summary.functions:
+                fq = (
+                    f"{module}.{function.qualname}"
+                    if module else function.qualname
+                )
+                head = function.qualname.split(".", 1)[0]
+                if head in class_names:
+                    self.owner_class[fq] = (
+                        f"{module}.{head}" if module else head
+                    )
+                for site in function.calls:
+                    if site.target is None:
+                        continue
+                    tail = _tail(site.callee or site.raw)
+                    if tail in LOCK_CTOR_TAILS:
+                        self._record_lock(module, fq, site.target)
+                        continue
+                    owner = self.owner_class.get(fq)
+                    if owner is None:
+                        continue
+                    if not site.target.startswith(("self.", "cls.")):
+                        continue
+                    attr = site.target.split(".", 1)[1]
+                    if "." in attr:
+                        continue
+                    resolved = self.index.resolve(site.callee)
+                    if resolved in self.index.classes:
+                        self.attr_types[(owner, attr)] = resolved
+
+    def _record_lock(self, module: str, fq: str, target: str) -> None:
+        if target.startswith(("self.", "cls.")):
+            attr = target.split(".", 1)[1]
+            owner = self.owner_class.get(fq)
+            if owner is not None and "." not in attr:
+                self.lock_fields.setdefault(owner, set()).add(attr)
+        elif "." not in target:
+            self.module_locks.setdefault(module, set()).add(target)
+
+    def _lock_id(
+        self, name: str, owner: Optional[str], module: str
+    ) -> Optional[str]:
+        """Canonical lock id of a dotted name at an acquisition site."""
+        if name.startswith(("self.", "cls.")):
+            attr = name.split(".", 1)[1]
+            if owner is not None and attr in self.lock_fields.get(
+                owner, ()
+            ):
+                return f"{owner}.{attr}"
+            return None
+        if "." not in name and name in self.module_locks.get(
+            module, ()
+        ):
+            return f"{module}.{name}"
+        return None
+
+    def _module_of(self, fq: str) -> str:
+        function = self.index.functions.get(fq)
+        if function is None:
+            return ""
+        qualname = function.qualname
+        if fq.endswith(f".{qualname}"):
+            return fq[: -len(qualname) - 1]
+        return "" if fq == qualname else fq
+
+    def held_at(
+        self, fq: str, locks: List[str]
+    ) -> List[LockHold]:
+        """Resolved locks held at a site inside ``fq``.
+
+        Includes the caller-held lock of a guarded helper: a private
+        method whose every intra-class call site holds the class lock
+        runs lock-held even though its own body never acquires.
+        """
+        owner = self.owner_class.get(fq)
+        module = self._module_of(fq)
+        holds: List[LockHold] = []
+        for entry in locks:
+            name, _, line = entry.rpartition("@")
+            lock = self._lock_id(name, owner, module)
+            if lock is not None:
+                holds.append(LockHold(lock, name, int(line)))
+        helper = self.helper_lock.get(fq)
+        if helper is not None and all(
+            hold.lock != helper for hold in holds
+        ):
+            function = self.index.functions.get(fq)
+            line = function.line if function is not None else 0
+            holds.insert(0, LockHold(helper, "(caller-held)", line))
+        return holds
+
+    def _escaping_methods(self) -> Set[str]:
+        """Methods referenced as values (callbacks, finalizers).
+
+        A method handed to ``weakref.finalize`` or stored as a callback
+        can run on any thread without the class lock, so it never
+        qualifies as a guarded helper.
+        """
+        escaping: Set[str] = set()
+        for refs in self.graph.references.values():
+            escaping.update(refs)
+        return escaping
+
+    def _class_functions(
+        self, owner: str
+    ) -> List[Tuple[str, FunctionSummary]]:
+        return sorted(
+            (fq, fn) for fq, fn in self.index.functions.items()
+            if self.owner_class.get(fq) == owner
+        )
+
+    def _infer_helpers(self) -> Dict[str, str]:
+        helper: Dict[str, str] = {}
+        changed = True
+        while changed:
+            changed = False
+            for owner, locks in sorted(self.lock_fields.items()):
+                members = self._class_functions(owner)
+                for fq, fn in members:
+                    if fq in helper or not fn.is_method:
+                        continue
+                    if fn.is_public or fn.name == "__init__":
+                        continue
+                    if fq in self._escaping:
+                        continue
+                    for attr in sorted(locks):
+                        lock = f"{owner}.{attr}"
+                        if self._always_called_under(
+                            fn, members, lock, helper
+                        ):
+                            helper[fq] = lock
+                            changed = True
+                            break
+        return helper
+
+    def _always_called_under(
+        self,
+        fn: FunctionSummary,
+        members: List[Tuple[str, FunctionSummary]],
+        lock: str,
+        helper: Dict[str, str],
+    ) -> bool:
+        names = (f"self.{fn.name}", f"cls.{fn.name}")
+        sites = [
+            (caller_fq, site)
+            for caller_fq, caller in members
+            for site in caller.calls
+            if site.raw in names
+        ]
+        if not sites:
+            return False
+        for caller_fq, site in sites:
+            owner = self.owner_class.get(caller_fq)
+            module = self._module_of(caller_fq)
+            held = {
+                self._lock_id(
+                    entry.rpartition("@")[0], owner, module
+                )
+                for entry in site.locks
+            }
+            if helper.get(caller_fq) is not None:
+                held.add(helper[caller_fq])
+            if lock not in held:
+                return False
+        return True
+
+    # -- call resolution --------------------------------------------
+
+    def site_callee(self, fq: str, site: CallSite) -> Optional[str]:
+        """Resolved callee, following constructor-typed attributes.
+
+        ``self.bucket.try_acquire()`` resolves to
+        ``TokenBucket.try_acquire`` when ``__init__`` assigned
+        ``self.bucket = TokenBucket(...)``.
+        """
+        callee = self.graph.resolve_callee(site)
+        if callee is not None:
+            return callee
+        owner = self.owner_class.get(fq)
+        if owner is None or not site.raw.startswith(("self.", "cls.")):
+            return None
+        parts = site.raw.split(".")
+        if len(parts) != 3:
+            return None
+        target_class = self.attr_types.get((owner, parts[1]))
+        if target_class is None:
+            return None
+        resolved = f"{target_class}.{parts[2]}"
+        if resolved in self.index.functions:
+            return resolved
+        return None
+
+    # -- acquisition effects (LCK002 substrate) ---------------------
+
+    @property
+    def acquires(self) -> Dict[str, Set[str]]:
+        """function fq → locks it may acquire (transitively)."""
+        if self._acquires is not None:
+            return self._acquires
+        direct: Dict[str, Set[str]] = {}
+        for fq, fn in self.index.functions.items():
+            owner = self.owner_class.get(fq)
+            module = self._module_of(fq)
+            taken: Set[str] = set()
+            for access in fn.accesses:
+                lock = self._lock_id(access.name, owner, module)
+                if lock is not None:
+                    taken.add(lock)
+            for site in fn.calls:
+                for entry in site.locks:
+                    lock = self._lock_id(
+                        entry.rpartition("@")[0], owner, module
+                    )
+                    if lock is not None:
+                        taken.add(lock)
+            direct[fq] = taken
+        result = {fq: set(locks) for fq, locks in direct.items()}
+        changed = True
+        while changed:
+            changed = False
+            for fq, fn in self.index.functions.items():
+                mine = result[fq]
+                before = len(mine)
+                for site in fn.calls:
+                    callee = self.site_callee(fq, site)
+                    if callee is not None and callee in result:
+                        mine.update(result[callee])
+                if len(mine) != before:
+                    changed = True
+        self._acquires = result
+        return result
+
+    # -- blocking classification (LCK003 substrate) -----------------
+
+    @staticmethod
+    def _direct_blocking(site: CallSite) -> Optional[str]:
+        name = site.callee or site.raw
+        receiver, _, tail = site.raw.rpartition(".")
+        resolved_tail = _tail(name)
+        if resolved_tail in _SLEEP_TAILS:
+            return "sleeps"
+        if tail in SUBMIT_ATTRS and receiver:
+            return "submits to a worker pool"
+        if resolved_tail in _SUBPROCESS_TAILS and (
+            site.callee or ""
+        ).startswith("subprocess"):
+            return "spawns a subprocess"
+        if name == "open" or resolved_tail in _FILE_IO_TAILS - {"open"}:
+            return "performs file I/O"
+        if resolved_tail in _PUBLISH_TAILS:
+            return "publishes shared memory / builds a worker pool"
+        return None
+
+    @property
+    def blocking(self) -> Dict[str, Tuple[int, str]]:
+        """function fq → (witness line, blocking-chain description)."""
+        if self._blocking is not None:
+            return self._blocking
+        result: Dict[str, Tuple[int, str]] = {}
+        for fq, fn in self.index.functions.items():
+            for site in sorted(fn.calls, key=lambda s: s.line):
+                reason = self._direct_blocking(site)
+                if reason is not None:
+                    result[fq] = (
+                        site.line, f"{site.raw}() {reason}"
+                    )
+                    break
+        changed = True
+        while changed:
+            changed = False
+            for fq, fn in self.index.functions.items():
+                if fq in result:
+                    continue
+                for site in sorted(fn.calls, key=lambda s: s.line):
+                    callee = self.site_callee(fq, site)
+                    if callee is None or callee not in result:
+                        continue
+                    _, chain = result[callee]
+                    result[fq] = (site.line, f"{site.raw}() -> {chain}")
+                    changed = True
+                    break
+        self._blocking = result
+        return result
+
+    # -- LCK001: guarded-by inference -------------------------------
+
+    def guarded_fields(self) -> Dict[str, Dict[str, str]]:
+        """class fq → {attribute → guarding lock id} (inferred)."""
+        guarded: Dict[str, Dict[str, str]] = {}
+        for owner, locks in self.lock_fields.items():
+            fields: Dict[str, str] = {}
+            for fq, fn in self._class_functions(owner):
+                for access in fn.accesses:
+                    if not access.write:
+                        continue
+                    attr = access.name.split(".", 1)[1]
+                    if attr in locks:
+                        continue
+                    for hold in self.held_at(fq, access.locks):
+                        if hold.lock.startswith(f"{owner}."):
+                            fields.setdefault(attr, hold.lock)
+                            break
+            if fields:
+                guarded[owner] = fields
+        return guarded
+
+    def lck001(self) -> List[Violation]:
+        violations: List[Violation] = []
+        guarded = self.guarded_fields()
+        for owner, fields in sorted(guarded.items()):
+            witness = self._guarded_write_witness(owner, fields)
+            for fq, fn in self._class_functions(owner):
+                if fn.name in ("__init__", "__new__"):
+                    continue
+                path = self.index.paths.get(fq, "")
+                for access in fn.accesses:
+                    attr = access.name.split(".", 1)[1]
+                    lock = fields.get(attr)
+                    if lock is None:
+                        continue
+                    held = {
+                        hold.lock
+                        for hold in self.held_at(fq, access.locks)
+                    }
+                    if lock in held:
+                        continue
+                    kind = "write" if access.write else "read"
+                    acq_line, write_line = witness[attr]
+                    attr_name = f"self.{lock.rsplit('.', 1)[-1]}"
+                    violations.append(Violation(
+                        path, access.line,
+                        f"{access.name} is guarded by {attr_name} "
+                        f"(inferred from the write under it at "
+                        f"L{write_line}) but {fn.name}() {kind}s it "
+                        f"without the lock — a concurrent guarded "
+                        f"writer can interleave mid-update; "
+                        f"lock-trace: L{acq_line} acquire {attr_name} "
+                        f"[held] -> L{write_line} write {access.name} "
+                        f"[guarded] -> L{access.line} {kind} "
+                        f"{access.name} [unlocked]",
+                    ))
+        return _dedup(violations)
+
+    def _guarded_write_witness(
+        self, owner: str, fields: Dict[str, str]
+    ) -> Dict[str, Tuple[int, int]]:
+        """attribute → (acquire line, write line) of one guarded write."""
+        witness: Dict[str, Tuple[int, int]] = {}
+        for fq, fn in self._class_functions(owner):
+            for access in fn.accesses:
+                if not access.write:
+                    continue
+                attr = access.name.split(".", 1)[1]
+                if attr not in fields or attr in witness:
+                    continue
+                for hold in self.held_at(fq, access.locks):
+                    if hold.lock == fields[attr]:
+                        witness[attr] = (hold.line, access.line)
+                        break
+        return witness
+
+    # -- LCK002: lock-order cycles ----------------------------------
+
+    def lck002(self) -> List[Violation]:
+        edges: Dict[
+            Tuple[str, str], Tuple[str, int, str]
+        ] = {}
+
+        def note(
+            first: str, second: str, path: str, line: int, desc: str
+        ) -> None:
+            edges.setdefault((first, second), (path, line, desc))
+
+        acquires = self.acquires
+        for fq, fn in sorted(self.index.functions.items()):
+            path = self.index.paths.get(fq, "")
+            owner = self.owner_class.get(fq)
+            module = self._module_of(fq)
+            for access in fn.accesses:
+                inner = self._lock_id(access.name, owner, module)
+                if inner is None:
+                    continue
+                for hold in self.held_at(fq, access.locks):
+                    if hold.lock != inner:
+                        note(
+                            hold.lock, inner, path, access.line,
+                            f"{fn.name}() acquires {access.name}",
+                        )
+            for site in fn.calls:
+                holds = self.held_at(fq, site.locks)
+                if not holds:
+                    continue
+                callee = self.site_callee(fq, site)
+                if callee is None:
+                    continue
+                for inner in sorted(acquires.get(callee, ())):
+                    for hold in holds:
+                        if hold.lock != inner:
+                            note(
+                                hold.lock, inner, path, site.line,
+                                f"{fn.name}() calls {site.raw}()",
+                            )
+        return self._cycles(edges)
+
+    def _cycles(
+        self,
+        edges: Dict[Tuple[str, str], Tuple[str, int, str]],
+    ) -> List[Violation]:
+        graph: Dict[str, Set[str]] = {}
+        for first, second in edges:
+            graph.setdefault(first, set()).add(second)
+            graph.setdefault(second, set())
+        violations: List[Violation] = []
+        for component in _strongly_connected(graph):
+            if len(component) == 1:
+                lock = next(iter(component))
+                if lock not in graph.get(lock, ()):
+                    continue
+            cycle = self._cycle_path(component, graph)
+            if cycle is None:
+                continue
+            steps = []
+            for first, second in zip(cycle, cycle[1:]):
+                path, line, desc = edges[(first, second)]
+                steps.append(
+                    f"{path}:L{line} {desc} while holding "
+                    f"{_short(first)}"
+                )
+            order = " -> ".join(_short(lock) for lock in cycle)
+            path, line, _ = edges[(cycle[0], cycle[1])]
+            violations.append(Violation(
+                path, line,
+                f"lock-order cycle {order}: threads taking these "
+                f"locks in different orders can deadlock; "
+                f"witness: {' -> '.join(steps)}",
+            ))
+        return _dedup(violations)
+
+    @staticmethod
+    def _cycle_path(
+        component: Set[str], graph: Dict[str, Set[str]]
+    ) -> Optional[List[str]]:
+        start = min(component)
+        path = [start]
+        seen = {start}
+        current = start
+        while True:
+            nexts = sorted(
+                node for node in graph.get(current, ())
+                if node in component
+            )
+            if not nexts:
+                return None
+            for node in nexts:
+                if node == start and len(path) > 1:
+                    return path + [start]
+                if node not in seen:
+                    current = node
+                    seen.add(node)
+                    path.append(node)
+                    break
+            else:
+                if start in nexts:
+                    return path + [start]
+                return None
+
+    # -- LCK003: blocking while holding -----------------------------
+
+    def lck003(self) -> List[Violation]:
+        violations: List[Violation] = []
+        blocking = self.blocking
+        for fq, fn in sorted(self.index.functions.items()):
+            path = self.index.paths.get(fq, "")
+            for site in fn.calls:
+                holds = self.held_at(fq, site.locks)
+                if not holds:
+                    continue
+                reason = self._direct_blocking(site)
+                if reason is not None:
+                    chain = f"{site.raw}() {reason}"
+                else:
+                    callee = self.site_callee(fq, site)
+                    if callee is None or callee not in blocking:
+                        continue
+                    _, tail_chain = blocking[callee]
+                    chain = f"{site.raw}() -> {tail_chain}"
+                hold = holds[-1]
+                violations.append(Violation(
+                    path, site.line,
+                    f"{fn.name}() blocks while holding "
+                    f"{_short(hold.lock)}: {chain} — every thread "
+                    f"contending for the lock stalls behind it; "
+                    f"lock-trace: L{hold.line} acquire {hold.attr} "
+                    f"[held] -> L{site.line} {site.raw}() [blocking]",
+                ))
+        return _dedup(violations)
+
+    # -- ATM001: check-then-act atomicity ---------------------------
+
+    def atm001(self) -> List[Violation]:
+        violations: List[Violation] = []
+        for fq, fn in sorted(self.index.functions.items()):
+            owner = self.owner_class.get(fq)
+            if owner is None:
+                continue
+            module = self._module_of(fq)
+            path = self.index.paths.get(fq, "")
+            regions: Dict[Tuple[str, str], List[AccessSite]] = {}
+            for access in fn.accesses:
+                for entry in access.locks:
+                    name, _, _line = entry.rpartition("@")
+                    lock = self._lock_id(name, owner, module)
+                    if lock is not None:
+                        regions.setdefault(
+                            (lock, entry), []
+                        ).append(access)
+            by_lock: Dict[str, List[Tuple[str, List[AccessSite]]]] = {}
+            for (lock, entry), accesses in regions.items():
+                by_lock.setdefault(lock, []).append((entry, accesses))
+            for lock, entries in sorted(by_lock.items()):
+                entries.sort(
+                    key=lambda item: int(item[0].rpartition("@")[2])
+                )
+                violations.extend(self._check_regions(
+                    fn, path, lock, entries
+                ))
+        return _dedup(violations)
+
+    def _check_regions(
+        self,
+        fn: FunctionSummary,
+        path: str,
+        lock: str,
+        entries: List[Tuple[str, List[AccessSite]]],
+    ) -> Iterator[Violation]:
+        for i, (first_entry, first_accesses) in enumerate(entries):
+            first_name, _, first_line = first_entry.rpartition("@")
+            reads = [
+                access for access in first_accesses
+                if not access.write
+                and access.name != first_name
+            ]
+            for later_entry, later_accesses in entries[i + 1:]:
+                later_name, _, later_line = later_entry.rpartition("@")
+                for read in reads:
+                    attr = read.name
+                    writes = [
+                        access for access in later_accesses
+                        if access.write and access.name == attr
+                        and not _exclusive(access.branch, read.branch)
+                    ]
+                    if not writes:
+                        continue
+                    write = min(writes, key=lambda a: a.line)
+                    rechecked = any(
+                        access.name == attr and not access.write
+                        and access.line <= write.line
+                        for access in later_accesses
+                    )
+                    if rechecked:
+                        continue
+                    yield Violation(
+                        path, write.line,
+                        f"check-then-act across critical sections: "
+                        f"{fn.name}() reads {attr} under "
+                        f"{_short(lock)} (acquired L{first_line}), "
+                        f"releases it, then writes {attr} in a later "
+                        f"critical section without re-checking — the "
+                        f"checked value can be stale by the time the "
+                        f"write lands; lock-trace: L{first_line} "
+                        f"acquire {first_name} [held] -> "
+                        f"L{read.line} read {attr} [checked] -> "
+                        f"(released) -> L{later_line} acquire "
+                        f"{later_name} [re-held] -> L{write.line} "
+                        f"write {attr} [no re-check]",
+                    )
+
+
+def _dedup(violations: List[Violation]) -> List[Violation]:
+    seen: Set[Violation] = set()
+    ordered: List[Violation] = []
+    for violation in sorted(
+        violations, key=lambda v: (v.path, v.line, v.message)
+    ):
+        if violation in seen:
+            continue
+        seen.add(violation)
+        ordered.append(violation)
+    return ordered
+
+
+def _strongly_connected(
+    graph: Dict[str, Set[str]]
+) -> List[Set[str]]:
+    """Tarjan's SCCs, deterministic over sorted node order."""
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    components: List[Set[str]] = []
+    counter = [0]
+
+    def strong(node: str) -> None:
+        index[node] = low[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        for succ in sorted(graph.get(node, ())):
+            if succ not in index:
+                strong(succ)
+                low[node] = min(low[node], low[succ])
+            elif succ in on_stack:
+                low[node] = min(low[node], index[succ])
+        if low[node] == index[node]:
+            component: Set[str] = set()
+            while True:
+                top = stack.pop()
+                on_stack.discard(top)
+                component.add(top)
+                if top == node:
+                    break
+            components.append(component)
+
+    for node in sorted(graph):
+        if node not in index:
+            strong(node)
+    return components
+
+
+def _emit(
+    rule: ProgramRule, violations: List[Violation]
+) -> Iterator[Finding]:
+    for violation in violations:
+        yield rule.finding(
+            violation.path, violation.line, violation.message
+        )
+
+
+@register
+class GuardedByRule(ProgramRule):
+    """LCK001: inferred lock-guarded fields stay guarded everywhere.
+
+    The service state machines (token bucket, breaker, cache) mutate
+    their counters only under ``self._lock``; one unguarded read of
+    ``self._tokens`` or ``self._state`` observes a torn update under
+    contention.  Guarded-helper inference keeps the deliberately
+    lock-free private helpers (``_trip``, ``_maybe_half_open``) quiet:
+    a private method whose every intra-class call site holds the lock
+    runs lock-held by construction.
+    """
+
+    id = "LCK001"
+    severity = "error"
+    description = (
+        "fields written under a class lock are read/written only "
+        "with that lock held (guarded-by inference with "
+        "guarded-helper support)"
+    )
+
+    def check_program(self, program: object) -> Iterator[Finding]:
+        assert isinstance(program, Program)
+        yield from _emit(self, program.concurrency().lck001())
+
+
+@register
+class LockOrderRule(ProgramRule):
+    """LCK002: the may-hold-while-acquiring graph stays acyclic.
+
+    Acquisition effects propagate interprocedurally (the admission
+    controller holding its lock while calling the token bucket is an
+    edge); any cycle means two threads can each hold what the other
+    needs.  Findings carry a witness trace naming each edge's site.
+    """
+
+    id = "LCK002"
+    severity = "error"
+    description = (
+        "no cycles in the may-hold-while-acquiring lock graph "
+        "(interprocedural deadlock detection with witness traces)"
+    )
+
+    def check_program(self, program: object) -> Iterator[Finding]:
+        assert isinstance(program, Program)
+        yield from _emit(self, program.concurrency().lck002())
+
+
+@register
+class BlockingWhileHoldingRule(ProgramRule):
+    """LCK003: no sleeps, I/O, or publication under a held lock.
+
+    A lock held across ``time.sleep`` (or an injected ``self._sleep``),
+    a worker-pool submit, a subprocess, file I/O, or a shared-memory
+    publish turns one slow operation into a service-wide stall: every
+    thread contending for the lock queues behind it.
+    """
+
+    id = "LCK003"
+    severity = "warning"
+    description = (
+        "no blocking operations (sleeps, pool submits, subprocess, "
+        "file I/O, shm/pool publication) while a lock is held"
+    )
+
+    def check_program(self, program: object) -> Iterator[Finding]:
+        assert isinstance(program, Program)
+        yield from _emit(self, program.concurrency().lck003())
+
+
+@register
+class CheckThenActRule(ProgramRule):
+    """ATM001: guarded checks and their dependent writes stay atomic.
+
+    Reading a guarded value in one critical section and writing it in
+    a later one re-opens the race the lock was meant to close: the
+    checked value can change between the sections.  A re-read of the
+    field inside the second section (the documented re-check pattern,
+    e.g. the registry's ``only_if_unloaded`` guard) satisfies the rule.
+    """
+
+    id = "ATM001"
+    severity = "warning"
+    description = (
+        "a guarded read whose dependent write re-acquires the same "
+        "lock later must re-check the value in the second critical "
+        "section"
+    )
+
+    def check_program(self, program: object) -> Iterator[Finding]:
+        assert isinstance(program, Program)
+        yield from _emit(self, program.concurrency().atm001())

@@ -33,12 +33,15 @@ from __future__ import annotations
 import ast
 import hashlib
 import json
+import sys
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-#: Version stamp of the on-disk summary cache.
-CACHE_FORMAT = 3
+#: Version stamp of the on-disk summary cache.  Format 4 added lock
+#: contexts (``CallSite.locks``/``AccessSite.locks``) and attribute
+#: access footprints for the concurrency rules.
+CACHE_FORMAT = 4
 
 #: Discriminator so arbitrary JSON files are rejected early.
 CACHE_KIND = "repro-analysis-cache"
@@ -71,6 +74,12 @@ class CallSite:
             even when the guarded region raises.
         guarded: Whether an enclosing ``try`` has a ``finally`` body,
             so cleanup code runs no matter how this call exits.
+        locks: Lock context: one ``"<name>@<line>"`` entry per
+            enclosing ``with <name>:`` block whose context expression
+            is a plain name/attribute (``with self._lock:``), outermost
+            first.  The ``@line`` suffix identifies the acquisition
+            site, so two critical sections over the same lock are
+            distinguishable regions.
     """
 
     callee: Optional[str]
@@ -83,6 +92,34 @@ class CallSite:
     target: Optional[str] = None
     cleanup: bool = False
     guarded: bool = False
+    locks: List[str] = field(default_factory=list)
+
+
+@dataclass
+class AccessSite:
+    """One attribute access rooted at ``self``/``cls``.
+
+    The concurrency rules consume these as the *access footprint* of a
+    method: which instance fields it reads and writes, and under which
+    lock context.  Only depth-1 attributes are recorded
+    (``self._tokens``, not ``self.a.b``); container mutations through a
+    subscript (``self._entries[k] = v``, ``del self._pools[k]``) count
+    as writes of the container attribute.
+
+    Attributes:
+        name: Dotted access as written (``self._tokens``).
+        line: 1-based source line.
+        write: Whether the access stores to (or deletes from) the
+            attribute; plain loads are reads.
+        locks: Lock context (see :class:`CallSite.locks`).
+        branch: Branch context markers (see :class:`CallSite.branch`).
+    """
+
+    name: str
+    line: int
+    write: bool = False
+    locks: List[str] = field(default_factory=list)
+    branch: List[str] = field(default_factory=list)
 
 
 @dataclass
@@ -144,6 +181,7 @@ class FunctionSummary:
     calls: List[CallSite] = field(default_factory=list)
     raises: List[RaiseSite] = field(default_factory=list)
     returns: List[ReturnSite] = field(default_factory=list)
+    accesses: List[AccessSite] = field(default_factory=list)
     refs: List[str] = field(default_factory=list)
     global_reads: List[str] = field(default_factory=list)
     is_method: bool = False
@@ -197,6 +235,9 @@ class ModuleSummary:
                     "raises": [RaiseSite(**r) for r in f["raises"]],
                     "returns": [
                         ReturnSite(**r) for r in f.get("returns", [])
+                    ],
+                    "accesses": [
+                        AccessSite(**a) for a in f.get("accesses", [])
                     ],
                 }
             )
@@ -441,9 +482,11 @@ class _FunctionExtractor:
         branch: Tuple[str, ...],
         cleanup: bool = False,
         guarded: bool = False,
+        locks: Tuple[str, ...] = (),
     ) -> None:
         for stmt in stmts:
-            self._statement(stmt, caught, branch, cleanup, guarded)
+            self._statement(stmt, caught, branch, cleanup, guarded,
+                            locks)
 
     def _statement(
         self,
@@ -452,6 +495,7 @@ class _FunctionExtractor:
         branch: Tuple[str, ...],
         cleanup: bool = False,
         guarded: bool = False,
+        locks: Tuple[str, ...] = (),
     ) -> None:
         if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
             self.owner.extract_function(
@@ -468,7 +512,8 @@ class _FunctionExtractor:
             # Local classes are rare; record reference traffic only.
             for expr in ast.walk(stmt):
                 if isinstance(expr, ast.Call):
-                    self._call(expr, caught, branch, cleanup, guarded)
+                    self._call(expr, caught, branch, cleanup, guarded,
+                               locks)
             return
         if isinstance(stmt, ast.Import):
             self.resolver.add_import(stmt)
@@ -478,15 +523,17 @@ class _FunctionExtractor:
             return
         if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
             value = stmt.value
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign)
+                else [stmt.target]
+            )
+            for target in targets:
+                self._record_target(target, branch, locks)
             if value is not None:
                 first = len(self.summary.calls)
                 self._expressions(value, caught, branch, cleanup,
-                                  guarded)
+                                  guarded, locks)
                 tag = self.provenance(value)
-                targets = (
-                    stmt.targets if isinstance(stmt, ast.Assign)
-                    else [stmt.target]
-                )
                 if (
                     isinstance(value, ast.Call)
                     and not isinstance(stmt, ast.AugAssign)
@@ -511,7 +558,7 @@ class _FunctionExtractor:
         if isinstance(stmt, ast.Raise):
             if stmt.exc is not None:
                 self._expressions(stmt.exc, caught, branch, cleanup,
-                                  guarded)
+                                  guarded, locks)
             name = None
             if stmt.exc is not None:
                 target = (
@@ -530,7 +577,7 @@ class _FunctionExtractor:
             tag = "none"
             if stmt.value is not None:
                 self._expressions(stmt.value, caught, branch, cleanup,
-                                  guarded)
+                                  guarded, locks)
                 tag = self.provenance(stmt.value)
             self.summary.returns.append(
                 ReturnSite(
@@ -545,45 +592,53 @@ class _FunctionExtractor:
             shielded = guarded or bool(stmt.finalbody)
             self.walk(
                 stmt.body, caught + tuple(handler_types), branch,
-                cleanup, shielded,
+                cleanup, shielded, locks,
             )
             for handler in stmt.handlers:
-                self.walk(handler.body, caught, branch, True, shielded)
-            self.walk(stmt.orelse, caught, branch, cleanup, shielded)
-            self.walk(stmt.finalbody, caught, branch, True, guarded)
+                self.walk(handler.body, caught, branch, True, shielded,
+                          locks)
+            self.walk(stmt.orelse, caught, branch, cleanup, shielded,
+                      locks)
+            self.walk(stmt.finalbody, caught, branch, True, guarded,
+                      locks)
             return
         if isinstance(stmt, ast.If):
             self._expressions(stmt.test, caught, branch, cleanup,
-                              guarded)
+                              guarded, locks)
             marker = f"{stmt.lineno}:{stmt.col_offset}"
             self.walk(
                 stmt.body, caught, branch + (f"{marker}:0",),
-                cleanup, guarded,
+                cleanup, guarded, locks,
             )
             self.walk(
                 stmt.orelse, caught, branch + (f"{marker}:1",),
-                cleanup, guarded,
+                cleanup, guarded, locks,
             )
             return
         if isinstance(stmt, (ast.For, ast.AsyncFor)):
             self._expressions(stmt.iter, caught, branch, cleanup,
-                              guarded)
+                              guarded, locks)
             if isinstance(stmt.target, ast.Name):
                 self.env[stmt.target.id] = "other"
-            self.walk(stmt.body, caught, branch, cleanup, guarded)
-            self.walk(stmt.orelse, caught, branch, cleanup, guarded)
+            self.walk(stmt.body, caught, branch, cleanup, guarded,
+                      locks)
+            self.walk(stmt.orelse, caught, branch, cleanup, guarded,
+                      locks)
             return
         if isinstance(stmt, ast.While):
             self._expressions(stmt.test, caught, branch, cleanup,
-                              guarded)
-            self.walk(stmt.body, caught, branch, cleanup, guarded)
-            self.walk(stmt.orelse, caught, branch, cleanup, guarded)
+                              guarded, locks)
+            self.walk(stmt.body, caught, branch, cleanup, guarded,
+                      locks)
+            self.walk(stmt.orelse, caught, branch, cleanup, guarded,
+                      locks)
             return
         if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            inner = locks
             for item in stmt.items:
                 first = len(self.summary.calls)
                 self._expressions(item.context_expr, caught, branch,
-                                  cleanup, guarded)
+                                  cleanup, guarded, inner)
                 if item.optional_vars is not None and isinstance(
                     item.context_expr, ast.Call
                 ) and first < len(self.summary.calls):
@@ -594,18 +649,29 @@ class _FunctionExtractor:
                     self.env[item.optional_vars.id] = self.provenance(
                         item.context_expr
                     )
-            self.walk(stmt.body, caught, branch, cleanup, guarded)
+                if not isinstance(item.context_expr, ast.Call):
+                    # ``with <name>:`` over a plain name/attribute is
+                    # (in this codebase) a lock acquisition; the body
+                    # runs with it held.  The @line suffix names the
+                    # acquisition site, making this critical section a
+                    # distinct region.
+                    held = _dotted(item.context_expr)
+                    if held is not None:
+                        inner = inner + (f"{held}@{stmt.lineno}",)
+            self.walk(stmt.body, caught, branch, cleanup, guarded,
+                      inner)
             return
         if isinstance(stmt, ast.Match):
             self._expressions(stmt.subject, caught, branch, cleanup,
-                              guarded)
+                              guarded, locks)
             for case in stmt.cases:
-                self.walk(case.body, caught, branch, cleanup, guarded)
+                self.walk(case.body, caught, branch, cleanup, guarded,
+                          locks)
             return
         for child in ast.iter_child_nodes(stmt):
             if isinstance(child, ast.expr):
                 self._expressions(child, caught, branch, cleanup,
-                                  guarded)
+                                  guarded, locks)
 
     def _handler_types(self, stmt: ast.Try) -> List[str]:
         names: List[str] = []
@@ -630,14 +696,69 @@ class _FunctionExtractor:
         branch: Tuple[str, ...],
         cleanup: bool = False,
         guarded: bool = False,
+        locks: Tuple[str, ...] = (),
     ) -> None:
         for node in ast.walk(expr):
             if isinstance(node, ast.Call):
-                self._call(node, caught, branch, cleanup, guarded)
+                self._call(node, caught, branch, cleanup, guarded,
+                           locks)
             elif isinstance(node, ast.Name) and isinstance(
                 node.ctx, ast.Load
             ):
                 self._reference(node.id)
+            elif isinstance(node, ast.Attribute):
+                self._access(
+                    node,
+                    write=isinstance(node.ctx, (ast.Store, ast.Del)),
+                    branch=branch, locks=locks,
+                )
+            elif isinstance(node, ast.Subscript) and isinstance(
+                node.ctx, ast.Del
+            ):
+                # ``del self._pools[key]`` mutates the container.
+                self._access(node.value, write=True, branch=branch,
+                             locks=locks)
+
+    def _access(
+        self,
+        node: ast.expr,
+        write: bool,
+        branch: Tuple[str, ...],
+        locks: Tuple[str, ...],
+    ) -> None:
+        """Record a ``self``/``cls`` attribute access footprint."""
+        if not (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in ("self", "cls")
+        ):
+            return
+        self.summary.accesses.append(AccessSite(
+            name=f"{node.value.id}.{node.attr}",
+            line=node.lineno,
+            write=write,
+            locks=list(locks),
+            branch=list(branch),
+        ))
+
+    def _record_target(
+        self,
+        target: ast.expr,
+        branch: Tuple[str, ...],
+        locks: Tuple[str, ...],
+    ) -> None:
+        """Record assignment-target writes (targets are not walked)."""
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._record_target(element, branch, locks)
+            return
+        if isinstance(target, ast.Starred):
+            self._record_target(target.value, branch, locks)
+            return
+        node: ast.expr = target
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        self._access(node, write=True, branch=branch, locks=locks)
 
     def _reference(self, name: str) -> None:
         if name in self.env or name in self.params:
@@ -657,6 +778,7 @@ class _FunctionExtractor:
         branch: Tuple[str, ...],
         cleanup: bool = False,
         guarded: bool = False,
+        locks: Tuple[str, ...] = (),
     ) -> None:
         raw = _dotted(node.func) or f"<{type(node.func).__name__}>"
         callee = self._resolve_expr(node.func)
@@ -678,6 +800,7 @@ class _FunctionExtractor:
             branch=list(branch),
             cleanup=cleanup,
             guarded=guarded,
+            locks=list(locks),
         )
         self.summary.calls.append(site)
 
@@ -990,8 +1113,11 @@ def file_digest(data: bytes) -> str:
 def load_cache(path: Path) -> Dict[str, Dict[str, object]]:
     """Cached summary entries keyed by repo-relative path.
 
-    A missing, unreadable, or version-mismatched cache is simply an
-    empty one — the cache is a pure accelerator and never an input.
+    A missing, unreadable, or malformed cache is simply an empty one —
+    the cache is a pure accelerator and never an input.  A *valid*
+    cache written by an older analyzer (a ``CACHE_FORMAT`` bump) is
+    also discarded wholesale, but with a one-line notice: silently
+    re-deriving every summary looks like a hung run on large trees.
     """
     try:
         document = json.loads(path.read_text(encoding="utf-8"))
@@ -999,10 +1125,18 @@ def load_cache(path: Path) -> Dict[str, Dict[str, object]]:
         return {}
     if (
         not isinstance(document, dict)
-        or document.get("format") != CACHE_FORMAT
         or document.get("kind") != CACHE_KIND
         or not isinstance(document.get("files"), dict)
     ):
+        return {}
+    if document.get("format") != CACHE_FORMAT:
+        print(
+            f"repro.analysis: discarding summary cache {path.name} "
+            f"written by an older analyzer (format "
+            f"{document.get('format')!r}, current {CACHE_FORMAT}); "
+            f"all summaries will be re-derived once",
+            file=sys.stderr,
+        )
         return {}
     return document["files"]
 

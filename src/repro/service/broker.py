@@ -27,6 +27,7 @@ CLI's argument shape, so service answers are bit-identical to
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -117,8 +118,13 @@ class QueryBroker:
         self._clock = clock
         # Per-dataset persistent worker pools, keyed on the registry
         # checksum so a reload (new graph bytes) republishes rather
-        # than serving stale shared memory.
+        # than serving stale shared memory.  Guarded by _pools_lock:
+        # the map is touched from every pooled request thread plus
+        # reload()/close(); pool construction and teardown stay
+        # outside the lock (publishing a graph to shared memory and
+        # spawning workers is slow).
         self._pools: Dict[str, Tuple[Optional[str], WorkerPool]] = {}
+        self._pools_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Request lifecycle
@@ -317,20 +323,31 @@ class QueryBroker:
         processes (``worker.shm.reused``).  A checksum change (reload)
         or a batched request against an index-less pool tears the pool
         down and republishes.
+
+        Thread safety: concurrent pooled requests race on the pool
+        map, so it is only touched under ``_pools_lock`` — but never
+        across the slow parts (closing a stale pool, building the
+        wedge index, publishing shared memory, spawning workers).
+        Two threads may therefore build pools for the same dataset
+        concurrently; the second publisher re-checks the map and, if
+        a usable pool got there first, closes its own build and uses
+        the winner — no pool is leaked and no published pool is ever
+        closed while cached.
         """
         needs_index = (
             request.block_size is not None
             and request.method in ("mc-vp", "os")
         )
-        cached = self._pools.pop(request.dataset, None)
-        if cached is not None:
-            checksum, pool = cached
-            if checksum == entry.checksum and (
-                not needs_index or pool.handle.has_index
-            ):
-                self._pools[request.dataset] = cached
-                return pool
-            pool.close()
+        stale: Optional[WorkerPool] = None
+        with self._pools_lock:
+            cached = self._pools.get(request.dataset)
+            if cached is not None:
+                if self._pool_usable(cached, entry, needs_index):
+                    return cached[1]
+                del self._pools[request.dataset]
+                stale = cached[1]
+        if stale is not None:
+            stale.close()
         wedge_index = None
         if needs_index:
             from ..kernels.wedge_block import build_wedge_index
@@ -343,8 +360,34 @@ class QueryBroker:
             checksum=entry.checksum,
             observer=self.observer if self.observer.enabled else None,
         )
-        self._pools[request.dataset] = (entry.checksum, pool)
+        surplus: Optional[WorkerPool] = None
+        with self._pools_lock:
+            raced = self._pools.get(request.dataset)
+            if raced is not None and self._pool_usable(
+                raced, entry, needs_index
+            ):
+                # Another thread published a usable pool while we were
+                # building: keep the winner, discard our build.
+                surplus, pool = pool, raced[1]
+            else:
+                if raced is not None:
+                    surplus = raced[1]
+                self._pools[request.dataset] = (entry.checksum, pool)
+        if surplus is not None:
+            surplus.close()
         return pool
+
+    def _pool_usable(
+        self,
+        cached: Tuple[Optional[str], WorkerPool],
+        entry: RegistryEntry,
+        needs_index: bool,
+    ) -> bool:
+        """Whether a cached pool still serves this entry's bytes."""
+        checksum, pool = cached
+        return checksum == entry.checksum and (
+            not needs_index or pool.handle.has_index
+        )
 
     def _run(
         self,
@@ -489,19 +532,22 @@ class QueryBroker:
         """
         self.registry.reload(dataset)
         self.cache.clear()
-        names = (
-            list(self._pools) if dataset is None
-            else [dataset] if dataset in self._pools else []
-        )
-        for name in names:
-            _, pool = self._pools.pop(name)
+        with self._pools_lock:
+            names = (
+                list(self._pools) if dataset is None
+                else [dataset] if dataset in self._pools else []
+            )
+            doomed = [self._pools.pop(name) for name in names]
+        for _, pool in doomed:
             pool.close()
 
     def close(self) -> None:
         """Release every cached worker pool and its shared segment."""
-        for _, pool in self._pools.values():
+        with self._pools_lock:
+            doomed = list(self._pools.values())
+            self._pools.clear()
+        for _, pool in doomed:
             pool.close()
-        self._pools.clear()
 
     def health(self) -> Dict[str, Any]:
         """Liveness payload: the process is up and answering."""

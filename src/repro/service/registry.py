@@ -174,7 +174,15 @@ class GraphRegistry:
                 response, never a crash.
         """
         entry = self._require_known(dataset)
-        if entry.version == 0:
+        if entry.version == 0 or entry.status != "ready":
+            # The version/status pair mutates under the registry lock
+            # but this check runs outside it, so a racer can observe
+            # the version bump before the status flip of an in-flight
+            # first load.  Re-entering _load serialises us behind
+            # that load; its under-lock ``only_if_unloaded`` re-check
+            # then returns the winner's finished entry (and for a
+            # genuinely failed dataset, the same failed entry —
+            # loads are never retried here).
             entry = self._load(dataset, only_if_unloaded=True)
         if entry.status != "ready" or entry.graph is None:
             raise GraphUnavailableError(
@@ -222,7 +230,12 @@ class GraphRegistry:
             with self.observer.span("registry-load", dataset=dataset):
                 delay = self.faults.load_delay(dataset)
                 if delay > 0.0:
-                    self._sleep(delay)
+                    # Deliberate: the load-once registry serialises
+                    # (re)loads of ALL datasets under one lock, chaos
+                    # delay included — get() of an already-loaded
+                    # dataset never takes this lock, so requests only
+                    # queue behind a load when they need its result.
+                    self._sleep(delay)  # repro: noqa[LCK003]
                 graph, error = self._build(dataset)
                 entry.version += 1
                 entry.load_seconds = self._clock() - started

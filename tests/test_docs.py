@@ -115,3 +115,41 @@ class TestCommandLineExtraction:
         assert {"--datasets", "--trials", "--out"} <= bench_flags
         assert {"--select", "--baseline", "--write-baseline",
                 "--list-rules"} <= lint_flags
+
+    def test_rule_catalog_matches_registry(self):
+        assert checker.check_rule_catalog() == []
+
+    def test_rule_catalog_severity_drift_detected(self, monkeypatch):
+        """A table row whose severity disagrees with --list-rules is a
+        doc rot bug, not a cosmetic difference."""
+        page = REPO_ROOT / "docs" / "static-analysis.md"
+        text = page.read_text(encoding="utf-8")
+        drifted = text.replace(
+            "| `LCK003` | warning |", "| `LCK003` | error |", 1
+        )
+        assert drifted != text
+        monkeypatch.setattr(
+            type(page), "read_text", lambda self, **kw: drifted
+        )
+        problems = checker.check_rule_catalog()
+        assert any(
+            "LCK003" in problem and "'warning'" in problem
+            for problem in problems
+        )
+
+    def test_rule_catalog_missing_row_detected(self, monkeypatch):
+        page = REPO_ROOT / "docs" / "static-analysis.md"
+        text = page.read_text(encoding="utf-8")
+        pruned = "\n".join(
+            line for line in text.splitlines()
+            if not line.startswith("| `ATM001`")
+        )
+        assert pruned != text
+        monkeypatch.setattr(
+            type(page), "read_text", lambda self, **kw: pruned
+        )
+        problems = checker.check_rule_catalog()
+        assert any(
+            "no row" in problem and "ATM001" in problem
+            for problem in problems
+        )

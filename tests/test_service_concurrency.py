@@ -1,0 +1,285 @@
+"""Real-thread stress tests for the service-layer lock discipline.
+
+These hammer the invariants the concurrency rules (LCK001/ATM001)
+protect statically: the token bucket never over-grants under
+contention, a half-open breaker admits exactly its probe budget, the
+result cache never exceeds its capacity bound, the registry performs
+one load per version no matter how many threads race the lazy first
+``get()``, and the broker's pool map publishes exactly one worker pool
+when two pooled requests race a cold cache (the regression the
+``_pools_lock`` fix closed — pre-fix, each racer published its own
+pool and the loser's shared-memory segment leaked).
+
+All timing is driven by injected fake clocks; the threads race on
+locks, not on wall time, so the suite is fast and deterministic in
+what it asserts (exact grant counts, not "usually about N").
+"""
+
+import threading
+from types import SimpleNamespace
+
+from repro.errors import CircuitOpenError
+from repro.service import GraphRegistry, QueryBroker
+from repro.service import broker as broker_module
+from repro.service import registry as registry_module
+from repro.service.admission import TokenBucket
+from repro.service.breaker import CircuitBreaker
+from repro.service.cache import ResultCache
+from repro.service.chaos import FakeClock
+from repro.service.registry import RegistryEntry
+from repro.service.schemas import QueryRequest
+
+from .conftest import FIGURE_1_EDGES, build_graph
+
+THREADS = 8
+
+
+def _run_threads(count, target):
+    threads = [
+        threading.Thread(target=target, args=(i,))
+        for i in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestTokenBucketContention:
+    def test_frozen_clock_grants_exactly_the_burst(self):
+        """No lost and no duplicated tokens: with the clock frozen
+        there is no refill, so 800 racing acquires grant exactly the
+        5-token burst (a torn ``_tokens`` update would break this)."""
+        bucket = TokenBucket(rate=1.0, burst=5.0, clock=FakeClock())
+        barrier = threading.Barrier(THREADS)
+        grants = [0] * THREADS
+
+        def worker(i):
+            barrier.wait()
+            for _ in range(100):
+                if bucket.try_acquire():
+                    grants[i] += 1
+
+        _run_threads(THREADS, worker)
+        assert sum(grants) == 5
+        assert bucket.available == 0.0
+
+    def test_refill_is_not_double_counted(self):
+        """Advancing the clock once mid-hammer refills once: total
+        grants stay burst + refill even when every thread observes
+        the same elapsed interval."""
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=4.0, clock=clock)
+        for _ in range(4):
+            assert bucket.try_acquire()
+        clock.advance(1.0)  # exactly 2 tokens accrue, shared by all
+        barrier = threading.Barrier(THREADS)
+        grants = [0] * THREADS
+
+        def worker(i):
+            barrier.wait()
+            for _ in range(50):
+                if bucket.try_acquire():
+                    grants[i] += 1
+
+        _run_threads(THREADS, worker)
+        assert sum(grants) == 2
+
+
+class TestBreakerProbeContention:
+    def test_half_open_admits_exactly_the_probe_budget(self):
+        """After cooldown, racing threads win exactly
+        ``half_open_probes`` slots — a double-granted probe means the
+        check-then-act in allow() lost its atomicity."""
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=3,
+            cooldown_seconds=5.0,
+            half_open_probes=3,
+            clock=clock,
+        )
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(5.0)
+        barrier = threading.Barrier(2 * THREADS)
+        outcomes = [None] * (2 * THREADS)
+
+        def worker(i):
+            barrier.wait()
+            try:
+                breaker.allow()
+                outcomes[i] = "granted"
+            except CircuitOpenError:
+                outcomes[i] = "rejected"
+
+        _run_threads(2 * THREADS, worker)
+        assert outcomes.count("granted") == 3
+        assert outcomes.count("rejected") == 2 * THREADS - 3
+        assert breaker.state == "half-open"
+
+    def test_cancelled_probes_free_their_slots_exactly_once(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1,
+            cooldown_seconds=1.0,
+            half_open_probes=2,
+            clock=clock,
+        )
+        breaker.record_failure()
+        clock.advance(1.0)
+        breaker.allow()
+        breaker.allow()
+        barrier = threading.Barrier(THREADS)
+
+        def worker(i):
+            barrier.wait()
+            breaker.cancel_probe()  # only 2 slots are actually out
+
+        _run_threads(THREADS, worker)
+        # The surplus cancels were no-ops: exactly two slots came
+        # back, so exactly two more probes are grantable.
+        breaker.allow()
+        breaker.allow()
+        try:
+            breaker.allow()
+            raise AssertionError("third probe should be rejected")
+        except CircuitOpenError:
+            pass
+
+
+class TestResultCacheContention:
+    def test_capacity_bound_holds_under_hammer(self):
+        cache = ResultCache(max_entries=16)
+        barrier = threading.Barrier(THREADS)
+
+        def worker(i):
+            barrier.wait()
+            for j in range(200):
+                key = (1, f"req-{i}-{j % 24}")
+                cache.put(key, {"ranking": [], "n_trials": j})
+                cache.get(key)
+                cache.get((1, f"req-{(i + 1) % THREADS}-{j % 24}"))
+
+        _run_threads(THREADS, worker)
+        assert len(cache) <= 16
+        assert 0.0 <= cache.hit_rate <= 1.0
+
+
+class TestRegistryLazyLoadContention:
+    def test_single_load_per_version(self, monkeypatch):
+        """Eight threads racing the lazy first ``get()`` produce ONE
+        load and ONE version bump: the losers reuse the winner's entry
+        via the under-lock ``only_if_unloaded`` re-check (the ATM001
+        documented re-check pattern)."""
+        graph = build_graph(FIGURE_1_EDGES, name="stress")
+        calls = []
+        calls_lock = threading.Lock()
+
+        def fake_load(name, profile, rng=0):
+            with calls_lock:
+                calls.append(name)
+            return graph
+
+        monkeypatch.setattr(
+            registry_module, "load_dataset", fake_load
+        )
+        registry = GraphRegistry(
+            ["stress"], sleep=lambda seconds: None, clock=FakeClock()
+        )
+        barrier = threading.Barrier(THREADS)
+        versions = [0] * THREADS
+
+        def worker(i):
+            barrier.wait()
+            versions[i] = registry.get("stress").version
+
+        _run_threads(THREADS, worker)
+        assert calls == ["stress"]
+        assert versions == [1] * THREADS
+
+
+class _FakePool:
+    """Stands in for WorkerPool; rendezvous makes the race certain.
+
+    The barrier in ``__init__`` holds each builder until *both* racing
+    threads are constructing a pool, which is exactly the interleaving
+    the old unlocked ``_pool_for`` leaked under.
+    """
+
+    created = []
+    rendezvous = None
+
+    def __init__(
+        self, graph, wedge_index=None, checksum=None, observer=None
+    ):
+        self.checksum = checksum
+        self.closed = False
+        self.handle = SimpleNamespace(
+            has_index=wedge_index is not None
+        )
+        if _FakePool.rendezvous is not None:
+            _FakePool.rendezvous.wait(timeout=10)
+        _FakePool.created.append(self)
+
+    def close(self):
+        self.closed = True
+
+
+class TestBrokerPoolRace:
+    def test_racing_pooled_requests_publish_exactly_one_pool(
+        self, monkeypatch
+    ):
+        """Regression for the broker pool-map race: two pooled
+        requests hitting a cold cache concurrently must converge on
+        one published pool, with the losing build closed — before the
+        ``_pools_lock`` fix both builds were published blindly and
+        the overwritten pool's shared segment leaked."""
+        monkeypatch.setattr(broker_module, "WorkerPool", _FakePool)
+        _FakePool.created = []
+        _FakePool.rendezvous = threading.Barrier(2)
+        graph = build_graph(FIGURE_1_EDGES, name="race")
+        registry = GraphRegistry(
+            ["race"], sleep=lambda seconds: None, clock=FakeClock()
+        )
+        broker = QueryBroker(registry, sleep=lambda seconds: None)
+        entry = RegistryEntry(
+            dataset="race", status="ready", graph=graph,
+            version=1, checksum="cafe",
+        )
+        request = QueryRequest(dataset="race", workers=2, trials=10)
+        returned = [None, None]
+
+        def worker(i):
+            returned[i] = broker._pool_for(request, entry)
+
+        _run_threads(2, worker)
+        assert len(_FakePool.created) == 2  # both really built one
+        assert returned[0] is returned[1]  # ...but agreed on a winner
+        open_pools = [
+            pool for pool in _FakePool.created if not pool.closed
+        ]
+        assert open_pools == [returned[0]]  # the loser was closed
+        assert broker._pools["race"] == ("cafe", returned[0])
+
+    def test_checksum_change_still_republishes(self, monkeypatch):
+        monkeypatch.setattr(broker_module, "WorkerPool", _FakePool)
+        _FakePool.created = []
+        _FakePool.rendezvous = None
+        graph = build_graph(FIGURE_1_EDGES, name="roll")
+        registry = GraphRegistry(
+            ["roll"], sleep=lambda seconds: None, clock=FakeClock()
+        )
+        broker = QueryBroker(registry, sleep=lambda seconds: None)
+        request = QueryRequest(dataset="roll", workers=2, trials=10)
+        first = broker._pool_for(request, RegistryEntry(
+            dataset="roll", status="ready", graph=graph,
+            version=1, checksum="v1",
+        ))
+        second = broker._pool_for(request, RegistryEntry(
+            dataset="roll", status="ready", graph=graph,
+            version=2, checksum="v2",
+        ))
+        assert first is not second
+        assert first.closed and not second.closed
+        assert broker._pools["roll"] == ("v2", second)

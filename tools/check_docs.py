@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Documentation consistency checker.
 
-Five guarantees, each enforced by CI through ``tests/test_docs.py``:
+Six guarantees, each enforced by CI through ``tests/test_docs.py``:
 
 1. **Coverage** — ``README.md`` references every page under ``docs/``
    (a page nobody links is a page nobody reads).
@@ -20,6 +20,12 @@ Five guarantees, each enforced by CI through ``tests/test_docs.py``:
    registered analyzer rule, keeps its *Protocol verification* section,
    and names every registered typestate protocol spec, so the rule
    table cannot fall behind the live registry.
+6. **Rule catalog sync** — every rule-table row in
+   ``docs/static-analysis.md`` carries the id and severity the live
+   registry (and therefore ``python -m repro.analysis --list-rules``)
+   reports, and documents no unregistered rule (``PARSE001``, the
+   runner-emitted pseudo-rule, excepted), plus the *Concurrency
+   verification* section for the lock-discipline rules stays pinned.
 
 Run directly::
 
@@ -271,6 +277,65 @@ def check_protocol_docs() -> List[str]:
     return problems
 
 
+#: A rule-catalog table row: | `ID` | severity | ...
+RULE_ROW_PATTERN = re.compile(
+    r"^\|\s*`([A-Z]+\d+[A-Z]*)`\s*\|\s*(\w+)\s*\|"
+)
+
+
+def check_rule_catalog() -> List[str]:
+    """The docs rule table must match ``--list-rules`` exactly.
+
+    Each registered rule appears as a table row whose severity column
+    is what the registry declares, and no row documents a rule that
+    is not registered (``PARSE001`` aside — the runner emits it
+    directly), so the table and the CLI's ``--list-rules`` output can
+    never disagree.  Also pins the *Concurrency verification* section
+    explaining the lock-discipline rules' model and traces.
+    """
+    page = REPO_ROOT / "docs" / "static-analysis.md"
+    if not page.exists():
+        return []  # check_protocol_docs already reports the page
+    problems = []
+    text = page.read_text(encoding="utf-8")
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.analysis import RULES
+    finally:
+        sys.path.pop(0)
+    rows = {}
+    for line in text.splitlines():
+        match = RULE_ROW_PATTERN.match(line)
+        if match:
+            rows[match.group(1)] = match.group(2)
+    for rule_id, rule_class in sorted(RULES.items()):
+        severity = rows.get(rule_id)
+        if severity is None:
+            problems.append(
+                f"docs/static-analysis.md rule table has no row "
+                f"for registered rule {rule_id!r}"
+            )
+        elif severity != rule_class.severity:
+            problems.append(
+                f"docs/static-analysis.md documents {rule_id} with "
+                f"severity {severity!r} but --list-rules reports "
+                f"{rule_class.severity!r}"
+            )
+    for rule_id in sorted(rows):
+        if rule_id not in RULES and rule_id != "PARSE001":
+            problems.append(
+                f"docs/static-analysis.md rule table documents "
+                f"{rule_id!r}, which is not a registered rule"
+            )
+    if "## Concurrency verification" not in text:
+        problems.append(
+            "docs/static-analysis.md is missing the "
+            "'Concurrency verification' section for the "
+            "lock-discipline rules"
+        )
+    return problems
+
+
 def run_checks() -> List[str]:
     """All problems found across every check (empty = docs are sound)."""
     problems: List[str] = []
@@ -279,6 +344,7 @@ def run_checks() -> List[str]:
     problems.extend(check_cli_flags())
     problems.extend(check_kernel_docs())
     problems.extend(check_protocol_docs())
+    problems.extend(check_rule_catalog())
     return problems
 
 
