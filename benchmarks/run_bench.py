@@ -95,6 +95,13 @@ def build_parser() -> argparse.ArgumentParser:
              "comparison entry (method suffixed '-batched'; see "
              "docs/performance.md)",
     )
+    parser.add_argument(
+        "--adaptive", action="store_true",
+        help="also benchmark each method in anytime adaptive mode "
+             "(racing elimination + pre-screen; method suffixed "
+             "'-adaptive', realised budgets in the counters; see "
+             "docs/performance.md)",
+    )
     return parser
 
 
@@ -126,6 +133,7 @@ def bench_entry(
         "profile": config.profile,
         "method": label or method,
         "n_trials": result.n_trials,
+        "best_probability": result.best_probability,
         "wall_seconds": measurement.seconds,
         "trials_per_second": trials_per_second,
         "peak_tracemalloc_bytes": measurement.peak_bytes,
@@ -182,6 +190,7 @@ def run_suite(args: argparse.Namespace) -> Dict:
         replace(config, block_size=args.block_size)
         if args.block_size is not None else None
     )
+    adaptive = replace(config, adaptive=True) if args.adaptive else None
     entries: List[Dict] = []
     for dataset in args.datasets:
         for method in args.methods:
@@ -199,6 +208,15 @@ def run_suite(args: argparse.Namespace) -> Dict:
                         label=f"{method}-batched",
                     )
                 )
+            if adaptive is not None:
+                print(f"benchmarking {method}-adaptive on {dataset} ...",
+                      file=sys.stderr)
+                entries.append(
+                    safe_bench_entry(
+                        dataset, method, adaptive,
+                        label=f"{method}-adaptive",
+                    )
+                )
     return {
         "format": BENCH_FORMAT,
         "kind": BENCH_KIND,
@@ -212,6 +230,7 @@ def run_suite(args: argparse.Namespace) -> Dict:
             "datasets": list(args.datasets),
             "methods": list(args.methods),
             "block_size": args.block_size,
+            "adaptive": args.adaptive,
         },
         "entries": entries,
     }

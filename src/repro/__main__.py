@@ -28,7 +28,7 @@ from typing import List, Optional
 
 from .core import find_mpmb
 from .core.mpmb import METHODS
-from .errors import CheckpointError
+from .errors import CheckpointError, ConfigurationError
 from .core.results import MPMBResult
 from .datasets import dataset_names, load_dataset
 from .experiments.report import format_seconds, format_table
@@ -63,6 +63,30 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument(
         "--prepare", type=int, default=100,
         help="preparing trials for OLS variants (default: 100)",
+    )
+    search.add_argument(
+        "--adaptive", action="store_true",
+        help="anytime adaptive allocation: race candidates with "
+             "empirical-Bernstein intervals and stop early once the "
+             "winner is certified (sampling methods only; the realised "
+             "epsilon is reported in place of the worst-case target; "
+             "see docs/performance.md)",
+    )
+    search.add_argument(
+        "--mu", type=float, default=0.05, metavar="MU",
+        help="smallest probability the epsilon-delta guarantee covers "
+             "(default: 0.05; sizes ols-kl dynamic budgets and scales "
+             "the adaptive stop rule)",
+    )
+    search.add_argument(
+        "--epsilon", type=float, default=0.1, metavar="EPS",
+        help="relative error target for ols-kl dynamic sizing "
+             "(default: 0.1)",
+    )
+    search.add_argument(
+        "--delta", type=float, default=0.1, metavar="DELTA",
+        help="failure probability of the guarantee (default: 0.1; "
+             "also the adaptive mode's total failure budget)",
     )
     search.add_argument(
         "--block-size", type=int, default=None, metavar="N",
@@ -257,6 +281,17 @@ def _validate_search(
             f"--block-size does not apply to the exact method "
             f"{args.method!r}"
         )
+    if exact and args.adaptive:
+        parser.error(
+            f"--adaptive does not apply to the exact method "
+            f"{args.method!r}"
+        )
+    if not 0.0 < args.mu <= 1.0:
+        parser.error(f"--mu must be in (0, 1] (got {args.mu})")
+    if args.epsilon <= 0.0:
+        parser.error(f"--epsilon must be positive (got {args.epsilon})")
+    if not 0.0 < args.delta < 1.0:
+        parser.error(f"--delta must be in (0, 1) (got {args.delta})")
     if args.workers > 1:
         if args.method not in POOLABLE_METHODS:
             parser.error(
@@ -300,12 +335,22 @@ def _run_search(args: argparse.Namespace) -> int:
     print(f"Graph: {graph!r}")
     start = time.perf_counter()
     with maybe_cprofile(args.profile_out is not None) as profile:
+        shared = {}
+        if args.adaptive:
+            # --delta is the anytime mode's total failure budget, for
+            # every method (it also keeps sizing ols-kl's static caps).
+            shared["adaptive"] = {"delta": args.delta}
+        if args.method in ("ols", "ols-kl"):
+            shared.update(
+                mu=args.mu, epsilon=args.epsilon, delta=args.delta
+            )
         if args.workers > 1:
             result = run_parallel_trials(
                 graph, args.trials, args.workers, method=args.method,
                 rng=args.seed, n_prepare=args.prepare,
                 block_size=args.block_size,
                 observer=observer if observer.enabled else None,
+                **shared,
             )
         else:
             policy = _search_policy(args)
@@ -316,7 +361,7 @@ def _run_search(args: argparse.Namespace) -> int:
                 graph, method=args.method, n_trials=args.trials,
                 n_prepare=args.prepare, rng=args.seed,
                 observer=observer if observer.enabled else None,
-                **kwargs,
+                **shared, **kwargs,
             )
     elapsed = time.perf_counter() - start
     _write_observability_outputs(args, observer, profile, result)
@@ -562,6 +607,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except CheckpointError as error:
         # A wrong/corrupt --resume or --checkpoint target is a usage
         # problem; the message says what mismatched.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ConfigurationError as error:
+        # Out-of-range knobs that only surface once the run sizes its
+        # budgets (e.g. an epsilon-delta target over the Theorem IV.1
+        # trial cap) are usage errors too, not crashes.
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(f"unknown command {args.command!r}", file=sys.stderr)

@@ -177,8 +177,14 @@ def preparing_trials_for_recall(
         raise ConfigurationError(
             f"target_recall must be in (0, 1), got {target_recall}"
         )
-    return math.ceil(
-        math.log(1.0 - target_recall) / math.log(1.0 - probability)
+    # A denormal target_recall underflows log1p-style: log(1 - tiny) is
+    # exactly 0.0 in float64, so the ceil would report zero preparing
+    # trials — yet capturing anything requires at least one trial.
+    return max(
+        1,
+        math.ceil(
+            math.log(1.0 - target_recall) / math.log(1.0 - probability)
+        ),
     )
 
 

@@ -60,6 +60,7 @@ def mc_vp(
     wedge_index: Optional[WedgeIndex] = None,
     runtime: Optional[RuntimePolicy] = None,
     observer: Optional[Observer] = None,
+    adaptive=None,
 ) -> MPMBResult:
     """Run MC-VP for ``n_trials`` Monte-Carlo rounds.
 
@@ -99,6 +100,13 @@ def mc_vp(
         observer: Optional :class:`~repro.observability.Observer`
             recording the ``sampling`` span, trial throughput, and the
             ``mc-vp.*`` counters.
+        adaptive: Optional :class:`~repro.adaptive.AdaptiveConfig` (or
+            anything :func:`~repro.adaptive.resolve_adaptive` accepts)
+            enabling the anytime racing stop rule — the run ends early,
+            certified, once the incumbent butterfly's lower confidence
+            limit clears every rival's (and the unseen-butterfly
+            phantom's) upper limit.  ``None`` (default) keeps the fixed
+            budget bit-identical.
 
     Returns:
         An :class:`~repro.core.results.MPMBResult` with ``method="mc-vp"``
@@ -141,13 +149,42 @@ def mc_vp(
         track=track, checkpoints=checkpoints, stats=stats,
         observer=observer,
     )
+
+    def wrap(engine_loop, unit_lengths=None):
+        """Wrap the engine loop in the racing stop rule when enabled."""
+        if adaptive is None:
+            return engine_loop, None
+        # Lazy import: repro.adaptive consumes the core estimators, so
+        # importing it eagerly here would cycle at package load.
+        from ..adaptive.racing import (
+            RacingFrequencyLoop,
+            adaptive_delta,
+            adaptive_mu,
+            resolve_adaptive,
+        )
+
+        config = resolve_adaptive(adaptive)
+        if config is None:
+            return engine_loop, None
+        racer = RacingFrequencyLoop(
+            engine_loop,
+            counts_fn=lambda: loop.counts.values(),
+            config=config,
+            delta=adaptive_delta(config, runtime),
+            mu=adaptive_mu(runtime),
+            phantom=True,
+            unit_lengths=unit_lengths,
+        )
+        return racer, racer
+
     with observer.span("sampling", method="mc-vp"), stopwatch() as timer:
         if block_size is None:
+            engine_loop, racer = wrap(loop)
             report = execute_trial_loop(
                 method="mc-vp",
                 graph_name=graph.name,
                 n_target=n_trials,
-                loop=loop,
+                loop=engine_loop,
                 policy=runtime,
                 observer=observer,
             )
@@ -188,19 +225,33 @@ def mc_vp(
                 loop, mask_trial, n_trials, block,
                 observer=observer, block_fn=block_fn,
             )
+            engine_loop, racer = wrap(blocked, unit_lengths=blocked.lengths)
             report = execute_trial_loop(
                 method="mc-vp",
                 graph_name=graph.name,
                 n_target=blocked.n_blocks,
-                loop=blocked,
+                loop=engine_loop,
                 policy=runtime,
                 unit="block",
                 unit_lengths=blocked.lengths,
                 observer=observer,
             )
+    guarantee = None
+    if racer is not None:
+        from ..adaptive.racing import frequency_racing_summary
+
+        # Must run before result assembly: a certified racing stop is
+        # cleared from the report so the result is not marked degraded.
+        guarantee = frequency_racing_summary(racer, report, observer)
     result = result_from_frequency_loop(
         "mc-vp", graph, loop, report, policy=runtime
     )
+    if guarantee is not None:
+        result.guarantee = guarantee
+        result.stats["trials_saved"] = float(
+            report.n_trials_target - report.n_trials
+        )
+        result.stats["candidates_eliminated"] = float(racer.eliminated)
     record_sampling_metrics(observer, result, timer.seconds)
     return result
 

@@ -62,7 +62,8 @@ def find_mpmb(
             the sampling methods; exact solvers run inside a single
             ``exact-solve`` span.
         **kwargs: Forwarded to the selected method (e.g. ``track=``,
-            ``prune=``, ``mu=``).
+            ``prune=``, ``mu=``, ``adaptive=`` for the anytime racing
+            stop rule of the sampling methods).
 
     Returns:
         The :class:`~repro.core.results.MPMBResult`; ``result.best`` is
@@ -71,6 +72,11 @@ def find_mpmb(
     Raises:
         ValueError: For an unknown ``method``.
     """
+    if method.startswith("exact-") and kwargs.get("adaptive") is not None:
+        raise ConfigurationError(
+            f"adaptive allocation does not apply to the exact method "
+            f"{method!r}"
+        )
     if method == "mc-vp":
         return mc_vp(graph, n_trials, rng=rng, observer=observer, **kwargs)
     elif method == "os":

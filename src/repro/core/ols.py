@@ -174,6 +174,7 @@ def ordering_listing_sampling(
     block_size: Optional[int] = None,
     runtime: Optional[RuntimePolicy] = None,
     observer: Optional[Observer] = None,
+    adaptive=None,
 ) -> MPMBResult:
     """Run OLS end to end (Algorithm 3).
 
@@ -209,6 +210,15 @@ def ordering_listing_sampling(
             recording both phases' spans and the ``ols.*`` /
             ``ols-kl.*`` metrics (including the lazy-sampling cache hit
             rate for the optimised estimator).
+        adaptive: Optional :class:`~repro.adaptive.AdaptiveConfig` (or
+            anything :func:`~repro.adaptive.resolve_adaptive` accepts)
+            enabling anytime trial allocation in the sampling phase:
+            the optimised estimator gains the racing stop rule, and
+            Karp-Luby routes through
+            :func:`~repro.adaptive.racing.adaptive_karp_luby` — the
+            sublinear pre-screen plus per-candidate racing elimination
+            against the static Lemma VI.4 budgets.  ``None`` (default)
+            keeps the fixed budgets bit-identical.
 
     Returns:
         An :class:`~repro.core.results.MPMBResult` with ``method="ols"``
@@ -258,18 +268,38 @@ def ordering_listing_sampling(
                 candidates, n_trials, generator,
                 track=track, checkpoints=checkpoints,
                 block_size=block_size, runtime=runtime,
-                observer=observer,
+                observer=observer, adaptive=adaptive,
             )
             method = "ols"
         else:
-            outcome = estimate_probabilities_karp_luby(
-                candidates, generator,
-                n_trials=n_trials if n_trials > 0 else None,
-                mu=mu, epsilon=epsilon, delta=delta,
-                track=track, checkpoints=checkpoints,
-                block_size=block_size, runtime=runtime,
-                observer=observer,
-            )
+            adaptive_config = None
+            if adaptive is not None:
+                # Lazy import: repro.adaptive consumes the core
+                # estimators, importing it eagerly here would cycle.
+                from ..adaptive.racing import resolve_adaptive
+
+                adaptive_config = resolve_adaptive(adaptive)
+            if adaptive_config is not None:
+                from ..adaptive.racing import adaptive_karp_luby
+
+                outcome = adaptive_karp_luby(
+                    candidates, generator,
+                    config=adaptive_config,
+                    n_trials=n_trials if n_trials > 0 else None,
+                    mu=mu, epsilon=epsilon, delta=delta,
+                    track=track, checkpoints=checkpoints,
+                    block_size=block_size, runtime=runtime,
+                    observer=observer,
+                )
+            else:
+                outcome = estimate_probabilities_karp_luby(
+                    candidates, generator,
+                    n_trials=n_trials if n_trials > 0 else None,
+                    mu=mu, epsilon=epsilon, delta=delta,
+                    track=track, checkpoints=checkpoints,
+                    block_size=block_size, runtime=runtime,
+                    observer=observer,
+                )
             method = "ols-kl"
 
     stats = {

@@ -147,6 +147,7 @@ def estimate_probabilities_optimized(
     block_size: Optional[int] = None,
     runtime: Optional[RuntimePolicy] = None,
     observer: Optional[Observer] = None,
+    adaptive=None,
 ) -> EstimationOutcome:
     """Estimate ``P(B)`` for every candidate with shared trials.
 
@@ -170,6 +171,13 @@ def estimate_probabilities_optimized(
             enabling checkpoint/resume and deadline degradation.
         observer: Optional :class:`~repro.observability.Observer`
             recording the ``sampling`` span and engine counters.
+        adaptive: Optional :class:`~repro.adaptive.AdaptiveConfig` (or
+            anything :func:`~repro.adaptive.resolve_adaptive` accepts).
+            Wraps the trial loop in the anytime racing stop rule: the
+            run ends early — certified, not degraded — once the
+            incumbent candidate's empirical-Bernstein lower limit
+            clears every rival's upper limit.  ``None`` (default) keeps
+            the fixed-budget loop bit-identical.
 
     Returns:
         An :class:`~repro.core.estimation.EstimationOutcome` with
@@ -197,6 +205,32 @@ def estimate_probabilities_optimized(
             candidates, generator, n_trials,
             track=track, checkpoints=checkpoints,
         )
+    racer = None
+    engine_loop = loop
+    if adaptive is not None:
+        # Lazy import: repro.adaptive consumes the core estimators, so
+        # importing it eagerly here would cycle at package load.
+        from ..adaptive.racing import (
+            RacingFrequencyLoop,
+            adaptive_delta,
+            adaptive_mu,
+            resolve_adaptive,
+        )
+
+        config = resolve_adaptive(adaptive)
+        if config is not None:
+            racer = RacingFrequencyLoop(
+                loop,
+                counts_fn=lambda: loop.counts,
+                config=config,
+                delta=adaptive_delta(config, runtime),
+                mu=adaptive_mu(runtime),
+                phantom=False,
+                unit_lengths=(
+                    loop.lengths if block_size is not None else None
+                ),
+            )
+            engine_loop = racer
     with observer.span(
         "sampling", method="ols", candidates=len(candidates)
     ):
@@ -205,7 +239,7 @@ def estimate_probabilities_optimized(
                 method="ols",
                 graph_name=candidates.graph.name,
                 n_target=loop.n_blocks,
-                loop=loop,
+                loop=engine_loop,
                 policy=runtime,
                 unit="block",
                 unit_lengths=loop.lengths,
@@ -216,12 +250,22 @@ def estimate_probabilities_optimized(
                 method="ols",
                 graph_name=candidates.graph.name,
                 n_target=n_trials,
-                loop=loop,
+                loop=engine_loop,
                 policy=runtime,
                 observer=observer,
             )
-    achieved = report.n_trials
     guarantee = None
+    stats_extra = {}
+    if racer is not None:
+        from ..adaptive.racing import frequency_racing_summary
+
+        guarantee = frequency_racing_summary(racer, report, observer)
+        if guarantee is not None:
+            stats_extra = {
+                "trials_saved": float(n_trials - report.n_trials),
+                "candidates_eliminated": float(racer.eliminated),
+            }
+    achieved = report.n_trials
     if report.degraded:
         guarantee = recompute_guarantee(
             achieved,
@@ -238,6 +282,7 @@ def estimate_probabilities_optimized(
             "total_trials": float(achieved),
             "edges_sampled": float(loop.edges_sampled),
             "edges_queried": float(loop.edges_queried),
+            **stats_extra,
         },
         stop_reason=report.stop_reason,
         target_trials=n_trials if report.degraded else None,

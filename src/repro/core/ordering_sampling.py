@@ -70,6 +70,7 @@ def ordering_sampling(
     wedge_index: Optional[WedgeIndex] = None,
     runtime: Optional[RuntimePolicy] = None,
     observer: Optional[Observer] = None,
+    adaptive=None,
 ) -> MPMBResult:
     """Run Ordering Sampling for ``n_trials`` Monte-Carlo rounds.
 
@@ -112,6 +113,13 @@ def ordering_sampling(
             recording the ``edge-ordering``/``sampling`` spans, trial
             throughput, and the ``os.*`` counters (including the
             ``os.prune_rate`` of the Section V-B early exit).
+        adaptive: Optional :class:`~repro.adaptive.AdaptiveConfig` (or
+            anything :func:`~repro.adaptive.resolve_adaptive` accepts)
+            enabling the anytime racing stop rule — the run ends early,
+            certified, once the incumbent butterfly's lower confidence
+            limit clears every rival's (and the unseen-butterfly
+            phantom's) upper limit.  ``None`` (default) keeps the fixed
+            budget bit-identical.
 
     Returns:
         An :class:`~repro.core.results.MPMBResult` with ``method="os"``
@@ -158,13 +166,42 @@ def ordering_sampling(
         track=track, checkpoints=checkpoints, stats=stats,
         observer=observer,
     )
+
+    def wrap(engine_loop, unit_lengths=None):
+        """Wrap the engine loop in the racing stop rule when enabled."""
+        if adaptive is None:
+            return engine_loop, None
+        # Lazy import: repro.adaptive consumes the core estimators, so
+        # importing it eagerly here would cycle at package load.
+        from ..adaptive.racing import (
+            RacingFrequencyLoop,
+            adaptive_delta,
+            adaptive_mu,
+            resolve_adaptive,
+        )
+
+        config = resolve_adaptive(adaptive)
+        if config is None:
+            return engine_loop, None
+        racer = RacingFrequencyLoop(
+            engine_loop,
+            counts_fn=lambda: loop.counts.values(),
+            config=config,
+            delta=adaptive_delta(config, runtime),
+            mu=adaptive_mu(runtime),
+            phantom=True,
+            unit_lengths=unit_lengths,
+        )
+        return racer, racer
+
     with observer.span("sampling", method="os"), stopwatch() as timer:
         if block_size is None:
+            engine_loop, racer = wrap(loop)
             report = execute_trial_loop(
                 method="os",
                 graph_name=graph.name,
                 n_target=n_trials,
-                loop=loop,
+                loop=engine_loop,
                 policy=runtime,
                 observer=observer,
             )
@@ -197,18 +234,32 @@ def ordering_sampling(
                 loop, mask_trial, n_trials, block,
                 observer=observer, block_fn=block_fn,
             )
+            engine_loop, racer = wrap(blocked, unit_lengths=blocked.lengths)
             report = execute_trial_loop(
                 method="os",
                 graph_name=graph.name,
                 n_target=blocked.n_blocks,
-                loop=blocked,
+                loop=engine_loop,
                 policy=runtime,
                 unit="block",
                 unit_lengths=blocked.lengths,
                 observer=observer,
             )
+    guarantee = None
+    if racer is not None:
+        from ..adaptive.racing import frequency_racing_summary
+
+        # Must run before result assembly: a certified racing stop is
+        # cleared from the report so the result is not marked degraded.
+        guarantee = frequency_racing_summary(racer, report, observer)
     result = result_from_frequency_loop(
         "os", graph, loop, report, policy=runtime
     )
+    if guarantee is not None:
+        result.guarantee = guarantee
+        result.stats["trials_saved"] = float(
+            report.n_trials_target - report.n_trials
+        )
+        result.stats["candidates_eliminated"] = float(racer.eliminated)
     record_sampling_metrics(observer, result, timer.seconds)
     return result

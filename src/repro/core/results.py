@@ -264,6 +264,29 @@ def merge_results(first: MPMBResult, second: MPMBResult) -> MPMBResult:
         t for t in (first.target_trials, second.target_trials)
         if t is not None
     ]
+    # Anytime guarantees pool conservatively: each shard certifies its
+    # own (ε, δ) claim, so the union holds at the summed δ with the
+    # widest ε — only meaningful when *both* shards certified one.
+    guarantee = None
+    if first.guarantee is not None and second.guarantee is not None:
+        a, b = first.guarantee, second.guarantee
+        guarantee = Guarantee(
+            mu=min(a.mu, b.mu),
+            epsilon=max(a.epsilon, b.epsilon),
+            delta=min(1.0, a.delta + b.delta),
+            achieved_trials=a.achieved_trials + b.achieved_trials,
+            target_trials=a.target_trials + b.target_trials,
+            realized_trials=(
+                None
+                if a.realized_trials is None or b.realized_trials is None
+                else a.realized_trials + b.realized_trials
+            ),
+            eliminated=(
+                None
+                if a.eliminated is None or b.eliminated is None
+                else max(a.eliminated, b.eliminated)
+            ),
+        )
     return MPMBResult(
         method=first.method,
         graph=first.graph,
@@ -274,4 +297,5 @@ def merge_results(first: MPMBResult, second: MPMBResult) -> MPMBResult:
         degraded=degraded,
         degraded_reason=reasons[0] if reasons else None,
         target_trials=sum(targets) if targets else None,
+        guarantee=guarantee,
     )

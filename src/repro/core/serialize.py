@@ -63,6 +63,11 @@ def result_to_dict(result: MPMBResult) -> Dict:
             if result.guarantee is not None
             else None
         )
+    elif result.guarantee is not None:
+        # Certified anytime stops carry a *realised* guarantee without
+        # being degraded; it must survive the round trip (the worker
+        # pool ships results through this path).
+        payload["guarantee"] = result.guarantee.to_dict()
     return payload
 
 

@@ -53,6 +53,10 @@ class ExperimentConfig:
         block_size: Route the sampling methods through the batched
             kernel layer with this many trials per vectorised call;
             ``None`` keeps the scalar loops (see ``docs/performance.md``).
+        adaptive: Run the sampling methods in anytime adaptive mode —
+            racing elimination with empirical-Bernstein intervals and,
+            for OLS-KL, the sublinear pre-screen — reporting realised
+            instead of worst-case budgets (``docs/performance.md``).
     """
 
     profile: str = "bench"
@@ -68,6 +72,7 @@ class ExperimentConfig:
     delta: float = 0.1
     timeout_seconds: Optional[float] = None
     block_size: Optional[int] = None
+    adaptive: bool = False
 
     def runtime_policy(self) -> Optional[RuntimePolicy]:
         """The runtime policy experiment runs execute under, if any."""
@@ -154,24 +159,25 @@ def _method_runner(
 ) -> Callable[[], MPMBResult]:
     runtime = config.runtime_policy()
     block_size = config.block_size
+    adaptive = {"delta": config.delta} if config.adaptive else None
     if method == "mc-vp":
         n = n_override or config.n_mcvp
         return lambda: mc_vp(
             graph, n, rng=seed, block_size=block_size,
-            runtime=runtime, observer=observer,
+            runtime=runtime, observer=observer, adaptive=adaptive,
         )
     if method == "os":
         n = n_override or config.n_direct
         return lambda: ordering_sampling(
             graph, n, rng=seed, block_size=block_size,
-            runtime=runtime, observer=observer,
+            runtime=runtime, observer=observer, adaptive=adaptive,
         )
     if method == "ols":
         n = n_override or config.n_sampling
         return lambda: ordering_listing_sampling(
             graph, n, n_prepare=config.n_prepare,
             estimator="optimized", rng=seed, block_size=block_size,
-            runtime=runtime, observer=observer,
+            runtime=runtime, observer=observer, adaptive=adaptive,
         )
     if method == "ols-kl":
         n = n_override if n_override is not None else 0  # 0 = dynamic
@@ -180,6 +186,7 @@ def _method_runner(
             estimator="karp-luby", rng=seed,
             mu=config.mu, epsilon=config.epsilon, delta=config.delta,
             block_size=block_size, runtime=runtime, observer=observer,
+            adaptive=adaptive,
         )
     raise ValueError(
         f"unknown method {method!r}; expected one of {METHOD_ORDER}"

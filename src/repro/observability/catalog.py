@@ -90,6 +90,16 @@ METRICS: Tuple[MetricSpec, ...] = (
                "memoised edge sampling"),
     MetricSpec("ols-kl.trials_per_candidate", "histogram",
                "dynamic Lemma VI.4 budgets spent per candidate (Alg. 4)"),
+    MetricSpec("adaptive.trials_saved", "counter",
+               "trials the anytime racing stop avoided, measured "
+               "against the static budget"),
+    MetricSpec("adaptive.candidates_eliminated", "counter",
+               "candidates removed by pre-screen or racing elimination"),
+    MetricSpec("adaptive.realized_epsilon", "gauge",
+               "relative half-width the winner's interval certified at "
+               "the stop"),
+    MetricSpec("adaptive.prescreen.samples", "counter",
+               "wedge-pair samples the sublinear pre-screen drew"),
     MetricSpec("pool.workers.total", "counter",
                "worker pool size"),
     MetricSpec("pool.workers.dropped", "counter",

@@ -33,6 +33,11 @@ class Guarantee:
         delta: Failure probability ``δ``.
         achieved_trials: Trials actually completed.
         target_trials: Trials the run was sized for.
+        realized_trials: For anytime (racing) runs, the trials actually
+            consumed by the certified early stop; ``None`` for fixed
+            budgets.
+        eliminated: For anytime runs, how many candidates the racing
+            rule eliminated before stopping; ``None`` otherwise.
     """
 
     mu: float
@@ -40,6 +45,8 @@ class Guarantee:
     delta: float
     achieved_trials: int
     target_trials: int
+    realized_trials: Optional[int] = None
+    eliminated: Optional[int] = None
 
     @property
     def complete(self) -> bool:
@@ -47,25 +54,41 @@ class Guarantee:
         return self.achieved_trials >= self.target_trials
 
     def to_dict(self) -> Dict:
-        """JSON-serialisable form (infinity encoded as ``None``)."""
-        return {
+        """JSON-serialisable form (infinity encoded as ``None``).
+
+        The anytime keys are emitted only when set, so fixed-budget
+        payloads round-trip byte-identically to their pre-anytime form.
+        """
+        payload: Dict = {
             "mu": self.mu,
             "epsilon": None if math.isinf(self.epsilon) else self.epsilon,
             "delta": self.delta,
             "achieved_trials": self.achieved_trials,
             "target_trials": self.target_trials,
         }
+        if self.realized_trials is not None:
+            payload["realized_trials"] = self.realized_trials
+        if self.eliminated is not None:
+            payload["eliminated"] = self.eliminated
+        return payload
 
     @staticmethod
     def from_dict(payload: Dict) -> "Guarantee":
-        """Rebuild a guarantee serialized by :meth:`to_dict`."""
+        """Rebuild a guarantee serialized by :meth:`to_dict`.
+
+        Tolerates payloads written before the anytime keys existed.
+        """
         epsilon = payload.get("epsilon")
+        realized = payload.get("realized_trials")
+        eliminated = payload.get("eliminated")
         return Guarantee(
             mu=float(payload["mu"]),
             epsilon=float("inf") if epsilon is None else float(epsilon),
             delta=float(payload["delta"]),
             achieved_trials=int(payload["achieved_trials"]),
             target_trials=int(payload["target_trials"]),
+            realized_trials=None if realized is None else int(realized),
+            eliminated=None if eliminated is None else int(eliminated),
         )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic

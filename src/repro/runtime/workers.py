@@ -441,6 +441,24 @@ def run_parallel_trials(
     shares = split_trials(n_trials, n_workers, block_size=block_size)
     if block_size is not None:
         method_kwargs = {**method_kwargs, "block_size": block_size}
+    if method_kwargs.get("adaptive") is not None:
+        # Each worker races its own shard; δ/n per worker keeps the
+        # pooled anytime claim at δ by a union bound.
+        # Lazy import: repro.adaptive imports the core estimators,
+        # which import this package — eager import would cycle.
+        from ..adaptive.racing import resolve_adaptive, split_worker_delta
+
+        adaptive_config = resolve_adaptive(method_kwargs["adaptive"])
+        if adaptive_config is None:
+            method_kwargs = {**method_kwargs, "adaptive": None}
+        else:
+            method_kwargs = {
+                **method_kwargs,
+                "adaptive": split_worker_delta(
+                    adaptive_config, len(shares),
+                    default_delta=guarantee_delta,
+                ),
+            }
     # Lazy imports: this module is part of the runtime package, which the
     # core estimators import — importing core eagerly here would cycle.
     from ..core.results import merge_results

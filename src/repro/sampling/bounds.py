@@ -16,6 +16,14 @@ import math
 
 from ..errors import ConfigurationError
 
+#: Largest trial budget Theorem IV.1 sizing may request.  The bound
+#: grows as ``1/(μ·ε²)``, so an aggressive target (say ``μ=1e-12`` with
+#: ``ε=1e-6``) silently asks for ~10²⁵ trials — a budget nothing could
+#: ever run, which used to surface only hours later as a hung loop.
+#: Requests above the cap are a configuration mistake and are rejected
+#: up front (the CLI maps this to exit code 2, the service to HTTP 400).
+MAX_TRIAL_BOUND = 10**9
+
 
 def monte_carlo_trial_bound(
     mu: float, epsilon: float = 0.1, delta: float = 0.1
@@ -31,7 +39,9 @@ def monte_carlo_trial_bound(
         The smallest integer ``N`` satisfying the bound.
 
     Raises:
-        ConfigurationError: On out-of-range arguments.
+        ConfigurationError: On out-of-range arguments, or when the
+            requested guarantee needs more than :data:`MAX_TRIAL_BOUND`
+            trials.
     """
     if not 0.0 < mu <= 1.0:
         raise ConfigurationError(f"mu must be in (0, 1], got {mu}")
@@ -39,7 +49,14 @@ def monte_carlo_trial_bound(
         raise ConfigurationError(f"epsilon must be positive, got {epsilon}")
     if not 0.0 < delta < 1.0:
         raise ConfigurationError(f"delta must be in (0, 1), got {delta}")
-    return math.ceil((1.0 / mu) * 4.0 * math.log(2.0 / delta) / epsilon**2)
+    bound = math.ceil((1.0 / mu) * 4.0 * math.log(2.0 / delta) / epsilon**2)
+    if bound > MAX_TRIAL_BOUND:
+        raise ConfigurationError(
+            f"mu={mu}, epsilon={epsilon}, delta={delta} would require "
+            f"{bound:.3e} trials, above the {MAX_TRIAL_BOUND:.0e} cap; "
+            "relax the guarantee targets"
+        )
+    return bound
 
 
 def achievable_epsilon(

@@ -399,6 +399,15 @@ class QueryBroker:
     ) -> MPMBResult:
         """One engine execution with the request's exact CLI shape."""
         request_faults = self.faults.request_faults
+        adaptive: Dict[str, Any] = {}
+        if request.mode == "adaptive":
+            # The request's δ (when it sized the budget) is also the
+            # anytime failure budget, matching the CLI's --adaptive.
+            adaptive["adaptive"] = (
+                {"delta": request.delta}
+                if request.delta is not None
+                else True
+            )
         if request.workers > 1:
             pool_kwargs: Dict[str, Any] = {
                 "pool": self._pool_for(request, entry),
@@ -423,6 +432,7 @@ class QueryBroker:
                 observer=(
                     self.observer if self.observer.enabled else None
                 ),
+                **adaptive,
                 **pool_kwargs,
             )
         kwargs: Dict[str, Any] = {}
@@ -438,6 +448,7 @@ class QueryBroker:
             graph, method=request.method, n_trials=trials,
             n_prepare=request.prepare, rng=request.seed,
             observer=self.observer if self.observer.enabled else None,
+            **adaptive,
             **kwargs,
         )
 

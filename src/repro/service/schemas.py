@@ -31,8 +31,14 @@ STATUSES = ("ok", "degraded", "rejected", "failed")
 _REQUEST_FIELDS = frozenset((
     "dataset", "profile", "dataset_seed", "method", "trials", "mu",
     "epsilon", "delta", "prepare", "top_k", "block_size", "seed",
-    "deadline_seconds", "workers", "use_cache",
+    "deadline_seconds", "workers", "use_cache", "mode",
 ))
+
+#: Allocation modes: ``"fixed"`` runs the full sized budget,
+#: ``"adaptive"`` enables the anytime racing stop rule
+#: (:mod:`repro.adaptive`) which may finish early with a certified
+#: realised guarantee.
+MODES = ("fixed", "adaptive")
 
 
 @dataclass(frozen=True)
@@ -60,6 +66,9 @@ class QueryRequest:
             the engine's timeout degradation path.
         workers: Parallel worker processes (poolable methods only).
         use_cache: Whether the result cache may serve/store this query.
+        mode: ``"fixed"`` (default) spends the whole budget;
+            ``"adaptive"`` races candidates and stops early once the
+            winner is certified (sampling methods only).
     """
 
     dataset: str
@@ -77,6 +86,7 @@ class QueryRequest:
     deadline_seconds: Optional[float] = None
     workers: int = 1
     use_cache: bool = True
+    mode: str = "fixed"
 
     def __post_init__(self) -> None:
         self._validate()
@@ -156,6 +166,16 @@ class QueryRequest:
                 "deadline_seconds/block_size/workers do not apply to "
                 f"the exact method {self.method!r}"
             )
+        if self.mode not in MODES:
+            raise ConfigurationError(
+                f"mode must be one of {', '.join(MODES)}, "
+                f"got {self.mode!r}"
+            )
+        if self.mode == "adaptive" and exact:
+            raise ConfigurationError(
+                f"mode 'adaptive' does not apply to the exact method "
+                f"{self.method!r}"
+            )
         # Exercise the Theorem IV.1 sizing now so out-of-range ε-δ
         # targets are rejected at admission, not mid-execution.
         if sized:
@@ -178,11 +198,22 @@ class QueryRequest:
         the run completes, not what a complete run returns) are
         excluded; ``top_k`` is excluded because the cache stores the
         full ranking and slices per request.
+
+        ``mode`` (and, for adaptive mode, the ``mu``/``delta`` knobs
+        that shape the stop rule) MUST be part of the identity: an
+        adaptive run stops at a different trial count than a fixed run
+        of the same budget, so serving one for the other would hand
+        back a result the request never asked for.
         """
+        anytime = (
+            (self.mode, self.mu, self.delta)
+            if self.mode != "fixed"
+            else self.mode
+        )
         return (
             self.dataset, self.profile, self.dataset_seed, self.method,
             self.resolved_trials(), self.prepare, self.block_size,
-            self.seed, self.workers,
+            self.seed, self.workers, anytime,
         )
 
     @staticmethod

@@ -137,6 +137,31 @@ class TestCommandLineExtraction:
             for problem in problems
         )
 
+    def test_adaptive_docs_in_sync(self):
+        assert checker.check_adaptive_docs() == []
+
+    def test_adaptive_metric_dropped_from_page_detected(self, monkeypatch):
+        """Removing an adaptive.* mention from either anytime-mode page
+        must fail the sync check."""
+        page = REPO_ROOT / "docs" / "runtime.md"
+        text = page.read_text(encoding="utf-8")
+        pruned = text.replace("adaptive.realized_epsilon", "adaptive.gone")
+        assert pruned != text
+        original = type(page).read_text
+
+        def patched(self, **kw):
+            if self.name == "runtime.md":
+                return pruned
+            return original(self, **kw)
+
+        monkeypatch.setattr(type(page), "read_text", patched)
+        problems = checker.check_adaptive_docs()
+        assert any(
+            "runtime.md" in problem
+            and "adaptive.realized_epsilon" in problem
+            for problem in problems
+        )
+
     def test_rule_catalog_missing_row_detected(self, monkeypatch):
         page = REPO_ROOT / "docs" / "static-analysis.md"
         text = page.read_text(encoding="utf-8")

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Documentation consistency checker.
 
-Six guarantees, each enforced by CI through ``tests/test_docs.py``:
+Seven guarantees, each enforced by CI through ``tests/test_docs.py``:
 
 1. **Coverage** — ``README.md`` references every page under ``docs/``
    (a page nobody links is a page nobody reads).
@@ -26,6 +26,10 @@ Six guarantees, each enforced by CI through ``tests/test_docs.py``:
    reports, and documents no unregistered rule (``PARSE001``, the
    runner-emitted pseudo-rule, excepted), plus the *Concurrency
    verification* section for the lock-discipline rules stays pinned.
+7. **Adaptive docs sync** — ``docs/performance.md`` and
+   ``docs/runtime.md`` both name every ``adaptive.*`` metric of the
+   observability catalog, so the anytime-mode pages cannot fall behind
+   the instrumented racing/pre-screen layer.
 
 Run directly::
 
@@ -277,6 +281,38 @@ def check_protocol_docs() -> List[str]:
     return problems
 
 
+def check_adaptive_docs() -> List[str]:
+    """Both anytime-mode pages must name every ``adaptive.*`` metric.
+
+    Adaptive mode is documented twice on purpose — the *why/how fast*
+    story in ``docs/performance.md`` and the *certified-stop semantics*
+    in ``docs/runtime.md`` — and both narratives hinge on the same
+    realised-budget instruments, so each page must mention every
+    ``adaptive.*`` family of the observability catalog.
+    """
+    problems = []
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.observability.catalog import METRICS
+    finally:
+        sys.path.pop(0)
+    for name in ("performance.md", "runtime.md"):
+        page = REPO_ROOT / "docs" / name
+        if not page.exists():
+            problems.append(f"docs/{name} is missing (anytime-mode page)")
+            continue
+        text = page.read_text(encoding="utf-8")
+        for spec in METRICS:
+            if not spec.name.startswith("adaptive."):
+                continue
+            if spec.name not in text:
+                problems.append(
+                    f"docs/{name} does not mention the cataloged "
+                    f"adaptive metric {spec.name!r}"
+                )
+    return problems
+
+
 #: A rule-catalog table row: | `ID` | severity | ...
 RULE_ROW_PATTERN = re.compile(
     r"^\|\s*`([A-Z]+\d+[A-Z]*)`\s*\|\s*(\w+)\s*\|"
@@ -345,6 +381,7 @@ def run_checks() -> List[str]:
     problems.extend(check_kernel_docs())
     problems.extend(check_protocol_docs())
     problems.extend(check_rule_catalog())
+    problems.extend(check_adaptive_docs())
     return problems
 
 
